@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper, one bench
+// per artifact. The figure benches run reduced-scale versions of the
+// corresponding experiment (the cmd/ tools run them at paper scale); the
+// kernel benches execute the real compute loop. Run with:
+//
+//	go test -bench=. -benchmem
+package powerstack
+
+import (
+	"testing"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/policy"
+	"powerstack/internal/roofline"
+	"powerstack/internal/sim"
+	"powerstack/internal/stats"
+	"powerstack/internal/trace"
+	"powerstack/internal/units"
+	"powerstack/internal/workload"
+)
+
+// BenchmarkFig1FacilityTrace generates the year-long facility power trace
+// of Figure 1 (hourly samples, one-day moving average).
+func BenchmarkFig1FacilityTrace(b *testing.B) {
+	cfg := trace.QuartzYear()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.MeanPower() <= 0 {
+			b.Fatal("degenerate trace")
+		}
+	}
+}
+
+// BenchmarkFig3Roofline evaluates the roofline model across the Figure 3
+// kernel sweep for all vector widths.
+func BenchmarkFig3Roofline(b *testing.B) {
+	plat := roofline.QuartzBroadwell()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, v := range kernel.Vectors() {
+			pts := plat.KernelSweep(v, plat.RefFreq)
+			if len(pts) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}
+}
+
+// benchNodes builds a small node set once per benchmark.
+func benchNodes(b *testing.B, n int) []*node.Node {
+	b.Helper()
+	c, err := cluster.New(n, cpumodel.Quartz(), cpumodel.QuartzVariation(), 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.Nodes()
+}
+
+// BenchmarkFig4MonitorHeatmap characterizes one heatmap row (intensity 8,
+// all imbalance columns) under the monitor agent.
+func BenchmarkFig4MonitorHeatmap(b *testing.B) {
+	nodes := benchNodes(b, 8)
+	cols := kernel.HeatmapColumns()
+	opt := charz.Options{MonitorIters: 10, BalancerIters: 1, Seed: 1, NoiseSigma: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, col := range cols {
+			cfg := kernel.Config{Intensity: 8, Vector: kernel.YMM, WaitingPct: col.WaitingPct, Imbalance: col.Imbalance}
+			e, err := charz.Characterize(cfg, nodes, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if e.MonitorHostPower <= 0 {
+				b.Fatal("no power measured")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5BalancerHeatmap characterizes one heatmap row under the
+// power balancer (the convergence-dominated pass).
+func BenchmarkFig5BalancerHeatmap(b *testing.B) {
+	nodes := benchNodes(b, 8)
+	cols := kernel.HeatmapColumns()
+	opt := charz.Options{MonitorIters: 2, BalancerIters: 40, Seed: 1, NoiseSigma: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, col := range cols {
+			cfg := kernel.Config{Intensity: 8, Vector: kernel.YMM, WaitingPct: col.WaitingPct, Imbalance: col.Imbalance}
+			e, err := charz.Characterize(cfg, nodes, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if e.BalancerHostPower <= 0 {
+				b.Fatal("no power measured")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6FrequencyClusters runs the hardware-variation survey and
+// k-means partition on a 500-node population.
+func BenchmarkFig6FrequencyClusters(b *testing.B) {
+	c, err := cluster.New(500, cpumodel.Quartz(), cpumodel.QuartzVariation(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		freqs, err := c.FrequencySurvey(cluster.SurveyWorkload(), cluster.SurveyCap, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := stats.KMeans1D(freqs, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cl.Sizes) != 3 {
+			b.Fatal("bad clustering")
+		}
+	}
+}
+
+// benchDB characterizes the configs of the given mixes once.
+func benchDB(b *testing.B, mixes []workload.Mix) *charz.DB {
+	b.Helper()
+	nodes := benchNodes(b, 4)
+	db := charz.NewDB()
+	seen := map[string]bool{}
+	for _, m := range mixes {
+		for _, cfg := range m.Configs() {
+			if seen[cfg.Name()] {
+				continue
+			}
+			seen[cfg.Name()] = true
+			e, err := charz.Characterize(cfg, nodes, charz.Options{MonitorIters: 5, BalancerIters: 30, Seed: 3, NoiseSigma: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			db.Put(e)
+		}
+	}
+	return db
+}
+
+// BenchmarkTable3Budgets computes the min/ideal/max budget selection for
+// the fixed mixes from a prepared characterization database.
+func BenchmarkTable3Budgets(b *testing.B) {
+	mixes := []workload.Mix{workload.NeedUsedPower(), workload.HighImbalance(), workload.WastefulPower()}
+	db := benchDB(b, mixes)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, m := range mixes {
+			if _, err := workload.SelectBudgets(m, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig7PowerUtilization runs one Figure 7 cell: the WastefulPower
+// mix under StaticCaps at the ideal budget.
+func BenchmarkFig7PowerUtilization(b *testing.B) {
+	mix := workload.WastefulPower().Scaled(27)
+	db := benchDB(b, []workload.Mix{mix})
+	pool := benchNodes(b, mix.TotalNodes())
+	r := sim.NewRunner(pool, db)
+	r.Iters = 20
+	r.NoiseSigma = 0
+	budgets, err := workload.SelectBudgets(mix, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cell.Utilization <= 0 {
+			b.Fatal("no utilization")
+		}
+	}
+}
+
+// BenchmarkFig8SavingsGrid runs one full Figure 8 mix column (three budgets
+// by five policies, with savings) at reduced scale.
+func BenchmarkFig8SavingsGrid(b *testing.B) {
+	mix := workload.WastefulPower().Scaled(27)
+	db := benchDB(b, []workload.Mix{mix})
+	pool := benchNodes(b, mix.TotalNodes())
+	r := sim.NewRunner(pool, db)
+	r.Iters = 10
+	r.NoiseSigma = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr, err := r.RunMix(mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mr.Savings) != 3 {
+			b.Fatal("missing savings")
+		}
+	}
+}
+
+// BenchmarkKernelCompute executes the real compute loop of the synthetic
+// kernel at three intensities and all vector widths, reporting streamed
+// bytes per second.
+func BenchmarkKernelCompute(b *testing.B) {
+	buf := kernel.MakeBuffer(1 << 18) // 2 MiB per pass
+	for _, v := range kernel.Vectors() {
+		for _, intensity := range []float64{0.25, 8, 32} {
+			cfg := kernel.Config{Intensity: intensity, Vector: v, Imbalance: 1}
+			b.Run(cfg.Name(), func(b *testing.B) {
+				b.SetBytes(int64(len(buf) * 8))
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					sink += kernel.Run(cfg, buf)
+				}
+				if sink == 0 {
+					b.Fatal("dead-code elimination")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOnlineCoordination runs the execution-time coordination
+// protocol (the paper's future work) over a small asymmetric mix.
+func BenchmarkOnlineCoordination(b *testing.B) {
+	mix := workload.Mix{Name: "bench-online", Jobs: []workload.JobSpec{
+		{ID: "waiting", Config: kernel.Config{Intensity: 4, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 3}, Nodes: 8},
+		{ID: "bound", Config: kernel.Config{Intensity: 32, Vector: kernel.YMM, Imbalance: 1}, Nodes: 8},
+	}}
+	pool := benchNodes(b, mix.TotalNodes())
+	r := sim.NewRunner(pool, charz.NewDB())
+	r.Iters = 20
+	r.NoiseSigma = 0
+	budget := 16 * 180 * units.Watt
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell, err := r.RunOnlineCell(mix, "bench", budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cell.TotalEnergy <= 0 {
+			b.Fatal("no energy recorded")
+		}
+	}
+}
+
+// BenchmarkPolicyAllocation measures the allocation latency of all five
+// policies over a 900-host job set — the resource manager's critical path
+// when budgets change.
+func BenchmarkPolicyAllocation(b *testing.B) {
+	mixes := []workload.Mix{workload.WastefulPower()}
+	db := benchDB(b, mixes)
+	var jobs []policy.JobInfo
+	for _, js := range mixes[0].Jobs {
+		e, err := db.MustGet(js.Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		info := policy.JobInfo{ID: js.ID, Char: e}
+		for h := 0; h < js.Nodes; h++ {
+			info.Hosts = append(info.Hosts, policy.HostInfo{Min: 136 * units.Watt, Max: 240 * units.Watt})
+		}
+		jobs = append(jobs, info)
+	}
+	sys := policy.System{Budget: 900 * 190 * units.Watt}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range policy.All() {
+			if _, err := p.Allocate(sys, jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

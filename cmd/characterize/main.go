@@ -1,0 +1,175 @@
+// Command characterize runs the workload characterization of Section IV-B
+// and the hardware-variation survey of Section V-A2:
+//
+//   - the Figure 4 heatmap (uncapped power under the GEOPM monitor agent),
+//   - the Figure 5 heatmap (power under the GEOPM power balancer at a TDP
+//     budget), and
+//   - the Figure 6 achieved-frequency clustering of the full node
+//     population under 70 W caps.
+//
+// The characterization database can be saved for cmd/experiments to reuse.
+//
+// Usage:
+//
+//	characterize [-nodes N] [-vector ymm] [-variation] [-cluster N]
+//	             [-iters N] [-seed N] [-out db.json] [-catalog]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/report"
+	"powerstack/internal/stats"
+	"powerstack/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+	nNodes := flag.Int("nodes", 16, "test nodes per characterization run (the paper uses 100)")
+	vecName := flag.String("vector", "ymm", "vector width of the heatmap grid (scalar, xmm, ymm)")
+	variation := flag.Bool("variation", false, "run the Figure 6 hardware-variation survey instead")
+	clusterSize := flag.Int("cluster", 2000, "node population for the variation survey")
+	iters := flag.Int("iters", 40, "balancer iterations per configuration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("out", "", "write the characterization database to this JSON file")
+	catalog := flag.Bool("catalog", false, "characterize the full Table II catalog instead of the heatmap grid")
+	flag.Parse()
+
+	if *variation {
+		runVariationSurvey(*clusterSize, *seed)
+		return
+	}
+
+	var vec kernel.Vector
+	switch *vecName {
+	case "scalar":
+		vec = kernel.Scalar
+	case "xmm":
+		vec = kernel.XMM
+	case "ymm":
+		vec = kernel.YMM
+	default:
+		log.Fatalf("unknown vector width %q", *vecName)
+	}
+
+	c, err := cluster.New(*nNodes, cpumodel.Quartz(), cpumodel.QuartzVariation(), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := charz.Options{MonitorIters: 15, BalancerIters: *iters, Seed: *seed, NoiseSigma: -1}
+
+	var configs []kernel.Config
+	if *catalog {
+		configs = workload.Catalog()
+	} else {
+		for _, row := range kernel.HeatmapConfigs(vec) {
+			configs = append(configs, row...)
+		}
+	}
+	log.Printf("characterizing %d configurations on %d nodes", len(configs), *nNodes)
+	db, err := charz.CharacterizeAll(configs, c.Nodes(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*catalog {
+		printHeatmaps(db, vec)
+	} else {
+		fmt.Printf("characterized %d catalog configurations\n", db.Len())
+	}
+
+	if *out != "" {
+		if err := db.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("database written to %s", *out)
+	}
+}
+
+// printHeatmaps renders the Figure 4 and Figure 5 grids.
+func printHeatmaps(db *charz.DB, vec kernel.Vector) {
+	rows := kernel.HeatmapIntensities()
+	cols := kernel.HeatmapColumns()
+	rowNames := make([]string, len(rows))
+	for i, in := range rows {
+		rowNames[i] = fmt.Sprintf("%g", in)
+	}
+	colNames := make([]string, len(cols))
+	for j, c := range cols {
+		colNames[j] = c.Label()
+	}
+
+	build := func(pick func(charz.Entry) float64) [][]float64 {
+		vals := make([][]float64, len(rows))
+		for i, in := range rows {
+			vals[i] = make([]float64, len(cols))
+			for j, col := range cols {
+				cfg := kernel.Config{Intensity: in, Vector: vec, WaitingPct: col.WaitingPct, Imbalance: col.Imbalance}
+				e, ok := db.Get(cfg)
+				if !ok {
+					continue
+				}
+				vals[i][j] = pick(e)
+			}
+		}
+		return vals
+	}
+
+	fig4 := report.Heatmap{
+		Title:    fmt.Sprintf("Figure 4: CPU power per node (W), %s, monitor agent, no power limit", vec),
+		RowLabel: "FLOPs/B",
+		RowNames: rowNames, ColNames: colNames,
+		Values: build(func(e charz.Entry) float64 { return e.MonitorHostPower.Watts() }),
+		Format: "%5.0f", CellWidth: 9,
+	}
+	fig5 := report.Heatmap{
+		Title:    fmt.Sprintf("Figure 5: CPU power per node (W), %s, power balancer at TDP budget", vec),
+		RowLabel: "FLOPs/B",
+		RowNames: rowNames, ColNames: colNames,
+		Values: build(func(e charz.Entry) float64 { return e.BalancerHostPower.Watts() }),
+		Format: "%5.0f", CellWidth: 9,
+	}
+	fmt.Println(fig4.String())
+	fmt.Println(fig5.String())
+}
+
+// runVariationSurvey reproduces Figure 6.
+func runVariationSurvey(size int, seed uint64) {
+	log.Printf("surveying %d nodes under %v per-socket caps", size, cluster.SurveyCap)
+	c, err := cluster.New(size, cpumodel.Quartz(), cpumodel.QuartzVariation(), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	freqs, err := c.FrequencySurvey(cluster.SurveyWorkload(), cluster.SurveyCap, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := cluster.Partition(freqs, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counts, edges := stats.Histogram(freqs, 16)
+	hist := report.Histogram{
+		Title:  "Figure 6: achieved frequency (GHz) under 70 W caps",
+		Edges:  edges,
+		Counts: counts,
+	}
+	fmt.Fprint(os.Stdout, hist.String())
+
+	names := []string{"low", "medium", "high"}
+	tb := report.NewTable("\nFrequency clusters (k-means, k=3)", "Cluster", "Nodes", "Centroid (GHz)")
+	for i := range cl.Centroids {
+		tb.AddRow(names[i], fmt.Sprintf("%d", cl.Sizes[i]), fmt.Sprintf("%.3f", cl.Centroids[i]))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\npaper reference: low n=522, medium n=918, high n=560 of 2000\n")
+}

@@ -1,0 +1,132 @@
+// Command facility runs the machine-room simulation end to end: Poisson
+// job arrivals, power-aware scheduling against node and watt budgets, a
+// Section III policy distributing per-host caps, and facility-level
+// telemetry — producing, bottom-up, the kind of power trace Figure 1 shows
+// top-down, along with scheduler statistics.
+//
+// Usage:
+//
+//	facility [-nodes N] [-hours H] [-budget "50 kW"] [-policy MixedAdaptive]
+//	         [-interarrival 45s] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/facility"
+	"powerstack/internal/kernel"
+	"powerstack/internal/policy"
+	"powerstack/internal/report"
+	"powerstack/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("facility: ")
+	nNodes := flag.Int("nodes", 64, "cluster size")
+	hours := flag.Float64("hours", 4, "simulated span in hours")
+	budgetStr := flag.String("budget", "", "system power budget (e.g. \"12 kW\"; default 200 W/node)")
+	policyName := flag.String("policy", "MixedAdaptive", "power policy for the running set")
+	interarrival := flag.Duration("interarrival", 45*time.Second, "mean job inter-arrival time")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var pol policy.Policy
+	for _, p := range policy.All() {
+		if strings.EqualFold(p.Name(), *policyName) {
+			pol = p
+		}
+	}
+	if pol == nil {
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+
+	budget := units.Power(*nNodes) * 200 * units.Watt
+	if *budgetStr != "" {
+		var err error
+		budget, err = units.ParsePower(*budgetStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	c, err := cluster.New(*nNodes+8, cpumodel.Quartz(), cpumodel.QuartzVariation(), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads := []kernel.Config{
+		{Intensity: 0.25, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 8, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 32, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 1, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
+		{Intensity: 16, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 3},
+		{Intensity: 8, Vector: kernel.XMM, Imbalance: 1},
+	}
+	log.Printf("characterizing %d workloads...", len(workloads))
+	db, err := charz.CharacterizeAll(workloads, c.Nodes()[*nNodes:], charz.Options{
+		MonitorIters: 10, BalancerIters: 40, Seed: *seed, NoiseSigma: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := facility.Config{
+		Nodes:            c.Nodes()[:*nNodes],
+		DB:               db,
+		Policy:           pol,
+		SystemBudget:     budget,
+		MeanInterarrival: *interarrival,
+		MinJobIterations: 2000,
+		MaxJobIterations: 20000,
+		JobSizes:         []int{2, 4, 8, 16},
+		Workloads:        workloads,
+		Duration:         time.Duration(*hours * float64(time.Hour)),
+		Tick:             time.Minute,
+		Seed:             *seed,
+	}
+	log.Printf("simulating %v over %d nodes under %v (%s policy)...",
+		cfg.Duration, *nNodes, budget, pol.Name())
+	start := time.Now()
+	res, err := facility.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done in %v wall time", time.Since(start).Round(time.Millisecond))
+
+	// Downsample the trace into a line chart.
+	chart := report.LineChart{
+		Title: fmt.Sprintf("facility power (budget %v)", budget),
+		YUnit: " kW",
+		Max:   budget.Kilowatts(),
+		Width: 56,
+	}
+	buckets := 24
+	if len(res.Trace) < buckets {
+		buckets = len(res.Trace)
+	}
+	per := len(res.Trace) / buckets
+	for b := 0; b < buckets; b++ {
+		sum := 0.0
+		for i := b * per; i < (b+1)*per; i++ {
+			sum += res.Trace[i].Power.Kilowatts()
+		}
+		label := res.Trace[b*per].Time.Format("15:04")
+		chart.Add(label, sum/float64(per))
+	}
+	fmt.Fprint(os.Stdout, chart.String())
+
+	fmt.Printf("\njobs:  %d submitted, %d started, %d completed\n", res.Submitted, res.Started, res.Completed)
+	fmt.Printf("queue: mean wait %v\n", res.MeanQueueWait.Round(time.Second))
+	fmt.Printf("nodes: %.1f%% mean utilization\n", 100*res.MeanNodeUtilization)
+	fmt.Printf("power: mean %v, peak %v (budget %v, %d violation ticks)\n",
+		res.MeanPower, res.PeakPower, budget, res.BudgetViolationTicks)
+	fmt.Printf("energy: %v CPU total\n", res.TotalEnergy)
+}

@@ -1,0 +1,63 @@
+// Command powertrace regenerates Figure 1: a year of facility power
+// telemetry for a Quartz-class system, showing the gap between the rated
+// capacity and the actual draw that motivates hardware over-provisioning.
+//
+// Usage:
+//
+//	powertrace [-rated MW] [-mean MW] [-months N] [-seed N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"powerstack/internal/report"
+	"powerstack/internal/trace"
+	"powerstack/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powertrace: ")
+	rated := flag.Float64("rated", 1.35, "rated facility power in MW (the dashed line)")
+	mean := flag.Float64("mean", 0.83, "target mean draw in MW")
+	months := flag.Int("months", 10, "trace length in months")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit raw samples as CSV instead of the chart")
+	flag.Parse()
+
+	cfg := trace.QuartzYear()
+	cfg.RatedPower = units.Power(*rated) * units.Megawatt
+	cfg.MeanPower = units.Power(*mean) * units.Megawatt
+	cfg.Duration = time.Duration(*months) * 30 * 24 * time.Hour
+	cfg.Seed = *seed
+
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *csv {
+		fmt.Println("timestamp,power_watts,daily_average_watts")
+		for i, s := range tr.Samples {
+			fmt.Printf("%s,%.0f,%.0f\n", s.Time.Format(time.RFC3339), s.Power.Watts(), tr.DailyAverage[i].Watts())
+		}
+		return
+	}
+
+	labels, means := tr.MonthlyAverages()
+	chart := report.LineChart{
+		Title: "Figure 1: total power consumption (monthly mean of instantaneous draw)",
+		YUnit: " MW",
+		Max:   cfg.RatedPower.Megawatts(),
+	}
+	for i, l := range labels {
+		chart.Add(l, means[i].Megawatts())
+	}
+	fmt.Fprint(os.Stdout, chart.String())
+	fmt.Printf("\nrated:    %v\nmean:     %v\npeak:     %v\nstranded: %v (provisioned but unused on average)\n",
+		tr.Config.RatedPower, tr.MeanPower(), tr.PeakPower(), tr.StrandedPower())
+}

@@ -1,0 +1,61 @@
+package powerstack_test
+
+import (
+	"fmt"
+	"log"
+
+	"powerstack"
+	"powerstack/internal/kernel"
+	"powerstack/internal/workload"
+)
+
+// Resolving a policy by its report name, e.g. from a CLI flag.
+func ExamplePolicyByName() {
+	p, err := powerstack.PolicyByName("MixedAdaptive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Name())
+	// Output: MixedAdaptive
+}
+
+// The five Section III policies, in the paper's presentation order.
+func ExamplePolicies() {
+	for _, p := range powerstack.Policies() {
+		fmt.Println(p.Name())
+	}
+	// Output:
+	// Precharacterized
+	// StaticCaps
+	// MinimizeWaste
+	// JobAdaptive
+	// MixedAdaptive
+}
+
+// A complete (deterministic-shape) evaluation of one small mix: build a
+// system, characterize the workload, run all five policies at the three
+// Table III budgets, and check who wins.
+func ExampleSystem_RunMix() {
+	sys, err := powerstack.NewSystem(powerstack.Options{ClusterSize: 20, Seed: 1, CharNodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := powerstack.KernelConfig{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}
+	if err := sys.Characterize([]powerstack.KernelConfig{cfg}, powerstack.QuickCharacterization()); err != nil {
+		log.Fatal(err)
+	}
+	mix := workload.Mix{Name: "demo", Jobs: []workload.JobSpec{
+		{ID: "a", Config: cfg, Nodes: 8},
+		{ID: "b", Config: cfg, Nodes: 8},
+	}}
+	res, err := sys.RunMix(mix, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Savings["ideal"]["MixedAdaptive"]
+	fmt.Println("MixedAdaptive saves time at the ideal budget:", s.Time > 0.01)
+	fmt.Println("and energy:", s.Energy > 0.01)
+	// Output:
+	// MixedAdaptive saves time at the ideal budget: true
+	// and energy: true
+}

@@ -1,0 +1,94 @@
+// Jobruntime: watch the GEOPM-style runtime manage one imbalanced
+// bulk-synchronous job under three agents — monitor (observe only),
+// power governor (uniform caps), and power balancer (shift power to the
+// critical path) — and see the Figure 2 iteration anatomy up close.
+//
+// The example also runs the *real* compute kernel (an FMA/load loop with a
+// controllable FLOPs-per-byte ratio) on the local machine, demonstrating
+// that the microbenchmark is executable, not just modeled.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/geopm"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Part 1: the real kernel, on this machine -----------------------
+	fmt.Println("part 1: executing the synthetic kernel locally")
+	buf := kernel.MakeBuffer(kernel.DefaultBufferElems)
+	var sink float64
+	for _, intensity := range []float64{0.25, 8, 32} {
+		cfg := kernel.Config{Intensity: intensity, Vector: kernel.YMM, Imbalance: 1}
+		start := time.Now()
+		sink += kernel.Run(cfg, buf)
+		elapsed := time.Since(start)
+		bytes := float64(len(buf) * 8)
+		flops := intensity * bytes
+		fmt.Printf("  intensity %5.2f FLOPs/B: %8v  (%.2f GB/s streamed, %.2f GFLOPS)\n",
+			intensity, elapsed.Round(time.Microsecond),
+			bytes/elapsed.Seconds()/1e9, flops/elapsed.Seconds()/1e9)
+	}
+	_ = sink
+
+	// --- Part 2: the runtime on the simulated cluster -------------------
+	fmt.Println("\npart 2: one imbalanced job under three GEOPM agents")
+	cfg := kernel.Config{Intensity: 16, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}
+	fmt.Printf("workload: %s\n\n", cfg)
+
+	budgetPerHost := 200 * units.Watt
+	const hosts = 12
+	agents := []geopm.Agent{geopm.Monitor{}, geopm.PowerGovernor{}, geopm.NewPowerBalancer()}
+	for _, agent := range agents {
+		rep := runUnder(agent, cfg, hosts, units.Power(hosts)*budgetPerHost)
+		fmt.Printf("agent %-15s  elapsed %9v  energy %10v  mean power %7.1f W/host  converged at iter %d\n",
+			rep.Agent, rep.Elapsed.Round(time.Millisecond), rep.TotalEnergy,
+			rep.MeanHostPower().Watts(), rep.ConvergedAt)
+		if rep.Agent == "power_balancer" {
+			fmt.Println("  converged per-host limits (critical hosts first):")
+			for _, h := range rep.Hosts {
+				fmt.Printf("    %-10s %-8s limit %6.1f W  mean power %6.1f W  work time %v\n",
+					h.HostID, h.Role, h.FinalLimit.Watts(), h.MeanPower.Watts(),
+					h.MeanWorkTime.Round(time.Microsecond))
+			}
+		}
+	}
+	fmt.Println("\nThe balancer lowers limits on waiting hosts (no critical-path impact)")
+	fmt.Println("and grants the freed power to the critical hosts, shortening every")
+	fmt.Println("iteration versus the uniform governor at the same job budget.")
+}
+
+// runUnder builds a fresh job on fresh nodes and runs it under the agent.
+func runUnder(agent geopm.Agent, cfg kernel.Config, hosts int, budget units.Power) geopm.Report {
+	c, err := cluster.New(hosts, cpumodel.Quartz(), cpumodel.QuartzVariation(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := bsp.NewJob("imbalanced", cfg, c.Nodes(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if agent.Name() == "monitor" {
+		budget = units.Power(hosts) * node.SocketsPerNode * cpumodel.Quartz().TDP
+	}
+	ctl, err := geopm.NewController(job, agent, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := ctl.Run(60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}

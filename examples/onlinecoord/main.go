@@ -1,0 +1,115 @@
+// Onlinecoord: the paper's future work, running — an execution-time
+// coordination protocol between per-job runtimes and the resource manager.
+// No pre-characterization: each job's balancer harvests slack power during
+// execution and *releases it upward*; every iteration the resource manager
+// renegotiates job budgets from the runtimes' Request messages and steers
+// the surplus to the job that can still convert power into speed.
+//
+// The demo runs an asymmetric pair — a waiting-heavy job that frees more
+// power than its own critical hosts can absorb, next to a power-bound
+// compute job — once with the protocol off (each job keeps its uniform
+// share: the online JobAdaptive) and once with it on (the online
+// MixedAdaptive).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/cluster"
+	"powerstack/internal/coordinator"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The waiting-heavy job frees more power than its own two critical
+	// hosts can absorb (they saturate at TDP); the power-bound compute
+	// job next to it converts every extra watt. Only cross-job
+	// coordination can connect the two.
+	specs := []struct {
+		cfg   kernel.Config
+		nodes int
+	}{
+		{kernel.Config{Intensity: 4, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 3}, 8},
+		{kernel.Config{Intensity: 32, Vector: kernel.YMM, Imbalance: 1}, 8},
+	}
+	budget := 16 * 180 * units.Watt
+	fmt.Printf("two jobs, 16 nodes, system budget %v (180 W/node):\n", budget)
+	for _, s := range specs {
+		fmt.Printf("  %2d nodes: %s\n", s.nodes, s.cfg)
+	}
+	fmt.Println()
+
+	var results [2]coordinator.Result
+	for i, share := range []bool{false, true} {
+		mode := "protocol OFF (jobs keep their uniform share)"
+		if share {
+			mode = "protocol ON  (Request/Grant renegotiation every iteration)"
+		}
+		res := run(specs, budget, share)
+		results[i] = res
+		fmt.Printf("%s\n", mode)
+		fmt.Printf("  elapsed %v   energy %v   mean power %v (%.1f%% of budget)\n",
+			res.Elapsed.Round(time.Millisecond), res.TotalEnergy, res.MeanPower,
+			100*res.MeanPower.Watts()/budget.Watts())
+		for id, gs := range res.GrantHistory {
+			if len(gs) == 0 {
+				continue
+			}
+			fmt.Printf("  job %-18s budget %6.0f W -> %6.0f W over %d protocol rounds\n",
+				id, gs[0].Watts(), gs[len(gs)-1].Watts(), len(gs))
+		}
+		fmt.Println()
+	}
+
+	dt := 100 * (1 - results[1].Elapsed.Seconds()/results[0].Elapsed.Seconds())
+	de := 100 * (1 - results[1].TotalEnergy.Joules()/results[0].TotalEnergy.Joules())
+	fmt.Printf("protocol effect: %+.2f%% time, %+.2f%% energy — with no pre-characterization.\n\n", dt, de)
+	fmt.Println("The grants show the waiting-heavy job's surplus crossing the job boundary")
+	fmt.Println("into the power-bound compute job at execution time — the coordination the")
+	fmt.Println("paper proposes standardizing between resource managers and job runtimes.")
+	fmt.Println("(The offline MixedAdaptive policy of cmd/experiments reaches the same")
+	fmt.Println("steady state from pre-characterization; the protocol gets there online.)")
+}
+
+func run(specs []struct {
+	cfg   kernel.Config
+	nodes int
+}, budget units.Power, share bool) coordinator.Result {
+	total := 0
+	for _, s := range specs {
+		total += s.nodes
+	}
+	c, err := cluster.New(total, cpumodel.Quartz(), cpumodel.QuartzVariation(), 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := c.Nodes()
+	var jobs []*bsp.Job
+	for i, s := range specs {
+		var alloc []*node.Node
+		alloc, pool = pool[:s.nodes], pool[s.nodes:]
+		j, err := bsp.NewJob(s.cfg.Name(), s.cfg, alloc, uint64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		j.NoiseSigma = 0 // deterministic comparison
+		jobs = append(jobs, j)
+	}
+	coord, err := coordinator.New(budget, jobs, share)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := coord.Run(80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

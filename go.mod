@@ -1,0 +1,3 @@
+module powerstack
+
+go 1.23

@@ -1,0 +1,346 @@
+package bsp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/units"
+)
+
+func testNodes(t *testing.T, n int) []*node.Node {
+	t.Helper()
+	c, err := cluster.New(n, cpumodel.Quartz(), cpumodel.QuartzVariation(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Nodes()
+}
+
+func balancedCfg() kernel.Config {
+	return kernel.Config{Intensity: 8, Vector: kernel.YMM, Imbalance: 1}
+}
+
+func imbalancedCfg() kernel.Config {
+	return kernel.Config{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}
+}
+
+func TestNewJobValidation(t *testing.T) {
+	nodes := testNodes(t, 4)
+	if _, err := NewJob("bad", kernel.Config{Intensity: -1, Imbalance: 1}, nodes, 1); err == nil {
+		t.Error("expected config validation error")
+	}
+	if _, err := NewJob("empty", balancedCfg(), nil, 1); err == nil {
+		t.Error("expected error for empty node list")
+	}
+}
+
+func TestRoleAssignment(t *testing.T) {
+	nodes := testNodes(t, 8)
+	j, err := NewJob("j", imbalancedCfg(), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.CriticalHosts(); got != 4 {
+		t.Errorf("critical hosts = %d, want 4 (50%% waiting of 8)", got)
+	}
+	// Critical hosts lead, waiting hosts trail.
+	if j.Hosts[0].Role != Critical || j.Hosts[7].Role != Waiting {
+		t.Errorf("role layout: first=%v last=%v", j.Hosts[0].Role, j.Hosts[7].Role)
+	}
+}
+
+func TestRoleAssignmentBalanced(t *testing.T) {
+	nodes := testNodes(t, 5)
+	j, err := NewJob("j", balancedCfg(), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.CriticalHosts(); got != 5 {
+		t.Errorf("critical hosts = %d, want all 5", got)
+	}
+}
+
+func TestRoleAssignmentKeepsOneCritical(t *testing.T) {
+	nodes := testNodes(t, 2)
+	cfg := kernel.Config{Intensity: 4, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 2}
+	j, err := NewJob("j", cfg, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.CriticalHosts(); got < 1 {
+		t.Errorf("critical hosts = %d, want >= 1", got)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Critical.String() != "critical" || Waiting.String() != "waiting" {
+		t.Error("role names wrong")
+	}
+}
+
+func TestPhasePerRole(t *testing.T) {
+	nodes := testNodes(t, 4)
+	j, err := NewJob("j", imbalancedCfg(), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := j.Phase(Critical)
+	wait := j.Phase(Waiting)
+	if crit.Work.Traffic != 3*wait.Work.Traffic {
+		t.Errorf("critical traffic %v, want 3x waiting %v", crit.Work.Traffic, wait.Work.Traffic)
+	}
+}
+
+func TestRunIterationBarrierIsCriticalPath(t *testing.T) {
+	nodes := testNodes(t, 6)
+	j, err := NewJob("j", imbalancedCfg(), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.NoiseSigma = 0
+	ir, err := j.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxWork time.Duration
+	for _, h := range ir.PerHost {
+		if h.WorkTime > maxWork {
+			maxWork = h.WorkTime
+		}
+	}
+	if ir.Elapsed != maxWork {
+		t.Errorf("Elapsed %v != max work %v", ir.Elapsed, maxWork)
+	}
+	// Waiting hosts finish early.
+	for _, h := range ir.PerHost {
+		if h.Role == Waiting && h.WorkTime >= ir.Elapsed {
+			t.Errorf("waiting host %s work %v >= barrier %v", h.Node.ID, h.WorkTime, ir.Elapsed)
+		}
+	}
+}
+
+func TestRunIterationEnergyPositive(t *testing.T) {
+	nodes := testNodes(t, 4)
+	j, err := NewJob("j", balancedCfg(), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := j.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.TotalEnergy <= 0 || ir.TotalFlops <= 0 {
+		t.Errorf("energy=%v flops=%v", ir.TotalEnergy, ir.TotalFlops)
+	}
+	if got := ir.MeanHostPower().Watts(); got < 150 || got > 240 {
+		t.Errorf("mean host power = %v W, outside sane band", got)
+	}
+}
+
+func TestMeanHostPowerDegenerate(t *testing.T) {
+	var r IterationResult
+	if got := r.MeanHostPower(); got != 0 {
+		t.Errorf("degenerate mean power = %v", got)
+	}
+}
+
+func TestCapSlowsIteration(t *testing.T) {
+	nodes := testNodes(t, 4)
+	j, err := NewJob("j", balancedCfg(), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.NoiseSigma = 0
+	fast, err := j.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if _, err := n.SetPowerLimit(150 * units.Watt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow, err := j.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Elapsed <= fast.Elapsed {
+		t.Errorf("capped iteration %v not slower than uncapped %v", slow.Elapsed, fast.Elapsed)
+	}
+	if slow.MeanHostPower() >= fast.MeanHostPower() {
+		t.Errorf("capped power %v not below uncapped %v", slow.MeanHostPower(), fast.MeanHostPower())
+	}
+}
+
+func TestSpinWasteGrowsWithImbalance(t *testing.T) {
+	// With equal caps, an imbalanced job burns more energy per unit of
+	// base work than a balanced one, because waiting hosts spin.
+	nodesA := testNodes(t, 4)
+	nodesB := testNodes(t, 4)
+	jBal, err := NewJob("bal", balancedCfg(), nodesA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jImb, err := NewJob("imb", imbalancedCfg(), nodesB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jBal.NoiseSigma, jImb.NoiseSigma = 0, 0
+	rBal, err := jBal.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rImb, err := jImb.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy per achieved FLOP is worse for the imbalanced job.
+	eBal := float64(rBal.TotalEnergy) / float64(rBal.TotalFlops)
+	eImb := float64(rImb.TotalEnergy) / float64(rImb.TotalFlops)
+	if eImb <= eBal {
+		t.Errorf("imbalanced J/FLOP %v <= balanced %v", eImb, eBal)
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	nodes := testNodes(t, 4)
+	j, err := NewJob("j", imbalancedCfg(), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 20
+	rr, err := j.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Iterations != iters || len(rr.IterationTimes) != iters {
+		t.Fatalf("iterations recorded = %d/%d", rr.Iterations, len(rr.IterationTimes))
+	}
+	var sum time.Duration
+	for _, it := range rr.IterationTimes {
+		sum += it
+	}
+	if sum != rr.Elapsed {
+		t.Errorf("Elapsed %v != sum of iterations %v", rr.Elapsed, sum)
+	}
+	if len(rr.HostMeanPower) != 4 {
+		t.Fatalf("host powers = %d", len(rr.HostMeanPower))
+	}
+	for i, p := range rr.HostMeanPower {
+		if p <= 0 || p > 240*units.Watt {
+			t.Errorf("host %d power = %v", i, p)
+		}
+	}
+	if rr.MeanPower() <= 0 || rr.EDP() <= 0 || rr.FlopsPerWatt() <= 0 {
+		t.Error("derived metrics non-positive")
+	}
+}
+
+func TestRunRejectsBadIterations(t *testing.T) {
+	nodes := testNodes(t, 2)
+	j, err := NewJob("j", balancedCfg(), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Run(0); err == nil {
+		t.Error("expected error for zero iterations")
+	}
+}
+
+func TestNoiseProducesIterationVariance(t *testing.T) {
+	nodes := testNodes(t, 4)
+	j, err := NewJob("j", balancedCfg(), nodes, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := j.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rr.IterationTimes[0]
+	same := true
+	for _, it := range rr.IterationTimes[1:] {
+		if it != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("OS noise produced identical iteration times")
+	}
+	// Noise is small: max/min within a few percent.
+	var mn, mx time.Duration = rr.IterationTimes[0], rr.IterationTimes[0]
+	for _, it := range rr.IterationTimes {
+		if it < mn {
+			mn = it
+		}
+		if it > mx {
+			mx = it
+		}
+	}
+	if ratio := float64(mx) / float64(mn); ratio > 1.1 {
+		t.Errorf("noise spread ratio = %v, want < 1.1", ratio)
+	}
+}
+
+func TestNoiseDeterministicBySeed(t *testing.T) {
+	mk := func() RunResult {
+		nodes := testNodes(t, 3)
+		j, err := NewJob("j", balancedCfg(), nodes, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := j.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+	a, b := mk(), mk()
+	for i := range a.IterationTimes {
+		if a.IterationTimes[i] != b.IterationTimes[i] {
+			t.Fatal("same seed, different iteration times")
+		}
+	}
+}
+
+func TestHardwareVariationShowsUpInRun(t *testing.T) {
+	// Two nodes with very different eta under a deep cap: host mean
+	// powers equalize (both capped) but the critical path lengthens on
+	// the inefficient node.
+	spec := cpumodel.Quartz()
+	nEff, err := node.New("eff", spec, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIneff, err := node.New("ineff", spec, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*node.Node{nEff, nIneff} {
+		if _, err := n.SetPowerLimit(140 * units.Watt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, err := NewJob("j", balancedCfg(), []*node.Node{nEff, nIneff}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.NoiseSigma = 0
+	ir, err := j.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.PerHost[0].WorkTime >= ir.PerHost[1].WorkTime {
+		t.Errorf("efficient node %v not faster than inefficient %v",
+			ir.PerHost[0].WorkTime, ir.PerHost[1].WorkTime)
+	}
+	if math.Abs(ir.PerHost[0].AchievedFreq.GHz()-ir.PerHost[1].AchievedFreq.GHz()) < 0.01 {
+		t.Error("achieved frequencies should differ under a deep cap")
+	}
+}

@@ -1,0 +1,203 @@
+package charz
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/units"
+)
+
+func testNodes(t *testing.T, n int) []*node.Node {
+	t.Helper()
+	c, err := cluster.New(n, cpumodel.Quartz(), cpumodel.QuartzVariation(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Nodes()
+}
+
+func quickOpts() Options {
+	return Options{MonitorIters: 10, BalancerIters: 40, Seed: 5, NoiseSigma: 0}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	nodes := testNodes(t, 2)
+	cfg := kernel.Config{Intensity: 1, Vector: kernel.YMM, Imbalance: 1}
+	if _, err := Characterize(cfg, nil, quickOpts()); err == nil {
+		t.Error("no nodes accepted")
+	}
+	bad := quickOpts()
+	bad.MonitorIters = 0
+	if _, err := Characterize(cfg, nodes, bad); err == nil {
+		t.Error("zero monitor iters accepted")
+	}
+}
+
+func TestCharacterizeBalancedConfig(t *testing.T) {
+	nodes := testNodes(t, 8)
+	cfg := kernel.Config{Intensity: 8, Vector: kernel.YMM, Imbalance: 1}
+	e, err := Characterize(cfg, nodes, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4: uncapped i=8 ymm node power ~232 W.
+	if got := e.MonitorHostPower.Watts(); got < 220 || got > 240 {
+		t.Errorf("monitor host power = %v, want ~232", got)
+	}
+	// Figure 5 0%% column: balancer power equals monitor power (no slack).
+	if math.Abs(e.BalancerHostPower.Watts()-e.MonitorHostPower.Watts()) > 8 {
+		t.Errorf("balanced config: balancer %v vs monitor %v should be close",
+			e.BalancerHostPower, e.MonitorHostPower)
+	}
+	if e.MonitorWaitingPwr != 0 || e.NeededWaiting != 0 {
+		t.Error("balanced config has no waiting hosts")
+	}
+	if e.NeededCritical <= 0 || e.NeededMin <= 0 || e.NeededMax < e.NeededMin {
+		t.Errorf("needed stats inconsistent: %+v", e)
+	}
+	if e.MonitorIterTime <= 0 || e.BalancerIterTime <= 0 {
+		t.Error("iteration times missing")
+	}
+}
+
+func TestCharacterizeImbalancedConfig(t *testing.T) {
+	nodes := testNodes(t, 8)
+	cfg := kernel.Config{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}
+	e, err := Characterize(cfg, nodes, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 4 -> Figure 5 story: uncapped power is insensitive to
+	// imbalance, balancer power drops markedly.
+	if e.BalancerHostPower >= e.MonitorHostPower-10 {
+		t.Errorf("balancer %v should sit well below monitor %v for imbalanced work",
+			e.BalancerHostPower, e.MonitorHostPower)
+	}
+	// Waiting hosts need much less than critical hosts.
+	if e.NeededWaiting >= e.NeededCritical-30 {
+		t.Errorf("needed waiting %v vs critical %v", e.NeededWaiting, e.NeededCritical)
+	}
+	// Monitor power, by contrast, is nearly role-independent (spinning).
+	if math.Abs(e.MonitorWaitingPwr.Watts()-e.MonitorCriticalPwr.Watts()) > 25 {
+		t.Errorf("monitor power by role: waiting %v vs critical %v",
+			e.MonitorWaitingPwr, e.MonitorCriticalPwr)
+	}
+	if e.NeededForRole(1) != e.NeededWaiting || e.NeededForRole(0) != e.NeededCritical {
+		t.Error("NeededForRole mapping")
+	}
+	if e.MonitorPowerForRole(1) != e.MonitorWaitingPwr {
+		t.Error("MonitorPowerForRole mapping")
+	}
+}
+
+func TestCharacterizeRestoresLimits(t *testing.T) {
+	nodes := testNodes(t, 4)
+	cfg := kernel.Config{Intensity: 4, Vector: kernel.YMM, WaitingPct: 25, Imbalance: 2}
+	if _, err := Characterize(cfg, nodes, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		p, err := n.PowerLimit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Watts()-240) > 0.5 {
+			t.Errorf("limit %v not restored to TDP", p)
+		}
+	}
+}
+
+func TestCharacterizeAllAndDB(t *testing.T) {
+	nodes := testNodes(t, 4)
+	configs := []kernel.Config{
+		{Intensity: 0.25, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 16, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
+	}
+	db, err := CharacterizeAll(configs, nodes, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("db len = %d", db.Len())
+	}
+	for _, cfg := range configs {
+		e, ok := db.Get(cfg)
+		if !ok {
+			t.Fatalf("missing entry for %s", cfg.Name())
+		}
+		if e.Hosts != 4 {
+			t.Errorf("hosts = %d", e.Hosts)
+		}
+	}
+	if _, err := db.MustGet(kernel.Config{Intensity: 99, Vector: kernel.YMM, Imbalance: 1}); err == nil {
+		t.Error("MustGet on missing entry should fail")
+	}
+}
+
+func TestDBSaveLoadRoundTrip(t *testing.T) {
+	nodes := testNodes(t, 3)
+	cfg := kernel.Config{Intensity: 2, Vector: kernel.XMM, WaitingPct: 25, Imbalance: 2}
+	e, err := Characterize(cfg, nodes, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	db.Put(e)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Get(cfg)
+	if !ok {
+		t.Fatal("round-tripped entry missing")
+	}
+	if math.Abs(got.MonitorHostPower.Watts()-e.MonitorHostPower.Watts()) > 1e-9 {
+		t.Errorf("monitor power: %v vs %v", got.MonitorHostPower, e.MonitorHostPower)
+	}
+	if got.Config.Name() != cfg.Name() {
+		t.Errorf("config name %q", got.Config.Name())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	db, err := Load(bytes.NewBufferString("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Entries == nil {
+		t.Error("entries map not initialized")
+	}
+}
+
+func TestDBFileRoundTrip(t *testing.T) {
+	db := NewDB()
+	db.Put(Entry{Config: kernel.Config{Intensity: 1, Vector: kernel.YMM, Imbalance: 1}, Hosts: 4,
+		MonitorHostPower: 214 * units.Watt})
+	path := t.TempDir() + "/char.json"
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 {
+		t.Errorf("len = %d", back.Len())
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package coordinator implements the paper's proposed future work: an
+// execution-time protocol that coordinates the system-level objectives of a
+// resource manager with the workload-level objectives of per-job runtimes,
+// replacing the offline pre-characterization the paper used to emulate the
+// feedback loop ("Since there is not currently an existing protocol or
+// central mechanism for coordinating power management decisions ... we
+// emulated this execution time behavior by pre-characterizing our
+// workloads", Section VIII).
+//
+// The protocol is a two-message exchange per control interval:
+//
+//	job runtime  --Request--> resource manager     (needed / min / max-useful power)
+//	job runtime <--Grant----- resource manager     (renegotiated job budget)
+//
+// Each job runtime runs a GEOPM power balancer internally; between
+// iterations it derives its Request from the balancer's converging per-host
+// limits and observed power. The resource manager reallocates the system
+// budget across jobs MixedAdaptive-style: grant every job what it needs,
+// scale proportionally under deficit, and steer surplus to jobs that can
+// still convert power into speed. No prior knowledge of any workload is
+// required.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/geopm"
+	"powerstack/internal/units"
+)
+
+// Request is the job runtime's upward report: the power its hosts need to
+// hold the current critical path, the floor it can be squeezed to, and the
+// most power it could convert into performance.
+type Request struct {
+	JobID string
+	// Needed is the sum over hosts of the runtime's current needed-power
+	// estimate.
+	Needed units.Power
+	// Min is the sum of the hosts' minimum settable limits.
+	Min units.Power
+	// MaxUseful is the most power the job could productively consume:
+	// critical hosts up to their ceiling, waiting hosts at their need.
+	MaxUseful units.Power
+}
+
+// Grant is the resource manager's downward response: the job's budget for
+// the next control interval.
+type Grant struct {
+	JobID  string
+	Budget units.Power
+}
+
+// Runtime is one job's runtime endpoint of the protocol.
+type Runtime struct {
+	Job      *bsp.Job
+	Balancer *geopm.PowerBalancer
+
+	grant      units.Power
+	lastSample geopm.Sample
+	lastEnergy []units.Energy
+}
+
+// NewRuntime wraps a job with a fresh balancer.
+func NewRuntime(job *bsp.Job) (*Runtime, error) {
+	if job == nil {
+		return nil, errors.New("coordinator: nil job")
+	}
+	return &Runtime{Job: job, Balancer: geopm.NewPowerBalancer()}, nil
+}
+
+// initialize programs a uniform distribution of the initial grant.
+func (rt *Runtime) initialize(grant units.Power) error {
+	rt.grant = grant
+	hosts := make([]geopm.HostSample, len(rt.Job.Hosts))
+	for i, h := range rt.Job.Hosts {
+		hosts[i] = geopm.HostSample{
+			HostID:   h.Node.ID,
+			MinLimit: h.Node.MinLimit(),
+			MaxLimit: h.Node.TDP(),
+		}
+	}
+	limits := rt.Balancer.Initialize(grant, hosts)
+	if err := rt.applyLimits(limits); err != nil {
+		return err
+	}
+	rt.lastEnergy = make([]units.Energy, len(rt.Job.Hosts))
+	for i, h := range rt.Job.Hosts {
+		e, err := h.Node.Energy()
+		if err != nil {
+			return err
+		}
+		rt.lastEnergy[i] = e
+	}
+	return nil
+}
+
+func (rt *Runtime) applyLimits(limits []units.Power) error {
+	if limits == nil {
+		return nil
+	}
+	if len(limits) != len(rt.Job.Hosts) {
+		return fmt.Errorf("coordinator: %d limits for %d hosts", len(limits), len(rt.Job.Hosts))
+	}
+	for i, h := range rt.Job.Hosts {
+		if _, err := h.Node.SetPowerLimit(limits[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step runs one bulk-synchronous iteration, feeds the balancer, and
+// returns the iteration result.
+func (rt *Runtime) step(k int) (bsp.IterationResult, error) {
+	ir, err := rt.Job.RunIteration()
+	if err != nil {
+		return bsp.IterationResult{}, err
+	}
+	sample := geopm.Sample{Iteration: k, Elapsed: ir.Elapsed, Hosts: make([]geopm.HostSample, len(rt.Job.Hosts))}
+	for i, h := range rt.Job.Hosts {
+		e, err := h.Node.Energy()
+		if err != nil {
+			return bsp.IterationResult{}, err
+		}
+		de := e - rt.lastEnergy[i]
+		rt.lastEnergy[i] = e
+		limit, err := h.Node.PowerLimit()
+		if err != nil {
+			return bsp.IterationResult{}, err
+		}
+		sample.Hosts[i] = geopm.HostSample{
+			HostID:   h.Node.ID,
+			WorkTime: ir.PerHost[i].WorkTime,
+			Power:    units.MeanPower(de, ir.Elapsed),
+			Limit:    limit,
+			MinLimit: h.Node.MinLimit(),
+			MaxLimit: h.Node.TDP(),
+		}
+	}
+	rt.lastSample = sample
+	if err := rt.applyLimits(rt.Balancer.Adjust(rt.grant, sample)); err != nil {
+		return bsp.IterationResult{}, err
+	}
+	return ir, nil
+}
+
+// request derives the upward report from the latest sample: a host the
+// balancer has cut needs its limit; an uncut host needs what it draws, and
+// could use up to its ceiling if it sits on the critical path.
+func (rt *Runtime) request() Request {
+	req := Request{JobID: rt.Job.ID}
+	s := rt.lastSample
+	var tMax time.Duration
+	for _, h := range s.Hosts {
+		if h.WorkTime > tMax {
+			tMax = h.WorkTime
+		}
+	}
+	for _, h := range s.Hosts {
+		req.Min += h.MinLimit
+		needed := h.Limit
+		if h.Power < needed {
+			needed = h.Power
+		}
+		if needed < h.MinLimit {
+			needed = h.MinLimit
+		}
+		req.Needed += needed
+		// Hosts within the critical slack band can convert more power
+		// into speed; others are pinned at their need.
+		slack := 1.0
+		if tMax > 0 {
+			slack = float64(tMax-h.WorkTime) / float64(tMax)
+		}
+		if slack <= geopm.DefaultSlackEpsilon {
+			req.MaxUseful += h.MaxLimit
+		} else {
+			req.MaxUseful += needed
+		}
+	}
+	return req
+}
+
+// regrant applies a renegotiated budget.
+func (rt *Runtime) regrant(g Grant) { rt.grant = g.Budget }

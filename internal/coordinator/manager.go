@@ -1,0 +1,189 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/stats"
+	"powerstack/internal/units"
+)
+
+// Coordinator is the resource-manager endpoint of the protocol: it owns the
+// system budget and renegotiates per-job budgets from the runtimes'
+// Requests every control interval.
+type Coordinator struct {
+	// Budget is the system-wide power limit.
+	Budget units.Power
+	// ShareAcrossJobs enables cross-job power steering (the online
+	// MixedAdaptive). When false, each job keeps its uniform share for
+	// the whole run (the online JobAdaptive), which isolates the value
+	// of the protocol's system-level half.
+	ShareAcrossJobs bool
+	// Interval is how many iterations pass between protocol rounds
+	// (1 = renegotiate every iteration).
+	Interval int
+
+	Runtimes []*Runtime
+}
+
+// New builds a coordinator over the given jobs.
+func New(budget units.Power, jobs []*bsp.Job, shareAcrossJobs bool) (*Coordinator, error) {
+	if budget <= 0 {
+		return nil, errors.New("coordinator: budget must be positive")
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("coordinator: no jobs")
+	}
+	c := &Coordinator{Budget: budget, ShareAcrossJobs: shareAcrossJobs, Interval: 1}
+	totalHosts := 0
+	for _, j := range jobs {
+		totalHosts += len(j.Hosts)
+	}
+	for _, j := range jobs {
+		rt, err := NewRuntime(j)
+		if err != nil {
+			return nil, err
+		}
+		// With the protocol active, job runtimes harvest slack power and
+		// release it upward instead of hoarding it for their own
+		// critical hosts — the system-level half of MixedAdaptive.
+		rt.Balancer.ReleaseFreedPower = shareAcrossJobs
+		c.Runtimes = append(c.Runtimes, rt)
+	}
+	// Initial grants: uniform per host, exactly the offline policies'
+	// step 1.
+	per := budget / units.Power(totalHosts)
+	for _, rt := range c.Runtimes {
+		if err := rt.initialize(per * units.Power(len(rt.Job.Hosts))); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Allocate is the protocol's system-level decision: map Requests to Grants
+// under the budget. Exported for direct testing.
+//
+//   - Every job is granted at least its Min.
+//   - If the aggregate Needed fits, each job gets Needed and the surplus is
+//     steered to jobs that can still use it, proportional to
+//     (MaxUseful - Needed).
+//   - Under deficit, the span between Min and Needed is scaled uniformly.
+func Allocate(budget units.Power, reqs []Request) []Grant {
+	grants := make([]Grant, len(reqs))
+	var totalMin, totalNeeded units.Power
+	for _, r := range reqs {
+		totalMin += r.Min
+		totalNeeded += r.Needed
+	}
+	switch {
+	case totalNeeded <= budget:
+		surplus := budget - totalNeeded
+		var headroom units.Power
+		for _, r := range reqs {
+			if r.MaxUseful > r.Needed {
+				headroom += r.MaxUseful - r.Needed
+			}
+		}
+		for i, r := range reqs {
+			g := r.Needed
+			if headroom > 0 && r.MaxUseful > r.Needed {
+				share := units.Power(float64(surplus) * float64(r.MaxUseful-r.Needed) / float64(headroom))
+				if share > r.MaxUseful-r.Needed {
+					share = r.MaxUseful - r.Needed
+				}
+				g += share
+			}
+			grants[i] = Grant{JobID: r.JobID, Budget: g}
+		}
+	case totalMin >= budget:
+		// Even the floors exceed the budget: grant floors (hardware
+		// cannot be set lower anyway).
+		for i, r := range reqs {
+			grants[i] = Grant{JobID: r.JobID, Budget: r.Min}
+		}
+	default:
+		scale := float64(budget-totalMin) / float64(totalNeeded-totalMin)
+		for i, r := range reqs {
+			g := r.Min + units.Power(scale*float64(r.Needed-r.Min))
+			grants[i] = Grant{JobID: r.JobID, Budget: g}
+		}
+	}
+	return grants
+}
+
+// Result aggregates a coordinated run.
+type Result struct {
+	Iterations  int
+	Elapsed     time.Duration // node-weighted mean of job elapsed times
+	TotalEnergy units.Energy
+	TotalFlops  units.Flops
+	// MeanPower is the run-average total power across jobs.
+	MeanPower units.Power
+	// IterTimes is the node-weighted mean iteration time series.
+	IterTimes []float64
+	// GrantHistory records each job's granted budget per protocol round.
+	GrantHistory map[string][]units.Power
+}
+
+// TimeCI95 returns the 95% confidence half-width of the iteration times.
+func (r Result) TimeCI95() float64 { return stats.ConfidenceInterval95(r.IterTimes) }
+
+// Run executes iters iterations with protocol rounds every Interval
+// iterations.
+func (c *Coordinator) Run(iters int) (Result, error) {
+	if iters <= 0 {
+		return Result{}, errors.New("coordinator: iterations must be positive")
+	}
+	interval := c.Interval
+	if interval <= 0 {
+		interval = 1
+	}
+	totalNodes := 0
+	for _, rt := range c.Runtimes {
+		totalNodes += len(rt.Job.Hosts)
+	}
+	res := Result{
+		Iterations:   iters,
+		IterTimes:    make([]float64, iters),
+		GrantHistory: map[string][]units.Power{},
+	}
+	var jobElapsed = make([]time.Duration, len(c.Runtimes))
+	for k := 0; k < iters; k++ {
+		for ji, rt := range c.Runtimes {
+			ir, err := rt.step(k)
+			if err != nil {
+				return Result{}, fmt.Errorf("coordinator: iteration %d job %s: %w", k, rt.Job.ID, err)
+			}
+			w := float64(len(rt.Job.Hosts)) / float64(totalNodes)
+			res.IterTimes[k] += w * ir.Elapsed.Seconds()
+			res.TotalEnergy += ir.TotalEnergy
+			res.TotalFlops += ir.TotalFlops
+			jobElapsed[ji] += ir.Elapsed
+		}
+		if c.ShareAcrossJobs && (k+1)%interval == 0 {
+			reqs := make([]Request, len(c.Runtimes))
+			for i, rt := range c.Runtimes {
+				reqs[i] = rt.request()
+			}
+			for i, g := range Allocate(c.Budget, reqs) {
+				c.Runtimes[i].regrant(g)
+				res.GrantHistory[g.JobID] = append(res.GrantHistory[g.JobID], g.Budget)
+			}
+		}
+	}
+	for ji, rt := range c.Runtimes {
+		w := float64(len(rt.Job.Hosts)) / float64(totalNodes)
+		res.Elapsed += time.Duration(w * float64(jobElapsed[ji]))
+	}
+	var sum float64
+	for _, t := range res.IterTimes {
+		sum += t
+	}
+	if sum > 0 {
+		res.MeanPower = units.Power(res.TotalEnergy.Joules() / sum)
+	}
+	return res, nil
+}

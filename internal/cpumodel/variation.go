@@ -1,0 +1,69 @@
+package cpumodel
+
+import "math/rand/v2"
+
+// Manufacturing variation: Quartz nodes, all nominally identical, reach
+// visibly different frequencies under a 70 W cap (Figure 6). The paper
+// partitions 2000 nodes into low (n=522), medium (n=918), and high (n=560)
+// achieved-frequency clusters via k-means. We reproduce that structure with
+// a three-component mixture over the dynamic-power multiplier eta:
+// inefficient parts (high eta) clock lower under a cap.
+
+// VariationComponent is one mode of the efficiency mixture.
+type VariationComponent struct {
+	// Weight is the mixing probability.
+	Weight float64
+	// MeanEta is the component's mean dynamic-power multiplier.
+	MeanEta float64
+	// SigmaEta is the within-component standard deviation.
+	SigmaEta float64
+}
+
+// VariationModel is a mixture distribution over eta.
+type VariationModel struct {
+	Components []VariationComponent
+}
+
+// QuartzVariation returns the mixture calibrated to reproduce the Figure 6
+// cluster proportions (522/918/560 of 2000) and an achieved-frequency
+// spread of roughly 1.6-2.0 GHz under 70 W caps. Higher eta means a less
+// efficient part, hence a lower achieved frequency.
+func QuartzVariation() VariationModel {
+	return VariationModel{Components: []VariationComponent{
+		{Weight: 522.0 / 2000, MeanEta: 1.10, SigmaEta: 0.020}, // low-frequency cluster
+		{Weight: 918.0 / 2000, MeanEta: 1.00, SigmaEta: 0.020}, // medium
+		{Weight: 560.0 / 2000, MeanEta: 0.91, SigmaEta: 0.020}, // high
+	}}
+}
+
+// Sample draws one eta from the mixture. Samples are clipped to [0.8, 1.3]
+// so extreme tails cannot produce unphysical parts.
+func (m VariationModel) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	acc := 0.0
+	comp := m.Components[len(m.Components)-1]
+	for _, c := range m.Components {
+		acc += c.Weight
+		if u < acc {
+			comp = c
+			break
+		}
+	}
+	eta := comp.MeanEta + comp.SigmaEta*rng.NormFloat64()
+	if eta < 0.8 {
+		eta = 0.8
+	}
+	if eta > 1.3 {
+		eta = 1.3
+	}
+	return eta
+}
+
+// SampleN draws n etas.
+func (m VariationModel) SampleN(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package cpumodel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"powerstack/internal/stats"
+)
+
+func TestQuartzVariationWeightsSum(t *testing.T) {
+	m := QuartzVariation()
+	sum := 0.0
+	for _, c := range m.Components {
+		sum += c.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	m := QuartzVariation()
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 10000; i++ {
+		eta := m.Sample(rng)
+		if eta < 0.8 || eta > 1.3 {
+			t.Fatalf("eta = %v outside clip range", eta)
+		}
+	}
+}
+
+func TestSampleNDeterministicWithSeed(t *testing.T) {
+	m := QuartzVariation()
+	a := m.SampleN(100, rand.New(rand.NewPCG(9, 9)))
+	b := m.SampleN(100, rand.New(rand.NewPCG(9, 9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("samples not reproducible with equal seeds")
+		}
+	}
+}
+
+func TestSampleNRecoversThreeClusters(t *testing.T) {
+	m := QuartzVariation()
+	etas := m.SampleN(2000, rand.New(rand.NewPCG(6, 6)))
+	cl, err := stats.KMeans1D(etas, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster sizes should approximate the paper's 522/918/560 split.
+	// Centroids ascend: low eta = high-frequency cluster (n=560).
+	wantSizes := []int{560, 918, 522}
+	for i, got := range cl.Sizes {
+		if math.Abs(float64(got-wantSizes[i])) > 100 {
+			t.Errorf("cluster %d size = %d, want ~%d", i, got, wantSizes[i])
+		}
+	}
+	wantCentroids := []float64{0.91, 1.00, 1.10}
+	for i, got := range cl.Centroids {
+		if math.Abs(got-wantCentroids[i]) > 0.03 {
+			t.Errorf("centroid %d = %v, want ~%v", i, got, wantCentroids[i])
+		}
+	}
+}
+
+func TestSampleMeanNearNominal(t *testing.T) {
+	m := QuartzVariation()
+	etas := m.SampleN(20000, rand.New(rand.NewPCG(11, 11)))
+	mean := stats.Mean(etas)
+	// Weighted mean of the mixture: 0.261*1.10 + 0.459*1.00 + 0.28*0.91.
+	want := 522.0/2000*1.10 + 918.0/2000*1.00 + 560.0/2000*0.91
+	if math.Abs(mean-want) > 0.01 {
+		t.Errorf("mean eta = %v, want ~%v", mean, want)
+	}
+}

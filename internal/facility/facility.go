@@ -1,0 +1,271 @@
+// Package facility is the capstone integration of the stack: a
+// trace-driven simulation of a whole machine room over hours of simulated
+// wall-clock. Jobs arrive as a Poisson process, the power-aware scheduler
+// admits them against node and power budgets, a Section III policy
+// distributes per-host caps whenever the running set changes, the
+// bulk-synchronous engine advances every running job (fast-forwarding
+// through steady state), and the telemetry hierarchy samples facility
+// power — producing, bottom-up, the kind of trace Figure 1 shows top-down.
+package facility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/policy"
+	"powerstack/internal/rm"
+	"powerstack/internal/telemetry"
+	"powerstack/internal/units"
+)
+
+// Config shapes a facility simulation.
+type Config struct {
+	// Nodes is the cluster to simulate over.
+	Nodes []*node.Node
+	// DB must characterize every config in Workloads.
+	DB *charz.DB
+	// Policy distributes power across the running set (nil = StaticCaps).
+	Policy policy.Policy
+	// SystemBudget is the facility power limit.
+	SystemBudget units.Power
+
+	// MeanInterarrival is the Poisson arrival process' mean gap.
+	MeanInterarrival time.Duration
+	// JobIterations samples job lengths uniformly from [Min, Max].
+	MinJobIterations, MaxJobIterations int
+	// JobSizes are the node counts jobs request (sampled uniformly).
+	JobSizes []int
+	// Workloads is the kernel-config population (sampled uniformly).
+	Workloads []kernel.Config
+
+	// Duration is the simulated span; Tick the scheduling/telemetry
+	// cadence.
+	Duration time.Duration
+	Tick     time.Duration
+
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case len(c.Nodes) == 0:
+		return errors.New("facility: no nodes")
+	case c.DB == nil:
+		return errors.New("facility: no characterization database")
+	case c.SystemBudget <= 0:
+		return errors.New("facility: budget must be positive")
+	case c.MeanInterarrival <= 0:
+		return errors.New("facility: interarrival must be positive")
+	case c.MinJobIterations <= 0 || c.MaxJobIterations < c.MinJobIterations:
+		return errors.New("facility: bad job-iteration range")
+	case len(c.JobSizes) == 0:
+		return errors.New("facility: no job sizes")
+	case len(c.Workloads) == 0:
+		return errors.New("facility: no workloads")
+	case c.Tick <= 0 || c.Duration < c.Tick:
+		return errors.New("facility: bad tick/duration")
+	}
+	for _, s := range c.JobSizes {
+		if s <= 0 || s > len(c.Nodes) {
+			return fmt.Errorf("facility: job size %d outside the cluster", s)
+		}
+	}
+	for _, w := range c.Workloads {
+		if _, err := c.DB.MustGet(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// running tracks one admitted job's progress.
+type running struct {
+	sj        *rm.ScheduledJob
+	remaining int
+	submitted time.Time
+	started   time.Time
+}
+
+// Result summarizes a facility simulation.
+type Result struct {
+	// Trace is the facility power series, one sample per tick.
+	Trace []telemetry.Sample
+	// Submitted, Started, and Completed count jobs.
+	Submitted, Started, Completed int
+	// MeanQueueWait averages the submit-to-start delay of started jobs.
+	MeanQueueWait time.Duration
+	// MeanNodeUtilization is the time-averaged fraction of busy nodes.
+	MeanNodeUtilization float64
+	// MeanPower and PeakPower summarize the trace.
+	MeanPower units.Power
+	PeakPower units.Power
+	// TotalEnergy is the facility CPU energy over the run.
+	TotalEnergy units.Energy
+	// BudgetViolationTicks counts samples above the system budget.
+	BudgetViolationTicks int
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = policy.StaticCaps{}
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
+	mgr := rm.NewManager(cfg.Nodes)
+	sched, err := rm.NewScheduler(mgr, cfg.DB, cfg.SystemBudget)
+	if err != nil {
+		return nil, err
+	}
+	root, err := telemetry.BuildHierarchy(cfg.Nodes, 16, 1<<16)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	now := time.Unix(0, 0).UTC()
+	if _, err := root.Sample(now); err != nil { // prime energy trackers
+		return nil, err
+	}
+
+	var active []*running
+	lengths := map[string]int{} // queued job ID -> iterations
+	submitTimes := map[string]time.Time{}
+	nextArrival := now.Add(expDuration(rng, cfg.MeanInterarrival))
+	var busyNodeTicks, totalTicks int
+
+	replan := func() error {
+		if len(mgr.Jobs()) == 0 {
+			return nil
+		}
+		alloc, err := mgr.Plan(pol, cfg.SystemBudget, cfg.DB)
+		if err != nil {
+			return err
+		}
+		return mgr.Apply(alloc)
+	}
+
+	jobSeq := 0
+	for elapsed := time.Duration(0); elapsed < cfg.Duration; elapsed += cfg.Tick {
+		tickEnd := now.Add(cfg.Tick)
+
+		// Arrivals within this tick.
+		for !nextArrival.After(tickEnd) {
+			jobSeq++
+			spec := rm.JobSpec{
+				ID:     fmt.Sprintf("job%05d", jobSeq),
+				Config: cfg.Workloads[rng.IntN(len(cfg.Workloads))],
+				Nodes:  cfg.JobSizes[rng.IntN(len(cfg.JobSizes))],
+			}
+			if _, err := sched.Enqueue(spec); err != nil {
+				return nil, err
+			}
+			lengths[spec.ID] = cfg.MinJobIterations + rng.IntN(cfg.MaxJobIterations-cfg.MinJobIterations+1)
+			submitTimes[spec.ID] = nextArrival
+			res.Submitted++
+			nextArrival = nextArrival.Add(expDuration(rng, cfg.MeanInterarrival))
+		}
+
+		// Admit what fits, then replan power across the running set.
+		startedNow, err := sched.Dispatch(cfg.Seed + uint64(jobSeq))
+		if err != nil {
+			return nil, err
+		}
+		for _, sj := range startedNow {
+			active = append(active, &running{
+				sj:        sj,
+				remaining: lengths[sj.Spec.ID],
+				submitted: submitTimes[sj.Spec.ID],
+				started:   now,
+			})
+			res.Started++
+			res.MeanQueueWait += now.Sub(submitTimes[sj.Spec.ID])
+		}
+		if len(startedNow) > 0 {
+			if err := replan(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Advance every running job through the tick.
+		completedAny := false
+		var still []*running
+		for _, r := range active {
+			span, err := r.sj.Job.RunSpan(cfg.Tick)
+			if err != nil {
+				return nil, err
+			}
+			r.remaining -= span.Iterations
+			if r.remaining <= 0 {
+				if err := sched.Complete(r.sj); err != nil {
+					return nil, err
+				}
+				res.Completed++
+				completedAny = true
+				continue
+			}
+			still = append(still, r)
+		}
+		active = still
+		if completedAny {
+			if err := replan(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Telemetry.
+		p, err := root.Sample(tickEnd)
+		if err != nil {
+			return nil, err
+		}
+		res.Trace = append(res.Trace, telemetry.Sample{Time: tickEnd, Power: p})
+		res.TotalEnergy += units.EnergyOver(p, cfg.Tick)
+		if p > cfg.SystemBudget {
+			res.BudgetViolationTicks++
+		}
+		busy := 0
+		for _, r := range active {
+			busy += r.sj.Spec.Nodes
+		}
+		busyNodeTicks += busy
+		totalTicks++
+		now = tickEnd
+	}
+
+	if res.Started > 0 {
+		res.MeanQueueWait /= time.Duration(res.Started)
+	}
+	if totalTicks > 0 {
+		res.MeanNodeUtilization = float64(busyNodeTicks) / float64(totalTicks*len(cfg.Nodes))
+	}
+	var sum float64
+	for _, s := range res.Trace {
+		sum += s.Power.Watts()
+		if s.Power > res.PeakPower {
+			res.PeakPower = s.Power
+		}
+	}
+	if len(res.Trace) > 0 {
+		res.MeanPower = units.Power(sum / float64(len(res.Trace)))
+	}
+	return res, nil
+}
+
+// expDuration samples an exponential inter-arrival gap.
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return time.Duration(-math.Log(u) * float64(mean))
+}

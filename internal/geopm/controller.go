@@ -1,0 +1,246 @@
+package geopm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/stats"
+	"powerstack/internal/units"
+)
+
+// Controller is the per-job GEOPM control loop: it programs limits through
+// RAPL, runs bulk-synchronous iterations, samples telemetry from the RAPL
+// energy counters, and lets the agent react — the execution-time feedback
+// loop the paper emulates with pre-characterization runs.
+type Controller struct {
+	Job    *bsp.Job
+	Agent  Agent
+	Budget units.Power
+
+	lastEnergy []units.Energy
+}
+
+// NewController wires an agent to a job under a job-level power budget.
+func NewController(job *bsp.Job, agent Agent, budget units.Power) (*Controller, error) {
+	if job == nil || agent == nil {
+		return nil, errors.New("geopm: controller needs a job and an agent")
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("geopm: negative budget %v", budget)
+	}
+	return &Controller{Job: job, Agent: agent, Budget: budget}, nil
+}
+
+// hostTemplates builds the per-host bound information agents initialize
+// from.
+func (c *Controller) hostTemplates() ([]HostSample, error) {
+	hosts := make([]HostSample, len(c.Job.Hosts))
+	for i, h := range c.Job.Hosts {
+		limit, err := h.Node.PowerLimit()
+		if err != nil {
+			return nil, err
+		}
+		hosts[i] = HostSample{
+			HostID:   h.Node.ID,
+			Limit:    limit,
+			MinLimit: h.Node.MinLimit(),
+			MaxLimit: h.Node.TDP(),
+		}
+	}
+	return hosts, nil
+}
+
+// applyLimits programs the agent-requested limits; nil leaves limits alone.
+func (c *Controller) applyLimits(limits []units.Power) error {
+	if limits == nil {
+		return nil
+	}
+	if len(limits) != len(c.Job.Hosts) {
+		return fmt.Errorf("geopm: agent returned %d limits for %d hosts", len(limits), len(c.Job.Hosts))
+	}
+	for i, h := range c.Job.Hosts {
+		if _, err := h.Node.SetPowerLimit(limits[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyPins programs frequency ceilings; nil leaves pins alone.
+func (c *Controller) applyPins(pins []units.Frequency) error {
+	if pins == nil {
+		return nil
+	}
+	if len(pins) != len(c.Job.Hosts) {
+		return fmt.Errorf("geopm: agent returned %d pins for %d hosts", len(pins), len(c.Job.Hosts))
+	}
+	for i, h := range c.Job.Hosts {
+		if _, err := h.Node.SetFrequencyPin(pins[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HostReport is one host's totals in a GEOPM report.
+type HostReport struct {
+	HostID string
+	Role   bsp.Role
+	// Energy is the host's total CPU energy over the run.
+	Energy units.Energy
+	// MeanPower is the host's run-average power (the Figure 4/5 cell
+	// values).
+	MeanPower units.Power
+	// FinalLimit is the power limit at the end of the run — the
+	// balancer's converged "needed power".
+	FinalLimit units.Power
+	// MeanWorkTime is the average time-to-barrier.
+	MeanWorkTime time.Duration
+	// MeanAchievedFreq is the run-average achieved frequency.
+	MeanAchievedFreq units.Frequency
+}
+
+// Report is the GEOPM run report the policies consume.
+type Report struct {
+	JobID      string
+	Agent      string
+	Budget     units.Power
+	Iterations int
+	Elapsed    time.Duration
+	// TotalEnergy sums host energies.
+	TotalEnergy units.Energy
+	// TotalFlops sums completed floating-point work.
+	TotalFlops units.Flops
+	// IterationTimes supports confidence intervals.
+	IterationTimes []time.Duration
+	Hosts          []HostReport
+	// ConvergedAt is the iteration index at which the agent reported
+	// convergence (-1 if it never did).
+	ConvergedAt int
+}
+
+// MeanPower returns the run-average total job power.
+func (r Report) MeanPower() units.Power {
+	return units.MeanPower(r.TotalEnergy, r.Elapsed)
+}
+
+// MeanHostPower returns the run-average per-host power.
+func (r Report) MeanHostPower() units.Power {
+	if len(r.Hosts) == 0 {
+		return 0
+	}
+	return r.MeanPower() / units.Power(len(r.Hosts))
+}
+
+// TimeCI95 returns the 95% confidence half-width of the mean iteration
+// time.
+func (r Report) TimeCI95() time.Duration {
+	xs := make([]float64, len(r.IterationTimes))
+	for i, t := range r.IterationTimes {
+		xs[i] = t.Seconds()
+	}
+	return time.Duration(stats.ConfidenceInterval95(xs) * float64(time.Second))
+}
+
+// Run executes iters control-loop iterations and assembles the report.
+func (c *Controller) Run(iters int) (Report, error) {
+	if iters <= 0 {
+		return Report{}, errors.New("geopm: iterations must be positive")
+	}
+	hosts, err := c.hostTemplates()
+	if err != nil {
+		return Report{}, err
+	}
+	if err := c.applyLimits(c.Agent.Initialize(c.Budget, hosts)); err != nil {
+		return Report{}, err
+	}
+
+	// Prime the RAPL energy trackers.
+	c.lastEnergy = make([]units.Energy, len(c.Job.Hosts))
+	for i, h := range c.Job.Hosts {
+		e, err := h.Node.Energy()
+		if err != nil {
+			return Report{}, err
+		}
+		c.lastEnergy[i] = e
+	}
+
+	rep := Report{
+		JobID:       c.Job.ID,
+		Agent:       c.Agent.Name(),
+		Budget:      c.Budget,
+		Iterations:  iters,
+		ConvergedAt: -1,
+		Hosts:       make([]HostReport, len(c.Job.Hosts)),
+	}
+	sumWork := make([]time.Duration, len(c.Job.Hosts))
+	sumFreqTime := make([]float64, len(c.Job.Hosts))
+
+	for k := 0; k < iters; k++ {
+		ir, err := c.Job.RunIteration()
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Elapsed += ir.Elapsed
+		rep.TotalFlops += ir.TotalFlops
+		rep.IterationTimes = append(rep.IterationTimes, ir.Elapsed)
+
+		sample := Sample{Iteration: k, Elapsed: ir.Elapsed, Hosts: make([]HostSample, len(c.Job.Hosts))}
+		for i, h := range c.Job.Hosts {
+			e, err := h.Node.Energy()
+			if err != nil {
+				return Report{}, err
+			}
+			de := e - c.lastEnergy[i]
+			c.lastEnergy[i] = e
+			rep.TotalEnergy += de
+			rep.Hosts[i].Energy += de
+
+			limit, err := h.Node.PowerLimit()
+			if err != nil {
+				return Report{}, err
+			}
+			sample.Hosts[i] = HostSample{
+				HostID:   h.Node.ID,
+				WorkTime: ir.PerHost[i].WorkTime,
+				Power:    units.MeanPower(de, ir.Elapsed),
+				Limit:    limit,
+				MinLimit: h.Node.MinLimit(),
+				MaxLimit: h.Node.TDP(),
+			}
+			sumWork[i] += ir.PerHost[i].WorkTime
+			sumFreqTime[i] += ir.PerHost[i].AchievedFreq.Hz() * ir.Elapsed.Seconds()
+		}
+
+		if err := c.applyLimits(c.Agent.Adjust(c.Budget, sample)); err != nil {
+			return Report{}, err
+		}
+		if fa, ok := c.Agent.(FrequencyAgent); ok {
+			if err := c.applyPins(fa.AdjustFrequency(sample)); err != nil {
+				return Report{}, err
+			}
+		}
+		if rep.ConvergedAt < 0 && c.Agent.Converged() {
+			rep.ConvergedAt = k
+		}
+	}
+
+	for i, h := range c.Job.Hosts {
+		limit, err := h.Node.PowerLimit()
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Hosts[i] = HostReport{
+			HostID:           h.Node.ID,
+			Role:             h.Role,
+			Energy:           rep.Hosts[i].Energy,
+			MeanPower:        units.MeanPower(rep.Hosts[i].Energy, rep.Elapsed),
+			FinalLimit:       limit,
+			MeanWorkTime:     sumWork[i] / time.Duration(iters),
+			MeanAchievedFreq: units.Frequency(sumFreqTime[i] / rep.Elapsed.Seconds()),
+		}
+	}
+	return rep, nil
+}

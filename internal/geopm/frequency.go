@@ -1,0 +1,55 @@
+package geopm
+
+import (
+	"powerstack/internal/units"
+)
+
+// GEOPM's other major control knob is DVFS: its frequency-map agents pin
+// P-state ceilings per region instead of (or alongside) power limits.
+// FrequencyAgent is the optional extension an Agent implements to steer
+// frequency pins; the Controller applies the returned ceilings through
+// IA32_PERF_CTL after the power limits.
+type FrequencyAgent interface {
+	// AdjustFrequency returns per-host P-state ceilings (0 = no pin), or
+	// nil to leave pins unchanged.
+	AdjustFrequency(s Sample) []units.Frequency
+}
+
+// FrequencyMap is the classic fixed-frequency agent: it pins every host to
+// the configured ceiling. Memory-bound applications lose almost no
+// performance at reduced frequency while saving substantial power — the
+// roofline asymmetry all DVFS governors exploit.
+type FrequencyMap struct {
+	// Ceiling is the requested P-state ceiling for every host.
+	Ceiling units.Frequency
+	applied bool
+}
+
+// Name implements Agent.
+func (f *FrequencyMap) Name() string { return "frequency_map" }
+
+// Initialize implements Agent: the frequency agent leaves power limits at
+// their power-on defaults.
+func (f *FrequencyMap) Initialize(units.Power, []HostSample) []units.Power {
+	f.applied = false
+	return nil
+}
+
+// Adjust implements Agent (no power-limit changes).
+func (f *FrequencyMap) Adjust(units.Power, Sample) []units.Power { return nil }
+
+// AdjustFrequency implements FrequencyAgent: apply the ceiling once.
+func (f *FrequencyMap) AdjustFrequency(s Sample) []units.Frequency {
+	if f.applied || len(s.Hosts) == 0 {
+		return nil
+	}
+	f.applied = true
+	out := make([]units.Frequency, len(s.Hosts))
+	for i := range out {
+		out[i] = f.Ceiling
+	}
+	return out
+}
+
+// Converged implements Agent.
+func (f *FrequencyMap) Converged() bool { return f.applied }

@@ -1,0 +1,200 @@
+package geopm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/units"
+)
+
+// Real GEOPM emits per-job text reports that site tooling archives and the
+// paper's policies consume ("obtained from GEOPM reports"). This file
+// provides the same capability: a stable, human-readable serialization of
+// a Report and its parser, so characterization artifacts can be stored,
+// diffed, and reloaded without the simulator.
+
+// reportVersion guards the format; bump on incompatible changes.
+const reportVersion = 1
+
+// WriteTo serializes the report. The format is line-oriented
+// "key: value" with a two-space-indented host block per host.
+func (r Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "geopm-report-version: %d\n", reportVersion)
+	fmt.Fprintf(&b, "job: %s\n", r.JobID)
+	fmt.Fprintf(&b, "agent: %s\n", r.Agent)
+	fmt.Fprintf(&b, "budget-watts: %.6f\n", r.Budget.Watts())
+	fmt.Fprintf(&b, "iterations: %d\n", r.Iterations)
+	fmt.Fprintf(&b, "elapsed-seconds: %.9f\n", r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "total-energy-joules: %.6f\n", r.TotalEnergy.Joules())
+	fmt.Fprintf(&b, "total-flops: %.6e\n", float64(r.TotalFlops))
+	fmt.Fprintf(&b, "converged-at: %d\n", r.ConvergedAt)
+	fmt.Fprintf(&b, "hosts: %d\n", len(r.Hosts))
+	for _, h := range r.Hosts {
+		fmt.Fprintf(&b, "host: %s\n", h.HostID)
+		fmt.Fprintf(&b, "  role: %s\n", h.Role)
+		fmt.Fprintf(&b, "  energy-joules: %.6f\n", h.Energy.Joules())
+		fmt.Fprintf(&b, "  mean-power-watts: %.6f\n", h.MeanPower.Watts())
+		fmt.Fprintf(&b, "  final-limit-watts: %.6f\n", h.FinalLimit.Watts())
+		fmt.Fprintf(&b, "  mean-work-seconds: %.9f\n", h.MeanWorkTime.Seconds())
+		fmt.Fprintf(&b, "  achieved-frequency-hz: %.3f\n", h.MeanAchievedFreq.Hz())
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// ParseReport reads a report written by WriteTo. Iteration-level series
+// are not serialized (matching GEOPM, which reports aggregates).
+func ParseReport(r io.Reader) (Report, error) {
+	sc := bufio.NewScanner(r)
+	var rep Report
+	rep.ConvergedAt = -1
+	var cur *HostReport
+	lineNo := 0
+	sawVersion := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indented := strings.HasPrefix(line, "  ")
+		key, value, ok := strings.Cut(strings.TrimSpace(line), ": ")
+		if !ok {
+			// Keys with empty values ("host:") still need the colon.
+			key = strings.TrimSuffix(strings.TrimSpace(line), ":")
+			value = ""
+		}
+		if indented {
+			if cur == nil {
+				return Report{}, fmt.Errorf("geopm: line %d: host field outside a host block", lineNo)
+			}
+			if err := parseHostField(cur, key, value); err != nil {
+				return Report{}, fmt.Errorf("geopm: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		switch key {
+		case "geopm-report-version":
+			v, err := strconv.Atoi(value)
+			if err != nil || v != reportVersion {
+				return Report{}, fmt.Errorf("geopm: line %d: unsupported report version %q", lineNo, value)
+			}
+			sawVersion = true
+		case "job":
+			rep.JobID = value
+		case "agent":
+			rep.Agent = value
+		case "budget-watts":
+			f, err := parseFloat(value)
+			if err != nil {
+				return Report{}, fmt.Errorf("geopm: line %d: %w", lineNo, err)
+			}
+			rep.Budget = units.Power(f)
+		case "iterations":
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return Report{}, fmt.Errorf("geopm: line %d: %w", lineNo, err)
+			}
+			rep.Iterations = n
+		case "elapsed-seconds":
+			f, err := parseFloat(value)
+			if err != nil {
+				return Report{}, fmt.Errorf("geopm: line %d: %w", lineNo, err)
+			}
+			rep.Elapsed = time.Duration(f * float64(time.Second))
+		case "total-energy-joules":
+			f, err := parseFloat(value)
+			if err != nil {
+				return Report{}, fmt.Errorf("geopm: line %d: %w", lineNo, err)
+			}
+			rep.TotalEnergy = units.Energy(f)
+		case "total-flops":
+			f, err := parseFloat(value)
+			if err != nil {
+				return Report{}, fmt.Errorf("geopm: line %d: %w", lineNo, err)
+			}
+			rep.TotalFlops = units.Flops(f)
+		case "converged-at":
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return Report{}, fmt.Errorf("geopm: line %d: %w", lineNo, err)
+			}
+			rep.ConvergedAt = n
+		case "hosts":
+			// Count hint; the host blocks are authoritative.
+		case "host":
+			rep.Hosts = append(rep.Hosts, HostReport{HostID: value})
+			cur = &rep.Hosts[len(rep.Hosts)-1]
+		default:
+			return Report{}, fmt.Errorf("geopm: line %d: unknown key %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+	if !sawVersion {
+		return Report{}, fmt.Errorf("geopm: not a geopm report (missing version header)")
+	}
+	return rep, nil
+}
+
+func parseHostField(h *HostReport, key, value string) error {
+	switch key {
+	case "role":
+		switch value {
+		case "critical":
+			h.Role = bsp.Critical
+		case "waiting":
+			h.Role = bsp.Waiting
+		default:
+			return fmt.Errorf("unknown role %q", value)
+		}
+	case "energy-joules":
+		f, err := parseFloat(value)
+		if err != nil {
+			return err
+		}
+		h.Energy = units.Energy(f)
+	case "mean-power-watts":
+		f, err := parseFloat(value)
+		if err != nil {
+			return err
+		}
+		h.MeanPower = units.Power(f)
+	case "final-limit-watts":
+		f, err := parseFloat(value)
+		if err != nil {
+			return err
+		}
+		h.FinalLimit = units.Power(f)
+	case "mean-work-seconds":
+		f, err := parseFloat(value)
+		if err != nil {
+			return err
+		}
+		h.MeanWorkTime = time.Duration(f * float64(time.Second))
+	case "achieved-frequency-hz":
+		f, err := parseFloat(value)
+		if err != nil {
+			return err
+		}
+		h.MeanAchievedFreq = units.Frequency(f)
+	default:
+		return fmt.Errorf("unknown host key %q", key)
+	}
+	return nil
+}
+
+func parseFloat(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return f, nil
+}

@@ -1,0 +1,144 @@
+package geopm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/kernel"
+	"powerstack/internal/units"
+)
+
+func sampleReport() Report {
+	return Report{
+		JobID:       "wst-j3",
+		Agent:       "power_balancer",
+		Budget:      1600 * units.Watt,
+		Iterations:  100,
+		Elapsed:     3141592653 * time.Nanosecond,
+		TotalEnergy: 9876.5 * units.Joule,
+		TotalFlops:  1.25e14,
+		ConvergedAt: 9,
+		Hosts: []HostReport{
+			{
+				HostID: "quartz0001", Role: bsp.Critical,
+				Energy: 1234.5, MeanPower: 231.9, FinalLimit: 240,
+				MeanWorkTime: 25348392 * time.Nanosecond, MeanAchievedFreq: 2.6e9,
+			},
+			{
+				HostID: "quartz0002", Role: bsp.Waiting,
+				Energy: 987.6, MeanPower: 164.4, FinalLimit: 164,
+				MeanWorkTime: 9757108 * time.Nanosecond, MeanAchievedFreq: 2.18e9,
+			},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	orig := sampleReport()
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != orig.JobID || got.Agent != orig.Agent || got.Iterations != orig.Iterations {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if got.ConvergedAt != 9 {
+		t.Errorf("converged-at = %d", got.ConvergedAt)
+	}
+	if math.Abs(got.Budget.Watts()-1600) > 1e-6 {
+		t.Errorf("budget = %v", got.Budget)
+	}
+	if math.Abs(got.Elapsed.Seconds()-orig.Elapsed.Seconds()) > 1e-6 {
+		t.Errorf("elapsed = %v", got.Elapsed)
+	}
+	if math.Abs(got.TotalEnergy.Joules()-9876.5) > 1e-6 {
+		t.Errorf("energy = %v", got.TotalEnergy)
+	}
+	if math.Abs(float64(got.TotalFlops)-1.25e14) > 1e8 {
+		t.Errorf("flops = %v", got.TotalFlops)
+	}
+	if len(got.Hosts) != 2 {
+		t.Fatalf("hosts = %d", len(got.Hosts))
+	}
+	h := got.Hosts[1]
+	if h.HostID != "quartz0002" || h.Role != bsp.Waiting {
+		t.Errorf("host identity: %+v", h)
+	}
+	if math.Abs(h.MeanPower.Watts()-164.4) > 1e-6 || math.Abs(h.FinalLimit.Watts()-164) > 1e-6 {
+		t.Errorf("host powers: %+v", h)
+	}
+	if math.Abs(h.MeanWorkTime.Seconds()-0.009757108) > 1e-9 {
+		t.Errorf("work time: %v", h.MeanWorkTime)
+	}
+	if math.Abs(h.MeanAchievedFreq.GHz()-2.18) > 1e-6 {
+		t.Errorf("frequency: %v", h.MeanAchievedFreq)
+	}
+}
+
+func TestParseReportErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"no version", "job: x\n"},
+		{"bad version", "geopm-report-version: 99\n"},
+		{"unknown key", "geopm-report-version: 1\nbogus: 1\n"},
+		{"bad number", "geopm-report-version: 1\nbudget-watts: abc\n"},
+		{"host field outside block", "geopm-report-version: 1\n  role: critical\n"},
+		{"bad role", "geopm-report-version: 1\nhost: h\n  role: spectating\n"},
+		{"bad host key", "geopm-report-version: 1\nhost: h\n  color: red\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseReport(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: parse accepted", c.name)
+		}
+	}
+}
+
+func TestParseSkipsBlankLines(t *testing.T) {
+	text := "geopm-report-version: 1\n\njob: j\n\nagent: monitor\n"
+	rep, err := ParseReport(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobID != "j" || rep.Agent != "monitor" {
+		t.Errorf("parsed: %+v", rep)
+	}
+}
+
+func TestEndToEndReportFromController(t *testing.T) {
+	// A report produced by a real controller run must round-trip.
+	j := testJob(t, kernel.Config{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}, 4, 9)
+	rep, err := mustRun(t, j, NewPowerBalancer(), units.Power(4)*220*units.Watt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.JobID != rep.JobID || len(back.Hosts) != len(rep.Hosts) {
+		t.Errorf("round trip lost structure: %+v", back)
+	}
+	for i := range rep.Hosts {
+		if math.Abs(back.Hosts[i].MeanPower.Watts()-rep.Hosts[i].MeanPower.Watts()) > 1e-5 {
+			t.Errorf("host %d power drifted", i)
+		}
+		if back.Hosts[i].Role != rep.Hosts[i].Role {
+			t.Errorf("host %d role drifted", i)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package kernel models the synthetic compute-intensity microbenchmark the
+// paper designs (Section IV, Figure 2; derived from Choi et al.'s roofline
+// model of energy). The kernel exposes the four application design
+// characteristics that dictate a workload's power/energy signature:
+//
+//   - computational intensity (FLOPs per byte of memory traffic),
+//   - vector length of instructions (scalar / xmm / ymm),
+//   - percent of waiting ranks (the non-critical path of a bulk-synchronous
+//     iteration, polling at MPI_Barrier), and
+//   - workload imbalance (how much more work the critical path performs).
+//
+// A Config describes one benchmark variant; the bsp and cpumodel packages
+// turn a Config into per-host time and power, and the exec file provides a
+// real runnable compute loop for the examples and CPU-bound benchmarks.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"powerstack/internal/units"
+)
+
+// Vector is the SIMD register width the kernel's inner loop is compiled
+// for. Wider vectors raise both peak throughput and switching power.
+type Vector int
+
+// Vector widths available on the modeled Broadwell part (no AVX-512).
+const (
+	Scalar Vector = iota // 64-bit scalar FP
+	XMM                  // 128-bit SSE
+	YMM                  // 256-bit AVX2
+)
+
+// String returns the conventional register-file name.
+func (v Vector) String() string {
+	switch v {
+	case Scalar:
+		return "scalar"
+	case XMM:
+		return "xmm"
+	case YMM:
+		return "ymm"
+	default:
+		return fmt.Sprintf("Vector(%d)", int(v))
+	}
+}
+
+// Lanes returns the number of double-precision lanes of the width.
+func (v Vector) Lanes() int {
+	switch v {
+	case XMM:
+		return 2
+	case YMM:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// ThroughputScale returns the peak-FLOPS multiplier of the width relative
+// to ymm: the compute roof of the roofline scales by this factor.
+func (v Vector) ThroughputScale() float64 {
+	return float64(v.Lanes()) / float64(YMM.Lanes())
+}
+
+// PowerScale returns the dynamic-power multiplier of the FP pipes at full
+// utilization relative to ymm. Narrower vectors toggle less datapath per
+// cycle, so they burn less power at the same frequency — the reason the
+// xmm variants in Table II are lower-power workloads.
+func (v Vector) PowerScale() float64 {
+	switch v {
+	case XMM:
+		return 0.78
+	case YMM:
+		return 1.0
+	default:
+		return 0.60
+	}
+}
+
+// Vectors lists all widths, in ascending order of throughput.
+func Vectors() []Vector { return []Vector{Scalar, XMM, YMM} }
+
+// BaseTrafficPerIteration is the memory traffic each rank streams per
+// bulk-synchronous iteration of the kernel (the paper's kernel streams
+// fixed-size buffers; the absolute size only sets the iteration timescale).
+const BaseTrafficPerIteration units.Bytes = 48 * units.Mebibyte
+
+// Config describes one variant of the synthetic kernel — one cell of the
+// heatmaps in Figures 4 and 5, or one row of Table II.
+type Config struct {
+	// Intensity is the computational intensity in FLOPs per byte.
+	// Zero is legal and models a pure memory-streaming phase.
+	Intensity float64
+	// Vector is the SIMD width of the compute phase.
+	Vector Vector
+	// WaitingPct is the percent (0, 25, 50, or 75) of ranks on the
+	// non-critical path, which finish early and poll at the barrier.
+	WaitingPct int
+	// Imbalance is the work multiplier of critical-path ranks relative to
+	// waiting ranks (1 = balanced; the paper uses 2x and 3x). Must be 1
+	// when WaitingPct is 0.
+	Imbalance float64
+}
+
+// Validate reports whether the configuration is one the kernel can run.
+func (c Config) Validate() error {
+	if c.Intensity < 0 {
+		return fmt.Errorf("kernel: negative intensity %v", c.Intensity)
+	}
+	if c.Vector < Scalar || c.Vector > YMM {
+		return fmt.Errorf("kernel: unknown vector width %d", int(c.Vector))
+	}
+	switch c.WaitingPct {
+	case 0, 25, 50, 75:
+	default:
+		return fmt.Errorf("kernel: waiting percent %d not in {0,25,50,75}", c.WaitingPct)
+	}
+	if c.Imbalance < 1 {
+		return fmt.Errorf("kernel: imbalance %v < 1", c.Imbalance)
+	}
+	if c.WaitingPct == 0 && c.Imbalance != 1 {
+		return errors.New("kernel: imbalance requires waiting ranks")
+	}
+	return nil
+}
+
+// Name returns a compact identifier like "ymm-i8-w50-x2" used in reports
+// and characterization databases.
+func (c Config) Name() string {
+	if c.WaitingPct == 0 {
+		return fmt.Sprintf("%s-i%s", c.Vector, trimFloat(c.Intensity))
+	}
+	return fmt.Sprintf("%s-i%s-w%d-x%s", c.Vector, trimFloat(c.Intensity), c.WaitingPct, trimFloat(c.Imbalance))
+}
+
+// String describes the config in the paper's terms.
+func (c Config) String() string {
+	if c.WaitingPct == 0 {
+		return fmt.Sprintf("%g FLOPs/byte, %s, balanced", c.Intensity, c.Vector)
+	}
+	return fmt.Sprintf("%g FLOPs/byte, %s, %d%% waiting ranks at %gx imbalance",
+		c.Intensity, c.Vector, c.WaitingPct, c.Imbalance)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '.' {
+			r = 'p'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// WaitingFraction returns WaitingPct as a fraction in [0, 1).
+func (c Config) WaitingFraction() float64 { return float64(c.WaitingPct) / 100 }
+
+// Work describes the memory traffic and floating-point operations one rank
+// performs in one iteration.
+type Work struct {
+	Traffic units.Bytes
+	Flops   units.Flops
+}
+
+// CriticalWork returns the per-iteration work of a critical-path rank:
+// imbalance times the base traffic, at the configured intensity.
+func (c Config) CriticalWork() Work {
+	traffic := units.Bytes(float64(BaseTrafficPerIteration) * c.Imbalance)
+	return Work{Traffic: traffic, Flops: units.Flops(c.Intensity * float64(traffic))}
+}
+
+// WaitingWork returns the per-iteration work of a non-critical rank: the
+// base traffic, after which the rank polls at the barrier.
+func (c Config) WaitingWork() Work {
+	return Work{
+		Traffic: BaseTrafficPerIteration,
+		Flops:   units.Flops(c.Intensity * float64(BaseTrafficPerIteration)),
+	}
+}
+
+// TotalWorkPerHost returns the aggregate work a host's ranks perform per
+// iteration, given ranks per host and whether the host is on the critical
+// path. Rank placement is block-wise (consecutive ranks per host), so a
+// host is either entirely critical or entirely waiting — the placement
+// that makes host-level power steering meaningful.
+func (c Config) TotalWorkPerHost(ranksPerHost int, critical bool) Work {
+	var w Work
+	if critical {
+		w = c.CriticalWork()
+	} else {
+		w = c.WaitingWork()
+	}
+	return Work{
+		Traffic: w.Traffic * units.Bytes(ranksPerHost),
+		Flops:   w.Flops * units.Flops(ranksPerHost),
+	}
+}
+
+// HeatmapIntensities is the intensity axis of the Figure 4/5 heatmaps.
+func HeatmapIntensities() []float64 {
+	return []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32}
+}
+
+// ImbalanceColumn is one column of the Figure 4/5 heatmaps: a waiting-rank
+// percent paired with an imbalance factor.
+type ImbalanceColumn struct {
+	WaitingPct int
+	Imbalance  float64
+}
+
+// Label renders the column heading as in the figures ("50% at 2x").
+func (col ImbalanceColumn) Label() string {
+	if col.WaitingPct == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%d%% at %gx", col.WaitingPct, col.Imbalance)
+}
+
+// HeatmapColumns is the imbalance axis of the Figure 4/5 heatmaps.
+func HeatmapColumns() []ImbalanceColumn {
+	return []ImbalanceColumn{
+		{0, 1},
+		{25, 2}, {25, 3},
+		{50, 2}, {50, 3},
+		{75, 2}, {75, 3},
+	}
+}
+
+// HeatmapConfigs enumerates the full Figure 4/5 grid for the given vector
+// width, row-major (one row per intensity).
+func HeatmapConfigs(v Vector) [][]Config {
+	rows := HeatmapIntensities()
+	cols := HeatmapColumns()
+	grid := make([][]Config, len(rows))
+	for i, in := range rows {
+		grid[i] = make([]Config, len(cols))
+		for j, col := range cols {
+			grid[i][j] = Config{
+				Intensity:  in,
+				Vector:     v,
+				WaitingPct: col.WaitingPct,
+				Imbalance:  col.Imbalance,
+			}
+		}
+	}
+	return grid
+}

@@ -1,0 +1,243 @@
+// Package msr simulates the model-specific-register (MSR) interface that the
+// real system accesses through the msr-safe Linux kernel module [LLNL
+// msr-safe]. Every power observation and control action in the stack flows
+// through this register file, exactly as GEOPM's RAPL plumbing does on
+// hardware: the RAPL package decodes MSR_RAPL_POWER_UNIT, programs
+// MSR_PKG_POWER_LIMIT, and reads the wrapping 32-bit MSR_PKG_ENERGY_STATUS
+// accumulator.
+//
+// The device enforces an msr-safe-style allowlist: reads and writes are only
+// permitted for registers on the list, and writes are masked to the
+// writable-bit mask, mirroring how msr-safe protects unprivileged access.
+// The simulator itself updates counters through the privileged interface.
+package msr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Register addresses for the MSRs used by the stack. Values match the Intel
+// SDM addresses so that register dumps read like real msr-safe output.
+const (
+	// IA32TimeStampCounter is the TSC, incremented at the base clock.
+	IA32TimeStampCounter uint32 = 0x010
+	// IA32MPerf counts at the base (P1) frequency while not halted.
+	IA32MPerf uint32 = 0x0E7
+	// IA32APerf counts at the actual frequency while not halted. The ratio
+	// APERF/MPERF yields the achieved frequency used in Figure 6.
+	IA32APerf uint32 = 0x0E8
+	// MSRPlatformInfo reports the base (non-turbo) ratio in bits 15:8.
+	MSRPlatformInfo uint32 = 0x0CE
+	// IA32PerfStatus reports the current P-state ratio in bits 15:8.
+	IA32PerfStatus uint32 = 0x198
+	// IA32PerfCtl requests a P-state ratio in bits 15:8.
+	IA32PerfCtl uint32 = 0x199
+	// MSRRaplPowerUnit encodes the RAPL power (bits 3:0), energy (bits
+	// 12:8), and time (bits 19:16) unit divisors.
+	MSRRaplPowerUnit uint32 = 0x606
+	// MSRPkgPowerLimit holds the PL1/PL2 package power limits.
+	MSRPkgPowerLimit uint32 = 0x610
+	// MSRPkgEnergyStatus is the 32-bit wrapping package energy accumulator.
+	MSRPkgEnergyStatus uint32 = 0x611
+	// MSRPkgPowerInfo reports TDP (bits 14:0), min power (30:16) and max
+	// power (46:32) in RAPL power units.
+	MSRPkgPowerInfo uint32 = 0x614
+	// MSRDramEnergyStatus is the DRAM-domain energy accumulator.
+	MSRDramEnergyStatus uint32 = 0x619
+)
+
+// Access describes the allowlisted access for one register, in the style of
+// an msr-safe allowlist entry: a register is readable if present, and
+// writable only in the bits set in WriteMask.
+type Access struct {
+	// WriteMask has a 1 for every writable bit. A zero mask means the
+	// register is read-only from the unprivileged interface.
+	WriteMask uint64
+}
+
+// DefaultAllowlist returns the allowlist the stack ships with, covering the
+// registers GEOPM needs for power management on this platform. It mirrors
+// the msr-safe allowlist entries for RAPL and P-state control.
+func DefaultAllowlist() map[uint32]Access {
+	return map[uint32]Access{
+		IA32TimeStampCounter: {},
+		IA32MPerf:            {},
+		IA32APerf:            {},
+		MSRPlatformInfo:      {},
+		IA32PerfStatus:       {},
+		IA32PerfCtl:          {WriteMask: 0xFF00},
+		MSRRaplPowerUnit:     {},
+		// PL1 and PL2 fields: power limit, enable, clamp, time window.
+		MSRPkgPowerLimit:    {WriteMask: 0x00FFFFFF00FFFFFF},
+		MSRPkgEnergyStatus:  {},
+		MSRPkgPowerInfo:     {},
+		MSRDramEnergyStatus: {},
+	}
+}
+
+// Error codes mirror the errno-style failures of the msr-safe character
+// device.
+type Error struct {
+	Op       string
+	Register uint32
+	Reason   string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("msr: %s 0x%03X: %s", e.Op, e.Register, e.Reason)
+}
+
+// Device is one simulated per-socket MSR file (e.g. /dev/cpu/N/msr_safe).
+// It is safe for concurrent use: the GEOPM controller and the resource
+// manager may touch the same socket from different goroutines.
+type Device struct {
+	mu        sync.RWMutex
+	regs      map[uint32]uint64
+	allowlist map[uint32]Access
+	faults    map[uint32]error
+}
+
+// NewDevice creates a device with the given allowlist. A nil allowlist uses
+// DefaultAllowlist. All allowlisted registers exist with value zero.
+func NewDevice(allowlist map[uint32]Access) *Device {
+	if allowlist == nil {
+		allowlist = DefaultAllowlist()
+	}
+	regs := make(map[uint32]uint64, len(allowlist))
+	for addr := range allowlist {
+		regs[addr] = 0
+	}
+	return &Device{regs: regs, allowlist: allowlist}
+}
+
+// Read returns the value of the register, failing for registers that are not
+// on the allowlist.
+func (d *Device) Read(reg uint32) (uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.faults[reg]; err != nil {
+		return 0, err
+	}
+	if _, ok := d.allowlist[reg]; !ok {
+		return 0, &Error{Op: "read", Register: reg, Reason: "not in allowlist"}
+	}
+	return d.regs[reg], nil
+}
+
+// Write stores value into the writable bits of the register. Bits outside
+// the register's write mask are preserved, matching msr-safe's write-mask
+// semantics. Writing a register with a zero write mask fails.
+func (d *Device) Write(reg uint32, value uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.faults[reg]; err != nil {
+		return err
+	}
+	acc, ok := d.allowlist[reg]
+	if !ok {
+		return &Error{Op: "write", Register: reg, Reason: "not in allowlist"}
+	}
+	if acc.WriteMask == 0 {
+		return &Error{Op: "write", Register: reg, Reason: "read-only"}
+	}
+	old := d.regs[reg]
+	d.regs[reg] = (old &^ acc.WriteMask) | (value & acc.WriteMask)
+	return nil
+}
+
+// ReadField extracts the bit field [lo, hi] (inclusive, hi >= lo) from the
+// register.
+func (d *Device) ReadField(reg uint32, hi, lo uint) (uint64, error) {
+	v, err := d.Read(reg)
+	if err != nil {
+		return 0, err
+	}
+	return ExtractBits(v, hi, lo), nil
+}
+
+// PrivilegedWrite bypasses the allowlist; it is how the simulator's hardware
+// model updates counters (energy, APERF/MPERF, TSC) behind the register
+// file, playing the role of the silicon itself.
+func (d *Device) PrivilegedWrite(reg uint32, value uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.regs[reg] = value
+}
+
+// PrivilegedRead bypasses the allowlist.
+func (d *Device) PrivilegedRead(reg uint32) uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.regs[reg]
+}
+
+// PrivilegedAdd adds delta to a register with wraparound at the given bit
+// width, which is how the energy accumulators advance (32-bit wrap) and the
+// APERF/MPERF counters advance (64-bit wrap).
+func (d *Device) PrivilegedAdd(reg uint32, delta uint64, widthBits uint) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.regs[reg] + delta
+	if widthBits < 64 {
+		v &= (uint64(1) << widthBits) - 1
+	}
+	d.regs[reg] = v
+}
+
+// Registers returns a snapshot of all register addresses, for diagnostics.
+func (d *Device) Registers() []uint32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]uint32, 0, len(d.regs))
+	for addr := range d.regs {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// SetFault arranges for unprivileged Read and Write on the register to
+// fail with err until cleared with a nil err — modeling flaky msr-safe
+// access (module reload, revoked permissions, surprise ejection) for
+// failure-injection tests. Privileged accesses (the silicon itself) are
+// unaffected.
+func (d *Device) SetFault(reg uint32, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.faults == nil {
+		d.faults = map[uint32]error{}
+	}
+	if err == nil {
+		delete(d.faults, reg)
+		return
+	}
+	d.faults[reg] = err
+}
+
+// ExtractBits returns bits [lo, hi] (inclusive) of v, shifted down.
+func ExtractBits(v uint64, hi, lo uint) uint64 {
+	if hi < lo || hi > 63 {
+		return 0
+	}
+	width := hi - lo + 1
+	if width == 64 {
+		return v >> lo
+	}
+	return (v >> lo) & ((uint64(1) << width) - 1)
+}
+
+// InsertBits returns v with bits [lo, hi] (inclusive) replaced by the low
+// bits of field.
+func InsertBits(v uint64, hi, lo uint, field uint64) uint64 {
+	if hi < lo || hi > 63 {
+		return v
+	}
+	width := hi - lo + 1
+	var mask uint64
+	if width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1)<<width - 1) << lo
+	}
+	return (v &^ mask) | ((field << lo) & mask)
+}

@@ -1,0 +1,239 @@
+package msr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadUnknownRegister(t *testing.T) {
+	d := NewDevice(nil)
+	_, err := d.Read(0xDEAD)
+	var merr *Error
+	if !errors.As(err, &merr) {
+		t.Fatalf("err = %v, want *Error", err)
+	}
+	if merr.Op != "read" || merr.Register != 0xDEAD {
+		t.Errorf("error fields = %+v", merr)
+	}
+}
+
+func TestWriteReadOnlyRegister(t *testing.T) {
+	d := NewDevice(nil)
+	if err := d.Write(MSRPkgEnergyStatus, 42); err == nil {
+		t.Fatal("expected error writing read-only register")
+	}
+	if err := d.Write(0xBEEF, 1); err == nil {
+		t.Fatal("expected error writing unlisted register")
+	}
+}
+
+func TestWriteMaskPreservesBits(t *testing.T) {
+	d := NewDevice(nil)
+	// Seed bits outside the writable window via the privileged path.
+	d.PrivilegedWrite(IA32PerfCtl, 0xFFFF_0000_0000_00FF)
+	if err := d.Write(IA32PerfCtl, 0x1500); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(IA32PerfCtl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0xFFFF_0000_0000_15FF)
+	if got != want {
+		t.Errorf("register = %#x, want %#x", got, want)
+	}
+}
+
+func TestPkgPowerLimitWritable(t *testing.T) {
+	d := NewDevice(nil)
+	if err := d.Write(MSRPkgPowerLimit, 0x0042_83E8); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Read(MSRPkgPowerLimit)
+	if got != 0x0042_83E8 {
+		t.Errorf("PL = %#x", got)
+	}
+}
+
+func TestPrivilegedBypassesAllowlist(t *testing.T) {
+	d := NewDevice(nil)
+	d.PrivilegedWrite(MSRPkgEnergyStatus, 12345)
+	if got := d.PrivilegedRead(MSRPkgEnergyStatus); got != 12345 {
+		t.Errorf("privileged read = %d", got)
+	}
+	v, err := d.Read(MSRPkgEnergyStatus)
+	if err != nil || v != 12345 {
+		t.Errorf("read = %d, %v", v, err)
+	}
+}
+
+func TestPrivilegedAddWraps32(t *testing.T) {
+	d := NewDevice(nil)
+	d.PrivilegedWrite(MSRPkgEnergyStatus, 0xFFFF_FFFE)
+	d.PrivilegedAdd(MSRPkgEnergyStatus, 5, 32)
+	if got := d.PrivilegedRead(MSRPkgEnergyStatus); got != 3 {
+		t.Errorf("after wrap = %d, want 3", got)
+	}
+}
+
+func TestPrivilegedAdd64(t *testing.T) {
+	d := NewDevice(nil)
+	d.PrivilegedWrite(IA32APerf, ^uint64(0))
+	d.PrivilegedAdd(IA32APerf, 2, 64)
+	if got := d.PrivilegedRead(IA32APerf); got != 1 {
+		t.Errorf("after 64-bit wrap = %d, want 1", got)
+	}
+}
+
+func TestReadField(t *testing.T) {
+	d := NewDevice(nil)
+	d.PrivilegedWrite(MSRPlatformInfo, 0x1500) // base ratio 0x15 = 21
+	ratio, err := d.ReadField(MSRPlatformInfo, 15, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 21 {
+		t.Errorf("base ratio = %d, want 21", ratio)
+	}
+	if _, err := d.ReadField(0xDEAD, 7, 0); err == nil {
+		t.Error("expected allowlist error")
+	}
+}
+
+func TestRegistersSnapshot(t *testing.T) {
+	d := NewDevice(nil)
+	regs := d.Registers()
+	if len(regs) != len(DefaultAllowlist()) {
+		t.Errorf("register count = %d, want %d", len(regs), len(DefaultAllowlist()))
+	}
+}
+
+func TestCustomAllowlist(t *testing.T) {
+	d := NewDevice(map[uint32]Access{0x42: {WriteMask: 0xF}})
+	if err := d.Write(0x42, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Read(0x42)
+	if v != 0xF {
+		t.Errorf("masked write = %#x, want 0xF", v)
+	}
+	if _, err := d.Read(MSRPkgEnergyStatus); err == nil {
+		t.Error("default registers should not exist with custom allowlist")
+	}
+}
+
+func TestExtractBits(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		hi, lo uint
+		want   uint64
+	}{
+		{0xABCD, 15, 8, 0xAB},
+		{0xABCD, 7, 0, 0xCD},
+		{0xABCD, 3, 4, 0},  // hi < lo
+		{0xABCD, 64, 0, 0}, // hi out of range
+		{^uint64(0), 63, 0, ^uint64(0)},
+		{0x8000_0000_0000_0000, 63, 63, 1},
+	}
+	for _, c := range cases {
+		if got := ExtractBits(c.v, c.hi, c.lo); got != c.want {
+			t.Errorf("ExtractBits(%#x,%d,%d) = %#x, want %#x", c.v, c.hi, c.lo, got, c.want)
+		}
+	}
+}
+
+func TestInsertBits(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		hi, lo uint
+		field  uint64
+		want   uint64
+	}{
+		{0, 15, 8, 0x7F, 0x7F00},
+		{0xFFFF, 15, 8, 0, 0x00FF},
+		{0xFFFF, 3, 4, 0, 0xFFFF},       // hi < lo: unchanged
+		{0x1234, 64, 0, 0xFFFF, 0x1234}, // out of range: unchanged
+		{0, 63, 0, ^uint64(0), ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := InsertBits(c.v, c.hi, c.lo, c.field); got != c.want {
+			t.Errorf("InsertBits(%#x,%d,%d,%#x) = %#x, want %#x", c.v, c.hi, c.lo, c.field, got, c.want)
+		}
+	}
+}
+
+// Property: Extract(Insert(v, field)) == field truncated to the width.
+func TestInsertExtractRoundTrip(t *testing.T) {
+	f := func(v, field uint64, hiRaw, loRaw uint8) bool {
+		hi := uint(hiRaw) % 64
+		lo := uint(loRaw) % 64
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		width := hi - lo + 1
+		inserted := InsertBits(v, hi, lo, field)
+		got := ExtractBits(inserted, hi, lo)
+		var want uint64
+		if width == 64 {
+			want = field
+		} else {
+			want = field & ((uint64(1) << width) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InsertBits never disturbs bits outside [lo, hi].
+func TestInsertBitsPreservesOutside(t *testing.T) {
+	f := func(v, field uint64, hiRaw, loRaw uint8) bool {
+		hi := uint(hiRaw) % 64
+		lo := uint(loRaw) % 64
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		width := hi - lo + 1
+		var mask uint64
+		if width == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1)<<width - 1) << lo
+		}
+		inserted := InsertBits(v, hi, lo, field)
+		return inserted&^mask == v&^mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := NewDevice(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				d.PrivilegedAdd(MSRPkgEnergyStatus, 1, 32)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if _, err := d.Read(MSRPkgEnergyStatus); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.PrivilegedRead(MSRPkgEnergyStatus); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,381 @@
+// Package node assembles the per-host hardware stack: two Broadwell sockets
+// (Table I), each with a simulated MSR register file and a RAPL package
+// domain. All power control flows in through MSR_PKG_POWER_LIMIT and all
+// telemetry flows out through MSR_PKG_ENERGY_STATUS and APERF/MPERF,
+// exactly the plumbing GEOPM uses via msr-safe on the real Quartz system.
+//
+// The node is the meeting point of the two halves of the stack: the
+// resource manager and job runtime write limits; the bulk-synchronous
+// engine (package bsp) asks the node to execute iterations, which advances
+// the counters those layers later read.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/msr"
+	"powerstack/internal/rapl"
+	"powerstack/internal/units"
+)
+
+// SocketUnit is one physical socket: its analytic model plus the MSR/RAPL
+// plumbing bound to it.
+type SocketUnit struct {
+	Model cpumodel.Socket
+	Dev   *msr.Device
+	Rapl  *rapl.Domain
+}
+
+// Node is one compute host.
+type Node struct {
+	ID      string
+	sockets []*SocketUnit
+
+	// IdleWait switches barrier waiting from spin-polling (the MPI
+	// default the paper measures) to blocking in a C-state. Used by the
+	// spin-wait ablation; production runs leave it false.
+	IdleWait bool
+
+	// op memoizes the steady-state operating point for the last
+	// (phase, cap) pair: across the 100 iterations of a run the cap and
+	// phase are constant, so resolving frequency by binary search once
+	// per run instead of once per iteration dominates simulation speed.
+	op      opPoint
+	opValid bool
+}
+
+// opPoint caches a resolved steady state.
+type opPoint struct {
+	traffic  units.Bytes
+	flops    units.Flops
+	vector   int
+	cap      units.Power
+	pin      units.Frequency
+	idleWait bool
+
+	fWork units.Frequency
+	tWork time.Duration
+	pWork units.Power
+	fSpin units.Frequency
+	pSpin units.Power
+	// uMem is the memory-pipe utilization of the work phase, which sets
+	// the DRAM domain's draw.
+	uMem float64
+}
+
+// resolve returns the steady-state operating point of the phase under the
+// given per-socket cap and the current frequency pin, memoized.
+func (n *Node) resolve(ph cpumodel.Phase, cap units.Power) opPoint {
+	pin := n.frequencyPin()
+	if n.opValid &&
+		n.op.traffic == ph.Work.Traffic && n.op.flops == ph.Work.Flops &&
+		n.op.vector == int(ph.Vector) && n.op.cap == cap &&
+		n.op.pin == pin && n.op.idleWait == n.IdleWait {
+		return n.op
+	}
+	m := n.sockets[0].Model
+	fWork := m.FrequencyForCap(ph, cap)
+	fSpin := m.SpinFrequencyForCap(cap)
+	if pin > 0 {
+		// A P-state request (IA32_PERF_CTL) is a ceiling: RAPL can still
+		// clamp below it, but the core never exceeds the requested ratio.
+		if pin < fWork {
+			fWork = pin
+		}
+		if pin < fSpin {
+			fSpin = pin
+		}
+	}
+	pSpin := m.SpinPowerAt(fSpin)
+	if n.IdleWait {
+		fSpin = m.Spec.MinFreq
+		pSpin = m.IdleWaitPower()
+	}
+	n.op = opPoint{
+		traffic:  ph.Work.Traffic,
+		flops:    ph.Work.Flops,
+		vector:   int(ph.Vector),
+		cap:      cap,
+		pin:      pin,
+		idleWait: n.IdleWait,
+		fWork:    fWork,
+		tWork:    m.TimeFor(ph, fWork),
+		pWork:    m.PowerAt(ph, fWork),
+		fSpin:    fSpin,
+		pSpin:    pSpin,
+		uMem:     m.Utilization(ph, fWork).Mem,
+	}
+	n.opValid = true
+	return n.op
+}
+
+// SetFrequencyPin requests a P-state ceiling through IA32_PERF_CTL on both
+// sockets (the DVFS control path GEOPM's frequency agents use). The
+// request is quantized to the socket's P-state step and clipped to its
+// range; passing 0 clears the pin. It returns the frequency actually
+// programmed.
+func (n *Node) SetFrequencyPin(f units.Frequency) (units.Frequency, error) {
+	var ratio uint64
+	programmed := units.Frequency(0)
+	if f > 0 {
+		q := n.sockets[0].Model.QuantizeToPState(f)
+		ratio = uint64(q.Hz() / 1e8) // 100 MHz bus-ratio units
+		programmed = q
+	}
+	for _, s := range n.sockets {
+		reg := msr.InsertBits(0, 15, 8, ratio)
+		if err := s.Dev.Write(msr.IA32PerfCtl, reg); err != nil {
+			return 0, fmt.Errorf("node %s: %w", n.ID, err)
+		}
+	}
+	return programmed, nil
+}
+
+// frequencyPin reads the current P-state request (0 = no pin).
+func (n *Node) frequencyPin() units.Frequency {
+	ratio := msr.ExtractBits(n.sockets[0].Dev.PrivilegedRead(msr.IA32PerfCtl), 15, 8)
+	return units.Frequency(float64(ratio) * 1e8)
+}
+
+// FrequencyPin returns the programmed P-state ceiling (0 = none).
+func (n *Node) FrequencyPin() (units.Frequency, error) {
+	reg, err := n.sockets[0].Dev.Read(msr.IA32PerfCtl)
+	if err != nil {
+		return 0, fmt.Errorf("node %s: %w", n.ID, err)
+	}
+	return units.Frequency(float64(msr.ExtractBits(reg, 15, 8)) * 1e8), nil
+}
+
+// SocketsPerNode matches the dual-socket Quartz nodes.
+const SocketsPerNode = 2
+
+// New builds a node with two sockets sharing the same variation multiplier
+// eta (part binning is per-node at Quartz granularity). The MSR devices are
+// programmed with the power-on defaults: PL1 = TDP, enabled and clamped.
+func New(id string, spec cpumodel.Spec, eta float64) (*Node, error) {
+	n := &Node{ID: id}
+	for i := 0; i < SocketsPerNode; i++ {
+		dev := msr.NewDevice(nil)
+		rapl.ProgramDefaults(dev, spec.TDP, spec.MinPowerLimit, spec.TDP*1.5)
+		dom, err := rapl.NewDomain(dev)
+		if err != nil {
+			return nil, fmt.Errorf("node %s socket %d: %w", id, i, err)
+		}
+		n.sockets = append(n.sockets, &SocketUnit{
+			Model: cpumodel.NewSocket(spec, eta),
+			Dev:   dev,
+			Rapl:  dom,
+		})
+	}
+	return n, nil
+}
+
+// Sockets returns the node's socket units.
+func (n *Node) Sockets() []*SocketUnit { return n.sockets }
+
+// Spec returns the socket spec (identical across sockets).
+func (n *Node) Spec() cpumodel.Spec { return n.sockets[0].Model.Spec }
+
+// Eta returns the node's variation multiplier.
+func (n *Node) Eta() float64 { return n.sockets[0].Model.Eta }
+
+// TDP returns the node-level thermal design power (all sockets).
+func (n *Node) TDP() units.Power {
+	return n.Spec().TDP * SocketsPerNode
+}
+
+// MinLimit returns the node-level minimum settable power limit.
+func (n *Node) MinLimit() units.Power {
+	return n.Spec().MinPowerLimit * SocketsPerNode
+}
+
+// SetPowerLimit programs the node-level limit, split evenly across sockets,
+// clamped to the settable range. It returns the limit actually programmed
+// (after clamping and RAPL quantization).
+func (n *Node) SetPowerLimit(total units.Power) (units.Power, error) {
+	perSocket := units.Clamp(total/SocketsPerNode, n.Spec().MinPowerLimit, n.Spec().TDP)
+	for _, s := range n.sockets {
+		err := s.Rapl.SetLimit(rapl.Limit{
+			Power:      perSocket,
+			TimeWindow: time.Second,
+			Enabled:    true,
+			Clamped:    true,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("node %s: %w", n.ID, err)
+		}
+	}
+	return n.PowerLimit()
+}
+
+// PowerLimit reads back the node-level limit (sum of socket PL1s).
+func (n *Node) PowerLimit() (units.Power, error) {
+	var total units.Power
+	for _, s := range n.sockets {
+		l, err := s.Rapl.ReadLimit()
+		if err != nil {
+			return 0, fmt.Errorf("node %s: %w", n.ID, err)
+		}
+		total += l.Power
+	}
+	return total, nil
+}
+
+// Energy reads the node-level accumulated energy through the RAPL domains
+// (wraparound-safe).
+func (n *Node) Energy() (units.Energy, error) {
+	var total units.Energy
+	for _, s := range n.sockets {
+		e, err := s.Rapl.ReadEnergy()
+		if err != nil {
+			return 0, fmt.Errorf("node %s: %w", n.ID, err)
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// DRAMEnergy reads the node-level accumulated DRAM-domain energy through
+// the RAPL domains (wraparound-safe).
+func (n *Node) DRAMEnergy() (units.Energy, error) {
+	var total units.Energy
+	for _, s := range n.sockets {
+		e, err := s.Rapl.ReadDRAMEnergy()
+		if err != nil {
+			return 0, fmt.Errorf("node %s: %w", n.ID, err)
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// WorkTime returns how long the node needs for the phase's per-core work at
+// its current power limit. Both sockets run identical rank work, so the
+// node time equals the socket time.
+func (n *Node) WorkTime(ph cpumodel.Phase) (time.Duration, error) {
+	limit, err := n.sockets[0].Rapl.ReadLimit()
+	if err != nil {
+		return 0, err
+	}
+	return n.resolve(ph, limit.Power).tWork, nil
+}
+
+// PhaseResult reports one node's share of one bulk-synchronous iteration.
+type PhaseResult struct {
+	// WorkTime is the time the node computed before reaching the barrier.
+	WorkTime time.Duration
+	// Energy is the node's CPU (package) energy over the full iteration
+	// (work + spin).
+	Energy units.Energy
+	// DRAMEnergy is the node's DRAM-domain energy over the iteration —
+	// measured telemetry, outside the paper's CPU-power control scope.
+	DRAMEnergy units.Energy
+	// MeanPower is Energy over the iteration time.
+	MeanPower units.Power
+	// AchievedFreq is the time-weighted achieved frequency, as
+	// APERF/MPERF would report it.
+	AchievedFreq units.Frequency
+	// Flops is the floating-point work completed (all ranks).
+	Flops units.Flops
+}
+
+// CompleteIteration executes one iteration of the phase: the node computes
+// for its work time, then spins at the barrier until iterTime has elapsed.
+// Counters (energy, APERF, MPERF, TSC) advance accordingly. iterTime must
+// be at least the node's own work time; the critical host passes its own
+// work time. workScale multiplies the work time (1 = nominal); the BSP
+// engine uses it to inject per-iteration OS noise, which is what produces
+// the nonzero confidence intervals of Figure 8. Non-positive workScale is
+// treated as 1.
+func (n *Node) CompleteIteration(ph cpumodel.Phase, iterTime time.Duration, workScale float64) (PhaseResult, error) {
+	limit, err := n.sockets[0].Rapl.ReadLimit()
+	if err != nil {
+		return PhaseResult{}, err
+	}
+	op := n.resolve(ph, limit.Power)
+	if workScale <= 0 {
+		workScale = 1
+	}
+
+	fWork := op.fWork
+	tWork := time.Duration(float64(op.tWork) * workScale)
+	if tWork > iterTime {
+		// The barrier cannot release before the slowest host; treat this
+		// host as critical.
+		iterTime = tWork
+	}
+	pWork := op.pWork
+
+	fSpin := op.fSpin
+	pSpin := op.pSpin
+	tSpin := iterTime - tWork
+
+	var res PhaseResult
+	res.WorkTime = tWork
+	perSocket := units.EnergyOver(pWork, tWork) + units.EnergyOver(pSpin, tSpin)
+	res.Energy = perSocket * SocketsPerNode
+	m := n.sockets[0].Model
+	dramPerSocket := units.EnergyOver(m.DRAMPowerAt(op.uMem), tWork) +
+		units.EnergyOver(m.DRAMPowerAt(0), tSpin)
+	res.DRAMEnergy = dramPerSocket * SocketsPerNode
+	res.MeanPower = units.MeanPower(res.Energy, iterTime)
+	if iterTime > 0 {
+		f := (fWork.Hz()*tWork.Seconds() + fSpin.Hz()*tSpin.Seconds()) / iterTime.Seconds()
+		res.AchievedFreq = units.Frequency(f)
+	}
+	res.Flops = ph.Work.Flops * units.Flops(n.Spec().ActiveCores*SocketsPerNode)
+
+	// Advance the hardware counters so telemetry readers see this
+	// iteration: energy into the wrapping accumulator, APERF at the
+	// achieved frequency, MPERF and TSC at the base clock.
+	for _, s := range n.sockets {
+		s.Dev.PrivilegedAdd(msr.MSRPkgEnergyStatus, s.Rapl.EncodeEnergyDelta(perSocket), 32)
+		s.Dev.PrivilegedAdd(msr.MSRDramEnergyStatus, s.Rapl.EncodeEnergyDelta(dramPerSocket), 32)
+		s.Dev.PrivilegedAdd(msr.IA32APerf, uint64(res.AchievedFreq.Hz()*iterTime.Seconds()), 64)
+		base := uint64(n.Spec().BaseFreq.Hz() * iterTime.Seconds())
+		s.Dev.PrivilegedAdd(msr.IA32MPerf, base, 64)
+		s.Dev.PrivilegedAdd(msr.IA32TimeStampCounter, base, 64)
+	}
+	return res, nil
+}
+
+// CreditIterations advances the hardware counters as if the node repeated
+// the given iteration result count more times — the fast-forward path long
+// facility simulations use to skip over steady-state iterations without
+// recomputing them. The operating point is unchanged, so scaling energy
+// and clock counts linearly is exact.
+func (n *Node) CreditIterations(pr PhaseResult, iterTime time.Duration, count int) {
+	if count <= 0 || iterTime <= 0 {
+		return
+	}
+	perSocket := pr.Energy / SocketsPerNode * units.Energy(count)
+	dramPerSocket := pr.DRAMEnergy / SocketsPerNode * units.Energy(count)
+	seconds := iterTime.Seconds() * float64(count)
+	base := uint64(n.Spec().BaseFreq.Hz() * seconds)
+	aperf := uint64(pr.AchievedFreq.Hz() * seconds)
+	for _, s := range n.sockets {
+		s.Dev.PrivilegedAdd(msr.MSRPkgEnergyStatus, s.Rapl.EncodeEnergyDelta(perSocket), 32)
+		s.Dev.PrivilegedAdd(msr.MSRDramEnergyStatus, s.Rapl.EncodeEnergyDelta(dramPerSocket), 32)
+		s.Dev.PrivilegedAdd(msr.IA32APerf, aperf, 64)
+		s.Dev.PrivilegedAdd(msr.IA32MPerf, base, 64)
+		s.Dev.PrivilegedAdd(msr.IA32TimeStampCounter, base, 64)
+	}
+}
+
+// AchievedFrequency returns the achieved frequency implied by the APERF and
+// MPERF deltas since the given previous counter snapshot, plus the new
+// snapshot. This is how Figure 6's per-node frequencies are measured.
+func (n *Node) AchievedFrequency(prevAperf, prevMperf uint64) (units.Frequency, uint64, uint64) {
+	s := n.sockets[0]
+	aperf := s.Dev.PrivilegedRead(msr.IA32APerf)
+	mperf := s.Dev.PrivilegedRead(msr.IA32MPerf)
+	da := aperf - prevAperf
+	dm := mperf - prevMperf
+	if dm == 0 {
+		return 0, aperf, mperf
+	}
+	ratio := float64(da) / float64(dm)
+	return units.Frequency(ratio * n.Spec().BaseFreq.Hz()), aperf, mperf
+}

@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"powerstack/internal/units"
+)
+
+// slot is the flattened per-host allocation state shared by the three
+// dynamic policies.
+type slot struct {
+	job      int // index into the jobs slice
+	idx      int // host index within the job
+	min, max units.Power
+	// target is the per-host power signal the policy reclaims toward:
+	// balancer "needed power" for the application-aware policies,
+	// monitor "observed power" for MinimizeWaste.
+	target units.Power
+	alloc  units.Power
+}
+
+// flatten builds slots for every host, with targets chosen by the given
+// signal function.
+func flatten(jobs []JobInfo, signal func(JobInfo, HostInfo) units.Power) []slot {
+	var slots []slot
+	for ji, j := range jobs {
+		for hi, h := range j.Hosts {
+			slots = append(slots, slot{
+				job:    ji,
+				idx:    hi,
+				min:    h.Min,
+				max:    h.Max,
+				target: units.Clamp(signal(j, h), h.Min, h.Max),
+			})
+		}
+	}
+	return slots
+}
+
+// uniformInit implements step 1 of Section III-A: distribute the budget
+// uniformly, clamped to the settable range.
+func uniformInit(slots []slot, budget units.Power) {
+	if len(slots) == 0 {
+		return
+	}
+	per := budget / units.Power(len(slots))
+	for i := range slots {
+		slots[i].alloc = units.Clamp(per, slots[i].min, slots[i].max)
+	}
+}
+
+// reclaim implements step 2: decrease each host's allocation down to its
+// target, returning the deallocated power.
+func reclaim(slots []slot) units.Power {
+	var pool units.Power
+	for i := range slots {
+		if slots[i].alloc > slots[i].target {
+			pool += slots[i].alloc - slots[i].target
+			slots[i].alloc = slots[i].target
+		}
+	}
+	return pool
+}
+
+// topUp implements step 3: distribute the pool uniformly among hosts that
+// need more power (allocation below target), at most up to the target,
+// repeating until the pool is exhausted or every host is satisfied. It
+// returns the unspent remainder.
+func topUp(slots []slot, pool units.Power) units.Power {
+	const eps = 1e-6
+	for pool > eps {
+		var needy []int
+		for i := range slots {
+			if slots[i].alloc < slots[i].target-units.Power(eps) {
+				needy = append(needy, i)
+			}
+		}
+		if len(needy) == 0 {
+			break
+		}
+		share := pool / units.Power(len(needy))
+		var spent units.Power
+		for _, i := range needy {
+			grant := slots[i].target - slots[i].alloc
+			if grant > share {
+				grant = share
+			}
+			slots[i].alloc += grant
+			spent += grant
+		}
+		pool -= spent
+		if spent <= units.Power(eps) {
+			break
+		}
+	}
+	return pool
+}
+
+// weightedSurplus implements step 4: a single weighted pass that allocates
+// the remaining pool across the hosts, with weights equal to the distance
+// from each host's minimum settable limit to its current allocation, each
+// grant ceilinged at the host maximum (TDP). Hosts with zero weight
+// (sitting at their minimum) fall back to a uniform share.
+//
+// Deliberately a single pass: budget a host's ceiling rejects goes
+// *unallocated* rather than spilling onto low-weight (waiting) hosts. This
+// is what lets the application-aware policies leave surplus power unused at
+// relaxed budgets — the Figure 7 marker-(a) under-utilization that turns
+// into the Figure 8 energy savings — instead of re-inflating the caps of
+// hosts that would only burn the power spinning at a barrier. It returns
+// the unspent remainder.
+func weightedSurplus(slots []slot, pool units.Power) units.Power {
+	const eps = 1e-6
+	if pool <= eps {
+		return pool
+	}
+	var weights []float64
+	var open []int
+	var totalW float64
+	for i := range slots {
+		if slots[i].alloc >= slots[i].max-units.Power(eps) {
+			continue
+		}
+		w := float64(slots[i].alloc - slots[i].min)
+		open = append(open, i)
+		weights = append(weights, w)
+		totalW += w
+	}
+	if len(open) == 0 {
+		return pool
+	}
+	var spent units.Power
+	for k, i := range open {
+		var share units.Power
+		if totalW > 0 {
+			share = units.Power(float64(pool) * weights[k] / totalW)
+		} else {
+			share = pool / units.Power(len(open))
+		}
+		grant := slots[i].max - slots[i].alloc
+		if grant > share {
+			grant = share
+		}
+		slots[i].alloc += grant
+		spent += grant
+	}
+	return pool - spent
+}
+
+// assemble converts slots back into an Allocation.
+func assemble(jobs []JobInfo, slots []slot) Allocation {
+	out := Allocation{}
+	for _, j := range jobs {
+		out[j.ID] = make([]units.Power, len(j.Hosts))
+	}
+	for _, s := range slots {
+		out[jobs[s.job].ID][s.idx] = s.alloc
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+
+// MinimizeWaste is the system-power-aware, application-agnostic policy of
+// Section III-B: it statically emulates SLURM's dynamic power management by
+// reclaiming the budget low-power jobs leave unused (based on the monitor
+// run's *observed* power, not the performance-aware needed power) and
+// steering it to high-power jobs.
+type MinimizeWaste struct{}
+
+// Name implements Policy.
+func (MinimizeWaste) Name() string { return "MinimizeWaste" }
+
+// Allocate implements Policy.
+func (MinimizeWaste) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
+	if _, err := validate(jobs); err != nil {
+		return nil, err
+	}
+	slots := flatten(jobs, func(j JobInfo, h HostInfo) units.Power {
+		return j.Char.MonitorPowerForRole(h.Role)
+	})
+	uniformInit(slots, sys.Budget)
+	pool := reclaim(slots)
+	pool = topUp(slots, pool)
+	weightedSurplus(slots, pool)
+	return assemble(jobs, slots), nil
+}
+
+// ---------------------------------------------------------------------------
+
+// JobAdaptive is the application-aware, system-agnostic policy of Section
+// III-B: each job receives a fixed uniform share of the system budget and
+// distributes it internally using the balancer's performance-aware needed
+// power. Power cannot cross job boundaries, so budget one job leaves unused
+// is wasted while another job stays power-bound (Figure 7 marker b).
+type JobAdaptive struct{}
+
+// Name implements Policy.
+func (JobAdaptive) Name() string { return "JobAdaptive" }
+
+// Allocate implements Policy. Each job runs the same four steps as
+// MixedAdaptive but scoped to its own uniform share of the budget
+// (Section III-B): at the min budget no host's uniform share exceeds its
+// needed power, so the policy remains in the uniform initial state — the
+// behavior Section VI-B observes for both adaptive policies.
+func (JobAdaptive) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
+	total, err := validate(jobs)
+	if err != nil {
+		return nil, err
+	}
+	per := sys.Budget / units.Power(total)
+	out := Allocation{}
+	for _, j := range jobs {
+		jobBudget := per * units.Power(len(j.Hosts))
+		slots := flatten([]JobInfo{j}, func(j JobInfo, h HostInfo) units.Power {
+			return j.Char.NeededForRole(h.Role)
+		})
+		uniformInit(slots, jobBudget)
+		pool := reclaim(slots)
+		topUp(slots, pool)
+		// Any surplus left after every host reaches its needed power
+		// stays unprogrammed: the application-aware runtime refuses to
+		// raise a host's limit past its characterized need, because the
+		// extra power would only be burned spinning at barriers. This is
+		// the budget under-utilization of Figure 7 marker (a) that turns
+		// into the energy savings of Figure 8 at relaxed budgets.
+		alloc := assemble([]JobInfo{j}, slots)
+		out[j.ID] = alloc[j.ID]
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// MixedAdaptive is the paper's proposed policy (Section III-A): the job
+// runtime's performance-aware needed-power signal drives a system-wide
+// redistribution. Steps:
+//
+//  1. Uniformly distribute the system power limit among hosts across all
+//     jobs.
+//  2. Decrease each host's allocation to its characterized needed power;
+//     the decrease becomes the deallocated pool.
+//  3. Uniformly distribute the pool among hosts that need more power, up
+//     to their characterized power, repeating until the pool empties or
+//     everyone is satisfied.
+//  4. Account any remaining surplus to hosts weighted by the distance from
+//     each host's minimum settable limit to its allocation.
+//
+// Step 4 is budget bookkeeping: the surplus is *reserved* against demand
+// variability, but the job runtime does not program host limits above the
+// characterized need — doing so would only let de-prioritized hosts burn
+// the headroom spinning at barriers. The programmed caps therefore come
+// from steps 1-3, and the unprogrammed surplus shows up as the
+// below-budget power utilization of Figure 7 marker (a).
+type MixedAdaptive struct{}
+
+// Name implements Policy.
+func (MixedAdaptive) Name() string { return "MixedAdaptive" }
+
+// Allocate implements Policy.
+func (MixedAdaptive) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
+	if _, err := validate(jobs); err != nil {
+		return nil, err
+	}
+	slots := flatten(jobs, func(j JobInfo, h HostInfo) units.Power {
+		return j.Char.NeededForRole(h.Role)
+	})
+	uniformInit(slots, sys.Budget) // step 1
+	pool := reclaim(slots)         // step 2
+	topUp(slots, pool)             // step 3
+	// Step 4's surplus stays reserved, not programmed — see the type
+	// comment.
+	return assemble(jobs, slots), nil
+}

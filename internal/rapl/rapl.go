@@ -1,0 +1,274 @@
+// Package rapl implements Intel's Running Average Power Limit interface on
+// top of the simulated MSR register file, mirroring the plumbing GEOPM uses
+// on real Broadwell sockets: unit decoding from MSR_RAPL_POWER_UNIT, PL1
+// programming in MSR_PKG_POWER_LIMIT, and energy accounting from the
+// wrapping 32-bit MSR_PKG_ENERGY_STATUS accumulator [David et al., ISLPED'10].
+package rapl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"powerstack/internal/msr"
+	"powerstack/internal/units"
+)
+
+// Default unit-register encoding for Broadwell-class parts:
+// power unit 1/8 W (field 3), energy unit 2^-16 J = 15.3 uJ (field 16),
+// time unit 976 us (field 10).
+const DefaultUnitsRegister uint64 = 0x0A_10_03 // time=0xA<<16 | energy=0x10<<8 | power=0x3
+
+// Units holds the decoded RAPL unit divisors.
+type Units struct {
+	// PowerUnit is the wattage of one power-field LSB (e.g. 0.125 W).
+	PowerUnit units.Power
+	// EnergyUnit is the energy of one energy-counter LSB (e.g. 15.26 uJ).
+	EnergyUnit units.Energy
+	// TimeUnit is the duration of one time-window LSB (e.g. 976.5 us).
+	TimeUnit time.Duration
+}
+
+// DecodeUnits decodes MSR_RAPL_POWER_UNIT register contents per the SDM:
+// each field is an exponent d such that the unit is 1/2^d of the base unit.
+func DecodeUnits(reg uint64) Units {
+	pw := msr.ExtractBits(reg, 3, 0)
+	en := msr.ExtractBits(reg, 12, 8)
+	tm := msr.ExtractBits(reg, 19, 16)
+	return Units{
+		PowerUnit:  units.Power(1 / math.Pow(2, float64(pw))),
+		EnergyUnit: units.Energy(1 / math.Pow(2, float64(en))),
+		TimeUnit:   time.Duration(1 / math.Pow(2, float64(tm)) * float64(time.Second)),
+	}
+}
+
+// Limit describes one package power limit (PL1).
+type Limit struct {
+	// Power is the sustained average power limit.
+	Power units.Power
+	// TimeWindow is the averaging window for the running average.
+	TimeWindow time.Duration
+	// Enabled indicates whether the limit is enforced.
+	Enabled bool
+	// Clamped allows the processor to go below requested P-states to
+	// honor the limit.
+	Clamped bool
+}
+
+// PL1 field layout inside MSR_PKG_POWER_LIMIT.
+const (
+	pl1PowerHi, pl1PowerLo   uint = 14, 0
+	pl1EnableBit             uint = 15
+	pl1ClampBit              uint = 16
+	pl1WindowHi, pl1WindowLo uint = 23, 17
+)
+
+// Domain is one RAPL power domain (here: a CPU package) bound to its MSR
+// device. All reads and writes go through the allowlisted register file.
+type Domain struct {
+	dev   *msr.Device
+	units Units
+
+	// pkg and dram implement wraparound-safe energy accounting across
+	// reads of the 32-bit counters of the two measurable domains.
+	pkg  energyTracker
+	dram energyTracker
+}
+
+// energyTracker accumulates a wrapping 32-bit energy counter.
+type energyTracker struct {
+	lastRaw     uint64
+	accumulated units.Energy
+	primed      bool
+}
+
+func (t *energyTracker) update(raw uint64, unit units.Energy) units.Energy {
+	raw &= 0xFFFF_FFFF
+	if !t.primed {
+		t.lastRaw = raw
+		t.primed = true
+		return t.accumulated
+	}
+	delta := (raw - t.lastRaw) & 0xFFFF_FFFF
+	t.lastRaw = raw
+	t.accumulated += units.Energy(float64(delta)) * units.Energy(float64(unit))
+	return t.accumulated
+}
+
+// ErrNoDevice is returned when constructing a Domain without a device.
+var ErrNoDevice = errors.New("rapl: nil MSR device")
+
+// NewDomain binds a RAPL package domain to an MSR device, decoding the unit
+// register. The device must expose MSR_RAPL_POWER_UNIT.
+func NewDomain(dev *msr.Device) (*Domain, error) {
+	if dev == nil {
+		return nil, ErrNoDevice
+	}
+	reg, err := dev.Read(msr.MSRRaplPowerUnit)
+	if err != nil {
+		return nil, fmt.Errorf("rapl: reading unit register: %w", err)
+	}
+	if reg == 0 {
+		// A zero unit register would make every unit 1; real silicon is
+		// fused with the defaults, so an unprogrammed simulated device is
+		// a setup bug.
+		return nil, errors.New("rapl: unit register not programmed")
+	}
+	return &Domain{dev: dev, units: DecodeUnits(reg)}, nil
+}
+
+// Units returns the decoded unit divisors.
+func (d *Domain) Units() Units { return d.units }
+
+// SetLimit programs PL1 in MSR_PKG_POWER_LIMIT. The power is quantized to
+// the power unit and the window to the time unit, as on hardware.
+func (d *Domain) SetLimit(l Limit) error {
+	if l.Power < 0 {
+		return fmt.Errorf("rapl: negative power limit %v", l.Power)
+	}
+	field := uint64(math.Round(float64(l.Power) / float64(d.units.PowerUnit)))
+	if max := uint64(1)<<(pl1PowerHi-pl1PowerLo+1) - 1; field > max {
+		field = max
+	}
+	window := encodeTimeWindow(l.TimeWindow, d.units.TimeUnit)
+	reg, err := d.dev.Read(msr.MSRPkgPowerLimit)
+	if err != nil {
+		return err
+	}
+	reg = msr.InsertBits(reg, pl1PowerHi, pl1PowerLo, field)
+	reg = msr.InsertBits(reg, pl1EnableBit, pl1EnableBit, boolBit(l.Enabled))
+	reg = msr.InsertBits(reg, pl1ClampBit, pl1ClampBit, boolBit(l.Clamped))
+	reg = msr.InsertBits(reg, pl1WindowHi, pl1WindowLo, window)
+	return d.dev.Write(msr.MSRPkgPowerLimit, reg)
+}
+
+// ReadLimit decodes the current PL1 setting.
+func (d *Domain) ReadLimit() (Limit, error) {
+	reg, err := d.dev.Read(msr.MSRPkgPowerLimit)
+	if err != nil {
+		return Limit{}, err
+	}
+	power := units.Power(float64(msr.ExtractBits(reg, pl1PowerHi, pl1PowerLo))) * units.Power(float64(d.units.PowerUnit))
+	window := decodeTimeWindow(msr.ExtractBits(reg, pl1WindowHi, pl1WindowLo), d.units.TimeUnit)
+	return Limit{
+		Power:      power,
+		TimeWindow: window,
+		Enabled:    msr.ExtractBits(reg, pl1EnableBit, pl1EnableBit) == 1,
+		Clamped:    msr.ExtractBits(reg, pl1ClampBit, pl1ClampBit) == 1,
+	}, nil
+}
+
+// PowerInfo reports the fused package power parameters from
+// MSR_PKG_POWER_INFO.
+type PowerInfo struct {
+	TDP      units.Power
+	MinPower units.Power
+	MaxPower units.Power
+}
+
+// ReadPowerInfo decodes MSR_PKG_POWER_INFO.
+func (d *Domain) ReadPowerInfo() (PowerInfo, error) {
+	reg, err := d.dev.Read(msr.MSRPkgPowerInfo)
+	if err != nil {
+		return PowerInfo{}, err
+	}
+	u := float64(d.units.PowerUnit)
+	return PowerInfo{
+		TDP:      units.Power(float64(msr.ExtractBits(reg, 14, 0)) * u),
+		MinPower: units.Power(float64(msr.ExtractBits(reg, 30, 16)) * u),
+		MaxPower: units.Power(float64(msr.ExtractBits(reg, 46, 32)) * u),
+	}, nil
+}
+
+// ReadEnergy returns the total package energy consumed since the domain
+// was bound, handling 32-bit counter wraparound. Call it at least once per
+// wrap period (minutes at TDP with 15.3 uJ units); the simulation loop
+// reads every control period, far more often.
+func (d *Domain) ReadEnergy() (units.Energy, error) {
+	raw, err := d.dev.Read(msr.MSRPkgEnergyStatus)
+	if err != nil {
+		return 0, err
+	}
+	return d.pkg.update(raw, d.units.EnergyUnit), nil
+}
+
+// ReadDRAMEnergy returns the accumulated DRAM-domain energy. On this
+// platform the DRAM domain is measurable but not cappable — telemetry
+// only, exactly as the paper scopes its study to CPU power.
+func (d *Domain) ReadDRAMEnergy() (units.Energy, error) {
+	raw, err := d.dev.Read(msr.MSRDramEnergyStatus)
+	if err != nil {
+		return 0, err
+	}
+	return d.dram.update(raw, d.units.EnergyUnit), nil
+}
+
+// EncodeEnergyDelta converts an energy amount into energy-counter LSBs, used
+// by the hardware model to advance the accumulator.
+func (d *Domain) EncodeEnergyDelta(e units.Energy) uint64 {
+	if e <= 0 {
+		return 0
+	}
+	return uint64(math.Round(float64(e) / float64(d.units.EnergyUnit)))
+}
+
+// encodeTimeWindow encodes a duration into the SDM's 7-bit PL1 window
+// field: bits 4:0 hold an exponent Y and bits 6:5 a fractional part Z, with
+// window = 2^Y * (1 + Z/4) * timeUnit. The encoder picks the representable
+// value closest to the request; zero requests zero (hardware default).
+func encodeTimeWindow(w time.Duration, unit time.Duration) uint64 {
+	if w <= 0 {
+		return 0
+	}
+	target := float64(w) / float64(unit)
+	best := uint64(0)
+	bestErr := math.Inf(1)
+	for y := uint64(0); y < 32; y++ {
+		for z := uint64(0); z < 4; z++ {
+			val := math.Pow(2, float64(y)) * (1 + float64(z)/4)
+			if err := math.Abs(val - target); err < bestErr {
+				bestErr = err
+				best = z<<5 | y
+			}
+		}
+	}
+	return best
+}
+
+// decodeTimeWindow inverts encodeTimeWindow.
+func decodeTimeWindow(field uint64, unit time.Duration) time.Duration {
+	y := field & 0x1F
+	z := (field >> 5) & 0x3
+	val := math.Pow(2, float64(y)) * (1 + float64(z)/4)
+	return time.Duration(val * float64(unit))
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ProgramDefaults initializes a fresh simulated device with the Broadwell
+// unit register and the package power info for the given socket parameters.
+// The hardware model calls this when a node powers on.
+func ProgramDefaults(dev *msr.Device, tdp, minPower, maxPower units.Power) {
+	dev.PrivilegedWrite(msr.MSRRaplPowerUnit, DefaultUnitsRegister)
+	u := DecodeUnits(DefaultUnitsRegister)
+	enc := func(p units.Power) uint64 {
+		return uint64(math.Round(float64(p) / float64(u.PowerUnit)))
+	}
+	info := enc(tdp) & 0x7FFF
+	info |= (enc(minPower) & 0x7FFF) << 16
+	info |= (enc(maxPower) & 0x7FFF) << 32
+	dev.PrivilegedWrite(msr.MSRPkgPowerInfo, info)
+	// Power on with PL1 = TDP, enabled and clamped, 1 s window — the
+	// firmware default the paper's uncapped runs observe.
+	reg := msr.InsertBits(0, pl1PowerHi, pl1PowerLo, enc(tdp))
+	reg = msr.InsertBits(reg, pl1EnableBit, pl1EnableBit, 1)
+	reg = msr.InsertBits(reg, pl1ClampBit, pl1ClampBit, 1)
+	reg = msr.InsertBits(reg, pl1WindowHi, pl1WindowLo, encodeTimeWindow(time.Second, u.TimeUnit))
+	dev.PrivilegedWrite(msr.MSRPkgPowerLimit, reg)
+}

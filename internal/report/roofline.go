@@ -1,0 +1,128 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"powerstack/internal/roofline"
+	"powerstack/internal/units"
+)
+
+// RooflinePlot renders the Figure 3 roofline as an ASCII log-log plot:
+// memory roofs as diagonals, compute roofs as horizontals, and the kernel
+// sweep as point markers.
+type RooflinePlot struct {
+	Title    string
+	Platform roofline.Platform
+	// Points are the kernel measurements to overlay.
+	Points []roofline.Point
+	// Width and Height of the plot area in characters.
+	Width, Height int
+	// XMin/XMax bound the intensity axis (FLOPs/byte); YMin/YMax the
+	// throughput axis (GFLOPS). Zero values pick Figure 3's bounds.
+	XMin, XMax float64
+	YMin, YMax float64
+}
+
+// String renders the plot.
+func (p RooflinePlot) String() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 24
+	}
+	xmin, xmax := p.XMin, p.XMax
+	if xmin <= 0 {
+		xmin = 0.007
+	}
+	if xmax <= 0 {
+		xmax = 40
+	}
+	ymin, ymax := p.YMin, p.YMax
+	if ymin <= 0 {
+		ymin = 0.05
+	}
+	if ymax <= 0 {
+		ymax = 400
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	toCol := func(x float64) int {
+		return int(math.Round((math.Log10(x) - math.Log10(xmin)) / (math.Log10(xmax) - math.Log10(xmin)) * float64(w-1)))
+	}
+	toRow := func(y float64) int {
+		return h - 1 - int(math.Round((math.Log10(y)-math.Log10(ymin))/(math.Log10(ymax)-math.Log10(ymin))*float64(h-1)))
+	}
+	plot := func(x, y float64, mark rune) {
+		if x < xmin || x > xmax || y < ymin || y > ymax {
+			return
+		}
+		r, c := toRow(y), toCol(x)
+		if r >= 0 && r < h && c >= 0 && c < w {
+			grid[r][c] = mark
+		}
+	}
+
+	// Attainable envelope (bold roof) per column, then individual
+	// ceilings as faint lines.
+	for col := 0; col < w; col++ {
+		x := math.Pow(10, math.Log10(xmin)+float64(col)/float64(w-1)*(math.Log10(xmax)-math.Log10(xmin)))
+		// Memory roofs (diagonals).
+		for _, c := range p.Platform.Ceilings() {
+			if c.Bandwidth > 0 {
+				plot(x, x*c.Bandwidth.GBs(), '/')
+			}
+		}
+		// Compute roofs (horizontals).
+		for _, c := range p.Platform.Ceilings() {
+			if c.Compute > 0 {
+				plot(x, c.Compute.GFLOPS(), '-')
+			}
+		}
+		// The binding envelope: min(DP FMA roof, DRAM diagonal).
+		env := math.Min(p.Platform.VectorFMADP.GFLOPS(), x*p.Platform.DRAMBandwidth.GBs())
+		plot(x, env, '=')
+	}
+	for _, pt := range p.Points {
+		plot(pt.Intensity, units.FlopsPerSecond(pt.Achieved).GFLOPS(), 'o')
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	fmt.Fprintf(&b, "GFLOPS (log) %g..%g\n", ymin, ymax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "\n")
+	fmt.Fprintf(&b, " FLOPs/byte (log) %g..%g   o=kernel  ==attainable roof  /=bandwidth  -=compute peak\n", xmin, xmax)
+
+	// Ceiling legend sorted by magnitude.
+	ceilings := p.Platform.Ceilings()
+	sort.Slice(ceilings, func(i, j int) bool {
+		vi := ceilings[i].Compute.GFLOPS() + ceilings[i].Bandwidth.GBs()
+		vj := ceilings[j].Compute.GFLOPS() + ceilings[j].Bandwidth.GBs()
+		return vi > vj
+	})
+	for _, c := range ceilings {
+		if c.Compute > 0 {
+			fmt.Fprintf(&b, "  %-22s %8.2f GFLOPS\n", c.Name, c.Compute.GFLOPS())
+		} else {
+			fmt.Fprintf(&b, "  %-22s %8.2f GB/s\n", c.Name, c.Bandwidth.GBs())
+		}
+	}
+	return b.String()
+}

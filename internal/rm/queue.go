@@ -1,0 +1,159 @@
+package rm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/units"
+)
+
+// The paper's motivation (Section II) is the EEHPC-WG survey of energy- and
+// power-aware job scheduling: a resource manager must admit jobs against
+// *two* budgets, nodes and watts. This file adds that scheduler: a FCFS
+// queue with EASY-style backfill where a job is started only when enough
+// free nodes exist AND its characterized power demand fits the remaining
+// system power budget.
+
+// QueuedJob is a submission waiting for nodes and power.
+type QueuedJob struct {
+	Spec JobSpec
+	// Demand is the job's admission power estimate (characterized
+	// uncapped draw by default — the conservative choice).
+	Demand units.Power
+	// SubmitOrder preserves FCFS fairness.
+	SubmitOrder int
+	// EstimatedRuntime supports backfill decisions.
+	EstimatedRuntime time.Duration
+}
+
+// Scheduler admits queued jobs under a node and power budget.
+type Scheduler struct {
+	mgr    *Manager
+	db     *charz.DB
+	budget units.Power
+
+	queue   []*QueuedJob
+	started []*ScheduledJob
+	// committed is the admitted jobs' total power demand.
+	committed units.Power
+	nextOrder int
+	// Backfill allows later queued jobs to start ahead of a blocked head
+	// job when they fit, EASY-style. The head job's start is never
+	// delayed by backfilled jobs in this model because power and nodes
+	// are released only at job completion.
+	Backfill bool
+}
+
+// NewScheduler builds a power-aware scheduler over the manager's node pool.
+func NewScheduler(mgr *Manager, db *charz.DB, budget units.Power) (*Scheduler, error) {
+	if mgr == nil {
+		return nil, errors.New("rm: scheduler needs a manager")
+	}
+	if db == nil {
+		return nil, errors.New("rm: scheduler needs a characterization database")
+	}
+	if budget <= 0 {
+		return nil, errors.New("rm: scheduler budget must be positive")
+	}
+	return &Scheduler{mgr: mgr, db: db, budget: budget, Backfill: true}, nil
+}
+
+// Enqueue validates a submission and places it in the queue. The power
+// demand is taken from the characterization: nodes x the workload's mean
+// uncapped host power.
+func (s *Scheduler) Enqueue(spec JobSpec) (*QueuedJob, error) {
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("rm: job %s requests %d nodes", spec.ID, spec.Nodes)
+	}
+	entry, err := s.db.MustGet(spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	qj := &QueuedJob{
+		Spec:        spec,
+		Demand:      entry.MonitorHostPower * units.Power(spec.Nodes),
+		SubmitOrder: s.nextOrder,
+	}
+	qj.EstimatedRuntime = entry.MonitorIterTime * 100 // the paper's 100-iteration runs
+	s.nextOrder++
+	s.queue = append(s.queue, qj)
+	return qj, nil
+}
+
+// Queue returns the jobs still waiting, in order.
+func (s *Scheduler) Queue() []*QueuedJob { return s.queue }
+
+// Started returns the admitted jobs.
+func (s *Scheduler) Started() []*ScheduledJob { return s.started }
+
+// CommittedPower returns the admitted jobs' total power demand.
+func (s *Scheduler) CommittedPower() units.Power { return s.committed }
+
+// fits reports whether the job can start now.
+func (s *Scheduler) fits(qj *QueuedJob) bool {
+	return qj.Spec.Nodes <= s.mgr.FreeNodes() && s.committed+qj.Demand <= s.budget
+}
+
+// admit starts a queued job.
+func (s *Scheduler) admit(qj *QueuedJob, seed uint64) error {
+	sj, err := s.mgr.Submit(qj.Spec, seed)
+	if err != nil {
+		return err
+	}
+	s.committed += qj.Demand
+	s.started = append(s.started, sj)
+	return nil
+}
+
+// Dispatch admits as many queued jobs as fit, FCFS with optional EASY
+// backfill: if the head job cannot start, later jobs that fit may start
+// ahead of it. Returns the jobs started this pass.
+func (s *Scheduler) Dispatch(seed uint64) ([]*ScheduledJob, error) {
+	var startedNow []*ScheduledJob
+	var remaining []*QueuedJob
+	blockedHead := false
+	for i, qj := range s.queue {
+		if blockedHead && !s.Backfill {
+			remaining = append(remaining, s.queue[i:]...)
+			break
+		}
+		if !s.fits(qj) {
+			blockedHead = true
+			remaining = append(remaining, qj)
+			continue
+		}
+		if err := s.admit(qj, seed+uint64(qj.SubmitOrder)); err != nil {
+			return nil, err
+		}
+		startedNow = append(startedNow, s.started[len(s.started)-1])
+	}
+	s.queue = remaining
+	return startedNow, nil
+}
+
+// Complete releases a started job's nodes and power commitment, returning
+// an error if the job is unknown.
+func (s *Scheduler) Complete(sj *ScheduledJob) error {
+	idx := -1
+	for i, cand := range s.started {
+		if cand == sj {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("rm: job %s is not running", sj.Spec.ID)
+	}
+	entry, err := s.db.MustGet(sj.Spec.Config)
+	if err != nil {
+		return err
+	}
+	s.committed -= entry.MonitorHostPower * units.Power(sj.Spec.Nodes)
+	if s.committed < 0 {
+		s.committed = 0
+	}
+	s.started = append(s.started[:idx], s.started[idx+1:]...)
+	return s.mgr.release(sj)
+}

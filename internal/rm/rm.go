@@ -1,0 +1,216 @@
+// Package rm is the resource-manager half of the stack (the SLURM role in
+// the paper): it owns the node pool, schedules jobs onto nodes, asks a
+// Section III policy for a system-wide power allocation, programs the
+// resulting per-host caps through the GEOPM runtime, and runs the job mix.
+//
+// The paper emulates the execution-time feedback loop between resource
+// manager and job runtime by pre-characterizing workloads; accordingly the
+// manager consumes a charz.DB and applies static per-host caps for a run.
+package rm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/charz"
+	"powerstack/internal/geopm"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/policy"
+	"powerstack/internal/units"
+)
+
+// JobSpec is a job submission.
+type JobSpec struct {
+	ID     string
+	Config kernel.Config
+	// Nodes is the host count requested.
+	Nodes int
+}
+
+// ScheduledJob is a submitted job bound to its nodes.
+type ScheduledJob struct {
+	Spec JobSpec
+	Job  *bsp.Job
+}
+
+// Manager owns the free pool and the scheduled jobs.
+type Manager struct {
+	free []*node.Node
+	jobs []*ScheduledJob
+}
+
+// NewManager builds a manager over the given node pool.
+func NewManager(pool []*node.Node) *Manager {
+	return &Manager{free: append([]*node.Node(nil), pool...)}
+}
+
+// FreeNodes returns the number of unallocated nodes.
+func (m *Manager) FreeNodes() int { return len(m.free) }
+
+// Jobs returns the scheduled jobs in submission order.
+func (m *Manager) Jobs() []*ScheduledJob { return m.jobs }
+
+// Submit allocates nodes for the spec and schedules the job. The seed
+// drives the job's OS-noise stream.
+func (m *Manager) Submit(spec JobSpec, seed uint64) (*ScheduledJob, error) {
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("rm: job %s requests %d nodes", spec.ID, spec.Nodes)
+	}
+	if spec.Nodes > len(m.free) {
+		return nil, fmt.Errorf("rm: job %s requests %d nodes, %d free", spec.ID, spec.Nodes, len(m.free))
+	}
+	alloc := m.free[:spec.Nodes]
+	rest := m.free[spec.Nodes:]
+	j, err := bsp.NewJob(spec.ID, spec.Config, alloc, seed)
+	if err != nil {
+		return nil, err
+	}
+	m.free = rest
+	sj := &ScheduledJob{Spec: spec, Job: j}
+	m.jobs = append(m.jobs, sj)
+	return sj, nil
+}
+
+// ReleaseAll returns every job's nodes to the free pool (at TDP limits) and
+// clears the schedule.
+func (m *Manager) ReleaseAll() error {
+	for _, sj := range m.jobs {
+		for _, n := range sj.Job.Nodes() {
+			if _, err := n.SetPowerLimit(n.TDP()); err != nil {
+				return err
+			}
+			m.free = append(m.free, n)
+		}
+	}
+	m.jobs = nil
+	return nil
+}
+
+// release returns one job's nodes to the free pool (at TDP limits) and
+// removes it from the schedule.
+func (m *Manager) release(sj *ScheduledJob) error {
+	idx := -1
+	for i, cand := range m.jobs {
+		if cand == sj {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("rm: job %s is not scheduled", sj.Spec.ID)
+	}
+	for _, n := range sj.Job.Nodes() {
+		if _, err := n.SetPowerLimit(n.TDP()); err != nil {
+			return err
+		}
+		m.free = append(m.free, n)
+	}
+	m.jobs = append(m.jobs[:idx], m.jobs[idx+1:]...)
+	return nil
+}
+
+// JobInfos assembles the policy-layer view of the scheduled jobs from the
+// characterization database. Every job's configuration must have been
+// characterized.
+func (m *Manager) JobInfos(db *charz.DB) ([]policy.JobInfo, error) {
+	if db == nil {
+		return nil, errors.New("rm: nil characterization database")
+	}
+	infos := make([]policy.JobInfo, 0, len(m.jobs))
+	for _, sj := range m.jobs {
+		entry, err := db.MustGet(sj.Spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		info := policy.JobInfo{ID: sj.Spec.ID, Char: entry}
+		for _, h := range sj.Job.Hosts {
+			info.Hosts = append(info.Hosts, policy.HostInfo{
+				Role: h.Role,
+				Min:  h.Node.MinLimit(),
+				Max:  h.Node.TDP(),
+			})
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// Plan asks the policy for an allocation under the budget.
+func (m *Manager) Plan(p policy.Policy, budget units.Power, db *charz.DB) (policy.Allocation, error) {
+	infos, err := m.JobInfos(db)
+	if err != nil {
+		return nil, err
+	}
+	return p.Allocate(policy.System{Budget: budget}, infos)
+}
+
+// Apply programs an allocation's per-host caps through the GEOPM static
+// agent path (clamping to each host's settable range happens in the agent).
+func (m *Manager) Apply(alloc policy.Allocation) error {
+	for _, sj := range m.jobs {
+		caps, ok := alloc[sj.Spec.ID]
+		if !ok {
+			return fmt.Errorf("rm: allocation missing job %s", sj.Spec.ID)
+		}
+		if len(caps) != len(sj.Job.Hosts) {
+			return fmt.Errorf("rm: job %s: %d caps for %d hosts", sj.Spec.ID, len(caps), len(sj.Job.Hosts))
+		}
+		for i, h := range sj.Job.Hosts {
+			if _, err := h.Node.SetPowerLimit(caps[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Overrun reports by how much an allocation exceeds the budget (zero when
+// within budget). Precharacterized exhibits this at tight budgets
+// (Figure 7); the manager reports rather than blocks, as the paper ran it.
+// Sub-milliwatt excess is floating-point dust from summing hundreds of
+// caps, not a real overrun.
+func Overrun(alloc policy.Allocation, budget units.Power) units.Power {
+	if t := alloc.Total(); t > budget+1e-3*units.Watt {
+		return t - budget
+	}
+	return 0
+}
+
+// RunAll runs every scheduled job for iters iterations concurrently (jobs
+// share no nodes) and returns their GEOPM reports in submission order.
+// Limits must already be applied; each job runs under a monitor agent so
+// the caps the policy programmed stay in force.
+func (m *Manager) RunAll(iters int) ([]geopm.Report, error) {
+	if len(m.jobs) == 0 {
+		return nil, errors.New("rm: no jobs scheduled")
+	}
+	reports := make([]geopm.Report, len(m.jobs))
+	errs := make([]error, len(m.jobs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, sj := range m.jobs {
+		wg.Add(1)
+		go func(i int, sj *ScheduledJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ctl, err := geopm.NewController(sj.Job, geopm.Monitor{}, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reports[i], errs[i] = ctl.Run(iters)
+		}(i, sj)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,214 @@
+package rm
+
+import (
+	"math"
+	"testing"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/policy"
+	"powerstack/internal/units"
+)
+
+func testPool(t *testing.T, n int) []*node.Node {
+	t.Helper()
+	c, err := cluster.New(n, cpumodel.Quartz(), cpumodel.QuartzVariation(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Nodes()
+}
+
+func cfgBalanced() kernel.Config {
+	return kernel.Config{Intensity: 8, Vector: kernel.YMM, Imbalance: 1}
+}
+
+func cfgImbalanced() kernel.Config {
+	return kernel.Config{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}
+}
+
+// charDB characterizes both test configs on a scratch set of nodes.
+func charDB(t *testing.T) *charz.DB {
+	t.Helper()
+	nodes := testPool(t, 6)
+	db, err := charz.CharacterizeAll(
+		[]kernel.Config{cfgBalanced(), cfgImbalanced()},
+		nodes,
+		charz.Options{MonitorIters: 8, BalancerIters: 40, Seed: 9, NoiseSigma: 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSubmitAllocatesNodes(t *testing.T) {
+	m := NewManager(testPool(t, 10))
+	sj, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sj.Job.Hosts) != 4 {
+		t.Errorf("hosts = %d", len(sj.Job.Hosts))
+	}
+	if m.FreeNodes() != 6 {
+		t.Errorf("free = %d", m.FreeNodes())
+	}
+	if len(m.Jobs()) != 1 {
+		t.Errorf("jobs = %d", len(m.Jobs()))
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := NewManager(testPool(t, 3))
+	if _, err := m.Submit(JobSpec{ID: "x", Config: cfgBalanced(), Nodes: 0}, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := m.Submit(JobSpec{ID: "x", Config: cfgBalanced(), Nodes: 5}, 1); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := m.Submit(JobSpec{ID: "x", Config: kernel.Config{Intensity: -1, Imbalance: 1}, Nodes: 2}, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestReleaseAllRestoresPoolAndLimits(t *testing.T) {
+	m := NewManager(testPool(t, 6))
+	sj, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range sj.Job.Nodes() {
+		if _, err := n.SetPowerLimit(150 * units.Watt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeNodes() != 6 || len(m.Jobs()) != 0 {
+		t.Errorf("free=%d jobs=%d", m.FreeNodes(), len(m.Jobs()))
+	}
+	for _, n := range sj.Job.Nodes() {
+		p, err := n.PowerLimit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Watts()-240) > 0.5 {
+			t.Errorf("limit %v not reset", p)
+		}
+	}
+}
+
+func TestJobInfosRequiresCharacterization(t *testing.T) {
+	m := NewManager(testPool(t, 4))
+	if _, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.JobInfos(nil); err == nil {
+		t.Error("nil db accepted")
+	}
+	if _, err := m.JobInfos(charz.NewDB()); err == nil {
+		t.Error("missing characterization accepted")
+	}
+}
+
+func TestPlanApplyRun(t *testing.T) {
+	db := charDB(t)
+	m := NewManager(testPool(t, 8))
+	if _, err := m.Submit(JobSpec{ID: "bal", Config: cfgBalanced(), Nodes: 4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(JobSpec{ID: "imb", Config: cfgImbalanced(), Nodes: 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	budget := 8 * 200 * units.Watt
+	alloc, err := m.Plan(policy.MixedAdaptive{}, budget, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Total() > budget+units.Power(0.01) {
+		t.Errorf("plan %v exceeds budget %v", alloc.Total(), budget)
+	}
+	if err := m.Apply(alloc); err != nil {
+		t.Fatal(err)
+	}
+	// The programmed limits match the allocation (within RAPL LSBs).
+	for _, sj := range m.Jobs() {
+		for i, h := range sj.Job.Hosts {
+			p, err := h.Node.PowerLimit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(p.Watts()-alloc[sj.Spec.ID][i].Watts()) > 0.5 {
+				t.Errorf("%s host %d: limit %v, want %v", sj.Spec.ID, i, p, alloc[sj.Spec.ID][i])
+			}
+		}
+	}
+	reports, err := m.RunAll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	var total units.Power
+	for _, r := range reports {
+		if r.Iterations != 10 || r.TotalEnergy <= 0 {
+			t.Errorf("report %s: %+v", r.JobID, r)
+		}
+		total += r.MeanPower()
+	}
+	if total > budget+units.Power(2) {
+		t.Errorf("mix power %v exceeds budget %v", total, budget)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	m := NewManager(testPool(t, 4))
+	if _, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(policy.Allocation{}); err == nil {
+		t.Error("missing job allocation accepted")
+	}
+	if err := m.Apply(policy.Allocation{"a": {200}}); err == nil {
+		t.Error("wrong cap count accepted")
+	}
+}
+
+func TestRunAllRequiresJobs(t *testing.T) {
+	m := NewManager(testPool(t, 2))
+	if _, err := m.RunAll(5); err == nil {
+		t.Error("RunAll with no jobs accepted")
+	}
+}
+
+func TestOverrun(t *testing.T) {
+	alloc := policy.Allocation{"a": {300, 300}}
+	if got := Overrun(alloc, 500); got != 100 {
+		t.Errorf("overrun = %v, want 100", got)
+	}
+	if got := Overrun(alloc, 700); got != 0 {
+		t.Errorf("overrun = %v, want 0", got)
+	}
+}
+
+func TestPrecharacterizedOverrunsTightBudget(t *testing.T) {
+	db := charDB(t)
+	m := NewManager(testPool(t, 4))
+	if _, err := m.Submit(JobSpec{ID: "bal", Config: cfgBalanced(), Nodes: 4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	tight := 4 * 150 * units.Watt
+	alloc, err := m.Plan(policy.Precharacterized{}, tight, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Overrun(alloc, tight) <= 0 {
+		t.Error("Precharacterized should overrun a tight budget (Figure 7)")
+	}
+}

@@ -1,0 +1,117 @@
+package roofline
+
+import (
+	"time"
+
+	"powerstack/internal/kernel"
+	"powerstack/internal/units"
+)
+
+// The synthetic kernel of Section IV derives from Choi et al.'s "A Roofline
+// Model of Energy" [10]. This file implements that model: total energy is
+// decomposed into per-FLOP energy, per-byte energy, and a constant-power
+// term integrated over the roofline execution time,
+//
+//	E(W, Q) = W*EFlop + Q*EByte + P0*T(W, Q)
+//
+// The energy balance point B = EByte/EFlop (in FLOPs/byte) is the energy
+// analogue of the performance ridge: kernels below it spend most of their
+// energy moving bytes, kernels above it spend it computing.
+
+// EnergyModel holds the decomposed energy coefficients of one socket at a
+// fixed operating frequency.
+type EnergyModel struct {
+	// EFlop is the incremental energy of one floating-point operation.
+	EFlop units.Energy
+	// EByte is the incremental energy of one byte of memory traffic.
+	EByte units.Energy
+	// ConstPower is the frequency- and activity-floor power integrated
+	// over runtime (static + base switching).
+	ConstPower units.Power
+	// PeakFlops and PeakBandwidth are the roofline ceilings used for the
+	// execution-time term.
+	PeakFlops     units.FlopsPerSecond
+	PeakBandwidth units.BytesPerSecond
+}
+
+// Time returns the roofline execution time of the work under this model.
+func (m EnergyModel) Time(w kernel.Work) time.Duration {
+	var tComp, tMem float64
+	if w.Flops > 0 && m.PeakFlops > 0 {
+		tComp = float64(w.Flops) / float64(m.PeakFlops)
+	}
+	if w.Traffic > 0 && m.PeakBandwidth > 0 {
+		tMem = float64(w.Traffic) / float64(m.PeakBandwidth)
+	}
+	t := tComp
+	if tMem > t {
+		t = tMem
+	}
+	return time.Duration(t * float64(time.Second))
+}
+
+// Energy returns the modeled energy of the work: the Choi decomposition.
+func (m EnergyModel) Energy(w kernel.Work) units.Energy {
+	e := units.Energy(float64(w.Flops)*float64(m.EFlop)) +
+		units.Energy(float64(w.Traffic)*float64(m.EByte))
+	return e + units.EnergyOver(m.ConstPower, m.Time(w))
+}
+
+// BalancePoint returns the energy balance intensity B = EByte/EFlop in
+// FLOPs per byte: the intensity at which compute energy equals memory
+// energy.
+func (m EnergyModel) BalancePoint() float64 {
+	if m.EFlop <= 0 {
+		return 0
+	}
+	return float64(m.EByte) / float64(m.EFlop)
+}
+
+// FlopsPerJoule returns the modeled energy efficiency of a kernel with the
+// given computational intensity (FLOPs/byte), per the energy roofline:
+// higher intensity amortizes both the per-byte energy and the constant
+// power over more useful work, saturating at 1/EFlop as I grows.
+func (m EnergyModel) FlopsPerJoule(intensity float64) float64 {
+	if intensity <= 0 {
+		return 0
+	}
+	// Per gigabyte of traffic (large enough that the execution-time term
+	// is not lost to sub-nanosecond truncation).
+	const q = 1e9
+	w := kernel.Work{Traffic: q, Flops: units.Flops(intensity * q)}
+	e := m.Energy(w)
+	if e <= 0 {
+		return 0
+	}
+	return intensity * q / e.Joules()
+}
+
+// AsymptoticFlopsPerJoule returns the efficiency ceiling 1/(EFlop +
+// P0/PeakFlops): what a purely compute-bound kernel converges to.
+func (m EnergyModel) AsymptoticFlopsPerJoule() float64 {
+	denom := float64(m.EFlop)
+	if m.PeakFlops > 0 {
+		denom += float64(m.ConstPower) / float64(m.PeakFlops)
+	}
+	if denom <= 0 {
+		return 0
+	}
+	return 1 / denom
+}
+
+// EnergySweep evaluates the efficiency curve over the Figure 3 intensity
+// range.
+func (m EnergyModel) EnergySweep() []EnergyPoint {
+	intensities := []float64{0.007, 0.04, 0.1, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 40}
+	out := make([]EnergyPoint, 0, len(intensities))
+	for _, in := range intensities {
+		out = append(out, EnergyPoint{Intensity: in, FlopsPerJoule: m.FlopsPerJoule(in)})
+	}
+	return out
+}
+
+// EnergyPoint is one sample of the energy-efficiency curve.
+type EnergyPoint struct {
+	Intensity     float64
+	FlopsPerJoule float64
+}

@@ -1,0 +1,383 @@
+// Package sim drives the Section VI evaluation: it runs every (workload
+// mix, policy, power budget) cell of Figures 7 and 8, pairing OS-noise
+// streams across policies so per-iteration savings against the StaticCaps
+// baseline are directly comparable, and computes the mean savings and 95%
+// confidence intervals the paper reports.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/charz"
+	"powerstack/internal/coordinator"
+	"powerstack/internal/geopm"
+	"powerstack/internal/node"
+	"powerstack/internal/policy"
+	"powerstack/internal/rm"
+	"powerstack/internal/stats"
+	"powerstack/internal/units"
+	"powerstack/internal/workload"
+)
+
+// Cell is one (mix, policy, budget) measurement.
+type Cell struct {
+	Mix        string
+	Policy     string
+	Budget     string
+	BudgetPwr  units.Power
+	Iterations int
+
+	// MeanPower is the run-average total power of the mix.
+	MeanPower units.Power
+	// Utilization is MeanPower/BudgetPwr — the Figure 7 bar height.
+	Utilization float64
+	// Overrun is how far the policy's requested allocation exceeded the
+	// budget (nonzero for Precharacterized at tight budgets).
+	Overrun units.Power
+
+	// SystemTime is the node-weighted mean job elapsed time — the
+	// "system time dedicated to jobs".
+	SystemTime time.Duration
+	// TotalEnergy and TotalFlops aggregate over all jobs.
+	TotalEnergy units.Energy
+	TotalFlops  units.Flops
+	EDP         float64
+	FlopsPerW   float64
+
+	// IterTimes[k] is the node-weighted mean iteration time across jobs
+	// at iteration k (seconds); IterEnergies[k] the mix energy of
+	// iteration k (joules). The paired-savings confidence intervals are
+	// computed over these series.
+	IterTimes    []float64
+	IterEnergies []float64
+}
+
+// Runner executes evaluation cells on a node pool.
+type Runner struct {
+	// Pool is the experiment node set (the medium-frequency cluster).
+	Pool []*node.Node
+	// DB is the characterization database covering every mix config.
+	DB *charz.DB
+	// Iters is the per-run iteration count (the paper uses 100).
+	Iters int
+	// Seed drives job noise; the same seed is reused across policies of
+	// a cell so comparisons are paired.
+	Seed uint64
+	// NoiseSigma overrides BSP noise when non-negative.
+	NoiseSigma float64
+}
+
+// NewRunner returns a runner with the paper's iteration count.
+func NewRunner(pool []*node.Node, db *charz.DB) *Runner {
+	return &Runner{Pool: pool, DB: db, Iters: 100, Seed: 1, NoiseSigma: -1}
+}
+
+// RunCell executes one mix under one policy at one budget.
+func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, budget units.Power) (Cell, error) {
+	if r.Iters <= 0 {
+		return Cell{}, errors.New("sim: iterations must be positive")
+	}
+	if mix.TotalNodes() > len(r.Pool) {
+		return Cell{}, fmt.Errorf("sim: mix %s needs %d nodes, pool has %d", mix.Name, mix.TotalNodes(), len(r.Pool))
+	}
+
+	mgr := rm.NewManager(r.Pool)
+	for i, js := range mix.Jobs {
+		sj, err := mgr.Submit(rm.JobSpec{ID: js.ID, Config: js.Config, Nodes: js.Nodes}, r.Seed+uint64(i)*7919)
+		if err != nil {
+			return Cell{}, err
+		}
+		if r.NoiseSigma >= 0 {
+			sj.Job.NoiseSigma = r.NoiseSigma
+		}
+	}
+	defer mgr.ReleaseAll() //nolint:errcheck // release failure surfaces on the next cell
+
+	alloc, err := mgr.Plan(p, budget, r.DB)
+	if err != nil {
+		return Cell{}, err
+	}
+	if err := mgr.Apply(alloc); err != nil {
+		return Cell{}, err
+	}
+	reports, err := mgr.RunAll(r.Iters)
+	if err != nil {
+		return Cell{}, err
+	}
+	return r.assemble(mix, p, budgetName, budget, alloc, reports)
+}
+
+func (r *Runner) assemble(mix workload.Mix, p policy.Policy, budgetName string, budget units.Power, alloc policy.Allocation, reports []geopm.Report) (Cell, error) {
+	cell := Cell{
+		Mix:        mix.Name,
+		Policy:     p.Name(),
+		Budget:     budgetName,
+		BudgetPwr:  budget,
+		Iterations: r.Iters,
+		Overrun:    rm.Overrun(alloc, budget),
+	}
+
+	totalNodes := float64(mix.TotalNodes())
+	var powerSum float64
+	cell.IterTimes = make([]float64, r.Iters)
+	cell.IterEnergies = make([]float64, r.Iters)
+	for ji, rep := range reports {
+		nodes := float64(mix.Jobs[ji].Nodes)
+		w := nodes / totalNodes
+		cell.SystemTime += time.Duration(w * float64(rep.Elapsed))
+		cell.TotalEnergy += rep.TotalEnergy
+		cell.TotalFlops += rep.TotalFlops
+		powerSum += rep.MeanPower().Watts()
+		if len(rep.IterationTimes) != r.Iters {
+			return Cell{}, fmt.Errorf("sim: job %s recorded %d iterations, want %d", rep.JobID, len(rep.IterationTimes), r.Iters)
+		}
+		for k, t := range rep.IterationTimes {
+			cell.IterTimes[k] += w * t.Seconds()
+		}
+		for k := range cell.IterEnergies {
+			// Per-iteration energy attribution: energy tracks time, so
+			// scale by the iteration's share of elapsed time.
+			share := rep.IterationTimes[k].Seconds() / rep.Elapsed.Seconds()
+			cell.IterEnergies[k] += rep.TotalEnergy.Joules() * share
+		}
+	}
+	cell.MeanPower = units.Power(powerSum)
+	if budget > 0 {
+		cell.Utilization = powerSum / budget.Watts()
+	}
+	cell.EDP = units.EDP(cell.TotalEnergy, cell.SystemTime)
+	cell.FlopsPerW = units.FlopsPerWatt(cell.TotalFlops, cell.TotalEnergy)
+	return cell, nil
+}
+
+// OnlinePolicyName labels cells produced by the execution-time
+// coordination protocol instead of a pre-characterized Section III policy.
+const OnlinePolicyName = "OnlineMixedAdaptive"
+
+// RunOnlineCell evaluates the execution-time coordination protocol (the
+// paper's future work) on one mix at one budget: no characterization data
+// is consumed — job runtimes renegotiate budgets with the resource manager
+// every iteration. Job seeds match RunCell's, so the cell pairs with the
+// StaticCaps baseline for ComputeSavings.
+func (r *Runner) RunOnlineCell(mix workload.Mix, budgetName string, budget units.Power) (Cell, error) {
+	if r.Iters <= 0 {
+		return Cell{}, errors.New("sim: iterations must be positive")
+	}
+	if mix.TotalNodes() > len(r.Pool) {
+		return Cell{}, fmt.Errorf("sim: mix %s needs %d nodes, pool has %d", mix.Name, mix.TotalNodes(), len(r.Pool))
+	}
+	pool := r.Pool
+	var jobs []*bsp.Job
+	for i, js := range mix.Jobs {
+		j, err := bsp.NewJob(js.ID, js.Config, pool[:js.Nodes], r.Seed+uint64(i)*7919)
+		if err != nil {
+			return Cell{}, err
+		}
+		if r.NoiseSigma >= 0 {
+			j.NoiseSigma = r.NoiseSigma
+		}
+		pool = pool[js.Nodes:]
+		jobs = append(jobs, j)
+	}
+	defer func() {
+		for _, j := range jobs {
+			for _, n := range j.Nodes() {
+				n.SetPowerLimit(n.TDP()) //nolint:errcheck // best-effort reset
+			}
+		}
+	}()
+	coord, err := coordinator.New(budget, jobs, true)
+	if err != nil {
+		return Cell{}, err
+	}
+	res, err := coord.Run(r.Iters)
+	if err != nil {
+		return Cell{}, err
+	}
+
+	cell := Cell{
+		Mix:         mix.Name,
+		Policy:      OnlinePolicyName,
+		Budget:      budgetName,
+		BudgetPwr:   budget,
+		Iterations:  r.Iters,
+		SystemTime:  res.Elapsed,
+		TotalEnergy: res.TotalEnergy,
+		TotalFlops:  res.TotalFlops,
+		MeanPower:   res.MeanPower,
+		IterTimes:   res.IterTimes,
+	}
+	if budget > 0 {
+		cell.Utilization = res.MeanPower.Watts() / budget.Watts()
+	}
+	cell.EDP = units.EDP(cell.TotalEnergy, cell.SystemTime)
+	cell.FlopsPerW = units.FlopsPerWatt(cell.TotalFlops, cell.TotalEnergy)
+	// Per-iteration energy attribution by time share, as in assemble.
+	var sum float64
+	for _, t := range res.IterTimes {
+		sum += t
+	}
+	cell.IterEnergies = make([]float64, len(res.IterTimes))
+	for k, t := range res.IterTimes {
+		if sum > 0 {
+			cell.IterEnergies[k] = res.TotalEnergy.Joules() * t / sum
+		}
+	}
+	return cell, nil
+}
+
+// Savings is one Figure 8 bar group: the percent improvement of a policy
+// over the StaticCaps baseline in the same (mix, budget) cell.
+type Savings struct {
+	Mix    string
+	Policy string
+	Budget string
+
+	// Fractions (0.07 = 7%): positive is better than the baseline.
+	Time      float64
+	Energy    float64
+	EDP       float64
+	FlopsPerW float64
+
+	// 95% confidence half-widths of the per-iteration paired savings.
+	TimeCI   float64
+	EnergyCI float64
+	// TimeSignificant and EnergySignificant report whether the policy's
+	// iteration times/energies differ from the baseline's beyond
+	// run-to-run noise (Welch's t-test at the 95% level).
+	TimeSignificant   bool
+	EnergySignificant bool
+}
+
+// ComputeSavings derives the Figure 8 metrics of a policy cell against its
+// StaticCaps baseline cell. The two cells must come from the same mix,
+// budget, and seed so their iteration noise is paired.
+func ComputeSavings(base, pol Cell) (Savings, error) {
+	if base.Mix != pol.Mix || base.Budget != pol.Budget {
+		return Savings{}, fmt.Errorf("sim: mismatched cells %s/%s vs %s/%s", base.Mix, base.Budget, pol.Mix, pol.Budget)
+	}
+	if len(base.IterTimes) != len(pol.IterTimes) || len(base.IterTimes) == 0 {
+		return Savings{}, errors.New("sim: iteration series mismatch")
+	}
+	s := Savings{Mix: pol.Mix, Policy: pol.Policy, Budget: pol.Budget}
+	s.Time = -stats.RelativeChange(pol.SystemTime.Seconds(), base.SystemTime.Seconds())
+	s.Energy = -stats.RelativeChange(pol.TotalEnergy.Joules(), base.TotalEnergy.Joules())
+	s.EDP = -stats.RelativeChange(pol.EDP, base.EDP)
+	s.FlopsPerW = stats.RelativeChange(pol.FlopsPerW, base.FlopsPerW)
+
+	timeSavings := make([]float64, len(base.IterTimes))
+	energySavings := make([]float64, len(base.IterTimes))
+	for k := range base.IterTimes {
+		if base.IterTimes[k] > 0 {
+			timeSavings[k] = 1 - pol.IterTimes[k]/base.IterTimes[k]
+		}
+		if base.IterEnergies[k] > 0 {
+			energySavings[k] = 1 - pol.IterEnergies[k]/base.IterEnergies[k]
+		}
+	}
+	s.TimeCI = stats.ConfidenceInterval95(timeSavings)
+	s.EnergyCI = stats.ConfidenceInterval95(energySavings)
+	_, s.TimeSignificant = stats.WelchTTest(base.IterTimes, pol.IterTimes)
+	_, s.EnergySignificant = stats.WelchTTest(base.IterEnergies, pol.IterEnergies)
+	return s, nil
+}
+
+// MixResult is one Figure 7/8 column: a mix with its budgets and cells.
+type MixResult struct {
+	Mix     workload.Mix
+	Budgets workload.Budgets
+	// Cells[budgetName][policyName] holds the measurement.
+	Cells map[string]map[string]Cell
+	// Savings[budgetName][policyName] holds the Figure 8 metrics for the
+	// dynamic policies.
+	Savings map[string]map[string]Savings
+}
+
+// Grid is the full evaluation of Figures 7 and 8.
+type Grid struct {
+	Mixes []MixResult
+}
+
+// Run executes the evaluation grid over the given mixes: for each mix and
+// budget level it runs all five policies, and computes savings for the
+// dynamic policies against StaticCaps.
+func (r *Runner) Run(mixes []workload.Mix) (*Grid, error) {
+	g := &Grid{}
+	for _, mix := range mixes {
+		mr, err := r.RunMix(mix)
+		if err != nil {
+			return nil, err
+		}
+		g.Mixes = append(g.Mixes, mr)
+	}
+	return g, nil
+}
+
+// RunMix executes one mix across all budgets and policies.
+func (r *Runner) RunMix(mix workload.Mix) (MixResult, error) {
+	budgets, err := workload.SelectBudgets(mix, r.DB)
+	if err != nil {
+		return MixResult{}, err
+	}
+	mr := MixResult{
+		Mix:     mix,
+		Budgets: budgets,
+		Cells:   map[string]map[string]Cell{},
+		Savings: map[string]map[string]Savings{},
+	}
+	for _, level := range budgets.Levels() {
+		cells := map[string]Cell{}
+		for _, p := range policy.All() {
+			cell, err := r.RunCell(mix, p, level.Name, level.Power)
+			if err != nil {
+				return MixResult{}, fmt.Errorf("sim: %s/%s/%s: %w", mix.Name, level.Name, p.Name(), err)
+			}
+			cells[p.Name()] = cell
+		}
+		mr.Cells[level.Name] = cells
+
+		base := cells[policy.StaticCaps{}.Name()]
+		sv := map[string]Savings{}
+		for _, p := range policy.Dynamic() {
+			s, err := ComputeSavings(base, cells[p.Name()])
+			if err != nil {
+				return MixResult{}, err
+			}
+			sv[p.Name()] = s
+		}
+		mr.Savings[level.Name] = sv
+	}
+	return mr, nil
+}
+
+// Headline summarizes the paper's abstract claims from a grid: the maximum
+// time savings and maximum energy savings achieved by MixedAdaptive over
+// StaticCaps anywhere in the grid.
+type Headline struct {
+	MaxTimeSavings   Savings
+	MaxEnergySavings Savings
+}
+
+// FindHeadline scans the grid for the headline numbers.
+func (g *Grid) FindHeadline() Headline {
+	var h Headline
+	name := policy.MixedAdaptive{}.Name()
+	for _, mr := range g.Mixes {
+		for _, sv := range mr.Savings {
+			s, ok := sv[name]
+			if !ok {
+				continue
+			}
+			if s.Time > h.MaxTimeSavings.Time {
+				h.MaxTimeSavings = s
+			}
+			if s.Energy > h.MaxEnergySavings.Energy {
+				h.MaxEnergySavings = s
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,89 @@
+package stats
+
+import "math/rand/v2"
+
+// Bootstrap draws nResamples bootstrap resamples of xs, applies statistic to
+// each, and returns the resulting sampling distribution. The supplied RNG
+// makes results reproducible; a nil rng uses a fixed-seed source.
+func Bootstrap(xs []float64, nResamples int, statistic func([]float64) float64, rng *rand.Rand) []float64 {
+	if len(xs) == 0 || nResamples <= 0 {
+		return nil
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewPCG(0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9))
+	}
+	out := make([]float64, nResamples)
+	buf := make([]float64, len(xs))
+	for r := range out {
+		for i := range buf {
+			buf[i] = xs[rng.IntN(len(xs))]
+		}
+		out[r] = statistic(buf)
+	}
+	return out
+}
+
+// BootstrapCI returns a (lo, hi) percentile bootstrap confidence interval of
+// the given statistic at the given confidence level (e.g. 0.95).
+func BootstrapCI(xs []float64, nResamples int, statistic func([]float64) float64, level float64, rng *rand.Rand) (lo, hi float64) {
+	dist := Bootstrap(xs, nResamples, statistic, rng)
+	if len(dist) == 0 {
+		return 0, 0
+	}
+	alpha := (1 - level) / 2 * 100
+	lo, _ = Percentile(dist, alpha)
+	hi, _ = Percentile(dist, 100-alpha)
+	return lo, hi
+}
+
+// Histogram bins xs into nBins equal-width bins spanning [min, max] and
+// returns the bin counts plus the bin edges (nBins+1 values). Values exactly
+// equal to max land in the last bin.
+func Histogram(xs []float64, nBins int) (counts []int, edges []float64) {
+	if len(xs) == 0 || nBins <= 0 {
+		return nil, nil
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mx == mn {
+		mx = mn + 1
+	}
+	counts = make([]int, nBins)
+	edges = make([]float64, nBins+1)
+	width := (mx - mn) / float64(nBins)
+	for i := range edges {
+		edges[i] = mn + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - mn) / width)
+		if b >= nBins {
+			b = nBins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// MovingAverage returns the trailing moving average of xs with the given
+// window (the one-day moving average of Figure 1). Entries before a full
+// window average over the available prefix.
+func MovingAverage(xs []float64, window int) []float64 {
+	if window <= 0 || len(xs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	sum := 0.0
+	for i, x := range xs {
+		sum += x
+		if i >= window {
+			sum -= xs[i-window]
+			out[i] = sum / float64(window)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBootstrapBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	dist := Bootstrap(xs, 100, Mean, rand.New(rand.NewPCG(1, 1)))
+	if len(dist) != 100 {
+		t.Fatalf("len = %d, want 100", len(dist))
+	}
+	for _, v := range dist {
+		if v < 1 || v > 5 {
+			t.Fatalf("bootstrap mean %v outside sample range", v)
+		}
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	if got := Bootstrap(nil, 10, Mean, nil); got != nil {
+		t.Errorf("Bootstrap(nil) = %v", got)
+	}
+	if got := Bootstrap([]float64{1}, 0, Mean, nil); got != nil {
+		t.Errorf("Bootstrap(n=0) = %v", got)
+	}
+}
+
+func TestBootstrapNilRNGDeterministic(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	a := Bootstrap(xs, 50, Mean, nil)
+	b := Bootstrap(xs, 50, Mean, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nil-RNG bootstrap not deterministic")
+		}
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 42))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 100 + 5*rng.NormFloat64()
+	}
+	lo, hi, err := func() (float64, float64, error) {
+		lo, hi := BootstrapCI(xs, 500, Mean, 0.95, rand.New(rand.NewPCG(2, 2)))
+		return lo, hi, nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("lo %v >= hi %v", lo, hi)
+	}
+	if lo > 100 || hi < 100 {
+		t.Errorf("CI [%v, %v] excludes true mean 100", lo, hi)
+	}
+	if hi-lo > 3 {
+		t.Errorf("CI width %v implausibly wide", hi-lo)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	lo, hi := BootstrapCI(nil, 100, Mean, 0.95, nil)
+	if lo != 0 || hi != 0 {
+		t.Errorf("degenerate CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	counts, edges := Histogram(xs, 5)
+	if len(counts) != 5 || len(edges) != 6 {
+		t.Fatalf("shape: counts=%d edges=%d", len(counts), len(edges))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("total count = %d, want %d", total, len(xs))
+	}
+	if edges[0] != 0 || edges[5] != 10 {
+		t.Errorf("edges = %v", edges)
+	}
+	// The max value 10 lands in the last bin.
+	if counts[4] != 3 { // 8, 9, 10
+		t.Errorf("last bin = %d, want 3", counts[4])
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if c, e := Histogram(nil, 4); c != nil || e != nil {
+		t.Error("expected nil for empty input")
+	}
+	if c, e := Histogram([]float64{1, 2}, 0); c != nil || e != nil {
+		t.Error("expected nil for zero bins")
+	}
+	// All-identical values should not divide by zero.
+	counts, _ := Histogram([]float64{5, 5, 5}, 3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("identical-values total = %d", total)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(xs, 2)
+	want := []float64{1, 1.5, 2.5, 3.5, 4.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("MA[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := MovingAverage(xs, 0); got != nil {
+		t.Errorf("window 0 = %v", got)
+	}
+	if got := MovingAverage(nil, 3); got != nil {
+		t.Errorf("nil input = %v", got)
+	}
+	// Window larger than the series: running mean of the prefix.
+	got = MovingAverage([]float64{2, 4}, 10)
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("oversized window = %v", got)
+	}
+}

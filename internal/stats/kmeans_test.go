@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMeans1DThreeClusters(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var xs []float64
+	// Three well-separated Gaussian blobs, like the low/medium/high
+	// frequency clusters of Figure 6.
+	for i := 0; i < 300; i++ {
+		xs = append(xs, 1.6+0.02*rng.NormFloat64())
+	}
+	for i := 0; i < 500; i++ {
+		xs = append(xs, 1.75+0.02*rng.NormFloat64())
+	}
+	for i := 0; i < 200; i++ {
+		xs = append(xs, 1.9+0.02*rng.NormFloat64())
+	}
+	cl, err := KMeans1D(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cl.Centroids); got != 3 {
+		t.Fatalf("len(Centroids) = %d", got)
+	}
+	// Centroids sorted ascending and near the blob centers.
+	wantCenters := []float64{1.6, 1.75, 1.9}
+	for i, c := range cl.Centroids {
+		if math.Abs(c-wantCenters[i]) > 0.05 {
+			t.Errorf("centroid[%d] = %v, want ~%v", i, c, wantCenters[i])
+		}
+	}
+	wantSizes := []int{300, 500, 200}
+	for i, s := range cl.Sizes {
+		if math.Abs(float64(s-wantSizes[i])) > 30 {
+			t.Errorf("size[%d] = %d, want ~%d", i, s, wantSizes[i])
+		}
+	}
+}
+
+func TestKMeans1DErrors(t *testing.T) {
+	if _, err := KMeans1D(nil, 2); err != ErrKMeans {
+		t.Errorf("nil input err = %v", err)
+	}
+	if _, err := KMeans1D([]float64{1, 2}, 3); err != ErrKMeans {
+		t.Errorf("k>n err = %v", err)
+	}
+	if _, err := KMeans1D([]float64{5, 5, 5}, 2); err != ErrKMeans {
+		t.Errorf("k>distinct err = %v", err)
+	}
+	if _, err := KMeans1D([]float64{1, 2, 3}, 0); err != ErrKMeans {
+		t.Errorf("k=0 err = %v", err)
+	}
+}
+
+func TestKMeans1DSingleCluster(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cl, err := KMeans1D(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(cl.Centroids[0], 2.5, 1e-9) {
+		t.Errorf("centroid = %v, want 2.5", cl.Centroids[0])
+	}
+	if cl.Sizes[0] != 4 {
+		t.Errorf("size = %d, want 4", cl.Sizes[0])
+	}
+}
+
+func TestKMeansMembers(t *testing.T) {
+	xs := []float64{0, 0.1, 10, 10.1}
+	cl, err := KMeans1D(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := cl.Members(0)
+	high := cl.Members(1)
+	if len(low) != 2 || len(high) != 2 {
+		t.Fatalf("member counts = %d, %d", len(low), len(high))
+	}
+	if low[0] != 0 || low[1] != 1 {
+		t.Errorf("low members = %v", low)
+	}
+	if high[0] != 2 || high[1] != 3 {
+		t.Errorf("high members = %v", high)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+	}
+	a, err := KMeans1D(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans1D(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids {
+		if a.Centroids[i] != b.Centroids[i] {
+			t.Fatalf("nondeterministic centroids: %v vs %v", a.Centroids, b.Centroids)
+		}
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("nondeterministic assignments")
+		}
+	}
+}
+
+// Property: every sample is assigned to its nearest centroid, sizes sum to
+// n, and centroids ascend.
+func TestKMeansInvariants(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		xs := filterFinite(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		k := int(kRaw)%3 + 1
+		if countDistinct(xs) < k {
+			return true
+		}
+		cl, err := KMeans1D(xs, k)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range cl.Sizes {
+			total += s
+		}
+		if total != len(xs) {
+			return false
+		}
+		for i := 1; i < len(cl.Centroids); i++ {
+			if cl.Centroids[i] < cl.Centroids[i-1] {
+				return false
+			}
+		}
+		for i, x := range xs {
+			a := cl.Assignments[i]
+			da := math.Abs(x - cl.Centroids[a])
+			for _, c := range cl.Centroids {
+				if math.Abs(x-c) < da-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

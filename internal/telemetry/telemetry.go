@@ -1,0 +1,236 @@
+// Package telemetry implements the machine-room monitoring half of a
+// site's power management: periodic sampling of node power into bounded
+// time series, aggregation up a PDU/row/facility hierarchy, and a budget
+// watchdog that detects violations of the system power limit and clamps
+// offenders — the enforcement loop that backs a resource manager's
+// promises to the facility (the role SLURM's power monitoring thread plays
+// in the paper's Section VII-C discussion).
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"powerstack/internal/node"
+	"powerstack/internal/units"
+)
+
+// Series is a bounded ring buffer of power samples.
+type Series struct {
+	cap   int
+	data  []Sample
+	start int
+	n     int
+}
+
+// Sample is one timestamped power reading.
+type Sample struct {
+	Time  time.Time
+	Power units.Power
+}
+
+// NewSeries creates a series holding at most capacity samples.
+func NewSeries(capacity int) (*Series, error) {
+	if capacity <= 0 {
+		return nil, errors.New("telemetry: series capacity must be positive")
+	}
+	return &Series{cap: capacity, data: make([]Sample, capacity)}, nil
+}
+
+// Append adds a sample, evicting the oldest when full.
+func (s *Series) Append(sm Sample) {
+	idx := (s.start + s.n) % s.cap
+	if s.n == s.cap {
+		s.data[s.start] = sm
+		s.start = (s.start + 1) % s.cap
+		return
+	}
+	s.data[idx] = sm
+	s.n++
+}
+
+// Len returns the number of stored samples.
+func (s *Series) Len() int { return s.n }
+
+// At returns the i-th stored sample (0 = oldest).
+func (s *Series) At(i int) Sample {
+	return s.data[(s.start+i)%s.cap]
+}
+
+// Last returns the most recent sample and whether one exists.
+func (s *Series) Last() (Sample, bool) {
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	return s.At(s.n - 1), true
+}
+
+// Mean returns the average power across stored samples.
+func (s *Series) Mean() units.Power {
+	if s.n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < s.n; i++ {
+		sum += s.At(i).Power.Watts()
+	}
+	return units.Power(sum / float64(s.n))
+}
+
+// Max returns the peak stored power.
+func (s *Series) Max() units.Power {
+	var mx units.Power
+	for i := 0; i < s.n; i++ {
+		if p := s.At(i).Power; p > mx {
+			mx = p
+		}
+	}
+	return mx
+}
+
+// Domain is one level of the power-delivery hierarchy (facility, row, PDU,
+// node). Leaves read nodes; interior domains aggregate children.
+type Domain struct {
+	Name     string
+	Node     *node.Node // non-nil for leaves
+	Children []*Domain
+
+	series *Series
+	// lastEnergy supports power-from-energy sampling on leaves.
+	lastEnergy units.Energy
+	lastTime   time.Time
+	primed     bool
+}
+
+// NewNodeDomain builds a leaf domain for a node.
+func NewNodeDomain(n *node.Node, historyLen int) (*Domain, error) {
+	if n == nil {
+		return nil, errors.New("telemetry: nil node")
+	}
+	s, err := NewSeries(historyLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{Name: n.ID, Node: n, series: s}, nil
+}
+
+// NewAggregateDomain builds an interior domain over children.
+func NewAggregateDomain(name string, historyLen int, children ...*Domain) (*Domain, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("telemetry: domain %s has no children", name)
+	}
+	s, err := NewSeries(historyLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{Name: name, Children: children, series: s}, nil
+}
+
+// BuildHierarchy arranges nodes under PDUs of pduSize nodes each, under a
+// single facility root — the Dynamo-style capping tree of Section VII-C.
+func BuildHierarchy(nodes []*node.Node, pduSize, historyLen int) (*Domain, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("telemetry: no nodes")
+	}
+	if pduSize <= 0 {
+		return nil, errors.New("telemetry: pdu size must be positive")
+	}
+	var pdus []*Domain
+	for i := 0; i < len(nodes); i += pduSize {
+		end := i + pduSize
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		var leaves []*Domain
+		for _, n := range nodes[i:end] {
+			leaf, err := NewNodeDomain(n, historyLen)
+			if err != nil {
+				return nil, err
+			}
+			leaves = append(leaves, leaf)
+		}
+		pdu, err := NewAggregateDomain(fmt.Sprintf("pdu%03d", len(pdus)), historyLen, leaves...)
+		if err != nil {
+			return nil, err
+		}
+		pdus = append(pdus, pdu)
+	}
+	return NewAggregateDomain("facility", historyLen, pdus...)
+}
+
+// Sample reads power at time ts throughout the hierarchy: leaves derive
+// power from RAPL energy deltas, interior domains sum their children.
+// Returns the domain's power at this sample.
+func (d *Domain) Sample(ts time.Time) (units.Power, error) {
+	if d.Node != nil {
+		e, err := d.Node.Energy()
+		if err != nil {
+			return 0, fmt.Errorf("telemetry: %s: %w", d.Name, err)
+		}
+		var p units.Power
+		if d.primed {
+			dt := ts.Sub(d.lastTime)
+			p = units.MeanPower(e-d.lastEnergy, dt)
+		}
+		d.lastEnergy = e
+		d.lastTime = ts
+		d.primed = true
+		d.series.Append(Sample{Time: ts, Power: p})
+		return p, nil
+	}
+	var total units.Power
+	for _, c := range d.Children {
+		p, err := c.Sample(ts)
+		if err != nil {
+			return 0, err
+		}
+		total += p
+	}
+	d.series.Append(Sample{Time: ts, Power: total})
+	return total, nil
+}
+
+// Series exposes the domain's history.
+func (d *Domain) Series() *Series { return d.series }
+
+// Find locates a descendant domain by name (including d itself).
+func (d *Domain) Find(name string) *Domain {
+	if d.Name == name {
+		return d
+	}
+	for _, c := range d.Children {
+		if got := c.Find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// Leaves returns the node domains under d, in hierarchy order.
+func (d *Domain) Leaves() []*Domain {
+	if d.Node != nil {
+		return []*Domain{d}
+	}
+	var out []*Domain
+	for _, c := range d.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// TopConsumers returns the k leaves with the highest latest power, sorted
+// descending — the watchdog's clamping order.
+func (d *Domain) TopConsumers(k int) []*Domain {
+	leaves := d.Leaves()
+	sort.SliceStable(leaves, func(a, b int) bool {
+		pa, _ := leaves[a].series.Last()
+		pb, _ := leaves[b].series.Last()
+		return pa.Power > pb.Power
+	})
+	if k > len(leaves) {
+		k = len(leaves)
+	}
+	return leaves[:k]
+}

@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/units"
+)
+
+func testNodes(t *testing.T, n int) []*node.Node {
+	t.Helper()
+	c, err := cluster.New(n, cpumodel.Quartz(), cpumodel.QuartzVariation(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Nodes()
+}
+
+func TestSeriesBasics(t *testing.T) {
+	if _, err := NewSeries(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	s, err := NewSeries(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Last(); ok {
+		t.Error("empty series has a last sample")
+	}
+	base := time.Unix(0, 0)
+	for i := 1; i <= 5; i++ {
+		s.Append(Sample{Time: base.Add(time.Duration(i) * time.Second), Power: units.Power(i * 100)})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (ring)", s.Len())
+	}
+	// Oldest two evicted: remaining 300, 400, 500.
+	if got := s.At(0).Power; got != 300 {
+		t.Errorf("oldest = %v, want 300", got)
+	}
+	last, ok := s.Last()
+	if !ok || last.Power != 500 {
+		t.Errorf("last = %v", last)
+	}
+	if got := s.Mean(); got != 400 {
+		t.Errorf("mean = %v, want 400", got)
+	}
+	if got := s.Max(); got != 500 {
+		t.Errorf("max = %v, want 500", got)
+	}
+}
+
+func TestBuildHierarchyShape(t *testing.T) {
+	nodes := testNodes(t, 10)
+	root, err := BuildHierarchy(nodes, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "facility" {
+		t.Errorf("root name = %q", root.Name)
+	}
+	if len(root.Children) != 3 { // 4 + 4 + 2
+		t.Fatalf("pdus = %d", len(root.Children))
+	}
+	if got := len(root.Leaves()); got != 10 {
+		t.Errorf("leaves = %d", got)
+	}
+	if root.Find("pdu001") == nil || root.Find(nodes[7].ID) == nil {
+		t.Error("Find failed for pdu or node")
+	}
+	if root.Find("nonexistent") != nil {
+		t.Error("Find invented a domain")
+	}
+	if _, err := BuildHierarchy(nil, 4, 16); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := BuildHierarchy(nodes, 0, 16); err == nil {
+		t.Error("zero pdu size accepted")
+	}
+}
+
+// runIterations advances node state so energy counters move.
+func runIterations(t *testing.T, nodes []*node.Node, iters int) time.Duration {
+	t.Helper()
+	cfg := kernel.Config{Intensity: 8, Vector: kernel.YMM, Imbalance: 1}
+	j, err := bsp.NewJob("telemetry", cfg, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.NoiseSigma = 0
+	var elapsed time.Duration
+	for k := 0; k < iters; k++ {
+		ir, err := j.RunIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed += ir.Elapsed
+	}
+	return elapsed
+}
+
+func TestSamplingMeasuresNodePower(t *testing.T) {
+	nodes := testNodes(t, 4)
+	root, err := BuildHierarchy(nodes, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(1000, 0)
+	if _, err := root.Sample(ts); err != nil { // prime
+		t.Fatal(err)
+	}
+	elapsed := runIterations(t, nodes, 5)
+	total, err := root.Sample(ts.Add(elapsed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four uncapped i=8 nodes draw ~230 W each.
+	if got := total.Watts(); got < 4*200 || got > 4*240 {
+		t.Errorf("facility power = %v W, want ~920", got)
+	}
+	// The PDU view sums its two nodes.
+	pdu := root.Children[0]
+	last, _ := pdu.Series().Last()
+	if got := last.Power.Watts(); got < 2*200 || got > 2*240 {
+		t.Errorf("pdu power = %v W", got)
+	}
+	// Leaves carry their own series.
+	leafLast, ok := root.Leaves()[0].Series().Last()
+	if !ok || leafLast.Power <= 0 {
+		t.Errorf("leaf sample = %+v", leafLast)
+	}
+}
+
+func TestTopConsumers(t *testing.T) {
+	nodes := testNodes(t, 4)
+	root, err := BuildHierarchy(nodes, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap one node hard so it draws less than the others.
+	if _, err := nodes[2].SetPowerLimit(140 * units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(0, 0)
+	if _, err := root.Sample(ts); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := runIterations(t, nodes, 4)
+	if _, err := root.Sample(ts.Add(elapsed)); err != nil {
+		t.Fatal(err)
+	}
+	top := root.TopConsumers(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for _, d := range top {
+		if d.Node.ID == nodes[2].ID {
+			t.Errorf("capped node %s ranked among top consumers", d.Node.ID)
+		}
+	}
+	if got := root.TopConsumers(99); len(got) != 4 {
+		t.Errorf("oversized k = %d leaves", len(got))
+	}
+}
+
+func TestWatchdogValidation(t *testing.T) {
+	nodes := testNodes(t, 2)
+	root, err := BuildHierarchy(nodes, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWatchdog(nil, 100); err == nil {
+		t.Error("nil domain accepted")
+	}
+	if _, err := NewWatchdog(root, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestWatchdogClampsOverrun(t *testing.T) {
+	nodes := testNodes(t, 4)
+	root, err := BuildHierarchy(nodes, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget well below the uncapped draw (~920 W): the watchdog must
+	// observe the violation and ratchet limits down until the draw fits.
+	budget := 4 * 180 * units.Power(1)
+	w, err := NewWatchdog(root, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(0, 0)
+	if _, _, err := w.Check(ts); err != nil { // prime
+		t.Fatal(err)
+	}
+	var p units.Power
+	for round := 0; round < 12; round++ {
+		elapsed := runIterations(t, nodes, 2)
+		ts = ts.Add(elapsed)
+		var err error
+		p, _, err = w.Check(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Violations == 0 || w.Clamps == 0 {
+		t.Fatalf("watchdog idle: %d violations, %d clamps", w.Violations, w.Clamps)
+	}
+	tol := budget.Watts() * (1 + w.Tolerance)
+	if p.Watts() > tol*1.02 {
+		t.Errorf("power %v W still above budget %v after enforcement", p.Watts(), budget)
+	}
+	// Limits were actually programmed down.
+	for _, n := range nodes {
+		lim, err := n.PowerLimit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lim.Watts() >= 239 {
+			t.Errorf("node %s limit %v never clamped", n.ID, lim)
+		}
+	}
+}
+
+func TestWatchdogQuietWithinBudget(t *testing.T) {
+	nodes := testNodes(t, 2)
+	root, err := BuildHierarchy(nodes, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWatchdog(root, 2*300*units.Power(1)) // generous
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(0, 0)
+	if _, _, err := w.Check(ts); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := runIterations(t, nodes, 3)
+	_, violated, err := w.Check(ts.Add(elapsed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated || w.Violations != 0 || w.Clamps != 0 {
+		t.Errorf("false positive: violated=%v counts=%d/%d", violated, w.Violations, w.Clamps)
+	}
+	// Limits untouched.
+	for _, n := range nodes {
+		lim, _ := n.PowerLimit()
+		if math.Abs(lim.Watts()-240) > 0.5 {
+			t.Errorf("limit %v moved without violation", lim)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerstack/internal/units"
+)
+
+// Watchdog enforces a power budget over a domain: when the sampled power
+// exceeds the budget beyond a tolerance, it clamps the highest-drawing
+// leaves' RAPL limits down until the projected draw fits. This is the
+// resource manager's safety net against policies that overrun (e.g. the
+// Precharacterized policy of Figure 7) and against workload phase changes
+// between policy decisions.
+type Watchdog struct {
+	// Domain is the enforcement scope (usually the facility root).
+	Domain *Domain
+	// Budget is the enforced power limit.
+	Budget units.Power
+	// Tolerance is the relative overshoot ignored (RAPL quantization,
+	// sampling noise). Default 1%.
+	Tolerance float64
+	// ClampStep is the relative cut applied to an offender's limit per
+	// enforcement action. Default 5%.
+	ClampStep float64
+
+	// Violations counts budget breaches observed.
+	Violations int
+	// Clamps counts limit reductions applied.
+	Clamps int
+}
+
+// NewWatchdog builds a watchdog with default tuning.
+func NewWatchdog(d *Domain, budget units.Power) (*Watchdog, error) {
+	if d == nil {
+		return nil, errors.New("telemetry: watchdog needs a domain")
+	}
+	if budget <= 0 {
+		return nil, errors.New("telemetry: watchdog budget must be positive")
+	}
+	return &Watchdog{Domain: d, Budget: budget, Tolerance: 0.01, ClampStep: 0.05}, nil
+}
+
+// Check samples the domain at ts and enforces the budget. It returns the
+// sampled power and whether a violation was handled.
+func (w *Watchdog) Check(ts time.Time) (units.Power, bool, error) {
+	p, err := w.Domain.Sample(ts)
+	if err != nil {
+		return 0, false, err
+	}
+	limit := units.Power(float64(w.Budget) * (1 + w.Tolerance))
+	if p <= limit {
+		return p, false, nil
+	}
+	w.Violations++
+	if err := w.clamp(p); err != nil {
+		return p, true, err
+	}
+	return p, true, nil
+}
+
+// clamp reduces the highest-drawing leaves' limits until the projected
+// total fits the budget.
+func (w *Watchdog) clamp(observed units.Power) error {
+	excess := observed - w.Budget
+	for _, leaf := range w.Domain.TopConsumers(len(w.Domain.Leaves())) {
+		if excess <= 0 {
+			break
+		}
+		n := leaf.Node
+		cur, err := n.PowerLimit()
+		if err != nil {
+			return fmt.Errorf("telemetry: clamping %s: %w", leaf.Name, err)
+		}
+		next := units.Power(float64(cur) * (1 - w.ClampStep))
+		programmed, err := n.SetPowerLimit(next)
+		if err != nil {
+			return fmt.Errorf("telemetry: clamping %s: %w", leaf.Name, err)
+		}
+		if programmed < cur {
+			w.Clamps++
+			excess -= cur - programmed
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package trace synthesizes facility-level power telemetry in the shape of
+// Figure 1: a year of instantaneous total power draw for a Quartz-class
+// system rated at 1.35 MW whose average draw hovers near 0.83 MW — the
+// under-utilization of procured power that motivates hardware
+// over-provisioning. The generator composes a seasonal baseline, weekly and
+// diurnal utilization cycles, job-mix noise, and occasional maintenance
+// windows, then reports the one-day moving average the figure overlays.
+package trace
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"powerstack/internal/stats"
+	"powerstack/internal/units"
+)
+
+// Config shapes the synthetic facility trace.
+type Config struct {
+	// RatedPower is the facility's peak power rating (the dashed line).
+	RatedPower units.Power
+	// MeanPower is the long-run average draw the trace should hover at.
+	MeanPower units.Power
+	// Start is the timestamp of the first sample.
+	Start time.Time
+	// SampleInterval is the telemetry cadence.
+	SampleInterval time.Duration
+	// Duration is the span of the trace.
+	Duration time.Duration
+	// Seed drives the stochastic components.
+	Seed uint64
+}
+
+// QuartzYear returns the Figure 1 configuration: one year of hourly samples
+// for the 1.35 MW Quartz system averaging 0.83 MW.
+func QuartzYear() Config {
+	return Config{
+		RatedPower:     1.35 * units.Megawatt,
+		MeanPower:      0.83 * units.Megawatt,
+		Start:          time.Date(2017, time.November, 1, 0, 0, 0, 0, time.UTC),
+		SampleInterval: time.Hour,
+		Duration:       10 * 30 * 24 * time.Hour, // Nov '17 - Aug '18
+		Seed:           1,
+	}
+}
+
+// Sample is one telemetry point.
+type Sample struct {
+	Time  time.Time
+	Power units.Power
+}
+
+// Trace is a generated facility power series.
+type Trace struct {
+	Config  Config
+	Samples []Sample
+	// DailyAverage is the trailing one-day moving average (black line).
+	DailyAverage []units.Power
+}
+
+// Generate synthesizes the trace.
+func Generate(cfg Config) (*Trace, error) {
+	if cfg.RatedPower <= 0 || cfg.MeanPower <= 0 {
+		return nil, errors.New("trace: powers must be positive")
+	}
+	if cfg.MeanPower >= cfg.RatedPower {
+		return nil, errors.New("trace: mean draw must sit below the rating")
+	}
+	if cfg.SampleInterval <= 0 || cfg.Duration < cfg.SampleInterval {
+		return nil, errors.New("trace: invalid sampling window")
+	}
+	n := int(cfg.Duration / cfg.SampleInterval)
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5DEECE66D))
+
+	tr := &Trace{Config: cfg, Samples: make([]Sample, n)}
+	mean := cfg.MeanPower.Watts()
+	rated := cfg.RatedPower.Watts()
+
+	// A slow AR(1) job-mix component makes multi-day excursions.
+	ar := 0.0
+	for i := 0; i < n; i++ {
+		ts := cfg.Start.Add(time.Duration(i) * cfg.SampleInterval)
+		hours := float64(i) * cfg.SampleInterval.Hours()
+		day := hours / 24
+
+		// Seasonal drift (+-4%), weekly cycle (weekends quieter), and a
+		// diurnal cycle (nights slightly quieter).
+		seasonal := 0.04 * math.Sin(2*math.Pi*day/365+1.1)
+		weekly := -0.05 * math.Exp(-squared(math.Mod(day+3, 7)-5.5)/0.9)
+		diurnal := 0.02 * math.Sin(2*math.Pi*math.Mod(hours, 24)/24-2.0)
+
+		ar = 0.995*ar + 0.012*rng.NormFloat64()
+		jitter := 0.02 * rng.NormFloat64()
+
+		p := mean * (1 + seasonal + weekly + diurnal + ar + jitter)
+
+		// Occasional maintenance windows (~1 per 2 months) drop the
+		// draw sharply for several hours.
+		if rng.Float64() < 1.0/(60*24)*cfg.SampleInterval.Hours() {
+			p *= 0.45
+		}
+		if p > rated {
+			p = rated
+		}
+		if p < 0.2*mean {
+			p = 0.2 * mean
+		}
+		tr.Samples[i] = Sample{Time: ts, Power: units.Power(p)}
+	}
+
+	window := int(24 * time.Hour / cfg.SampleInterval)
+	if window < 1 {
+		window = 1
+	}
+	raw := make([]float64, n)
+	for i, s := range tr.Samples {
+		raw[i] = s.Power.Watts()
+	}
+	ma := stats.MovingAverage(raw, window)
+	tr.DailyAverage = make([]units.Power, n)
+	for i, v := range ma {
+		tr.DailyAverage[i] = units.Power(v)
+	}
+	return tr, nil
+}
+
+// MeanPower returns the average of the trace.
+func (t *Trace) MeanPower() units.Power {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range t.Samples {
+		sum += s.Power.Watts()
+	}
+	return units.Power(sum / float64(len(t.Samples)))
+}
+
+// PeakPower returns the maximum instantaneous draw.
+func (t *Trace) PeakPower() units.Power {
+	var mx units.Power
+	for _, s := range t.Samples {
+		if s.Power > mx {
+			mx = s.Power
+		}
+	}
+	return mx
+}
+
+// StrandedPower returns the average gap between the rating and the draw —
+// the provisioned-but-unused capacity motivating over-provisioning.
+func (t *Trace) StrandedPower() units.Power {
+	return t.Config.RatedPower - t.MeanPower()
+}
+
+// MonthlyAverages buckets the trace by calendar month, returning labels
+// ("Nov '17") and average draw per month, as the Figure 1 x-axis ticks.
+func (t *Trace) MonthlyAverages() (labels []string, means []units.Power) {
+	type bucket struct {
+		sum float64
+		n   int
+	}
+	var keys []string
+	buckets := map[string]*bucket{}
+	for _, s := range t.Samples {
+		k := s.Time.Format("Jan '06")
+		b, ok := buckets[k]
+		if !ok {
+			b = &bucket{}
+			buckets[k] = b
+			keys = append(keys, k)
+		}
+		b.sum += s.Power.Watts()
+		b.n++
+	}
+	for _, k := range keys {
+		b := buckets[k]
+		labels = append(labels, k)
+		means = append(means, units.Power(b.sum/float64(b.n)))
+	}
+	return labels, means
+}
+
+func squared(x float64) float64 { return x * x }

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerstack/internal/units"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{RatedPower: 0, MeanPower: 1, SampleInterval: time.Hour, Duration: time.Hour},
+		{RatedPower: 1, MeanPower: 0, SampleInterval: time.Hour, Duration: time.Hour},
+		{RatedPower: 1, MeanPower: 2, SampleInterval: time.Hour, Duration: time.Hour},
+		{RatedPower: 2, MeanPower: 1, SampleInterval: 0, Duration: time.Hour},
+		{RatedPower: 2, MeanPower: 1, SampleInterval: time.Hour, Duration: time.Minute},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestQuartzYearShape(t *testing.T) {
+	tr, err := Generate(QuartzYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 7200 { // 300 days hourly
+		t.Fatalf("samples = %d", len(tr.Samples))
+	}
+	// Figure 1: mean ~0.83 MW, peak below the 1.35 MW rating.
+	mean := tr.MeanPower().Megawatts()
+	if math.Abs(mean-0.83) > 0.05 {
+		t.Errorf("mean = %v MW, want ~0.83", mean)
+	}
+	if peak := tr.PeakPower(); peak > tr.Config.RatedPower {
+		t.Errorf("peak %v exceeds rating", peak)
+	}
+	if stranded := tr.StrandedPower().Megawatts(); stranded < 0.3 {
+		t.Errorf("stranded power = %v MW, want the motivating ~0.5 MW gap", stranded)
+	}
+	for i, s := range tr.Samples {
+		if s.Power <= 0 {
+			t.Fatalf("sample %d non-positive", i)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := QuartzYear()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Power != b.Samples[i].Power {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i].Power != c.Samples[i].Power {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestDailyAverageSmoothesJitter(t *testing.T) {
+	tr, err := Generate(QuartzYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.DailyAverage) != len(tr.Samples) {
+		t.Fatal("moving average length mismatch")
+	}
+	variance := func(xs []float64) float64 {
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		return v / float64(len(xs))
+	}
+	raw := make([]float64, len(tr.Samples))
+	ma := make([]float64, len(tr.Samples))
+	for i := range tr.Samples {
+		raw[i] = tr.Samples[i].Power.Watts()
+		ma[i] = tr.DailyAverage[i].Watts()
+	}
+	if variance(ma) >= variance(raw) {
+		t.Error("daily average should be smoother than raw samples")
+	}
+}
+
+func TestMonthlyAverages(t *testing.T) {
+	tr, err := Generate(QuartzYear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, means := tr.MonthlyAverages()
+	if len(labels) != len(means) || len(labels) < 9 {
+		t.Fatalf("months = %d", len(labels))
+	}
+	if labels[0] != "Nov '17" {
+		t.Errorf("first month = %q", labels[0])
+	}
+	for i, m := range means {
+		if m <= 0 || m > tr.Config.RatedPower {
+			t.Errorf("month %s mean = %v", labels[i], m)
+		}
+	}
+}
+
+func TestShortTrace(t *testing.T) {
+	cfg := Config{
+		RatedPower:     1 * units.Megawatt,
+		MeanPower:      0.6 * units.Megawatt,
+		Start:          time.Unix(0, 0).UTC(),
+		SampleInterval: time.Minute,
+		Duration:       2 * time.Hour,
+		Seed:           9,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 120 {
+		t.Errorf("samples = %d", len(tr.Samples))
+	}
+}

@@ -1,0 +1,334 @@
+// Package workload defines the evaluation grid of Section V: the catalog
+// of synthetic-kernel configurations, the six workload mixes of Table II,
+// and the min/ideal/max power-budget selection of Table III.
+//
+// Table II in the paper lists each mix's member configurations explicitly;
+// this reconstruction follows the stated intent of each mix (Section V-B):
+// NeedUsedPower pairs low-power balanced jobs with one high-intensity job
+// whose used power is all needed; HighImbalance is a single highly
+// imbalanced job across all nodes; WastefulPower is dominated by
+// waiting-rank spin waste; LowPower and HighPower take the nine lowest- and
+// highest-power configurations from the characterization; RandomLarge
+// shuffles the catalog.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/charz"
+	"powerstack/internal/kernel"
+	"powerstack/internal/units"
+)
+
+// Evaluation-scale constants from Section V-B.
+const (
+	// JobsPerMix is the number of concurrent jobs in each mix.
+	JobsPerMix = 9
+	// NodesPerJob is the host count of each job (HighImbalance instead
+	// runs one job across all TotalNodes).
+	NodesPerJob = 100
+	// TotalNodes is the mix footprint: 9 jobs x 100 nodes.
+	TotalNodes = JobsPerMix * NodesPerJob
+)
+
+// JobSpec is one job of a mix.
+type JobSpec struct {
+	ID     string
+	Config kernel.Config
+	Nodes  int
+}
+
+// Mix is one column of Figures 7 and 8.
+type Mix struct {
+	Name string
+	Jobs []JobSpec
+}
+
+// Configs returns the distinct kernel configurations used by the mix.
+func (m Mix) Configs() []kernel.Config {
+	seen := map[string]bool{}
+	var out []kernel.Config
+	for _, j := range m.Jobs {
+		if !seen[j.Config.Name()] {
+			seen[j.Config.Name()] = true
+			out = append(out, j.Config)
+		}
+	}
+	return out
+}
+
+// TotalNodes returns the mix's node footprint.
+func (m Mix) TotalNodes() int {
+	total := 0
+	for _, j := range m.Jobs {
+		total += j.Nodes
+	}
+	return total
+}
+
+// Scaled returns a copy of the mix with each job's node count scaled so the
+// mix footprint is approximately totalNodes (at least 2 nodes per job).
+// Tests and quick demos use this to shrink the 900-node evaluation.
+func (m Mix) Scaled(totalNodes int) Mix {
+	old := m.TotalNodes()
+	if old == 0 || totalNodes <= 0 {
+		return m
+	}
+	out := Mix{Name: m.Name, Jobs: make([]JobSpec, len(m.Jobs))}
+	for i, j := range m.Jobs {
+		n := int(float64(j.Nodes)*float64(totalNodes)/float64(old) + 0.5)
+		if n < 2 {
+			n = 2
+		}
+		out.Jobs[i] = JobSpec{ID: j.ID, Config: j.Config, Nodes: n}
+	}
+	return out
+}
+
+// Catalog returns every kernel configuration any mix draws from — the
+// reconstruction of Table II's workload column. It spans all four design
+// axes: intensity 0-32 FLOPs/byte, scalar/xmm/ymm vectors, 0-75% waiting
+// ranks, and 2x/3x imbalance.
+func Catalog() []kernel.Config {
+	var cfgs []kernel.Config
+	add := func(v kernel.Vector, intensity float64, waiting int, imbalance float64) {
+		cfgs = append(cfgs, kernel.Config{
+			Intensity: intensity, Vector: v, WaitingPct: waiting, Imbalance: imbalance,
+		})
+	}
+	// Balanced configurations (no waiting ranks) at all three widths.
+	for _, in := range []float64{0, 0.25, 0.5, 1, 2, 4, 8, 16, 32} {
+		add(kernel.YMM, in, 0, 1)
+	}
+	for _, in := range []float64{0, 0.25, 0.5, 1, 8, 32} {
+		add(kernel.XMM, in, 0, 1)
+		add(kernel.Scalar, in, 0, 1)
+	}
+	// Imbalanced ymm configurations across the waiting/imbalance grid.
+	for _, col := range []kernel.ImbalanceColumn{
+		{WaitingPct: 25, Imbalance: 2}, {WaitingPct: 25, Imbalance: 3},
+		{WaitingPct: 50, Imbalance: 2}, {WaitingPct: 50, Imbalance: 3},
+		{WaitingPct: 75, Imbalance: 2}, {WaitingPct: 75, Imbalance: 3},
+	} {
+		for _, in := range []float64{0.25, 1, 2, 4, 8, 16, 32} {
+			add(kernel.YMM, in, col.WaitingPct, col.Imbalance)
+		}
+	}
+	// A few imbalanced xmm variants, as in Table II.
+	add(kernel.XMM, 32, 75, 2)
+	add(kernel.XMM, 16, 25, 2)
+	add(kernel.XMM, 8, 50, 3)
+	return cfgs
+}
+
+// mixJobs builds JobSpecs of NodesPerJob nodes each.
+func mixJobs(name string, cfgs []kernel.Config) []JobSpec {
+	jobs := make([]JobSpec, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = JobSpec{
+			ID:     fmt.Sprintf("%s-j%d-%s", name, i, c.Name()),
+			Config: c,
+			Nodes:  NodesPerJob,
+		}
+	}
+	return jobs
+}
+
+// NeedUsedPower is the best case for MinimizeWaste: low-power balanced
+// jobs alongside one high-compute-intensity job, with all used power needed
+// for performance (no waiting ranks anywhere).
+func NeedUsedPower() Mix {
+	cfgs := []kernel.Config{
+		{Intensity: 1, Vector: kernel.Scalar, Imbalance: 1},
+		{Intensity: 8, Vector: kernel.Scalar, Imbalance: 1},
+		{Intensity: 32, Vector: kernel.Scalar, Imbalance: 1},
+		{Intensity: 0.5, Vector: kernel.XMM, Imbalance: 1},
+		{Intensity: 1, Vector: kernel.XMM, Imbalance: 1},
+		{Intensity: 32, Vector: kernel.XMM, Imbalance: 1},
+		{Intensity: 0.5, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 1, Vector: kernel.YMM, Imbalance: 1},
+		// The one high-compute-intensity job the spare power should reach.
+		{Intensity: 32, Vector: kernel.YMM, Imbalance: 1},
+	}
+	return Mix{Name: "NeedUsedPower", Jobs: mixJobs("nup", cfgs)}
+}
+
+// HighImbalance is the best case for JobAdaptive: one highly imbalanced
+// job across every node of the system.
+func HighImbalance() Mix {
+	cfg := kernel.Config{Intensity: 16, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 3}
+	return Mix{Name: "HighImbalance", Jobs: []JobSpec{{
+		ID:     "himb-j0-" + cfg.Name(),
+		Config: cfg,
+		Nodes:  TotalNodes,
+	}}}
+}
+
+// WastefulPower is the best case for MixedAdaptive: jobs whose
+// unconstrained power significantly exceeds their performance-balanced
+// power, due to waiting ranks spinning at barriers.
+func WastefulPower() Mix {
+	cfgs := []kernel.Config{
+		{Intensity: 0.25, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
+		{Intensity: 1, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3},
+		{Intensity: 2, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 3},
+		{Intensity: 4, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 2},
+		{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
+		{Intensity: 8, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 3},
+		{Intensity: 16, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3},
+		{Intensity: 16, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 2},
+		{Intensity: 32, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
+	}
+	return Mix{Name: "WastefulPower", Jobs: mixJobs("wst", cfgs)}
+}
+
+// LowPower takes the nine lowest-power configurations of the catalog,
+// ranked by uncapped (monitor) per-host power from the characterization.
+func LowPower(db *charz.DB) (Mix, error) {
+	cfgs, err := rankByMonitorPower(db, false)
+	if err != nil {
+		return Mix{}, err
+	}
+	return Mix{Name: "LowPower", Jobs: mixJobs("low", cfgs[:JobsPerMix])}, nil
+}
+
+// HighPower takes the nine highest-power configurations of the catalog.
+func HighPower(db *charz.DB) (Mix, error) {
+	cfgs, err := rankByMonitorPower(db, true)
+	if err != nil {
+		return Mix{}, err
+	}
+	return Mix{Name: "HighPower", Jobs: mixJobs("high", cfgs[:JobsPerMix])}, nil
+}
+
+// RandomLarge draws nine catalog configurations from a seeded shuffle.
+func RandomLarge(seed uint64) Mix {
+	cfgs := Catalog()
+	rng := rand.New(rand.NewPCG(seed, seed^0xA5A5A5A5DEADBEEF))
+	rng.Shuffle(len(cfgs), func(i, j int) { cfgs[i], cfgs[j] = cfgs[j], cfgs[i] })
+	return Mix{Name: "RandomLarge", Jobs: mixJobs("rnd", cfgs[:JobsPerMix])}
+}
+
+// rankByMonitorPower sorts the catalog by characterized uncapped power.
+func rankByMonitorPower(db *charz.DB, descending bool) ([]kernel.Config, error) {
+	if db == nil {
+		return nil, errors.New("workload: nil characterization database")
+	}
+	cfgs := Catalog()
+	type ranked struct {
+		cfg kernel.Config
+		p   units.Power
+	}
+	rs := make([]ranked, 0, len(cfgs))
+	for _, c := range cfgs {
+		e, err := db.MustGet(c)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, ranked{cfg: c, p: e.MonitorHostPower})
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if descending {
+			return rs[i].p > rs[j].p
+		}
+		return rs[i].p < rs[j].p
+	})
+	out := make([]kernel.Config, len(rs))
+	for i, r := range rs {
+		out[i] = r.cfg
+	}
+	return out, nil
+}
+
+// Mixes assembles all six mixes of Table II, in the paper's column order.
+func Mixes(db *charz.DB, seed uint64) ([]Mix, error) {
+	low, err := LowPower(db)
+	if err != nil {
+		return nil, err
+	}
+	high, err := HighPower(db)
+	if err != nil {
+		return nil, err
+	}
+	return []Mix{
+		NeedUsedPower(),
+		HighImbalance(),
+		WastefulPower(),
+		low,
+		high,
+		RandomLarge(seed),
+	}, nil
+}
+
+// Budgets holds the three over-provisioning levels of Table III.
+type Budgets struct {
+	// Min is the aggressively over-provisioned budget: every node gets
+	// the mean per-node needed power of the mix's least-needy workload.
+	Min units.Power
+	// Ideal sums the characterized needed power of every host of every
+	// job — exactly enough when shared perfectly.
+	Ideal units.Power
+	// Max is the conservatively over-provisioned budget: every node gets
+	// the most power any single node consumed uncapped.
+	Max units.Power
+}
+
+// Levels returns the budgets in (name, value) order for iteration.
+func (b Budgets) Levels() []struct {
+	Name  string
+	Power units.Power
+} {
+	return []struct {
+		Name  string
+		Power units.Power
+	}{
+		{"min", b.Min},
+		{"ideal", b.Ideal},
+		{"max", b.Max},
+	}
+}
+
+// SelectBudgets computes the Table III budgets of a mix from its
+// characterization entries.
+func SelectBudgets(m Mix, db *charz.DB) (Budgets, error) {
+	if db == nil {
+		return Budgets{}, errors.New("workload: nil characterization database")
+	}
+	if len(m.Jobs) == 0 {
+		return Budgets{}, fmt.Errorf("workload: mix %s has no jobs", m.Name)
+	}
+	var b Budgets
+	minNeeded := units.Power(1e18)
+	var maxUncapped units.Power
+	for _, j := range m.Jobs {
+		e, err := db.MustGet(j.Config)
+		if err != nil {
+			return Budgets{}, err
+		}
+		// "The workload in the mix [with] the least power consumed by a
+		// single node under the performance-aware characterization":
+		// read as the workload whose nodes need the least power on
+		// average (one node as a representative of the workload). Taking
+		// instead the least *individual* host would pin the min budget
+		// exactly at the global least need, which structurally zeroes
+		// every policy difference at the min budget — contradicting the
+		// paper's marker-(e) time savings there.
+		if e.NeededMean < minNeeded {
+			minNeeded = e.NeededMean
+		}
+		if e.MonitorMaxHostPower > maxUncapped {
+			maxUncapped = e.MonitorMaxHostPower
+		}
+		nWait := bsp.WaitingHosts(j.Config, j.Nodes)
+		nCrit := j.Nodes - nWait
+		b.Ideal += units.Power(nCrit)*e.NeededCritical + units.Power(nWait)*e.NeededWaiting
+	}
+	total := units.Power(m.TotalNodes())
+	b.Min = total * minNeeded
+	b.Max = total * maxUncapped
+	return b, nil
+}

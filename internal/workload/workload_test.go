@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/kernel"
+	"powerstack/internal/units"
+)
+
+// syntheticDB builds a characterization database from a simple analytic
+// stand-in: power falls with waiting fraction under the balancer, monitor
+// power peaks mid-intensity, narrower vectors draw less.
+func syntheticDB(t *testing.T) *charz.DB {
+	t.Helper()
+	db := charz.NewDB()
+	for _, cfg := range Catalog() {
+		mon := 200.0 + 30*peakedness(cfg.Intensity)
+		mon *= 0.9 + 0.1*cfg.Vector.PowerScale()
+		needWait := 150.0
+		e := charz.Entry{
+			Config:              cfg,
+			Hosts:               8,
+			MonitorHostPower:    units.Power(mon),
+			MonitorMaxHostPower: units.Power(mon + 4),
+			MonitorCriticalPwr:  units.Power(mon + 1),
+			MonitorWaitingPwr:   units.Power(mon - 6),
+			NeededCritical:      units.Power(mon - 2),
+			NeededWaiting:       units.Power(needWait),
+			NeededMin:           units.Power(mon - 2),
+		}
+		if cfg.WaitingPct > 0 {
+			e.NeededMin = units.Power(needWait)
+			w := cfg.WaitingFraction()
+			e.NeededMean = units.Power((1-w)*float64(e.NeededCritical) + w*needWait)
+		} else {
+			e.MonitorWaitingPwr = 0
+			e.NeededWaiting = 0
+			e.NeededMean = e.NeededCritical
+		}
+		e.NeededMax = e.NeededCritical
+		db.Put(e)
+	}
+	return db
+}
+
+// peakedness is 1 at intensity 8, falling toward the extremes.
+func peakedness(in float64) float64 {
+	if in <= 0 {
+		return 0.2
+	}
+	d := math.Abs(math.Log2(in) - 3)
+	return math.Max(0, 1-d/4)
+}
+
+func TestCatalogValidAndUnique(t *testing.T) {
+	cfgs := Catalog()
+	if len(cfgs) < 30 {
+		t.Fatalf("catalog too small: %d", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("catalog config %v invalid: %v", c, err)
+		}
+		if seen[c.Name()] {
+			t.Errorf("duplicate catalog entry %s", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+}
+
+func TestCatalogSpansAxes(t *testing.T) {
+	var hasScalar, hasXMM, hasZeroIntensity, has75, has3x bool
+	for _, c := range Catalog() {
+		hasScalar = hasScalar || c.Vector == kernel.Scalar
+		hasXMM = hasXMM || c.Vector == kernel.XMM
+		hasZeroIntensity = hasZeroIntensity || c.Intensity == 0
+		has75 = has75 || c.WaitingPct == 75
+		has3x = has3x || c.Imbalance == 3
+	}
+	if !hasScalar || !hasXMM || !hasZeroIntensity || !has75 || !has3x {
+		t.Errorf("catalog misses axes: scalar=%v xmm=%v i0=%v w75=%v x3=%v",
+			hasScalar, hasXMM, hasZeroIntensity, has75, has3x)
+	}
+}
+
+func TestFixedMixesDrawFromCatalog(t *testing.T) {
+	inCatalog := map[string]bool{}
+	for _, c := range Catalog() {
+		inCatalog[c.Name()] = true
+	}
+	for _, m := range []Mix{NeedUsedPower(), HighImbalance(), WastefulPower()} {
+		for _, j := range m.Jobs {
+			if !inCatalog[j.Config.Name()] {
+				t.Errorf("%s uses %s, not in Catalog()", m.Name, j.Config.Name())
+			}
+		}
+	}
+}
+
+func TestFixedMixShapes(t *testing.T) {
+	for _, m := range []Mix{NeedUsedPower(), WastefulPower()} {
+		if len(m.Jobs) != JobsPerMix {
+			t.Errorf("%s jobs = %d", m.Name, len(m.Jobs))
+		}
+		if m.TotalNodes() != TotalNodes {
+			t.Errorf("%s nodes = %d", m.Name, m.TotalNodes())
+		}
+		for _, j := range m.Jobs {
+			if err := j.Config.Validate(); err != nil {
+				t.Errorf("%s job %s invalid: %v", m.Name, j.ID, err)
+			}
+		}
+	}
+}
+
+func TestNeedUsedPowerIsAllBalanced(t *testing.T) {
+	for _, j := range NeedUsedPower().Jobs {
+		if j.Config.WaitingPct != 0 {
+			t.Errorf("NeedUsedPower contains waiting ranks: %s", j.Config)
+		}
+	}
+}
+
+func TestWastefulPowerIsAllImbalanced(t *testing.T) {
+	for _, j := range WastefulPower().Jobs {
+		if j.Config.WaitingPct < 50 {
+			t.Errorf("WastefulPower job %s has only %d%% waiting", j.ID, j.Config.WaitingPct)
+		}
+	}
+}
+
+func TestHighImbalanceSingleJob(t *testing.T) {
+	m := HighImbalance()
+	if len(m.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(m.Jobs))
+	}
+	j := m.Jobs[0]
+	if j.Nodes != TotalNodes {
+		t.Errorf("nodes = %d, want %d", j.Nodes, TotalNodes)
+	}
+	if j.Config.WaitingPct != 75 || j.Config.Imbalance != 3 {
+		t.Errorf("config = %v, want heavy imbalance", j.Config)
+	}
+}
+
+func TestLowHighPowerRanking(t *testing.T) {
+	db := syntheticDB(t)
+	low, err := LowPower(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := HighPower(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanPower := func(m Mix) float64 {
+		sum := 0.0
+		for _, j := range m.Jobs {
+			e, _ := db.Get(j.Config)
+			sum += e.MonitorHostPower.Watts()
+		}
+		return sum / float64(len(m.Jobs))
+	}
+	if meanPower(low) >= meanPower(high) {
+		t.Errorf("LowPower mean %v >= HighPower mean %v", meanPower(low), meanPower(high))
+	}
+	// The two mixes are disjoint.
+	lowSet := map[string]bool{}
+	for _, j := range low.Jobs {
+		lowSet[j.Config.Name()] = true
+	}
+	for _, j := range high.Jobs {
+		if lowSet[j.Config.Name()] {
+			t.Errorf("config %s in both LowPower and HighPower", j.Config.Name())
+		}
+	}
+}
+
+func TestRankingErrors(t *testing.T) {
+	if _, err := LowPower(nil); err == nil {
+		t.Error("nil db accepted")
+	}
+	if _, err := HighPower(charz.NewDB()); err == nil {
+		t.Error("incomplete db accepted")
+	}
+}
+
+func TestRandomLargeDeterministic(t *testing.T) {
+	a := RandomLarge(11)
+	b := RandomLarge(11)
+	for i := range a.Jobs {
+		if a.Jobs[i].Config.Name() != b.Jobs[i].Config.Name() {
+			t.Fatal("same seed produced different mixes")
+		}
+	}
+	c := RandomLarge(12)
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i].Config.Name() != c.Jobs[i].Config.Name() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical mixes")
+	}
+	if len(a.Jobs) != JobsPerMix {
+		t.Errorf("jobs = %d", len(a.Jobs))
+	}
+}
+
+func TestMixesAssemblesAllSix(t *testing.T) {
+	db := syntheticDB(t)
+	mixes, err := Mixes(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixes) != 6 {
+		t.Fatalf("mixes = %d", len(mixes))
+	}
+	wantOrder := []string{"NeedUsedPower", "HighImbalance", "WastefulPower", "LowPower", "HighPower", "RandomLarge"}
+	for i, m := range mixes {
+		if m.Name != wantOrder[i] {
+			t.Errorf("mix[%d] = %s, want %s", i, m.Name, wantOrder[i])
+		}
+		if m.TotalNodes() != TotalNodes {
+			t.Errorf("%s nodes = %d", m.Name, m.TotalNodes())
+		}
+	}
+	if _, err := Mixes(nil, 3); err == nil {
+		t.Error("nil db accepted")
+	}
+}
+
+func TestMixConfigsDeduplicates(t *testing.T) {
+	m := Mix{Name: "x", Jobs: []JobSpec{
+		{ID: "a", Config: kernel.Config{Intensity: 1, Vector: kernel.YMM, Imbalance: 1}, Nodes: 1},
+		{ID: "b", Config: kernel.Config{Intensity: 1, Vector: kernel.YMM, Imbalance: 1}, Nodes: 1},
+		{ID: "c", Config: kernel.Config{Intensity: 2, Vector: kernel.YMM, Imbalance: 1}, Nodes: 1},
+	}}
+	if got := len(m.Configs()); got != 2 {
+		t.Errorf("distinct configs = %d, want 2", got)
+	}
+}
+
+func TestSelectBudgetsOrderingMatchesTableIII(t *testing.T) {
+	db := syntheticDB(t)
+	mixes, err := Mixes(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mixes {
+		b, err := SelectBudgets(m, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Table III structure: min <= ideal <= max, and max below the
+		// 216 kW TDP total.
+		if !(b.Min <= b.Ideal && b.Ideal <= b.Max) {
+			t.Errorf("%s budgets out of order: %+v", m.Name, b)
+		}
+		if b.Max.Kilowatts() > 216 {
+			t.Errorf("%s max budget %v exceeds TDP total", m.Name, b.Max)
+		}
+		if b.Min.Kilowatts() < 100 {
+			t.Errorf("%s min budget %v implausibly low", m.Name, b.Min)
+		}
+		levels := b.Levels()
+		if len(levels) != 3 || levels[0].Name != "min" || levels[2].Name != "max" {
+			t.Errorf("levels = %+v", levels)
+		}
+	}
+}
+
+func TestSelectBudgetsWastefulGapLargest(t *testing.T) {
+	// The wasteful mix has the largest max-ideal gap fraction: its
+	// uncapped power is far above its needed power.
+	db := syntheticDB(t)
+	wasteful, _ := SelectBudgets(WastefulPower(), db)
+	needUsed, _ := SelectBudgets(NeedUsedPower(), db)
+	gap := func(b Budgets) float64 { return (b.Max - b.Ideal).Watts() / b.Max.Watts() }
+	if gap(wasteful) <= gap(needUsed) {
+		t.Errorf("wasteful gap %v <= needUsed gap %v", gap(wasteful), gap(needUsed))
+	}
+}
+
+func TestSelectBudgetsErrors(t *testing.T) {
+	db := syntheticDB(t)
+	if _, err := SelectBudgets(Mix{Name: "empty"}, db); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := SelectBudgets(NeedUsedPower(), nil); err == nil {
+		t.Error("nil db accepted")
+	}
+	if _, err := SelectBudgets(NeedUsedPower(), charz.NewDB()); err == nil {
+		t.Error("incomplete db accepted")
+	}
+}
+
+func TestJobIDsCarryConfigNames(t *testing.T) {
+	for _, j := range WastefulPower().Jobs {
+		if !strings.Contains(j.ID, j.Config.Name()) {
+			t.Errorf("job ID %q does not embed config name %q", j.ID, j.Config.Name())
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package powerstack is a unified HPC power management stack: a resource
+// manager with system-wide power awareness integrated with a GEOPM-style,
+// application-aware job runtime, reproducing "Introducing Application
+// Awareness Into a Unified Power Management Stack" (Wilson et al., IPDPS
+// Workshops 2021).
+//
+// The package is the public facade over the internal substrates:
+//
+//   - a simulated msr-safe/RAPL register interface and an analytic
+//     Broadwell socket power/performance model (internal/msr, internal/rapl,
+//     internal/cpumodel),
+//   - the synthetic compute-intensity kernel and the bulk-synchronous
+//     execution engine (internal/kernel, internal/bsp),
+//   - the GEOPM-style job runtime with monitor, governor, and power
+//     balancer agents (internal/geopm),
+//   - the characterization pipeline, resource manager, and the five
+//     Section III power policies (internal/charz, internal/rm,
+//     internal/policy), and
+//   - the evaluation harness regenerating every table and figure
+//     (internal/workload, internal/sim).
+//
+// # Quick start
+//
+//	sys, err := powerstack.NewSystem(powerstack.Options{ClusterSize: 64, Seed: 1})
+//	...
+//	err = sys.Characterize(cfgs, powerstack.QuickCharacterization())
+//	mix := workload.WastefulPower().Scaled(40)
+//	result, err := sys.RunMix(mix, 50)
+//
+// See examples/ for complete programs.
+package powerstack
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
+	"powerstack/internal/coordinator"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/policy"
+	"powerstack/internal/sim"
+	"powerstack/internal/stats"
+	"powerstack/internal/units"
+	"powerstack/internal/workload"
+)
+
+// Re-exported core types, so downstream code can work entirely through the
+// facade for the common paths.
+type (
+	// KernelConfig is one synthetic-kernel variant (intensity, vector
+	// width, waiting ranks, imbalance).
+	KernelConfig = kernel.Config
+	// Mix is one Table II workload mix.
+	Mix = workload.Mix
+	// Budgets holds the Table III min/ideal/max budgets of a mix.
+	Budgets = workload.Budgets
+	// Policy is a Section III power management policy.
+	Policy = policy.Policy
+	// CharacterizationDB stores the per-workload monitor/balancer
+	// characterization.
+	CharacterizationDB = charz.DB
+	// Cell is one (mix, policy, budget) evaluation measurement.
+	Cell = sim.Cell
+	// Savings is one Figure 8 comparison against StaticCaps.
+	Savings = sim.Savings
+	// Grid is a full Figure 7/8 evaluation.
+	Grid = sim.Grid
+	// MixResult is one mix's cells and savings.
+	MixResult = sim.MixResult
+)
+
+// Options configure a simulated system.
+type Options struct {
+	// ClusterSize is the node population to simulate (the paper surveys
+	// 2000 and runs on 900 of the medium-frequency cluster). It must be
+	// large enough for the mixes you plan to run plus CharNodes.
+	ClusterSize int
+	// Seed drives hardware-variation sampling and OS noise.
+	Seed uint64
+	// SelectMediumCluster applies the Figure 6 methodology (frequency
+	// survey + 3-way k-means) and keeps only the medium cluster for
+	// experiments, as the paper does. Requires a population large enough
+	// to cluster meaningfully.
+	SelectMediumCluster bool
+	// CharNodes is how many nodes are reserved for characterization runs
+	// (default 8; the paper uses 100 test nodes).
+	CharNodes int
+}
+
+// System is a ready-to-use simulated cluster with its characterization
+// database.
+type System struct {
+	// Cluster is the full simulated node population.
+	Cluster *cluster.Cluster
+	// Pool is the experiment node set (after optional medium-cluster
+	// selection, minus the characterization nodes).
+	Pool []*node.Node
+	// CharPool is the node set reserved for characterization runs.
+	CharPool []*node.Node
+	// DB accumulates characterization entries.
+	DB *charz.DB
+	// Clustering is the Figure 6 partition when medium selection ran.
+	Clustering *stats.Clustering
+
+	seed uint64
+}
+
+// NewSystem builds a simulated Quartz-class system.
+func NewSystem(opts Options) (*System, error) {
+	if opts.ClusterSize <= 0 {
+		return nil, errors.New("powerstack: ClusterSize must be positive")
+	}
+	charNodes := opts.CharNodes
+	if charNodes <= 0 {
+		charNodes = 8
+	}
+	c, err := cluster.New(opts.ClusterSize, cpumodel.Quartz(), cpumodel.QuartzVariation(), opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Cluster: c, DB: charz.NewDB(), seed: opts.Seed}
+
+	nodes := c.Nodes()
+	if opts.SelectMediumCluster {
+		medium, cl, err := c.MediumNodes()
+		if err != nil {
+			return nil, err
+		}
+		sys.Clustering = cl
+		nodes = medium
+	}
+	if len(nodes) <= charNodes {
+		return nil, fmt.Errorf("powerstack: %d usable nodes cannot spare %d for characterization", len(nodes), charNodes)
+	}
+	sys.CharPool = nodes[:charNodes]
+	sys.Pool = nodes[charNodes:]
+	return sys, nil
+}
+
+// QuickCharacterization returns characterization options sized for demos
+// and tests (fewer iterations than the paper's runs).
+func QuickCharacterization() charz.Options {
+	return charz.Options{MonitorIters: 10, BalancerIters: 50, Seed: 2, NoiseSigma: -1}
+}
+
+// Characterize runs the two-pass characterization for every given config on
+// the system's characterization pool, merging results into the database.
+func (s *System) Characterize(configs []KernelConfig, opt charz.Options) error {
+	db, err := charz.CharacterizeAll(configs, s.CharPool, opt)
+	if err != nil {
+		return err
+	}
+	for _, e := range db.Entries {
+		s.DB.Put(e)
+	}
+	return nil
+}
+
+// CharacterizeMixes characterizes every distinct configuration the mixes
+// use.
+func (s *System) CharacterizeMixes(mixes []Mix, opt charz.Options) error {
+	seen := map[string]bool{}
+	var configs []KernelConfig
+	for _, m := range mixes {
+		for _, cfg := range m.Configs() {
+			if !seen[cfg.Name()] {
+				seen[cfg.Name()] = true
+				configs = append(configs, cfg)
+			}
+		}
+	}
+	return s.Characterize(configs, opt)
+}
+
+// Runner returns an evaluation runner over the system's experiment pool.
+func (s *System) Runner() *sim.Runner {
+	r := sim.NewRunner(s.Pool, s.DB)
+	r.Seed = s.seed + 1000
+	return r
+}
+
+// RunMix evaluates one mix across all budgets and policies.
+func (s *System) RunMix(mix Mix, iters int) (MixResult, error) {
+	r := s.Runner()
+	r.Iters = iters
+	return r.RunMix(mix)
+}
+
+// Evaluate runs the full Figure 7/8 grid over the given mixes.
+func (s *System) Evaluate(mixes []Mix, iters int) (*Grid, error) {
+	r := s.Runner()
+	r.Iters = iters
+	return r.Run(mixes)
+}
+
+// Policies returns every policy in the paper's presentation order.
+func Policies() []Policy { return policy.All() }
+
+// DynamicPolicies returns the three dynamic policies of Figure 8.
+func DynamicPolicies() []Policy { return policy.Dynamic() }
+
+// PolicyByName resolves a policy by its report name ("MixedAdaptive"),
+// case-insensitively.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range policy.All() {
+		if strings.EqualFold(p.Name(), name) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("powerstack: unknown policy %q", name)
+}
+
+// Coordinate runs the mix under the execution-time coordination protocol
+// (the paper's future work: no pre-characterization; job runtimes
+// renegotiate budgets with the resource manager every iteration) on the
+// system's experiment pool.
+func (s *System) Coordinate(mix Mix, budget units.Power, iters int) (coordinator.Result, error) {
+	if mix.TotalNodes() > len(s.Pool) {
+		return coordinator.Result{}, fmt.Errorf("powerstack: mix needs %d nodes, pool has %d", mix.TotalNodes(), len(s.Pool))
+	}
+	pool := s.Pool
+	var jobs []*bsp.Job
+	for i, js := range mix.Jobs {
+		j, err := bsp.NewJob(js.ID, js.Config, pool[:js.Nodes], s.seed+uint64(i)*31)
+		if err != nil {
+			return coordinator.Result{}, err
+		}
+		pool = pool[js.Nodes:]
+		jobs = append(jobs, j)
+	}
+	defer func() {
+		for _, j := range jobs {
+			for _, n := range j.Nodes() {
+				n.SetPowerLimit(n.TDP()) //nolint:errcheck // best-effort reset
+			}
+		}
+	}()
+	coord, err := coordinator.New(budget, jobs, true)
+	if err != nil {
+		return coordinator.Result{}, err
+	}
+	return coord.Run(iters)
+}

@@ -1,0 +1,134 @@
+package powerstack
+
+import (
+	"testing"
+
+	"powerstack/internal/kernel"
+	"powerstack/internal/workload"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Options{}); err == nil {
+		t.Error("zero cluster size accepted")
+	}
+	if _, err := NewSystem(Options{ClusterSize: 4, CharNodes: 8}); err == nil {
+		t.Error("cluster smaller than char pool accepted")
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 32, Seed: 5, CharNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Pool) != 28 || len(sys.CharPool) != 4 {
+		t.Fatalf("pool split: %d/%d", len(sys.Pool), len(sys.CharPool))
+	}
+
+	mix := workload.WastefulPower().Scaled(24)
+	if err := sys.CharacterizeMixes([]Mix{mix}, QuickCharacterization()); err != nil {
+		t.Fatal(err)
+	}
+	if sys.DB.Len() == 0 {
+		t.Fatal("characterization produced no entries")
+	}
+
+	res, err := sys.RunMix(mix, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Errorf("budget levels = %d", len(res.Cells))
+	}
+	for lvl, cells := range res.Cells {
+		if len(cells) != 5 {
+			t.Errorf("%s: policies = %d", lvl, len(cells))
+		}
+	}
+	for lvl, sv := range res.Savings {
+		if len(sv) != 3 {
+			t.Errorf("%s: savings entries = %d", lvl, len(sv))
+		}
+	}
+}
+
+func TestMediumClusterSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-cluster survey in -short mode")
+	}
+	sys, err := NewSystem(Options{ClusterSize: 400, Seed: 3, SelectMediumCluster: true, CharNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Clustering == nil {
+		t.Fatal("clustering missing")
+	}
+	usable := len(sys.Pool) + len(sys.CharPool)
+	if usable >= 400 {
+		t.Errorf("medium selection kept all %d nodes", usable)
+	}
+	// Roughly the 918/2000 medium fraction.
+	frac := float64(usable) / 400
+	if frac < 0.3 || frac > 0.65 {
+		t.Errorf("medium fraction = %v", frac)
+	}
+}
+
+func TestPoliciesExported(t *testing.T) {
+	if len(Policies()) != 5 || len(DynamicPolicies()) != 3 {
+		t.Error("policy lists wrong")
+	}
+	p, err := PolicyByName("mixedadaptive")
+	if err != nil || p.Name() != "MixedAdaptive" {
+		t.Errorf("PolicyByName: %v, %v", p, err)
+	}
+	if _, err := PolicyByName("NoSuchPolicy"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestCoordinateFacade(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 20, Seed: 4, CharNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := Mix{Name: "coord", Jobs: []workload.JobSpec{
+		{ID: "a", Config: KernelConfig{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}, Nodes: 8},
+		{ID: "b", Config: KernelConfig{Intensity: 32, Vector: kernel.YMM, Imbalance: 1}, Nodes: 8},
+	}}
+	res, err := sys.Coordinate(mix, 16*190*1.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergy <= 0 || len(res.GrantHistory) != 2 {
+		t.Errorf("coordinate result: %+v", res)
+	}
+	// The pool's limits are restored afterwards.
+	for _, n := range sys.Pool[:16] {
+		p, err := n.PowerLimit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Watts() < 239 {
+			t.Errorf("node %s limit %v not reset", n.ID, p)
+		}
+	}
+	// Oversized mixes are rejected.
+	if _, err := sys.Coordinate(Mix{Jobs: []workload.JobSpec{{ID: "x", Config: mix.Jobs[0].Config, Nodes: 99}}}, 1000, 5); err == nil {
+		t.Error("oversized mix accepted")
+	}
+}
+
+func TestCharacterizeSingleConfig(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 10, Seed: 2, CharNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := KernelConfig{Intensity: 4, Vector: kernel.YMM, Imbalance: 1}
+	if err := sys.Characterize([]KernelConfig{cfg}, QuickCharacterization()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.DB.Get(cfg); !ok {
+		t.Error("entry missing after Characterize")
+	}
+}
