@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 	"powerstack/internal/cluster"
 	"powerstack/internal/cpumodel"
 	"powerstack/internal/node"
+	"powerstack/internal/obs"
 	"powerstack/internal/report"
 	"powerstack/internal/sim"
 	"powerstack/internal/units"
@@ -44,6 +47,11 @@ type options struct {
 	dbPath    string
 	mixFilter string
 	csvDir    string
+
+	// sink is non-nil when -obsdir is set; it is threaded through the
+	// evaluation runners so the grid records metrics and decision events.
+	sink   *obs.Sink
+	obsDir string
 }
 
 func main() {
@@ -62,11 +70,51 @@ func main() {
 	flag.StringVar(&opt.mixFilter, "mix", "", "restrict figures to one mix by name")
 	flag.StringVar(&opt.csvDir, "csv", "", "also write figure7.csv and figure8.csv into this directory")
 	online := flag.Bool("online", false, "also evaluate the execution-time coordination protocol (future work)")
+	flag.StringVar(&opt.obsDir, "obsdir", "", "record observability during the grid and write metrics.txt + trace.json into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 && !*headline {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote CPU profile to %s", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote heap profile to %s", *memProfile)
+		}()
+	}
+	if opt.obsDir != "" {
+		opt.sink = obs.New()
+		defer writeObs(&opt)
 	}
 
 	if *all || *table == 1 {
@@ -113,6 +161,7 @@ func printOnlineComparison(e *env, grid *sim.Grid) {
 	r := sim.NewRunner(e.pool, e.db)
 	r.Iters = e.opt.iters
 	r.Seed = e.opt.seed + 1000
+	r.Obs = e.opt.sink
 	tb := report.NewTable("", "Mix", "Budget", "Online vs StaticCaps (time)", "(energy)", "Offline MixedAdaptive (time)", "(energy)")
 	for _, mr := range grid.Mixes {
 		for _, lvl := range mr.Budgets.Levels() {
@@ -152,6 +201,26 @@ func writeCSVs(dir string, grid *sim.Grid) {
 	}
 	write("figure7", func(f *os.File) error { return report.WriteFigure7CSV(f, grid) })
 	write("figure8", func(f *os.File) error { return report.WriteFigure8CSV(f, grid) })
+}
+
+// writeObs dumps the recorded metrics snapshot and Chrome trace.
+func writeObs(opt *options) {
+	write := func(name string, fn func(f *os.File) error) {
+		path := opt.obsDir + "/" + name
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+	write("metrics.txt", func(f *os.File) error { return opt.sink.WritePrometheus(f) })
+	write("trace.json", func(f *os.File) error { return opt.sink.WriteTrace(f) })
 }
 
 // env bundles the evaluation context.
@@ -238,6 +307,7 @@ func runGrid(e *env) *sim.Grid {
 	r := sim.NewRunner(e.pool, e.db)
 	r.Iters = e.opt.iters
 	r.Seed = e.opt.seed + 1000
+	r.Obs = e.opt.sink
 	grid, err := r.Run(e.mixes)
 	if err != nil {
 		log.Fatal(err)

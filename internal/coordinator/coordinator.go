@@ -28,6 +28,7 @@ import (
 
 	"powerstack/internal/bsp"
 	"powerstack/internal/geopm"
+	"powerstack/internal/obs"
 	"powerstack/internal/units"
 )
 
@@ -57,6 +58,10 @@ type Grant struct {
 type Runtime struct {
 	Job      *bsp.Job
 	Balancer *geopm.PowerBalancer
+
+	// Obs records per-iteration epochs and regrants when observability is
+	// enabled; nil is free.
+	Obs *obs.Sink
 
 	grant      units.Power
 	lastSample geopm.Sample
@@ -141,10 +146,27 @@ func (rt *Runtime) step(k int) (bsp.IterationResult, error) {
 		}
 	}
 	rt.lastSample = sample
-	if err := rt.applyLimits(rt.Balancer.Adjust(rt.grant, sample)); err != nil {
+	rt.Obs.Epoch("coordinator", rt.Job.ID, k, ir.Elapsed.Seconds())
+	limits := rt.Balancer.Adjust(rt.grant, sample)
+	if limits != nil && rt.Obs.Enabled() {
+		rt.Obs.Realloc(rt.Job.ID, k, movedWatts(sample.Hosts, limits))
+	}
+	if err := rt.applyLimits(limits); err != nil {
 		return bsp.IterationResult{}, err
 	}
 	return ir, nil
+}
+
+// movedWatts sums the positive per-host limit increases of a reallocation —
+// the amount of power the agent shifted between hosts this round.
+func movedWatts(hosts []geopm.HostSample, limits []units.Power) float64 {
+	var moved units.Power
+	for i := range limits {
+		if i < len(hosts) && limits[i] > hosts[i].Limit {
+			moved += limits[i] - hosts[i].Limit
+		}
+	}
+	return moved.Watts()
 }
 
 // request derives the upward report from the latest sample: a host the
@@ -185,4 +207,7 @@ func (rt *Runtime) request() Request {
 }
 
 // regrant applies a renegotiated budget.
-func (rt *Runtime) regrant(g Grant) { rt.grant = g.Budget }
+func (rt *Runtime) regrant(g Grant, round int) {
+	rt.grant = g.Budget
+	rt.Obs.Regrant(g.JobID, round, g.Budget.Watts())
+}

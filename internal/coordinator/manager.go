@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"powerstack/internal/bsp"
+	"powerstack/internal/obs"
 	"powerstack/internal/stats"
 	"powerstack/internal/units"
 )
@@ -26,6 +27,23 @@ type Coordinator struct {
 	Interval int
 
 	Runtimes []*Runtime
+
+	obs *obs.Sink
+}
+
+// SetObs attaches an observability sink to the coordinator, its job
+// runtimes, and every node under them. A nil sink detaches the coordinator
+// and runtimes (node sinks are left as-is).
+func (c *Coordinator) SetObs(s *obs.Sink) {
+	c.obs = s
+	for _, rt := range c.Runtimes {
+		rt.Obs = s
+		if s != nil {
+			for _, h := range rt.Job.Hosts {
+				h.Node.SetObs(s)
+			}
+		}
+	}
 }
 
 // New builds a coordinator over the given jobs.
@@ -169,7 +187,8 @@ func (c *Coordinator) Run(iters int) (Result, error) {
 				reqs[i] = rt.request()
 			}
 			for i, g := range Allocate(c.Budget, reqs) {
-				c.Runtimes[i].regrant(g)
+				c.obs.Grant(g.JobID, k, g.Budget.Watts())
+				c.Runtimes[i].regrant(g, k)
 				res.GrantHistory[g.JobID] = append(res.GrantHistory[g.JobID], g.Budget)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"powerstack/internal/bsp"
+	"powerstack/internal/obs"
 	"powerstack/internal/stats"
 	"powerstack/internal/units"
 )
@@ -18,6 +19,10 @@ type Controller struct {
 	Job    *bsp.Job
 	Agent  Agent
 	Budget units.Power
+
+	// Obs records per-iteration epochs and agent reallocations when
+	// observability is enabled; nil is free.
+	Obs *obs.Sink
 
 	lastEnergy []units.Energy
 }
@@ -214,7 +219,18 @@ func (c *Controller) Run(iters int) (Report, error) {
 			sumFreqTime[i] += ir.PerHost[i].AchievedFreq.Hz() * ir.Elapsed.Seconds()
 		}
 
-		if err := c.applyLimits(c.Agent.Adjust(c.Budget, sample)); err != nil {
+		c.Obs.Epoch("geopm", c.Job.ID, k, ir.Elapsed.Seconds())
+		limits := c.Agent.Adjust(c.Budget, sample)
+		if limits != nil && c.Obs.Enabled() {
+			var moved units.Power
+			for i := range limits {
+				if limits[i] > sample.Hosts[i].Limit {
+					moved += limits[i] - sample.Hosts[i].Limit
+				}
+			}
+			c.Obs.Realloc(c.Job.ID, k, moved.Watts())
+		}
+		if err := c.applyLimits(limits); err != nil {
 			return Report{}, err
 		}
 		if fa, ok := c.Agent.(FrequencyAgent); ok {

@@ -16,6 +16,7 @@ import (
 
 	"powerstack/internal/cpumodel"
 	"powerstack/internal/msr"
+	"powerstack/internal/obs"
 	"powerstack/internal/rapl"
 	"powerstack/internal/units"
 )
@@ -44,6 +45,19 @@ type Node struct {
 	// per run instead of once per iteration dominates simulation speed.
 	op      opPoint
 	opValid bool
+
+	// sink receives limit-write and frequency-pin events when
+	// observability is enabled; nil costs one comparison per write.
+	sink *obs.Sink
+}
+
+// SetObs attaches an observability sink to the node and its RAPL domains.
+// A nil sink detaches.
+func (n *Node) SetObs(s *obs.Sink) {
+	n.sink = s
+	for _, su := range n.sockets {
+		su.Rapl.SetObs(s, n.ID)
+	}
 }
 
 // opPoint caches a resolved steady state.
@@ -130,6 +144,7 @@ func (n *Node) SetFrequencyPin(f units.Frequency) (units.Frequency, error) {
 			return 0, fmt.Errorf("node %s: %w", n.ID, err)
 		}
 	}
+	n.sink.FreqPin(n.ID, programmed.Hz())
 	return programmed, nil
 }
 
@@ -207,7 +222,12 @@ func (n *Node) SetPowerLimit(total units.Power) (units.Power, error) {
 			return 0, fmt.Errorf("node %s: %w", n.ID, err)
 		}
 	}
-	return n.PowerLimit()
+	programmed, err := n.PowerLimit()
+	if err != nil {
+		return 0, err
+	}
+	n.sink.LimitWrite(n.ID, programmed.Watts())
+	return programmed, nil
 }
 
 // PowerLimit reads back the node-level limit (sum of socket PL1s).

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use; values are float64 so energy/power totals can accumulate
+// without unit scaling.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v (negative deltas are ignored — counters
+// only go up, per the Prometheus data model).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a metric that can go up and down (e.g. the latest grant in
+// watts). Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, the last is +Inf
+	sum    Counter
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Default bucket layouts for the stack's two dominant quantities.
+var (
+	// SecondsBuckets spans BSP iteration times (tens of milliseconds to
+	// seconds of simulated time) and sim cell wall times.
+	SecondsBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1, 1.5, 2.5, 5, 10, 30}
+	// WattsBuckets spans per-node power limits on the simulated Broadwell
+	// parts (settable range roughly 100-480 W per dual-socket node).
+	WattsBuckets = []float64{80, 100, 120, 140, 160, 180, 200, 220, 240, 280, 320, 400, 480}
+)
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one (name, labels) time series stored in the registry.
+type series struct {
+	name   string // family name
+	labels string // rendered {k="v",...} or ""
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Lookups take a read lock on the hot path
+// and only write-lock to create a series the first time it is seen, so
+// concurrent instrumented layers (rm.RunAll runs jobs in parallel) scale.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: map[string]*series{}}
+}
+
+// seriesKey renders the canonical series key: name plus a deterministic
+// label rendering. Labels are alternating key, value pairs; a trailing key
+// without a value is dropped.
+func seriesKey(name string, labels []string) (key, rendered string) {
+	if len(labels) < 2 {
+		return name, ""
+	}
+	n := len(labels) &^ 1
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < n; i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	rendered = b.String()
+	return name + rendered, rendered
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) lookup(key string) *series {
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	return s
+}
+
+// Counter returns the counter for name and labels (alternating key, value),
+// creating it on first use. If the series already exists with a different
+// kind, a detached instrument is returned so the caller never dereferences
+// nil; the misuse shows up as a missing series in the exposition.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	key, rendered := seriesKey(name, labels)
+	if s := r.lookup(key); s != nil {
+		if s.c == nil {
+			return &Counter{}
+		}
+		return s.c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.series[key]; s != nil {
+		if s.c == nil {
+			return &Counter{}
+		}
+		return s.c
+	}
+	s := &series{name: name, labels: rendered, kind: kindCounter, c: &Counter{}}
+	r.series[key] = s
+	return s.c
+}
+
+// Gauge returns the gauge for name and labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	key, rendered := seriesKey(name, labels)
+	if s := r.lookup(key); s != nil {
+		if s.g == nil {
+			return &Gauge{}
+		}
+		return s.g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.series[key]; s != nil {
+		if s.g == nil {
+			return &Gauge{}
+		}
+		return s.g
+	}
+	s := &series{name: name, labels: rendered, kind: kindGauge, g: &Gauge{}}
+	r.series[key] = s
+	return s.g
+}
+
+// Histogram returns the histogram for name and labels, creating it with the
+// given bucket upper bounds on first use (nil buckets default to
+// SecondsBuckets). Buckets are fixed at creation; later calls may pass nil.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	key, rendered := seriesKey(name, labels)
+	if s := r.lookup(key); s != nil {
+		if s.h == nil {
+			return &Histogram{bounds: nil, counts: make([]atomic.Uint64, 1)}
+		}
+		return s.h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.series[key]; s != nil {
+		if s.h == nil {
+			return &Histogram{bounds: nil, counts: make([]atomic.Uint64, 1)}
+		}
+		return s.h
+	}
+	if buckets == nil {
+		buckets = SecondsBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.series[key] = &series{name: name, labels: rendered, kind: kindHistogram, h: h}
+	return h
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (v0.0.4), grouped by family with one TYPE comment each, sorted by
+// name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].labels < all[j].labels
+	})
+	lastFamily := ""
+	for _, s := range all {
+		if s.name != lastFamily {
+			lastFamily = s.name
+			kind := "counter"
+			switch s.kind {
+			case kindGauge:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch s.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, formatValue(s.c.Value()))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, formatValue(s.g.Value()))
+		case kindHistogram:
+			err = writeHistogram(w, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, s *series) error {
+	var cum uint64
+	for i, bound := range s.h.bounds {
+		cum += s.h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", formatValue(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.h.counts[len(s.h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, s.labels, formatValue(s.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.labels, s.h.Count())
+	return err
+}
+
+// withLabel merges one extra label into an already-rendered label set.
+func withLabel(rendered, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

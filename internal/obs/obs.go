@@ -1,0 +1,226 @@
+// Package obs is the stack-wide observability layer: a concurrency-safe
+// metrics registry with Prometheus text exposition, a bounded structured
+// journal of typed decision events with Chrome trace_event export, and an
+// optional net/http debug server.
+//
+// Every instrumented layer records through a *Sink whose methods are no-ops
+// on a nil receiver, so the uninstrumented path costs one nil check and
+// zero allocations — benchmarks without a sink are unaffected. The layers
+// never name metrics themselves; the typed helpers below are the single
+// source of the metric and event vocabulary, keeping names consistent
+// across coordinator, geopm, rapl, telemetry, and sim.
+//
+// The package depends only on the standard library.
+package obs
+
+import "io"
+
+// Metric families exported by the typed helpers. Labels are noted inline.
+const (
+	// MetricGrants counts resource-manager grants, labeled job.
+	MetricGrants = "powerstack_grants_total"
+	// MetricGrantWatts is the latest granted budget, labeled job.
+	MetricGrantWatts = "powerstack_grant_watts"
+	// MetricRegrants counts renegotiated budgets applied, labeled job.
+	MetricRegrants = "powerstack_regrants_total"
+	// MetricIterations counts BSP iterations, labeled layer and job.
+	MetricIterations = "powerstack_iterations_total"
+	// MetricIterationSeconds is the iteration-time histogram, labeled layer.
+	MetricIterationSeconds = "powerstack_iteration_seconds"
+	// MetricReallocs counts within-job limit redistributions, labeled job.
+	MetricReallocs = "powerstack_balancer_reallocations_total"
+	// MetricReallocWatts accumulates redistributed watts, labeled job.
+	MetricReallocWatts = "powerstack_balancer_moved_watts_total"
+	// MetricLimitWrites counts node-level power-limit writes (unlabeled:
+	// host cardinality is unbounded; per-host detail lives in the journal).
+	MetricLimitWrites = "powerstack_rapl_limit_writes_total"
+	// MetricLimitWatts is the histogram of programmed node limits.
+	MetricLimitWatts = "powerstack_rapl_limit_watts"
+	// MetricMSRWrites counts raw MSR PL1 register writes (per socket).
+	MetricMSRWrites = "powerstack_rapl_msr_writes_total"
+	// MetricEnergyWraps counts 32-bit energy-counter wraparounds, labeled
+	// domain (pkg or dram).
+	MetricEnergyWraps = "powerstack_rapl_energy_wraps_total"
+	// MetricFreqPins counts P-state ceiling requests.
+	MetricFreqPins = "powerstack_freq_pins_total"
+	// MetricPowerWatts is the latest sampled power, labeled domain.
+	MetricPowerWatts = "powerstack_power_watts"
+	// MetricViolations counts watchdog budget violations, labeled domain.
+	MetricViolations = "powerstack_watchdog_violations_total"
+	// MetricClamps counts watchdog limit clamps.
+	MetricClamps = "powerstack_watchdog_clamps_total"
+	// MetricCells counts sim evaluation cells completed, labeled policy.
+	MetricCells = "powerstack_sim_cells_total"
+	// MetricCellSeconds is the wall-time histogram of sim cells.
+	MetricCellSeconds = "powerstack_sim_cell_seconds"
+)
+
+// Sink bundles the metrics registry and the event journal. The zero value
+// of *Sink (nil) is a valid, free-to-call sink that records nothing.
+type Sink struct {
+	Metrics *Registry
+	Journal *Journal
+}
+
+// New returns a sink with a fresh registry and a default-capacity journal.
+func New() *Sink { return NewWithCapacity(0) }
+
+// NewWithCapacity returns a sink whose journal holds at most journalCap
+// events (non-positive selects DefaultJournalCapacity).
+func NewWithCapacity(journalCap int) *Sink {
+	return &Sink{Metrics: NewRegistry(), Journal: NewJournal(journalCap)}
+}
+
+// Enabled reports whether the sink records anything.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Record appends a raw event to the journal.
+func (s *Sink) Record(e Event) {
+	if s == nil {
+		return
+	}
+	s.Journal.Record(e)
+}
+
+// WritePrometheus renders the metrics snapshot.
+func (s *Sink) WritePrometheus(w io.Writer) error {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.WritePrometheus(w)
+}
+
+// WriteTrace renders the journal as Chrome trace JSON.
+func (s *Sink) WriteTrace(w io.Writer) error {
+	if s == nil || s.Journal == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[]}` + "\n"))
+		return err
+	}
+	return s.Journal.WriteTrace(w)
+}
+
+// Grant records a resource-manager grant of watts to a job at a protocol
+// round.
+func (s *Sink) Grant(job string, round int, watts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricGrants, "job", job).Inc()
+	s.Metrics.Gauge(MetricGrantWatts, "job", job).Set(watts)
+	s.Journal.Record(Event{Type: EvGrant, Layer: "coordinator", Scope: job, Iter: round, Value: watts})
+}
+
+// Regrant records a job runtime accepting a renegotiated budget.
+func (s *Sink) Regrant(job string, round int, watts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricRegrants, "job", job).Inc()
+	s.Journal.Record(Event{Type: EvRegrant, Layer: "coordinator", Scope: job, Iter: round, Value: watts})
+}
+
+// Epoch records one bulk-synchronous iteration of a job completing its
+// barrier in the given layer ("coordinator" or "geopm").
+func (s *Sink) Epoch(layer, job string, iter int, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricIterations, "layer", layer, "job", job).Inc()
+	s.Metrics.Histogram(MetricIterationSeconds, SecondsBuckets, "layer", layer).Observe(seconds)
+	s.Journal.Record(Event{Type: EvEpoch, Layer: layer, Scope: job, Iter: iter, Value: seconds})
+}
+
+// Realloc records an agent redistributing movedWatts of per-host limits
+// within a job.
+func (s *Sink) Realloc(job string, iter int, movedWatts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricReallocs, "job", job).Inc()
+	s.Metrics.Counter(MetricReallocWatts, "job", job).Add(movedWatts)
+	s.Journal.Record(Event{Type: EvRealloc, Layer: "geopm", Scope: job, Iter: iter, Value: movedWatts})
+}
+
+// LimitWrite records a node-level power-limit write of watts.
+func (s *Sink) LimitWrite(host string, watts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricLimitWrites).Inc()
+	s.Metrics.Histogram(MetricLimitWatts, WattsBuckets).Observe(watts)
+	s.Journal.Record(Event{Type: EvLimitWrite, Layer: "node", Host: host, Value: watts})
+}
+
+// MSRWrite counts one raw PL1 register write on a socket device.
+func (s *Sink) MSRWrite() {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricMSRWrites).Inc()
+}
+
+// EnergyWrap records a 32-bit energy-counter wraparound in a RAPL domain
+// ("pkg" or "dram") of a host.
+func (s *Sink) EnergyWrap(domain, host string) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricEnergyWraps, "domain", domain).Inc()
+	s.Journal.Record(Event{Type: EvEnergyWrap, Layer: "rapl", Scope: domain, Host: host})
+}
+
+// FreqPin records a P-state ceiling request of hz on a host (0 clears).
+func (s *Sink) FreqPin(host string, hz float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricFreqPins).Inc()
+	s.Journal.Record(Event{Type: EvFreqPin, Layer: "node", Host: host, Value: hz})
+}
+
+// PowerSample records the latest sampled power of a telemetry domain.
+func (s *Sink) PowerSample(domain string, watts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Gauge(MetricPowerWatts, "domain", domain).Set(watts)
+}
+
+// Violation records a watchdog budget violation: observed watts against the
+// enforced budget.
+func (s *Sink) Violation(domain string, observedWatts, budgetWatts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricViolations, "domain", domain).Inc()
+	s.Journal.Record(Event{Type: EvViolation, Layer: "telemetry", Scope: domain, Value: observedWatts, Aux: budgetWatts})
+}
+
+// Clamp records the watchdog cutting a leaf's limit from fromWatts to
+// toWatts.
+func (s *Sink) Clamp(host string, fromWatts, toWatts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricClamps).Inc()
+	s.Journal.Record(Event{Type: EvClamp, Layer: "telemetry", Host: host, Value: toWatts, Aux: fromWatts})
+}
+
+// CellStart marks a sim evaluation cell beginning.
+func (s *Sink) CellStart(mix, policy, budget string) {
+	if s == nil {
+		return
+	}
+	s.Journal.Record(Event{Type: EvCell, Layer: "sim", Scope: mix + "/" + budget + "/" + policy})
+}
+
+// CellDone marks a sim evaluation cell finishing after seconds of wall
+// time.
+func (s *Sink) CellDone(mix, policy, budget string, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricCells, "policy", policy).Inc()
+	s.Metrics.Histogram(MetricCellSeconds, SecondsBuckets).Observe(seconds)
+	s.Journal.Record(Event{Type: EvCell, Layer: "sim", Scope: mix + "/" + budget + "/" + policy, Value: seconds})
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"powerstack/internal/msr"
+	"powerstack/internal/obs"
 	"powerstack/internal/units"
 )
 
@@ -74,6 +75,18 @@ type Domain struct {
 	// reads of the 32-bit counters of the two measurable domains.
 	pkg  energyTracker
 	dram energyTracker
+
+	// sink receives MSR-write counts and energy-wraparound events when
+	// observability is enabled; nil costs one comparison per operation.
+	sink     *obs.Sink
+	sinkHost string
+}
+
+// SetObs attaches an observability sink, tagging events with the owning
+// host's ID. A nil sink detaches.
+func (d *Domain) SetObs(s *obs.Sink, host string) {
+	d.sink = s
+	d.sinkHost = host
 }
 
 // energyTracker accumulates a wrapping 32-bit energy counter.
@@ -83,17 +96,20 @@ type energyTracker struct {
 	primed      bool
 }
 
-func (t *energyTracker) update(raw uint64, unit units.Energy) units.Energy {
+// update folds a raw counter read into the accumulator and reports whether
+// the 32-bit counter wrapped since the previous read.
+func (t *energyTracker) update(raw uint64, unit units.Energy) (units.Energy, bool) {
 	raw &= 0xFFFF_FFFF
 	if !t.primed {
 		t.lastRaw = raw
 		t.primed = true
-		return t.accumulated
+		return t.accumulated, false
 	}
+	wrapped := raw < t.lastRaw
 	delta := (raw - t.lastRaw) & 0xFFFF_FFFF
 	t.lastRaw = raw
 	t.accumulated += units.Energy(float64(delta)) * units.Energy(float64(unit))
-	return t.accumulated
+	return t.accumulated, wrapped
 }
 
 // ErrNoDevice is returned when constructing a Domain without a device.
@@ -140,7 +156,11 @@ func (d *Domain) SetLimit(l Limit) error {
 	reg = msr.InsertBits(reg, pl1EnableBit, pl1EnableBit, boolBit(l.Enabled))
 	reg = msr.InsertBits(reg, pl1ClampBit, pl1ClampBit, boolBit(l.Clamped))
 	reg = msr.InsertBits(reg, pl1WindowHi, pl1WindowLo, window)
-	return d.dev.Write(msr.MSRPkgPowerLimit, reg)
+	if err := d.dev.Write(msr.MSRPkgPowerLimit, reg); err != nil {
+		return err
+	}
+	d.sink.MSRWrite()
+	return nil
 }
 
 // ReadLimit decodes the current PL1 setting.
@@ -190,7 +210,11 @@ func (d *Domain) ReadEnergy() (units.Energy, error) {
 	if err != nil {
 		return 0, err
 	}
-	return d.pkg.update(raw, d.units.EnergyUnit), nil
+	e, wrapped := d.pkg.update(raw, d.units.EnergyUnit)
+	if wrapped {
+		d.sink.EnergyWrap("pkg", d.sinkHost)
+	}
+	return e, nil
 }
 
 // ReadDRAMEnergy returns the accumulated DRAM-domain energy. On this
@@ -201,7 +225,11 @@ func (d *Domain) ReadDRAMEnergy() (units.Energy, error) {
 	if err != nil {
 		return 0, err
 	}
-	return d.dram.update(raw, d.units.EnergyUnit), nil
+	e, wrapped := d.dram.update(raw, d.units.EnergyUnit)
+	if wrapped {
+		d.sink.EnergyWrap("dram", d.sinkHost)
+	}
+	return e, nil
 }
 
 // EncodeEnergyDelta converts an energy amount into energy-counter LSBs, used

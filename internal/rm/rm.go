@@ -19,6 +19,7 @@ import (
 	"powerstack/internal/geopm"
 	"powerstack/internal/kernel"
 	"powerstack/internal/node"
+	"powerstack/internal/obs"
 	"powerstack/internal/policy"
 	"powerstack/internal/units"
 )
@@ -41,6 +42,11 @@ type ScheduledJob struct {
 type Manager struct {
 	free []*node.Node
 	jobs []*ScheduledJob
+
+	// Obs is propagated to the GEOPM controllers RunAll spawns; nil
+	// disables instrumentation. The registry and journal are safe under
+	// RunAll's concurrent jobs.
+	Obs *obs.Sink
 }
 
 // NewManager builds a manager over the given node pool.
@@ -203,6 +209,7 @@ func (m *Manager) RunAll(iters int) ([]geopm.Report, error) {
 				errs[i] = err
 				return
 			}
+			ctl.Obs = m.Obs
 			reports[i], errs[i] = ctl.Run(iters)
 		}(i, sj)
 	}

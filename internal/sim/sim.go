@@ -15,6 +15,7 @@ import (
 	"powerstack/internal/coordinator"
 	"powerstack/internal/geopm"
 	"powerstack/internal/node"
+	"powerstack/internal/obs"
 	"powerstack/internal/policy"
 	"powerstack/internal/rm"
 	"powerstack/internal/stats"
@@ -68,6 +69,24 @@ type Runner struct {
 	Seed uint64
 	// NoiseSigma overrides BSP noise when non-negative.
 	NoiseSigma float64
+	// Obs records cell progress and is propagated down through the
+	// resource manager, job runtimes, and nodes; nil disables
+	// instrumentation.
+	Obs *obs.Sink
+
+	obsAttached bool
+}
+
+// attachObs lazily attaches the sink to every pool node so RAPL-level
+// events carry host IDs, once per runner.
+func (r *Runner) attachObs() {
+	if r.Obs == nil || r.obsAttached {
+		return
+	}
+	for _, n := range r.Pool {
+		n.SetObs(r.Obs)
+	}
+	r.obsAttached = true
 }
 
 // NewRunner returns a runner with the paper's iteration count.
@@ -84,7 +103,11 @@ func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, b
 		return Cell{}, fmt.Errorf("sim: mix %s needs %d nodes, pool has %d", mix.Name, mix.TotalNodes(), len(r.Pool))
 	}
 
+	r.attachObs()
+	r.Obs.CellStart(mix.Name, p.Name(), budgetName)
+	cellStart := time.Now()
 	mgr := rm.NewManager(r.Pool)
+	mgr.Obs = r.Obs
 	for i, js := range mix.Jobs {
 		sj, err := mgr.Submit(rm.JobSpec{ID: js.ID, Config: js.Config, Nodes: js.Nodes}, r.Seed+uint64(i)*7919)
 		if err != nil {
@@ -107,7 +130,11 @@ func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, b
 	if err != nil {
 		return Cell{}, err
 	}
-	return r.assemble(mix, p, budgetName, budget, alloc, reports)
+	cell, err := r.assemble(mix, p, budgetName, budget, alloc, reports)
+	if err == nil {
+		r.Obs.CellDone(mix.Name, p.Name(), budgetName, time.Since(cellStart).Seconds())
+	}
+	return cell, err
 }
 
 func (r *Runner) assemble(mix workload.Mix, p policy.Policy, budgetName string, budget units.Power, alloc policy.Allocation, reports []geopm.Report) (Cell, error) {
@@ -193,10 +220,17 @@ func (r *Runner) RunOnlineCell(mix workload.Mix, budgetName string, budget units
 	if err != nil {
 		return Cell{}, err
 	}
+	if r.Obs != nil {
+		r.attachObs()
+		r.Obs.CellStart(mix.Name, OnlinePolicyName, budgetName)
+		coord.SetObs(r.Obs)
+	}
+	cellStart := time.Now()
 	res, err := coord.Run(r.Iters)
 	if err != nil {
 		return Cell{}, err
 	}
+	r.Obs.CellDone(mix.Name, OnlinePolicyName, budgetName, time.Since(cellStart).Seconds())
 
 	cell := Cell{
 		Mix:         mix.Name,

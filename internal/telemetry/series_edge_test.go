@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"powerstack/internal/obs"
+	"powerstack/internal/units"
+)
+
+func TestSeriesEmptyStats(t *testing.T) {
+	s, err := NewSeries(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 0 {
+		t.Errorf("len = %d", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Errorf("empty mean = %v", got)
+	}
+	if got := s.Max(); got != 0 {
+		t.Errorf("empty max = %v", got)
+	}
+	if _, ok := s.Last(); ok {
+		t.Error("empty series has a last sample")
+	}
+}
+
+func TestSeriesExactCapacityBoundary(t *testing.T) {
+	s, err := NewSeries(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+	// Fill to exactly capacity: nothing may be evicted.
+	for i := 1; i <= 4; i++ {
+		s.Append(Sample{Time: base.Add(time.Duration(i) * time.Second), Power: units.Power(i * 10)})
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len at capacity = %d", s.Len())
+	}
+	if got := s.At(0).Power; got != 10 {
+		t.Errorf("oldest at exact capacity = %v, want 10 (evicted too early)", got)
+	}
+	if got := s.Mean(); got != 25 {
+		t.Errorf("mean at capacity = %v, want 25", got)
+	}
+	// The next append evicts exactly one, the oldest.
+	s.Append(Sample{Time: base.Add(5 * time.Second), Power: 50})
+	if s.Len() != 4 {
+		t.Fatalf("len after eviction = %d", s.Len())
+	}
+	if got := s.At(0).Power; got != 20 {
+		t.Errorf("oldest after one eviction = %v, want 20", got)
+	}
+	last, _ := s.Last()
+	if last.Power != 50 {
+		t.Errorf("last after eviction = %v, want 50", last.Power)
+	}
+	if got := s.Max(); got != 50 {
+		t.Errorf("max after eviction = %v, want 50", got)
+	}
+	// Keep wrapping well past capacity: the window stays the newest 4.
+	for i := 6; i <= 103; i++ {
+		s.Append(Sample{Time: base.Add(time.Duration(i) * time.Second), Power: units.Power(i * 10)})
+	}
+	if got := s.At(0).Power; got != 1000 {
+		t.Errorf("oldest after long wrap = %v, want 1000", got)
+	}
+	if got := s.Mean(); got != 1015 {
+		t.Errorf("mean after long wrap = %v, want 1015", got)
+	}
+}
+
+func TestSeriesCapacityOne(t *testing.T) {
+	s, err := NewSeries(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(Sample{Power: 100})
+	s.Append(Sample{Power: 200})
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.Power != 200 || s.Mean() != 200 || s.Max() != 200 {
+		t.Errorf("capacity-1 ring kept %v", last.Power)
+	}
+}
+
+// TestWatchdogClampFloorsAtMinLimit drives the watchdog against nodes
+// already programmed to their minimum settable limit: the violation is
+// still detected, but no clamp may be counted (the RAPL range clamps the
+// write back to the current limit) and Check must not error.
+func TestWatchdogClampFloorsAtMinLimit(t *testing.T) {
+	nodes := testNodes(t, 2)
+	for _, n := range nodes {
+		if _, err := n.SetPowerLimit(n.MinLimit()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, err := BuildHierarchy(nodes, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget far below even the floored draw forces a violation every
+	// sample.
+	w, err := NewWatchdog(root, 10*units.Watt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(0, 0)
+	if _, _, err := w.Check(ts); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		elapsed := runIterations(t, nodes, 2)
+		ts = ts.Add(elapsed)
+		_, violated, err := w.Check(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !violated {
+			t.Fatalf("round %d: no violation at floored limits", round)
+		}
+	}
+	if w.Violations == 0 {
+		t.Error("no violations recorded")
+	}
+	if w.Clamps != 0 {
+		t.Errorf("%d clamps counted below the settable floor", w.Clamps)
+	}
+	for _, n := range nodes {
+		lim, err := n.PowerLimit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lim < n.MinLimit() {
+			t.Errorf("node %s limit %v fell below floor %v", n.ID, lim, n.MinLimit())
+		}
+	}
+}
+
+// TestWatchdogRecordsObservability repeats the clamp scenario with a sink
+// attached and checks the decision events and counters land.
+func TestWatchdogRecordsObservability(t *testing.T) {
+	nodes := testNodes(t, 4)
+	root, err := BuildHierarchy(nodes, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWatchdog(root, 4*180*units.Watt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.New()
+	w.Obs = sink
+	ts := time.Unix(0, 0)
+	if _, _, err := w.Check(ts); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		elapsed := runIterations(t, nodes, 2)
+		ts = ts.Add(elapsed)
+		if _, _, err := w.Check(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Violations == 0 || w.Clamps == 0 {
+		t.Fatalf("scenario did not trip the watchdog: %d/%d", w.Violations, w.Clamps)
+	}
+	byType := map[obs.EventType]int{}
+	for _, e := range sink.Journal.Snapshot() {
+		byType[e.Type]++
+	}
+	if byType[obs.EvViolation] != w.Violations {
+		t.Errorf("journal has %d violations, watchdog counted %d", byType[obs.EvViolation], w.Violations)
+	}
+	if byType[obs.EvClamp] != w.Clamps {
+		t.Errorf("journal has %d clamps, watchdog counted %d", byType[obs.EvClamp], w.Clamps)
+	}
+	if got := sink.Metrics.Counter(obs.MetricClamps).Value(); got != float64(w.Clamps) {
+		t.Errorf("clamp counter = %v, want %d", got, w.Clamps)
+	}
+	if got := sink.Metrics.Gauge(obs.MetricPowerWatts, "domain", "facility").Value(); got <= 0 {
+		t.Errorf("facility power gauge = %v", got)
+	}
+	// Clamp events carry the limit transition on their host.
+	for _, e := range sink.Journal.Snapshot() {
+		if e.Type == obs.EvClamp {
+			if e.Host == "" || e.Value <= 0 || e.Aux <= e.Value {
+				t.Errorf("clamp event malformed: %+v", e)
+			}
+			break
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"powerstack/internal/obs"
 	"powerstack/internal/units"
 )
 
@@ -30,6 +31,10 @@ type Watchdog struct {
 	Violations int
 	// Clamps counts limit reductions applied.
 	Clamps int
+
+	// Obs records power samples, violations, and clamps when observability
+	// is enabled; nil is free.
+	Obs *obs.Sink
 }
 
 // NewWatchdog builds a watchdog with default tuning.
@@ -50,11 +55,13 @@ func (w *Watchdog) Check(ts time.Time) (units.Power, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
+	w.Obs.PowerSample(w.Domain.Name, p.Watts())
 	limit := units.Power(float64(w.Budget) * (1 + w.Tolerance))
 	if p <= limit {
 		return p, false, nil
 	}
 	w.Violations++
+	w.Obs.Violation(w.Domain.Name, p.Watts(), w.Budget.Watts())
 	if err := w.clamp(p); err != nil {
 		return p, true, err
 	}
@@ -81,6 +88,7 @@ func (w *Watchdog) clamp(observed units.Power) error {
 		}
 		if programmed < cur {
 			w.Clamps++
+			w.Obs.Clamp(leaf.Name, cur.Watts(), programmed.Watts())
 			excess -= cur - programmed
 		}
 	}

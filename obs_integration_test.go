@@ -1,0 +1,149 @@
+package powerstack
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"powerstack/internal/kernel"
+	"powerstack/internal/obs"
+	"powerstack/internal/workload"
+)
+
+// TestObservabilityThroughFacade enables the sink on a system, runs the
+// coordination protocol, and checks that decisions from every layer the
+// run crosses — coordinator grants, node limit writes, MSR writes — were
+// recorded with consistent totals.
+func TestObservabilityThroughFacade(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 20, Seed: 4, CharNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := sys.EnableObservability()
+	if sink == nil || sys.Obs != sink {
+		t.Fatal("EnableObservability did not install a sink")
+	}
+	if again := sys.EnableObservability(); again != sink {
+		t.Error("EnableObservability is not idempotent")
+	}
+
+	mix := Mix{Name: "coord", Jobs: []workload.JobSpec{
+		{ID: "a", Config: KernelConfig{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}, Nodes: 8},
+		{ID: "b", Config: KernelConfig{Intensity: 32, Vector: kernel.YMM, Imbalance: 1}, Nodes: 8},
+	}}
+	const iters = 10
+	if _, err := sys.Coordinate(mix, 16*190*1.0, iters); err != nil {
+		t.Fatal(err)
+	}
+
+	byType := map[obs.EventType]int{}
+	for _, e := range sink.Journal.Snapshot() {
+		byType[e.Type]++
+	}
+	// One grant per job per protocol round, regrants applied on accept.
+	if byType[obs.EvGrant] != 2*iters {
+		t.Errorf("grants = %d, want %d", byType[obs.EvGrant], 2*iters)
+	}
+	if byType[obs.EvRegrant] == 0 || byType[obs.EvLimitWrite] == 0 || byType[obs.EvEpoch] == 0 {
+		t.Errorf("event mix incomplete: %v", byType)
+	}
+	// Metrics agree with the journal where both record the same decision.
+	if got := sink.Metrics.Counter(obs.MetricGrants, "job", "a").Value(); got != iters {
+		t.Errorf("job a grant counter = %v, want %d", got, iters)
+	}
+	// Each node-level limit write programs both socket PL1 registers.
+	writes := sink.Metrics.Counter(obs.MetricLimitWrites).Value()
+	msr := sink.Metrics.Counter(obs.MetricMSRWrites).Value()
+	if writes == 0 || msr != 2*writes {
+		t.Errorf("msr writes = %v for %v limit writes, want 2x", msr, writes)
+	}
+
+	var b strings.Builder
+	if err := sink.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "powerstack_grants_total") {
+		t.Error("exposition missing grant family")
+	}
+}
+
+// TestRunMixRecordsCells checks the pre-characterized evaluation path
+// threads the sink down to sim cells and GEOPM iterations.
+func TestRunMixRecordsCells(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 32, Seed: 5, CharNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.WastefulPower().Scaled(24)
+	if err := sys.CharacterizeMixes([]Mix{mix}, QuickCharacterization()); err != nil {
+		t.Fatal(err)
+	}
+	sink := sys.EnableObservability()
+	if _, err := sys.RunMix(mix, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Metrics.Histogram(obs.MetricCellSeconds, nil).Count(); got == 0 {
+		t.Error("no sim cells observed")
+	}
+	var cells int
+	for _, e := range sink.Journal.Snapshot() {
+		if e.Type == obs.EvCell && e.Value > 0 {
+			cells++
+		}
+	}
+	if cells == 0 {
+		t.Error("no cell-done events in journal")
+	}
+}
+
+// TestServeDebugFacade starts the debug server through the facade and
+// fetches both artifacts over HTTP.
+func TestServeDebugFacade(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 12, Seed: 3, CharNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck // test
+	if sys.Obs == nil {
+		t.Fatal("ServeDebug did not enable observability")
+	}
+	sys.Obs.Grant("j1", 0, 175)
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck // test
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `powerstack_grants_total{job="j1"} 1`) {
+		t.Errorf("/metrics = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck // test
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/trace invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("/trace empty")
+	}
+}

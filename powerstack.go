@@ -42,6 +42,7 @@ import (
 	"powerstack/internal/cpumodel"
 	"powerstack/internal/kernel"
 	"powerstack/internal/node"
+	"powerstack/internal/obs"
 	"powerstack/internal/policy"
 	"powerstack/internal/sim"
 	"powerstack/internal/stats"
@@ -72,6 +73,11 @@ type (
 	Grid = sim.Grid
 	// MixResult is one mix's cells and savings.
 	MixResult = sim.MixResult
+	// Sink is the observability sink: a metrics registry plus a bounded
+	// decision-event journal. A nil *Sink is valid and free.
+	Sink = obs.Sink
+	// DebugServer is a running observability HTTP server.
+	DebugServer = obs.Server
 )
 
 // Options configure a simulated system.
@@ -106,8 +112,33 @@ type System struct {
 	DB *charz.DB
 	// Clustering is the Figure 6 partition when medium selection ran.
 	Clustering *stats.Clustering
+	// Obs is the system's observability sink after EnableObservability;
+	// nil until then, which keeps every instrumented hot path free.
+	Obs *obs.Sink
 
 	seed uint64
+}
+
+// EnableObservability creates (once) the system's metrics/trace sink and
+// attaches it to every node's RAPL plumbing, so subsequent Characterize,
+// RunMix, Evaluate, and Coordinate calls record metrics and decision
+// events. It returns the sink for export (WritePrometheus, WriteTrace).
+func (s *System) EnableObservability() *obs.Sink {
+	if s.Obs == nil {
+		s.Obs = obs.New()
+		for _, n := range s.Cluster.Nodes() {
+			n.SetObs(s.Obs)
+		}
+	}
+	return s.Obs
+}
+
+// ServeDebug enables observability and starts the debug HTTP server on
+// addr, exposing /metrics (Prometheus text), /events (decision journal),
+// /trace (Chrome trace JSON), and /debug/pprof. Close the returned server
+// when done; use addr ":0" to pick a free port.
+func (s *System) ServeDebug(addr string) (*obs.Server, error) {
+	return obs.Serve(addr, s.EnableObservability())
 }
 
 // NewSystem builds a simulated Quartz-class system.
@@ -181,6 +212,7 @@ func (s *System) CharacterizeMixes(mixes []Mix, opt charz.Options) error {
 func (s *System) Runner() *sim.Runner {
 	r := sim.NewRunner(s.Pool, s.DB)
 	r.Seed = s.seed + 1000
+	r.Obs = s.Obs
 	return r
 }
 
@@ -244,5 +276,6 @@ func (s *System) Coordinate(mix Mix, budget units.Power, iters int) (coordinator
 	if err != nil {
 		return coordinator.Result{}, err
 	}
+	coord.SetObs(s.Obs)
 	return coord.Run(iters)
 }
