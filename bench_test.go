@@ -213,6 +213,29 @@ func BenchmarkFig8SavingsGrid(b *testing.B) {
 	}
 }
 
+// BenchmarkFig8SavingsGridParallel is BenchmarkFig8SavingsGrid with the
+// mix column's 15 cells fanned out across all CPUs on cell-isolated cloned
+// pools; the result is byte-identical to the sequential run.
+func BenchmarkFig8SavingsGridParallel(b *testing.B) {
+	mix := workload.WastefulPower().Scaled(27)
+	db := benchDB(b, []workload.Mix{mix})
+	pool := benchNodes(b, mix.TotalNodes())
+	r := sim.NewRunner(pool, db)
+	r.Iters = 10
+	r.NoiseSigma = 0
+	r.Parallelism = 0 // all CPUs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr, err := r.RunMix(mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mr.Savings) != 3 {
+			b.Fatal("missing savings")
+		}
+	}
+}
+
 // BenchmarkKernelCompute executes the real compute loop of the synthetic
 // kernel at three intensities and all vector widths, reporting streamed
 // bytes per second.

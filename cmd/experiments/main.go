@@ -15,7 +15,7 @@
 // Usage:
 //
 //	experiments -all [-scale 900] [-iters 100] [-charnodes 100]
-//	            [-db char.json] [-seed 1] [-mix WastefulPower]
+//	            [-db char.json] [-seed 1] [-mix WastefulPower] [-parallel 4]
 package main
 
 import (
@@ -43,6 +43,7 @@ type options struct {
 	scale     int
 	iters     int
 	charNodes int
+	parallel  int
 	seed      uint64
 	dbPath    string
 	mixFilter string
@@ -66,6 +67,7 @@ func main() {
 	flag.IntVar(&opt.iters, "iters", 50, "iterations per run (the paper uses 100)")
 	flag.IntVar(&opt.charNodes, "charnodes", 16, "nodes for characterization runs (the paper uses 100)")
 	flag.Uint64Var(&opt.seed, "seed", 1, "random seed")
+	flag.IntVar(&opt.parallel, "parallel", 0, "evaluation cells run concurrently (0 = all CPUs, 1 = sequential); any value produces identical results")
 	flag.StringVar(&opt.dbPath, "db", "", "characterization database to load (and save if absent)")
 	flag.StringVar(&opt.mixFilter, "mix", "", "restrict figures to one mix by name")
 	flag.StringVar(&opt.csvDir, "csv", "", "also write figure7.csv and figure8.csv into this directory")
@@ -162,6 +164,7 @@ func printOnlineComparison(e *env, grid *sim.Grid) {
 	r.Iters = e.opt.iters
 	r.Seed = e.opt.seed + 1000
 	r.Obs = e.opt.sink
+	r.Parallelism = e.opt.parallel
 	tb := report.NewTable("", "Mix", "Budget", "Online vs StaticCaps (time)", "(energy)", "Offline MixedAdaptive (time)", "(energy)")
 	for _, mr := range grid.Mixes {
 		for _, lvl := range mr.Budgets.Levels() {
@@ -308,6 +311,7 @@ func runGrid(e *env) *sim.Grid {
 	r.Iters = e.opt.iters
 	r.Seed = e.opt.seed + 1000
 	r.Obs = e.opt.sink
+	r.Parallelism = e.opt.parallel
 	grid, err := r.Run(e.mixes)
 	if err != nil {
 		log.Fatal(err)

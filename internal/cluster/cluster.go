@@ -151,6 +151,19 @@ func Allocate(pool []*node.Node, want int) (alloc, rest []*node.Node, err error)
 	return pool[:want], pool[want:], nil
 }
 
+// ClonePool deep-copies a node pool via node.Clone — the cell-isolation
+// primitive of the parallel evaluation grid. Every evaluation cell runs on
+// its own pool snapshot, so concurrent cells never share MSR register
+// files, RAPL accounting, or memoized operating points, and a cell that
+// fails to restore its limits cannot corrupt any other cell.
+func ClonePool(nodes []*node.Node) []*node.Node {
+	out := make([]*node.Node, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
 // ResetLimits restores every node in the set to its TDP power limit, the
 // state jobs are handed off in between experiments.
 func ResetLimits(nodes []*node.Node) error {

@@ -191,3 +191,32 @@ func TestTotals(t *testing.T) {
 		t.Errorf("TotalMinLimit = %v kW, want 122.4", got)
 	}
 }
+
+func TestClonePoolIsolation(t *testing.T) {
+	c := smallCluster(t, 4)
+	pool := c.Nodes()
+	clones := ClonePool(pool)
+	if len(clones) != len(pool) {
+		t.Fatalf("clones = %d, want %d", len(clones), len(pool))
+	}
+	for i := range clones {
+		if clones[i] == pool[i] {
+			t.Fatalf("clone %d aliases the original node", i)
+		}
+		if clones[i].ID != pool[i].ID || clones[i].Eta() != pool[i].Eta() {
+			t.Errorf("clone %d: ID=%q eta=%v, want %q/%v",
+				i, clones[i].ID, clones[i].Eta(), pool[i].ID, pool[i].Eta())
+		}
+	}
+	// Capping a cloned node leaves the source pool at TDP.
+	if _, err := clones[0].SetPowerLimit(150 * units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	limit, err := pool[0].PowerLimit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(limit.Watts()-pool[0].TDP().Watts()) > 0.5 {
+		t.Errorf("source limit = %v after clone write, want TDP", limit)
+	}
+}

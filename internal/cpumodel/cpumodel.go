@@ -128,6 +128,13 @@ func NewSocket(spec Spec, eta float64) Socket {
 	return Socket{Spec: spec, Eta: eta}
 }
 
+// Clone returns an independent copy of the socket. Socket is a pure value
+// — the spec (including the roofline platform) and the variation
+// multiplier eta contain no references — so a plain copy suffices; the
+// method exists to pin that invariant where node cloning relies on it:
+// cloned nodes must keep their per-part eta without sharing mutable state.
+func (s Socket) Clone() Socket { return s }
+
 // fhat returns the normalized frequency f/f_base.
 func (s Socket) fhat(f units.Frequency) float64 {
 	return f.Hz() / s.Spec.BaseFreq.Hz()

@@ -92,10 +92,18 @@ func (e *Error) Error() string {
 // It is safe for concurrent use: the GEOPM controller and the resource
 // manager may touch the same socket from different goroutines.
 type Device struct {
-	mu        sync.RWMutex
-	regs      map[uint32]uint64
-	allowlist map[uint32]Access
-	faults    map[uint32]error
+	mu          sync.RWMutex
+	regs        map[uint32]uint64
+	allowlist   map[uint32]Access
+	faults      map[uint32]error
+	writeFaults map[uint32]*writeFault
+}
+
+// writeFault is a countdown fault: the next remaining unprivileged writes
+// succeed, then every later write fails with err.
+type writeFault struct {
+	remaining int
+	err       error
 }
 
 // NewDevice creates a device with the given allowlist. A nil allowlist uses
@@ -133,6 +141,12 @@ func (d *Device) Write(reg uint32, value uint64) error {
 	defer d.mu.Unlock()
 	if err := d.faults[reg]; err != nil {
 		return err
+	}
+	if wf, ok := d.writeFaults[reg]; ok {
+		if wf.remaining <= 0 {
+			return wf.err
+		}
+		wf.remaining--
 	}
 	acc, ok := d.allowlist[reg]
 	if !ok {
@@ -212,6 +226,56 @@ func (d *Device) SetFault(reg uint32, err error) {
 		return
 	}
 	d.faults[reg] = err
+}
+
+// SetWriteFaultAfter arms a countdown fault on the register: the next n
+// unprivileged writes succeed, then every later write fails with err. A nil
+// err disarms it. It complements SetFault for failure windows that open
+// mid-run — e.g. a limit programmed successfully at cell start but failing
+// at release time. Reads and privileged accesses are unaffected.
+func (d *Device) SetWriteFaultAfter(reg uint32, n int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err == nil {
+		delete(d.writeFaults, reg)
+		return
+	}
+	if d.writeFaults == nil {
+		d.writeFaults = map[uint32]*writeFault{}
+	}
+	d.writeFaults[reg] = &writeFault{remaining: n, err: err}
+}
+
+// Clone returns an independent copy of the device: register contents, the
+// allowlist, and any injected fault state are all duplicated, so accesses
+// to the clone never affect the original (and vice versa). Countdown write
+// faults keep their remaining budget at the moment of cloning. This is the
+// register-file half of node cloning for cell-isolated pools.
+func (d *Device) Clone() *Device {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	regs := make(map[uint32]uint64, len(d.regs))
+	for addr, v := range d.regs {
+		regs[addr] = v
+	}
+	allow := make(map[uint32]Access, len(d.allowlist))
+	for addr, acc := range d.allowlist {
+		allow[addr] = acc
+	}
+	c := &Device{regs: regs, allowlist: allow}
+	if len(d.faults) > 0 {
+		c.faults = make(map[uint32]error, len(d.faults))
+		for addr, err := range d.faults {
+			c.faults[addr] = err
+		}
+	}
+	if len(d.writeFaults) > 0 {
+		c.writeFaults = make(map[uint32]*writeFault, len(d.writeFaults))
+		for addr, wf := range d.writeFaults {
+			c.writeFaults[addr] = &writeFault{remaining: wf.remaining, err: wf.err}
+		}
+	}
+	return c
 }
 
 // ExtractBits returns bits [lo, hi] (inclusive) of v, shifted down.

@@ -237,3 +237,94 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("counter = %d, want 8000", got)
 	}
 }
+
+func TestCloneIndependence(t *testing.T) {
+	d := NewDevice(nil)
+	if err := d.Write(MSRPkgPowerLimit, 0x0042_83E8); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	got, err := c.Read(MSRPkgPowerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x0042_83E8 {
+		t.Errorf("clone PL = %#x, want original value", got)
+	}
+	// Writes to either side must not leak to the other.
+	if err := c.Write(MSRPkgPowerLimit, 0x0011_1111); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Read(MSRPkgPowerLimit); got != 0x0042_83E8 {
+		t.Errorf("original PL = %#x after clone write", got)
+	}
+	d.PrivilegedAdd(MSRPkgEnergyStatus, 99, 32)
+	if got := c.PrivilegedRead(MSRPkgEnergyStatus); got != 0 {
+		t.Errorf("clone energy = %d after original write", got)
+	}
+}
+
+func TestCloneCopiesFaults(t *testing.T) {
+	d := NewDevice(nil)
+	boom := errors.New("boom")
+	d.SetFault(MSRPkgEnergyStatus, boom)
+	c := d.Clone()
+	if _, err := c.Read(MSRPkgEnergyStatus); !errors.Is(err, boom) {
+		t.Errorf("clone read err = %v, want injected fault", err)
+	}
+	// Clearing the fault on the clone must not clear the original.
+	c.SetFault(MSRPkgEnergyStatus, nil)
+	if _, err := c.Read(MSRPkgEnergyStatus); err != nil {
+		t.Errorf("clone after clear: %v", err)
+	}
+	if _, err := d.Read(MSRPkgEnergyStatus); !errors.Is(err, boom) {
+		t.Errorf("original read err = %v, want injected fault", err)
+	}
+}
+
+func TestSetWriteFaultAfterCountdown(t *testing.T) {
+	d := NewDevice(nil)
+	boom := errors.New("boom")
+	d.SetWriteFaultAfter(MSRPkgPowerLimit, 2, boom)
+	// The first two writes pass, then the register fails persistently.
+	for i := 0; i < 2; i++ {
+		if err := d.Write(MSRPkgPowerLimit, uint64(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := d.Write(MSRPkgPowerLimit, 7); !errors.Is(err, boom) {
+		t.Fatalf("third write err = %v, want injected fault", err)
+	}
+	if err := d.Write(MSRPkgPowerLimit, 8); !errors.Is(err, boom) {
+		t.Fatalf("fourth write err = %v, want fault to persist", err)
+	}
+	// Reads never trip a write fault.
+	if _, err := d.Read(MSRPkgPowerLimit); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// A nil error disarms the countdown.
+	d.SetWriteFaultAfter(MSRPkgPowerLimit, 0, nil)
+	if err := d.Write(MSRPkgPowerLimit, 9); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestCloneCopiesWriteFaultCountdown(t *testing.T) {
+	d := NewDevice(nil)
+	boom := errors.New("boom")
+	d.SetWriteFaultAfter(MSRPkgPowerLimit, 1, boom)
+	c := d.Clone()
+	// Each device has its own countdown budget.
+	if err := c.Write(MSRPkgPowerLimit, 1); err != nil {
+		t.Fatalf("clone first write: %v", err)
+	}
+	if err := c.Write(MSRPkgPowerLimit, 2); !errors.Is(err, boom) {
+		t.Fatalf("clone second write err = %v, want injected fault", err)
+	}
+	if err := d.Write(MSRPkgPowerLimit, 1); err != nil {
+		t.Fatalf("original first write: %v", err)
+	}
+	if err := d.Write(MSRPkgPowerLimit, 2); !errors.Is(err, boom) {
+		t.Fatalf("original second write err = %v, want injected fault", err)
+	}
+}

@@ -187,6 +187,27 @@ func New(id string, spec cpumodel.Spec, eta float64) (*Node, error) {
 	return n, nil
 }
 
+// Clone returns a deep copy of the node: each socket's analytic model
+// (with its variation multiplier), MSR register file (including injected
+// faults), and RAPL domain accounting are duplicated, so the clone and the
+// original evolve fully independently — the primitive behind cell-isolated
+// evaluation pools. The memoized operating point carries over (it is
+// derived purely from register contents, which are copied verbatim). The
+// observability sink does not carry over; attach one with SetObs.
+func (n *Node) Clone() *Node {
+	c := &Node{ID: n.ID, IdleWait: n.IdleWait, op: n.op, opValid: n.opValid}
+	c.sockets = make([]*SocketUnit, 0, len(n.sockets))
+	for _, su := range n.sockets {
+		dev := su.Dev.Clone()
+		c.sockets = append(c.sockets, &SocketUnit{
+			Model: su.Model.Clone(),
+			Dev:   dev,
+			Rapl:  su.Rapl.Clone(dev),
+		})
+	}
+	return c
+}
+
 // Sockets returns the node's socket units.
 func (n *Node) Sockets() []*SocketUnit { return n.sockets }
 

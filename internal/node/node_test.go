@@ -1,6 +1,7 @@
 package node
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,7 @@ import (
 
 	"powerstack/internal/cpumodel"
 	"powerstack/internal/kernel"
+	"powerstack/internal/msr"
 	"powerstack/internal/units"
 )
 
@@ -278,5 +280,56 @@ func TestIterationEnergyMonotoneInBarrierTime(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	n := testNode(t)
+	if _, err := n.SetPowerLimit(200 * units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	c := n.Clone()
+	if c.ID != n.ID || c.Eta() != n.Eta() {
+		t.Errorf("clone identity: ID=%q eta=%v, want %q/%v", c.ID, c.Eta(), n.ID, n.Eta())
+	}
+	// The programmed limit carries over...
+	limit, err := c.PowerLimit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(limit.Watts()-200) > 0.5 {
+		t.Errorf("clone limit = %v, want 200 W", limit)
+	}
+	// ...but subsequent programming diverges.
+	if _, err := c.SetPowerLimit(150 * units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	limit, err = n.PowerLimit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(limit.Watts()-200) > 0.5 {
+		t.Errorf("original limit = %v after clone write, want 200 W", limit)
+	}
+	// Running work on the clone advances only the clone's counters.
+	ph := phase(kernel.Config{Intensity: 8, Vector: kernel.YMM, Imbalance: 1})
+	if _, err := c.CompleteIteration(ph, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < SocketsPerNode; s++ {
+		orig := n.Sockets()[s].Dev.PrivilegedRead(msr.MSRPkgEnergyStatus)
+		cl := c.Sockets()[s].Dev.PrivilegedRead(msr.MSRPkgEnergyStatus)
+		if cl <= orig {
+			t.Errorf("socket %d: clone energy %d not ahead of original %d", s, cl, orig)
+		}
+	}
+}
+
+func TestCloneCarriesInjectedFaults(t *testing.T) {
+	n := testNode(t)
+	n.Sockets()[0].Dev.SetFault(msr.MSRPkgPowerLimit, errFlaky)
+	c := n.Clone()
+	if _, err := c.SetPowerLimit(180 * units.Watt); !errors.Is(err, errFlaky) {
+		t.Errorf("clone err = %v, want the injected fault", err)
 	}
 }

@@ -177,3 +177,38 @@ func TestSinkConcurrency(t *testing.T) {
 		seen[e.Seq] = true
 	}
 }
+
+// TestConcurrentCellEvents hammers the cell-progress surface from many
+// goroutines, as the parallel evaluation grid does: every cell's start and
+// done must land in the journal and metrics without loss or races.
+func TestConcurrentCellEvents(t *testing.T) {
+	s := NewWithCapacity(4096)
+	const workers = 8
+	const cells = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := 0; c < cells; c++ {
+				s.CellStart("mix", "policy", "ideal")
+				s.CellDone("mix", "policy", "ideal", 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var starts, dones int
+	for _, e := range s.Journal.Snapshot() {
+		if e.Type != EvCell {
+			t.Fatalf("unexpected event type %q", e.Type)
+		}
+		if e.Value > 0 {
+			dones++
+		} else {
+			starts++
+		}
+	}
+	if starts != workers*cells || dones != workers*cells {
+		t.Errorf("starts=%d dones=%d, want %d each", starts, dones, workers*cells)
+	}
+}

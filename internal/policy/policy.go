@@ -21,6 +21,7 @@ package policy
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"powerstack/internal/bsp"
 	"powerstack/internal/charz"
@@ -53,11 +54,19 @@ type System struct {
 // Allocation maps job IDs to per-host power caps (in host order).
 type Allocation map[string][]units.Power
 
-// Total returns the summed allocated power.
+// Total returns the summed allocated power. Jobs are summed in sorted ID
+// order: float addition is not associative, so summing in map iteration
+// order would make the low bits of the total — and anything derived from
+// it, like budget-overrun accounting — vary from run to run.
 func (a Allocation) Total() units.Power {
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var t units.Power
-	for _, caps := range a {
-		for _, c := range caps {
+	for _, id := range ids {
+		for _, c := range a[id] {
 			t += c
 		}
 	}

@@ -137,6 +137,19 @@ func NewDomain(dev *msr.Device) (*Domain, error) {
 // Units returns the decoded unit divisors.
 func (d *Domain) Units() Units { return d.units }
 
+// Clone returns a copy of the domain bound to dev, which must be the
+// already-cloned MSR device of the same socket (a nil dev rebinds to the
+// original device, losing isolation). Decoded units and the wraparound
+// trackers' accumulated energy carry over, so ReadEnergy on the clone
+// continues seamlessly from the original's accounting. The observability
+// sink does not carry over; attach one with SetObs.
+func (d *Domain) Clone(dev *msr.Device) *Domain {
+	if dev == nil {
+		dev = d.dev
+	}
+	return &Domain{dev: dev, units: d.units, pkg: d.pkg, dram: d.dram}
+}
+
 // SetLimit programs PL1 in MSR_PKG_POWER_LIMIT. The power is quantized to
 // the power unit and the window to the time unit, as on hardware.
 func (d *Domain) SetLimit(l Limit) error {

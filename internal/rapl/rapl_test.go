@@ -254,3 +254,46 @@ func TestEnergyMonotoneUnderRandomSteps(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCloneContinuesEnergyIndependently(t *testing.T) {
+	d, dev := newTestDomain(t)
+	if _, err := d.ReadEnergy(); err != nil { // prime
+		t.Fatal(err)
+	}
+	dev.PrivilegedAdd(msr.MSRPkgEnergyStatus, d.EncodeEnergyDelta(1*units.Joule), 32)
+	if _, err := d.ReadEnergy(); err != nil {
+		t.Fatal(err)
+	}
+
+	cdev := dev.Clone()
+	c := d.Clone(cdev)
+	// The clone carries the accumulated 1 J and continues from its own
+	// device's counter without a re-priming discontinuity.
+	cdev.PrivilegedAdd(msr.MSRPkgEnergyStatus, c.EncodeEnergyDelta(2*units.Joule), 32)
+	e, err := c.ReadEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Joules()-3) > 1e-4 {
+		t.Errorf("clone energy = %v, want 3 J", e)
+	}
+	// The original's accounting is untouched by the clone's progress.
+	e, err = d.ReadEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Joules()-1) > 1e-4 {
+		t.Errorf("original energy = %v, want 1 J", e)
+	}
+	// Limits diverge: programming the clone leaves the original alone.
+	if err := c.SetLimit(Limit{Power: 95 * units.Watt, TimeWindow: time.Second, Enabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := d.ReadLimit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Power.Watts()-120) > 0.125 {
+		t.Errorf("original limit = %v after clone SetLimit, want 120 W", l.Power)
+	}
+}

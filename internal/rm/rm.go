@@ -47,6 +47,12 @@ type Manager struct {
 	// disables instrumentation. The registry and journal are safe under
 	// RunAll's concurrent jobs.
 	Obs *obs.Sink
+
+	// Workers bounds how many jobs RunAll executes concurrently; zero or
+	// negative selects runtime.GOMAXPROCS(0). Callers that already fan
+	// out above the manager (the parallel evaluation grid) lower it to
+	// keep total goroutine pressure proportional to the machine.
+	Workers int
 }
 
 // NewManager builds a manager over the given node pool.
@@ -81,19 +87,24 @@ func (m *Manager) Submit(spec JobSpec, seed uint64) (*ScheduledJob, error) {
 	return sj, nil
 }
 
-// ReleaseAll returns every job's nodes to the free pool (at TDP limits) and
-// clears the schedule.
+// ReleaseAll returns every job's nodes to the free pool and clears the
+// schedule. It attempts to reset every node to its TDP limit even after a
+// reset fails, so one faulty host cannot strand the rest of the pool, and
+// reports all reset failures joined into one error. Nodes whose reset
+// failed are still returned to the free pool — their limit state is
+// undefined, which is exactly what the joined error tells the caller.
 func (m *Manager) ReleaseAll() error {
+	var errs []error
 	for _, sj := range m.jobs {
 		for _, n := range sj.Job.Nodes() {
 			if _, err := n.SetPowerLimit(n.TDP()); err != nil {
-				return err
+				errs = append(errs, fmt.Errorf("rm: releasing job %s: %w", sj.Spec.ID, err))
 			}
 			m.free = append(m.free, n)
 		}
 	}
 	m.jobs = nil
-	return nil
+	return errors.Join(errs...)
 }
 
 // release returns one job's nodes to the free pool (at TDP limits) and
@@ -196,7 +207,11 @@ func (m *Manager) RunAll(iters int) ([]geopm.Report, error) {
 	}
 	reports := make([]geopm.Report, len(m.jobs))
 	errs := make([]error, len(m.jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := m.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, sj := range m.jobs {
 		wg.Add(1)

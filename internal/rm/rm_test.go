@@ -1,6 +1,7 @@
 package rm
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"powerstack/internal/cluster"
 	"powerstack/internal/cpumodel"
 	"powerstack/internal/kernel"
+	"powerstack/internal/msr"
 	"powerstack/internal/node"
 	"powerstack/internal/policy"
 	"powerstack/internal/units"
@@ -210,5 +212,31 @@ func TestPrecharacterizedOverrunsTightBudget(t *testing.T) {
 	}
 	if Overrun(alloc, tight) <= 0 {
 		t.Error("Precharacterized should overrun a tight budget (Figure 7)")
+	}
+}
+
+func TestReleaseAllJoinsResetFailures(t *testing.T) {
+	pool := testPool(t, 6)
+	m := NewManager(pool)
+	if _, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(JobSpec{ID: "b", Config: cfgBalanced(), Nodes: 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Break the TDP reset on one node of each job.
+	errA := errors.New("device a unplugged")
+	errB := errors.New("device b unplugged")
+	pool[0].Sockets()[0].Dev.SetFault(msr.MSRPkgPowerLimit, errA)
+	pool[2].Sockets()[1].Dev.SetFault(msr.MSRPkgPowerLimit, errB)
+
+	err := m.ReleaseAll()
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Errorf("err = %v, want both injected faults joined", err)
+	}
+	// Despite the failures, every node is back in the free pool and the
+	// schedule is empty — one faulty host must not strand the rest.
+	if m.FreeNodes() != 6 || len(m.Jobs()) != 0 {
+		t.Errorf("free=%d jobs=%d after faulty release", m.FreeNodes(), len(m.Jobs()))
 	}
 }

@@ -8,10 +8,14 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"powerstack/internal/bsp"
 	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
 	"powerstack/internal/coordinator"
 	"powerstack/internal/geopm"
 	"powerstack/internal/node"
@@ -74,19 +78,36 @@ type Runner struct {
 	// instrumentation.
 	Obs *obs.Sink
 
-	obsAttached bool
+	// Parallelism bounds how many evaluation cells Run and RunMix execute
+	// concurrently: zero or negative selects runtime.GOMAXPROCS(0), one
+	// recovers the sequential grid. Every cell runs on its own cloned
+	// node pool with a seed derived only from the policy-independent job
+	// index, so any parallelism level produces byte-identical Cell and
+	// Savings values.
+	Parallelism int
 }
 
-// attachObs lazily attaches the sink to every pool node so RAPL-level
-// events carry host IDs, once per runner.
-func (r *Runner) attachObs() {
-	if r.Obs == nil || r.obsAttached {
-		return
+// workers returns the effective cell-level worker count.
+func (r *Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
 	}
-	for _, n := range r.Pool {
-		n.SetObs(r.Obs)
+	return runtime.GOMAXPROCS(0)
+}
+
+// cellPool builds one cell's private pool: deep clones of the first n pool
+// nodes with the runner's sink attached, so RAPL-level events carry host
+// IDs. Cloning per cell (re-reading r.Obs every time) also makes sink
+// attachment idempotent and current: a sink swapped between cells reaches
+// the very next cell's nodes instead of being latched out forever.
+func (r *Runner) cellPool(n int) []*node.Node {
+	pool := cluster.ClonePool(r.Pool[:n])
+	if r.Obs != nil {
+		for _, nd := range pool {
+			nd.SetObs(r.Obs)
+		}
 	}
-	r.obsAttached = true
+	return pool
 }
 
 // NewRunner returns a runner with the paper's iteration count.
@@ -94,8 +115,13 @@ func NewRunner(pool []*node.Node, db *charz.DB) *Runner {
 	return &Runner{Pool: pool, DB: db, Iters: 100, Seed: 1, NoiseSigma: -1}
 }
 
-// RunCell executes one mix under one policy at one budget.
-func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, budget units.Power) (Cell, error) {
+// RunCell executes one mix under one policy at one budget. The cell runs
+// on a private clone of the runner's pool, so concurrent cells are fully
+// isolated and the runner's pool is never mutated. A failure to release
+// the cell pool (reset limits to TDP) is joined with the cell error rather
+// than discarded: with cell-isolated pools nothing downstream would ever
+// observe the corruption, so it must fail loudly here.
+func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, budget units.Power) (cell Cell, err error) {
 	if r.Iters <= 0 {
 		return Cell{}, errors.New("sim: iterations must be positive")
 	}
@@ -103,11 +129,27 @@ func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, b
 		return Cell{}, fmt.Errorf("sim: mix %s needs %d nodes, pool has %d", mix.Name, mix.TotalNodes(), len(r.Pool))
 	}
 
-	r.attachObs()
 	r.Obs.CellStart(mix.Name, p.Name(), budgetName)
 	cellStart := time.Now()
-	mgr := rm.NewManager(r.Pool)
+	mgr := rm.NewManager(r.cellPool(mix.TotalNodes()))
 	mgr.Obs = r.Obs
+	if r.Parallelism > 1 {
+		// Cells already saturate the machine; keep per-cell job fan-out
+		// proportional so total goroutine pressure stays bounded.
+		if w := runtime.GOMAXPROCS(0) / r.Parallelism; w > 1 {
+			mgr.Workers = w
+		} else {
+			mgr.Workers = 1
+		}
+	}
+	defer func() {
+		if rerr := mgr.ReleaseAll(); rerr != nil {
+			err = errors.Join(err, fmt.Errorf("sim: releasing cell pool: %w", rerr))
+		}
+		if err == nil {
+			r.Obs.CellDone(mix.Name, p.Name(), budgetName, time.Since(cellStart).Seconds())
+		}
+	}()
 	for i, js := range mix.Jobs {
 		sj, err := mgr.Submit(rm.JobSpec{ID: js.ID, Config: js.Config, Nodes: js.Nodes}, r.Seed+uint64(i)*7919)
 		if err != nil {
@@ -117,7 +159,6 @@ func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, b
 			sj.Job.NoiseSigma = r.NoiseSigma
 		}
 	}
-	defer mgr.ReleaseAll() //nolint:errcheck // release failure surfaces on the next cell
 
 	alloc, err := mgr.Plan(p, budget, r.DB)
 	if err != nil {
@@ -130,11 +171,7 @@ func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, b
 	if err != nil {
 		return Cell{}, err
 	}
-	cell, err := r.assemble(mix, p, budgetName, budget, alloc, reports)
-	if err == nil {
-		r.Obs.CellDone(mix.Name, p.Name(), budgetName, time.Since(cellStart).Seconds())
-	}
-	return cell, err
+	return r.assemble(mix, p, budgetName, budget, alloc, reports)
 }
 
 func (r *Runner) assemble(mix workload.Mix, p policy.Policy, budgetName string, budget units.Power, alloc policy.Allocation, reports []geopm.Report) (Cell, error) {
@@ -164,11 +201,17 @@ func (r *Runner) assemble(mix workload.Mix, p policy.Policy, budgetName string, 
 		for k, t := range rep.IterationTimes {
 			cell.IterTimes[k] += w * t.Seconds()
 		}
-		for k := range cell.IterEnergies {
-			// Per-iteration energy attribution: energy tracks time, so
-			// scale by the iteration's share of elapsed time.
-			share := rep.IterationTimes[k].Seconds() / rep.Elapsed.Seconds()
-			cell.IterEnergies[k] += rep.TotalEnergy.Joules() * share
+		if elapsed := rep.Elapsed.Seconds(); elapsed > 0 {
+			for k := range cell.IterEnergies {
+				// Per-iteration energy attribution: energy tracks time,
+				// so scale by the iteration's share of elapsed time. A
+				// degenerate zero-elapsed run has no time base to
+				// attribute by, so it contributes nothing — dividing by
+				// it would poison the series with NaN and silently
+				// propagate into the savings CIs and Welch tests.
+				share := rep.IterationTimes[k].Seconds() / elapsed
+				cell.IterEnergies[k] += rep.TotalEnergy.Joules() * share
+			}
 		}
 	}
 	cell.MeanPower = units.Power(powerSum)
@@ -196,7 +239,12 @@ func (r *Runner) RunOnlineCell(mix workload.Mix, budgetName string, budget units
 	if mix.TotalNodes() > len(r.Pool) {
 		return Cell{}, fmt.Errorf("sim: mix %s needs %d nodes, pool has %d", mix.Name, mix.TotalNodes(), len(r.Pool))
 	}
-	pool := r.Pool
+	// CellStart precedes every node- and coordinator-level event of the
+	// cell, and is emitted on the same condition as CellDone (both are
+	// nil-safe), so the journal always shows matched start/done pairs.
+	r.Obs.CellStart(mix.Name, OnlinePolicyName, budgetName)
+	cellStart := time.Now()
+	pool := r.cellPool(mix.TotalNodes())
 	var jobs []*bsp.Job
 	for i, js := range mix.Jobs {
 		j, err := bsp.NewJob(js.ID, js.Config, pool[:js.Nodes], r.Seed+uint64(i)*7919)
@@ -209,23 +257,13 @@ func (r *Runner) RunOnlineCell(mix workload.Mix, budgetName string, budget units
 		pool = pool[js.Nodes:]
 		jobs = append(jobs, j)
 	}
-	defer func() {
-		for _, j := range jobs {
-			for _, n := range j.Nodes() {
-				n.SetPowerLimit(n.TDP()) //nolint:errcheck // best-effort reset
-			}
-		}
-	}()
 	coord, err := coordinator.New(budget, jobs, true)
 	if err != nil {
 		return Cell{}, err
 	}
 	if r.Obs != nil {
-		r.attachObs()
-		r.Obs.CellStart(mix.Name, OnlinePolicyName, budgetName)
 		coord.SetObs(r.Obs)
 	}
-	cellStart := time.Now()
 	res, err := coord.Run(r.Iters)
 	if err != nil {
 		return Cell{}, err
@@ -337,54 +375,122 @@ type Grid struct {
 
 // Run executes the evaluation grid over the given mixes: for each mix and
 // budget level it runs all five policies, and computes savings for the
-// dynamic policies against StaticCaps.
+// dynamic policies against StaticCaps. Cells from every mix are fanned out
+// over one bounded worker pool (see Parallelism); because each cell runs
+// on its own cloned node pool with policy-independent seeds, the result is
+// byte-identical to the sequential grid.
 func (r *Runner) Run(mixes []workload.Mix) (*Grid, error) {
-	g := &Grid{}
-	for _, mix := range mixes {
-		mr, err := r.RunMix(mix)
+	return r.runGrid(mixes)
+}
+
+// RunMix executes one mix across all budgets and policies, fanning its
+// cells out like Run.
+func (r *Runner) RunMix(mix workload.Mix) (MixResult, error) {
+	g, err := r.runGrid([]workload.Mix{mix})
+	if err != nil {
+		return MixResult{}, err
+	}
+	return g.Mixes[0], nil
+}
+
+// cellTask addresses one (mix, budget level, policy) cell of a planned
+// grid.
+type cellTask struct{ mi, li, pi int }
+
+// runGrid plans the grid (budget selection per mix), executes every cell
+// on a bounded worker pool, and assembles results. Planning, result
+// placement, and savings computation are all index-addressed, so the
+// output is independent of worker interleaving; on failure the error of
+// the first cell in grid order is returned after all in-flight cells
+// drain.
+func (r *Runner) runGrid(mixes []workload.Mix) (*Grid, error) {
+	pols := policy.All()
+	budgets := make([]workload.Budgets, len(mixes))
+	for i, mix := range mixes {
+		b, err := workload.SelectBudgets(mix, r.DB)
 		if err != nil {
 			return nil, err
+		}
+		budgets[i] = b
+	}
+
+	var tasks []cellTask
+	cells := make([][][]Cell, len(mixes))
+	errs := make([][][]error, len(mixes))
+	for mi := range mixes {
+		levels := budgets[mi].Levels()
+		cells[mi] = make([][]Cell, len(levels))
+		errs[mi] = make([][]error, len(levels))
+		for li := range levels {
+			cells[mi][li] = make([]Cell, len(pols))
+			errs[mi][li] = make([]error, len(pols))
+			for pi := range pols {
+				tasks = append(tasks, cellTask{mi, li, pi})
+			}
+		}
+	}
+
+	workers := r.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	taskCh := make(chan cellTask)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				level := budgets[t.mi].Levels()[t.li]
+				cell, err := r.RunCell(mixes[t.mi], pols[t.pi], level.Name, level.Power)
+				if err != nil {
+					err = fmt.Errorf("sim: %s/%s/%s: %w", mixes[t.mi].Name, level.Name, pols[t.pi].Name(), err)
+				}
+				cells[t.mi][t.li][t.pi] = cell
+				errs[t.mi][t.li][t.pi] = err
+			}
+		}()
+	}
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
+	wg.Wait()
+	for _, t := range tasks {
+		if err := errs[t.mi][t.li][t.pi]; err != nil {
+			return nil, err
+		}
+	}
+
+	g := &Grid{}
+	for mi, mix := range mixes {
+		mr := MixResult{
+			Mix:     mix,
+			Budgets: budgets[mi],
+			Cells:   map[string]map[string]Cell{},
+			Savings: map[string]map[string]Savings{},
+		}
+		for li, level := range budgets[mi].Levels() {
+			byPolicy := map[string]Cell{}
+			for pi, p := range pols {
+				byPolicy[p.Name()] = cells[mi][li][pi]
+			}
+			mr.Cells[level.Name] = byPolicy
+
+			base := byPolicy[policy.StaticCaps{}.Name()]
+			sv := map[string]Savings{}
+			for _, p := range policy.Dynamic() {
+				s, err := ComputeSavings(base, byPolicy[p.Name()])
+				if err != nil {
+					return nil, err
+				}
+				sv[p.Name()] = s
+			}
+			mr.Savings[level.Name] = sv
 		}
 		g.Mixes = append(g.Mixes, mr)
 	}
 	return g, nil
-}
-
-// RunMix executes one mix across all budgets and policies.
-func (r *Runner) RunMix(mix workload.Mix) (MixResult, error) {
-	budgets, err := workload.SelectBudgets(mix, r.DB)
-	if err != nil {
-		return MixResult{}, err
-	}
-	mr := MixResult{
-		Mix:     mix,
-		Budgets: budgets,
-		Cells:   map[string]map[string]Cell{},
-		Savings: map[string]map[string]Savings{},
-	}
-	for _, level := range budgets.Levels() {
-		cells := map[string]Cell{}
-		for _, p := range policy.All() {
-			cell, err := r.RunCell(mix, p, level.Name, level.Power)
-			if err != nil {
-				return MixResult{}, fmt.Errorf("sim: %s/%s/%s: %w", mix.Name, level.Name, p.Name(), err)
-			}
-			cells[p.Name()] = cell
-		}
-		mr.Cells[level.Name] = cells
-
-		base := cells[policy.StaticCaps{}.Name()]
-		sv := map[string]Savings{}
-		for _, p := range policy.Dynamic() {
-			s, err := ComputeSavings(base, cells[p.Name()])
-			if err != nil {
-				return MixResult{}, err
-			}
-			sv[p.Name()] = s
-		}
-		mr.Savings[level.Name] = sv
-	}
-	return mr, nil
 }
 
 // Headline summarizes the paper's abstract claims from a grid: the maximum
@@ -395,14 +501,29 @@ type Headline struct {
 	MaxEnergySavings Savings
 }
 
-// FindHeadline scans the grid for the headline numbers.
+// FindHeadline scans the grid for the headline numbers. The maxima are
+// initialized from the first MixedAdaptive cell in grid order, so a grid
+// where every saving is negative still reports its best (least bad) cell
+// with the Mix/Policy/Budget fields populated instead of a blank
+// zero-valued Savings.
 func (g *Grid) FindHeadline() Headline {
 	var h Headline
+	found := false
 	name := policy.MixedAdaptive{}.Name()
 	for _, mr := range g.Mixes {
-		for _, sv := range mr.Savings {
-			s, ok := sv[name]
+		levels := make([]string, 0, len(mr.Savings))
+		for lvl := range mr.Savings {
+			levels = append(levels, lvl)
+		}
+		sort.Strings(levels)
+		for _, lvl := range levels {
+			s, ok := mr.Savings[lvl][name]
 			if !ok {
+				continue
+			}
+			if !found {
+				h.MaxTimeSavings, h.MaxEnergySavings = s, s
+				found = true
 				continue
 			}
 			if s.Time > h.MaxTimeSavings.Time {

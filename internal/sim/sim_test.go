@@ -1,13 +1,19 @@
 package sim
 
 import (
+	"errors"
 	"math"
+	"reflect"
 	"testing"
+	"time"
 
 	"powerstack/internal/charz"
 	"powerstack/internal/cluster"
 	"powerstack/internal/cpumodel"
+	"powerstack/internal/geopm"
+	"powerstack/internal/msr"
 	"powerstack/internal/node"
+	"powerstack/internal/obs"
 	"powerstack/internal/policy"
 	"powerstack/internal/units"
 	"powerstack/internal/workload"
@@ -15,7 +21,7 @@ import (
 
 // testEnv builds a small pool and characterizes the configs of the given
 // mixes on a scratch subset.
-func testEnv(t *testing.T, mixes []workload.Mix, poolSize int) ([]*node.Node, *charz.DB) {
+func testEnv(t testing.TB, mixes []workload.Mix, poolSize int) ([]*node.Node, *charz.DB) {
 	t.Helper()
 	c, err := cluster.New(poolSize+4, cpumodel.Quartz(), cpumodel.QuartzVariation(), 17)
 	if err != nil {
@@ -300,3 +306,243 @@ func TestPairedSeedsAcrossPolicies(t *testing.T) {
 		}
 	}
 }
+
+func TestAssembleZeroElapsedKeepsSeriesFinite(t *testing.T) {
+	// A degenerate report with zero elapsed time has no time base to
+	// attribute per-iteration energy by; the attribution must contribute
+	// nothing instead of dividing by zero, which would poison IterEnergies
+	// with NaN and silently propagate into the savings CIs and Welch
+	// tests.
+	mix := workload.Mix{Name: "degenerate", Jobs: []workload.JobSpec{
+		{ID: "a", Config: cluster.SurveyWorkload(), Nodes: 2},
+		{ID: "b", Config: cluster.SurveyWorkload(), Nodes: 2},
+	}}
+	r := &Runner{Iters: 3}
+	reports := []geopm.Report{
+		{JobID: "a", Elapsed: 0, TotalEnergy: 100 * units.Joule,
+			IterationTimes: make([]time.Duration, 3)},
+		{JobID: "b", Elapsed: 3 * time.Second, TotalEnergy: 60 * units.Joule,
+			IterationTimes: []time.Duration{time.Second, time.Second, time.Second}},
+	}
+	cell, err := r.assemble(mix, policy.StaticCaps{}, "min", 400*units.Watt, nil, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, e := range cell.IterEnergies {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("IterEnergies[%d] = %v, want finite", k, e)
+		}
+		// Job b's share still lands: 20 J per iteration.
+		if math.Abs(e-20) > 1e-9 {
+			t.Errorf("IterEnergies[%d] = %v, want 20 (job b only)", k, e)
+		}
+	}
+	for k, s := range cell.IterTimes {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("IterTimes[%d] = %v, want finite", k, s)
+		}
+	}
+	if math.IsNaN(cell.MeanPower.Watts()) || math.IsInf(cell.MeanPower.Watts(), 0) {
+		t.Errorf("MeanPower = %v, want finite", cell.MeanPower)
+	}
+}
+
+func TestRunCellSurfacesReleaseFault(t *testing.T) {
+	mix := smallWasteful()
+	pool, db := testEnv(t, []workload.Mix{mix}, mix.TotalNodes())
+	r := NewRunner(pool, db)
+	r.Iters = 6
+	r.NoiseSigma = 0
+	r.Obs = obs.New()
+	budgets, err := workload.SelectBudgets(mix, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm a write-countdown fault on one socket's power-limit register:
+	// the cell's single Apply write succeeds, then the TDP reset in
+	// ReleaseAll fails. The fault deep-copies into the cell's cloned pool.
+	errBoom := errors.New("msr_safe: write rejected")
+	pool[0].Sockets()[0].Dev.SetWriteFaultAfter(msr.MSRPkgPowerLimit, 1, errBoom)
+	defer pool[0].Sockets()[0].Dev.SetWriteFaultAfter(msr.MSRPkgPowerLimit, 0, nil)
+
+	cell, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want the injected release fault surfaced", err)
+	}
+	// The cell itself completed before release; its measurement is intact.
+	if cell.TotalEnergy <= 0 || len(cell.IterTimes) != 6 {
+		t.Errorf("cell not assembled despite successful run: %+v", cell)
+	}
+	// A cell whose release failed must not be journaled as done.
+	for _, e := range r.Obs.Journal.Snapshot() {
+		if e.Type == obs.EvCell && e.Value > 0 {
+			t.Errorf("CellDone recorded for a failed cell: %+v", e)
+		}
+	}
+}
+
+func TestFindHeadlineAllNegative(t *testing.T) {
+	// A grid where MixedAdaptive loses everywhere must still report its
+	// least-bad cells, with the identifying fields populated, instead of a
+	// blank zero-valued Savings that reads as "0% savings in no cell".
+	g := &Grid{Mixes: []MixResult{
+		{Savings: map[string]map[string]Savings{
+			"min": {"MixedAdaptive": {Time: -0.09, Energy: -0.02, Mix: "HighPower", Budget: "min"}},
+			"max": {"MixedAdaptive": {Time: -0.03, Energy: -0.05, Mix: "HighPower", Budget: "max"}},
+		}},
+	}}
+	h := g.FindHeadline()
+	if h.MaxTimeSavings.Time != -0.03 || h.MaxTimeSavings.Budget != "max" {
+		t.Errorf("max time savings = %+v, want the -3%% max-budget cell", h.MaxTimeSavings)
+	}
+	if h.MaxEnergySavings.Energy != -0.02 || h.MaxEnergySavings.Budget != "min" {
+		t.Errorf("max energy savings = %+v, want the -2%% min-budget cell", h.MaxEnergySavings)
+	}
+	if h.MaxTimeSavings.Mix == "" || h.MaxEnergySavings.Mix == "" {
+		t.Error("headline cells missing identifying fields")
+	}
+}
+
+func TestOnlineCellJournalOrdering(t *testing.T) {
+	mix := smallWasteful()
+	pool, db := testEnv(t, []workload.Mix{mix}, mix.TotalNodes())
+	r := NewRunner(pool, db)
+	r.Iters = 4
+	r.NoiseSigma = 0
+	r.Obs = obs.New()
+	budgets, err := workload.SelectBudgets(mix, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunOnlineCell(mix, "ideal", budgets.Ideal); err != nil {
+		t.Fatal(err)
+	}
+	events := r.Obs.Journal.Snapshot()
+	if len(events) < 3 {
+		t.Fatalf("journal has %d events, want a full cell trace", len(events))
+	}
+	scope := mix.Name + "/ideal/" + OnlinePolicyName
+	first, last := events[0], events[len(events)-1]
+	if first.Type != obs.EvCell || first.Scope != scope || first.Value != 0 {
+		t.Errorf("first event = %+v, want CellStart for %s", first, scope)
+	}
+	if last.Type != obs.EvCell || last.Scope != scope || last.Value <= 0 {
+		t.Errorf("last event = %+v, want CellDone for %s", last, scope)
+	}
+	// Node- and coordinator-level events must sit inside the start/done
+	// bracket — CellStart precedes all of them.
+	var inner int
+	for _, e := range events[1 : len(events)-1] {
+		if e.Type == obs.EvCell {
+			t.Errorf("unexpected cell event inside the bracket: %+v", e)
+		}
+		inner++
+	}
+	if inner == 0 {
+		t.Error("no node/coordinator events between CellStart and CellDone")
+	}
+}
+
+func TestSwappedSinkReachesNextCell(t *testing.T) {
+	// Sink attachment must be per-cell, not latched on first use: a sink
+	// swapped in between cells has to see the very next cell's node-level
+	// events.
+	mix := smallWasteful()
+	pool, db := testEnv(t, []workload.Mix{mix}, mix.TotalNodes())
+	r := NewRunner(pool, db)
+	r.Iters = 4
+	r.NoiseSigma = 0
+	budgets, err := workload.SelectBudgets(mix, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := obs.New()
+	r.Obs = first
+	if _, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal); err != nil {
+		t.Fatal(err)
+	}
+	second := obs.New()
+	r.Obs = second
+	if _, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal); err != nil {
+		t.Fatal(err)
+	}
+
+	countNodeEvents := func(s *obs.Sink) int {
+		n := 0
+		for _, e := range s.Journal.Snapshot() {
+			if e.Type == obs.EvLimitWrite {
+				n++
+			}
+		}
+		return n
+	}
+	if countNodeEvents(first) == 0 {
+		t.Error("first sink saw no node-level events")
+	}
+	if countNodeEvents(second) == 0 {
+		t.Error("swapped-in sink saw no node-level events — attachment latched")
+	}
+}
+
+func TestGridEquivalence(t *testing.T) {
+	// The parallel grid must be indistinguishable from the sequential one:
+	// same seeds, cell-isolated pools, and index-addressed assembly make
+	// every Cell and Savings value byte-identical at any parallelism.
+	mixes := []workload.Mix{
+		workload.WastefulPower().Scaled(24),
+		workload.NeedUsedPower().Scaled(18),
+	}
+	poolSize := 0
+	for _, m := range mixes {
+		if n := m.TotalNodes(); n > poolSize {
+			poolSize = n
+		}
+	}
+	pool, db := testEnv(t, mixes, poolSize)
+
+	run := func(parallelism int) *Grid {
+		r := NewRunner(pool, db)
+		r.Iters = 5
+		r.NoiseSigma = 0
+		r.Parallelism = parallelism
+		g, err := r.Run(mixes)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return g
+	}
+	seq := run(1)
+	par := run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel grid differs from sequential grid")
+	}
+}
+
+func benchGrid(b *testing.B, parallelism int) {
+	mixes := []workload.Mix{
+		workload.WastefulPower().Scaled(24),
+		workload.NeedUsedPower().Scaled(18),
+	}
+	poolSize := 0
+	for _, m := range mixes {
+		if n := m.TotalNodes(); n > poolSize {
+			poolSize = n
+		}
+	}
+	pool, db := testEnv(b, mixes, poolSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(pool, db)
+		r.Iters = 10
+		r.NoiseSigma = 0
+		r.Parallelism = parallelism
+		if _, err := r.Run(mixes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridSequential(b *testing.B) { benchGrid(b, 1) }
+func BenchmarkGridParallel(b *testing.B)   { benchGrid(b, 0) }

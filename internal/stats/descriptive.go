@@ -196,8 +196,12 @@ func WelchTTest(a, b []float64) (tStat float64, significant bool) {
 	sb := vb / float64(nb)
 	se := math.Sqrt(sa + sb)
 	if se == 0 {
-		// Identical constants differ significantly iff the means differ.
-		return 0, ma != mb
+		// Both samples are exact constants, so there is no noise scale to
+		// test against. An exact != comparison would flag any float
+		// difference — including 1-ulp dust from reordered summation — as
+		// significant; require the means to differ beyond a relative
+		// tolerance instead.
+		return 0, !approxEqual(ma, mb)
 	}
 	tStat = (ma - mb) / se
 	// Welch-Satterthwaite degrees of freedom.
@@ -208,6 +212,23 @@ func WelchTTest(a, b []float64) (tStat float64, significant bool) {
 		df = 1
 	}
 	return tStat, math.Abs(tStat) > tCritical95(df)
+}
+
+// welchRelTol is the relative tolerance below which two zero-variance
+// sample means are treated as equal: far above float64 rounding noise
+// (~1e-16 relative) yet far below any physically meaningful difference in
+// the iteration series the harness compares.
+const welchRelTol = 1e-9
+
+// approxEqual reports whether a and b are equal within welchRelTol,
+// relative to the larger magnitude. Exact equality (including both zero)
+// is always approximately equal.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= welchRelTol*scale
 }
 
 // RelativeChange returns (observed-baseline)/baseline, the "percent

@@ -283,3 +283,34 @@ func filterFinite(raw []float64) []float64 {
 	}
 	return xs
 }
+
+func TestWelchTTestZeroSETolerance(t *testing.T) {
+	// When both samples are exact constants there is no noise scale; the
+	// decision falls back to a relative tolerance on the means, so 1-ulp
+	// dust from reordered summation is not reported as significant.
+	ulp := math.Nextafter(5.0, 6.0)
+	cases := []struct {
+		name string
+		a, b []float64
+		sig  bool
+	}{
+		{"identical constants", []float64{5, 5, 5}, []float64{5, 5, 5}, false},
+		{"one ulp apart", []float64{5, 5, 5}, []float64{ulp, ulp, ulp}, false},
+		{"within relative tolerance", []float64{1e12, 1e12}, []float64{1e12 + 1, 1e12 + 1}, false},
+		{"clearly different", []float64{5, 5, 5}, []float64{6, 6, 6}, true},
+		{"both zero", []float64{0, 0}, []float64{0, 0}, false},
+		{"zero vs nonzero", []float64{0, 0}, []float64{1, 1}, true},
+		{"tiny but genuine gap", []float64{1, 1}, []float64{1.001, 1.001}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tStat, sig := WelchTTest(tc.a, tc.b)
+			if tStat != 0 {
+				t.Errorf("tStat = %v, want 0 on the zero-SE branch", tStat)
+			}
+			if sig != tc.sig {
+				t.Errorf("significant = %v, want %v", sig, tc.sig)
+			}
+		})
+	}
+}
