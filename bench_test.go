@@ -7,6 +7,7 @@
 package powerstack
 
 import (
+	"context"
 	"testing"
 
 	"powerstack/internal/charz"
@@ -182,7 +183,7 @@ func BenchmarkFig7PowerUtilization(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cell, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
+		cell, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func BenchmarkFig8SavingsGrid(b *testing.B) {
 	r.NoiseSigma = 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mr, err := r.RunMix(mix)
+		mr, err := r.RunMix(context.Background(), mix)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +227,7 @@ func BenchmarkFig8SavingsGridParallel(b *testing.B) {
 	r.Parallelism = 0 // all CPUs
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mr, err := r.RunMix(mix)
+		mr, err := r.RunMix(context.Background(), mix)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -272,7 +273,7 @@ func BenchmarkOnlineCoordination(b *testing.B) {
 	budget := 16 * 180 * units.Watt
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cell, err := r.RunOnlineCell(mix, "bench", budget)
+		cell, err := r.RunOnlineCell(context.Background(), mix, "bench", budget)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -75,7 +76,7 @@ func main() {
 		}
 	}
 	log.Printf("characterizing %d configurations on %d nodes", len(configs), *nNodes)
-	db, err := charz.CharacterizeAll(configs, c.Nodes(), opt)
+	db, err := charz.CharacterizeAll(context.Background(), configs, c.Nodes(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -169,7 +170,7 @@ func printOnlineComparison(e *env, grid *sim.Grid) {
 	for _, mr := range grid.Mixes {
 		for _, lvl := range mr.Budgets.Levels() {
 			base := mr.Cells[lvl.Name]["StaticCaps"]
-			cell, err := r.RunOnlineCell(mr.Mix, lvl.Name, lvl.Power)
+			cell, err := r.RunOnlineCell(context.Background(), mr.Mix, lvl.Name, lvl.Power)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -269,7 +270,7 @@ func setup(opt options) *env {
 	}
 	if db == nil {
 		log.Printf("characterizing the Table II catalog on %d nodes...", opt.charNodes)
-		db, err = charz.CharacterizeAll(workload.Catalog(), charPool,
+		db, err = charz.CharacterizeAll(context.Background(), workload.Catalog(), charPool,
 			charz.Options{MonitorIters: 15, BalancerIters: 50, Seed: opt.seed, NoiseSigma: -1})
 		if err != nil {
 			log.Fatal(err)
@@ -312,7 +313,7 @@ func runGrid(e *env) *sim.Grid {
 	r.Seed = e.opt.seed + 1000
 	r.Obs = e.opt.sink
 	r.Parallelism = e.opt.parallel
-	grid, err := r.Run(e.mixes)
+	grid, err := r.Run(context.Background(), e.mixes)
 	if err != nil {
 		log.Fatal(err)
 	}

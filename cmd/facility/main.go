@@ -4,26 +4,27 @@
 // telemetry — producing, bottom-up, the kind of power trace Figure 1 shows
 // top-down, along with scheduler statistics.
 //
+// With chaos flags, a deterministic fault plan drives crashes, MSR faults,
+// and telemetry dropouts through the run, exercising the stack's graceful
+// degradation (quarantine, requeue, rejoin, sample holds).
+//
 // Usage:
 //
 //	facility [-nodes N] [-hours H] [-budget "50 kW"] [-policy MixedAdaptive]
 //	         [-interarrival 45s] [-seed N]
+//	         [-crashes N] [-msrfaults N] [-dropouts N] [-faultseed N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strings"
 	"time"
 
-	"powerstack/internal/charz"
-	"powerstack/internal/cluster"
-	"powerstack/internal/cpumodel"
-	"powerstack/internal/facility"
+	"powerstack"
 	"powerstack/internal/kernel"
-	"powerstack/internal/policy"
 	"powerstack/internal/report"
 	"powerstack/internal/units"
 )
@@ -37,28 +38,27 @@ func main() {
 	policyName := flag.String("policy", "MixedAdaptive", "power policy for the running set")
 	interarrival := flag.Duration("interarrival", 45*time.Second, "mean job inter-arrival time")
 	seed := flag.Uint64("seed", 1, "random seed")
+	crashes := flag.Int("crashes", 0, "nodes to crash mid-run (half are repaired)")
+	msrFaults := flag.Int("msrfaults", 0, "nodes with injected MSR write faults")
+	dropouts := flag.Int("dropouts", 0, "nodes with injected telemetry dropouts")
+	faultSeed := flag.Uint64("faultseed", 7, "seed of the generated fault plan")
 	flag.Parse()
+	ctx := context.Background()
 
-	var pol policy.Policy
-	for _, p := range policy.All() {
-		if strings.EqualFold(p.Name(), *policyName) {
-			pol = p
-		}
-	}
-	if pol == nil {
-		log.Fatalf("unknown policy %q", *policyName)
+	pol, err := powerstack.PolicyByName(*policyName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	budget := units.Power(*nNodes) * 200 * units.Watt
 	if *budgetStr != "" {
-		var err error
 		budget, err = units.ParsePower(*budgetStr)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	c, err := cluster.New(*nNodes+8, cpumodel.Quartz(), cpumodel.QuartzVariation(), *seed)
+	sys, err := powerstack.NewSystem(powerstack.Options{ClusterSize: *nNodes + 8, Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,16 +71,30 @@ func main() {
 		{Intensity: 8, Vector: kernel.XMM, Imbalance: 1},
 	}
 	log.Printf("characterizing %d workloads...", len(workloads))
-	db, err := charz.CharacterizeAll(workloads, c.Nodes()[*nNodes:], charz.Options{
-		MonitorIters: 10, BalancerIters: 40, Seed: *seed, NoiseSigma: -1,
-	})
-	if err != nil {
+	if err := sys.Characterize(ctx, workloads, powerstack.QuickCharacterization()); err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := facility.Config{
-		Nodes:            c.Nodes()[:*nNodes],
-		DB:               db,
+	duration := time.Duration(*hours * float64(time.Hour))
+	if *crashes+*msrFaults+*dropouts > 0 {
+		var ids []string
+		for _, n := range sys.Pool {
+			ids = append(ids, n.ID)
+		}
+		sys.Faults = powerstack.GenerateFaults(ids, powerstack.FaultGenOptions{
+			Seed:           *faultSeed,
+			Crashes:        *crashes,
+			RepairFraction: 0.5,
+			MSRWriteFaults: *msrFaults,
+			Dropouts:       *dropouts,
+			Horizon:        duration,
+		})
+		log.Printf("fault plan: %d crashes, %d MSR write faults, %d telemetry dropouts (seed %d)",
+			*crashes, *msrFaults, *dropouts, *faultSeed)
+		sys.EnableObservability()
+	}
+
+	cfg := powerstack.FacilityConfig{
 		Policy:           pol,
 		SystemBudget:     budget,
 		MeanInterarrival: *interarrival,
@@ -88,14 +102,14 @@ func main() {
 		MaxJobIterations: 20000,
 		JobSizes:         []int{2, 4, 8, 16},
 		Workloads:        workloads,
-		Duration:         time.Duration(*hours * float64(time.Hour)),
+		Duration:         duration,
 		Tick:             time.Minute,
 		Seed:             *seed,
 	}
 	log.Printf("simulating %v over %d nodes under %v (%s policy)...",
-		cfg.Duration, *nNodes, budget, pol.Name())
+		cfg.Duration, len(sys.Pool), budget, pol.Name())
 	start := time.Now()
-	res, err := facility.Run(cfg)
+	res, err := sys.RunFacility(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,4 +143,8 @@ func main() {
 	fmt.Printf("power: mean %v, peak %v (budget %v, %d violation ticks)\n",
 		res.MeanPower, res.PeakPower, budget, res.BudgetViolationTicks)
 	fmt.Printf("energy: %v CPU total\n", res.TotalEnergy)
+	if res.Quarantined+res.Requeued+res.Rejoined > 0 {
+		fmt.Printf("faults: %d nodes quarantined, %d rejoined, %d jobs requeued\n",
+			res.Quarantined, res.Rejoined, res.Requeued)
+	}
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -104,7 +105,7 @@ func main() {
 	log.Printf("running %d iterations of mix %s on %d nodes under %v", *iters, mix.Name, *nodes, budget)
 	start := time.Now()
 	for k := 0; k < *iters; k++ {
-		res, err := coord.Run(1)
+		res, err := coord.Run(context.Background(), 1)
 		if err != nil {
 			log.Fatal(err)
 		}

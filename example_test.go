@@ -1,6 +1,7 @@
 package powerstack_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,14 +42,14 @@ func ExampleSystem_RunMix() {
 		log.Fatal(err)
 	}
 	cfg := powerstack.KernelConfig{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}
-	if err := sys.Characterize([]powerstack.KernelConfig{cfg}, powerstack.QuickCharacterization()); err != nil {
+	if err := sys.Characterize(context.Background(), []powerstack.KernelConfig{cfg}, powerstack.QuickCharacterization()); err != nil {
 		log.Fatal(err)
 	}
 	mix := workload.Mix{Name: "demo", Jobs: []workload.JobSpec{
 		{ID: "a", Config: cfg, Nodes: 8},
 		{ID: "b", Config: cfg, Nodes: 8},
 	}}
-	res, err := sys.RunMix(mix, 20)
+	res, err := sys.RunMix(context.Background(), mix, 20)
 	if err != nil {
 		log.Fatal(err)
 	}

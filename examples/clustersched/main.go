@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +19,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// 72 experiment nodes + 8 characterization nodes.
 	sys, err := powerstack.NewSystem(powerstack.Options{ClusterSize: 80, Seed: 11})
@@ -34,13 +36,13 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := sys.CharacterizeMixes([]powerstack.Mix{mix}, powerstack.QuickCharacterization()); err != nil {
+	if err := sys.CharacterizeMixes(ctx, []powerstack.Mix{mix}, powerstack.QuickCharacterization()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ncharacterized %d configurations in %v\n", sys.DB.Len(), time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
-	result, err := sys.RunMix(mix, 40)
+	result, err := sys.RunMix(ctx, mix, 40)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -107,7 +108,7 @@ func run(specs []struct {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := coord.Run(80)
+	res, err := coord.Run(context.Background(), 80)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// A 40-node system: 8 nodes reserved for characterization runs, 32
 	// for experiments.
@@ -35,7 +37,7 @@ func main() {
 
 	// Characterize it: a GEOPM monitor run (maximum power) and a power
 	// balancer run (minimum needed power).
-	if err := sys.Characterize([]powerstack.KernelConfig{cfg}, powerstack.QuickCharacterization()); err != nil {
+	if err := sys.Characterize(ctx, []powerstack.KernelConfig{cfg}, powerstack.QuickCharacterization()); err != nil {
 		log.Fatal(err)
 	}
 	entry, _ := sys.DB.Get(cfg)
@@ -50,7 +52,7 @@ func main() {
 		{ID: "job-a", Config: cfg, Nodes: 16},
 		{ID: "job-b", Config: cfg, Nodes: 16},
 	}}
-	result, err := sys.RunMix(mix, 30)
+	result, err := sys.RunMix(ctx, mix, 30)
 	if err != nil {
 		log.Fatal(err)
 	}

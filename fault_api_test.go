@@ -1,0 +1,209 @@
+package powerstack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"powerstack/internal/kernel"
+	"powerstack/internal/obs"
+	"powerstack/internal/rm"
+	"powerstack/internal/units"
+	"powerstack/internal/workload"
+)
+
+// faultTestConfigs are three distinct workloads so one characterization
+// entry can be corrupted while budgets stay computable from the others.
+func faultTestConfigs() []kernel.Config {
+	return []kernel.Config{
+		{Intensity: 8, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 0.5, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
+		{Intensity: 32, Vector: kernel.XMM, Imbalance: 1},
+	}
+}
+
+func faultTestMix() Mix {
+	cfgs := faultTestConfigs()
+	return Mix{Name: "chaos", Jobs: []workload.JobSpec{
+		{ID: "cj0", Config: cfgs[0], Nodes: 4},
+		{ID: "cj1", Config: cfgs[1], Nodes: 4},
+		{ID: "cj2", Config: cfgs[2], Nodes: 4},
+	}}
+}
+
+// faultTestSystem builds a 20-node experiment pool with the three chaos
+// configs characterized.
+func faultTestSystem(t *testing.T, seed uint64) *System {
+	t.Helper()
+	sys, err := NewSystem(Options{ClusterSize: 24, Seed: seed, CharNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Characterize(context.Background(), faultTestConfigs(), QuickCharacterization()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEvaluateCancelledReturnsAtCellBoundary(t *testing.T) {
+	sys := faultTestSystem(t, 21)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := sys.Evaluate(ctx, []Mix{faultTestMix()}, 50)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to survive to the facade", err)
+	}
+	// A cancelled grid stops at the next cell boundary instead of
+	// draining all 15 cells: nowhere near a full-grid runtime.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancelled Evaluate took %v", elapsed)
+	}
+	// Whatever ran was released: every pool node is back at TDP.
+	for _, n := range sys.Pool {
+		p, err := n.PowerLimit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Watts()-n.TDP().Watts()) > 0.5 {
+			t.Fatalf("node %s limit %v, want TDP after cancellation", n.ID, p)
+		}
+	}
+}
+
+func TestRunMixUncharacterizedIsErrNotCharacterized(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 24, Seed: 3, CharNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.RunMix(context.Background(), faultTestMix(), 5)
+	if !errors.Is(err, ErrNotCharacterized) {
+		t.Fatalf("err = %v, want ErrNotCharacterized", err)
+	}
+}
+
+func TestRunFacilityInfeasibleBudgetIsErrBudgetInfeasible(t *testing.T) {
+	sys := faultTestSystem(t, 9)
+	_, err := sys.RunFacility(context.Background(), FacilityConfig{
+		SystemBudget:     1 * units.Watt,
+		MeanInterarrival: time.Second,
+		MinJobIterations: 100,
+		MaxJobIterations: 200,
+		JobSizes:         []int{2},
+		Workloads:        faultTestConfigs(),
+		Duration:         2 * time.Minute,
+		Tick:             time.Minute,
+	})
+	if !errors.Is(err, ErrBudgetInfeasible) {
+		t.Fatalf("err = %v, want ErrBudgetInfeasible", err)
+	}
+}
+
+func TestSubmitSentinelsSurviveToFacade(t *testing.T) {
+	// The facade's re-exported sentinels must match what the resource
+	// manager wraps, through every %w layer.
+	sys := faultTestSystem(t, 13)
+	mgr := rm.NewManager(sys.Pool[:4])
+	if _, err := mgr.Submit(rm.JobSpec{ID: "a", Config: faultTestConfigs()[0], Nodes: 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Submit(rm.JobSpec{ID: "b", Config: faultTestConfigs()[0], Nodes: 3}, 2); !errors.Is(err, ErrInsufficientNodes) {
+		t.Fatalf("err = %v, want ErrInsufficientNodes", err)
+	}
+	if _, held := mgr.Drain(sys.Pool[3].ID, "test"); held {
+		t.Fatal("free node reported as held")
+	}
+	if _, err := mgr.Submit(rm.JobSpec{ID: "c", Config: faultTestConfigs()[0], Nodes: 2}, 3); !errors.Is(err, ErrNodeQuarantined) {
+		t.Fatalf("err = %v, want ErrNodeQuarantined", err)
+	}
+}
+
+// chaosSeeds returns the fault-plan seeds to sweep: CHAOS_SEED pins one
+// (the CI chaos matrix), default is all three.
+func chaosSeeds(t *testing.T) []uint64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		return []uint64{v}
+	}
+	return []uint64{1, 2, 3}
+}
+
+func TestChaosGridCompletesAndJournals(t *testing.T) {
+	cfgs := faultTestConfigs()
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sys := faultTestSystem(t, 100+seed)
+			sink := sys.EnableObservability()
+
+			// A core of guaranteed-to-fire injections (crash at pool
+			// head, a release-time MSR write fault, a dropout, one
+			// corrupt entry) plus seed-varied extras from the generator.
+			plan := &FaultPlan{Injections: []FaultInjection{
+				{Kind: FaultNodeCrash, Node: sys.Pool[0].ID},
+				{Kind: FaultMSRWrite, Node: sys.Pool[1].ID, After: 1},
+				{Kind: FaultTelemetryDropout, Node: sys.Pool[2].ID, Duration: time.Minute},
+				{Kind: FaultCharzCorruption, Config: cfgs[2].Name()},
+			}}
+			var ids []string
+			for _, n := range sys.Pool[3:] {
+				ids = append(ids, n.ID)
+			}
+			extra := GenerateFaults(ids, FaultGenOptions{Seed: seed, MSRWriteFaults: 1, SlowNodes: 1})
+			plan.Injections = append(plan.Injections, extra.Injections...)
+			sys.Faults = plan
+
+			grid, err := sys.Evaluate(context.Background(), []Mix{faultTestMix()}, 5)
+			if err != nil {
+				t.Fatalf("chaos grid failed: %v", err)
+			}
+			if len(grid.Mixes) != 1 || len(grid.Mixes[0].Cells) != 3 {
+				t.Fatalf("grid shape: %+v", grid.Mixes)
+			}
+			for lvl, cells := range grid.Mixes[0].Cells {
+				for pname, c := range cells {
+					if c.TotalEnergy <= 0 || c.SystemTime <= 0 {
+						t.Errorf("%s/%s: empty cell despite faults: %+v", lvl, pname, c)
+					}
+				}
+			}
+
+			counts := map[obs.EventType]int{}
+			for _, e := range sink.Journal.Snapshot() {
+				counts[e.Type]++
+			}
+			for _, want := range []obs.EventType{
+				obs.EvFaultInjected, obs.EvNodeQuarantined, obs.EvPolicyFallback,
+			} {
+				if counts[want] == 0 {
+					t.Errorf("no %s events journaled; counts: %v", want, counts)
+				}
+			}
+		})
+	}
+}
+
+func TestZeroFaultPlanIsByteIdentical(t *testing.T) {
+	run := func(plan *FaultPlan) *Grid {
+		sys := faultTestSystem(t, 55)
+		sys.Faults = plan
+		g, err := sys.Evaluate(context.Background(), []Mix{faultTestMix()}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	base := run(nil)
+	empty := run(&FaultPlan{})
+	if !reflect.DeepEqual(base, empty) {
+		t.Fatal("empty fault plan perturbed the grid")
+	}
+}

@@ -14,10 +14,12 @@
 package charz
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -52,6 +54,29 @@ type Entry struct {
 	NeededMax         units.Power `json:"needed_max"`          // most needed by any host
 	NeededMean        units.Power `json:"needed_mean"`         // mean across hosts (Table III budget selection)
 	BalancerIterTime  time.Duration
+}
+
+// Valid reports whether the entry is usable by the policies: all power
+// observations finite and non-negative, the load-bearing ones positive, and
+// a positive host count. A corrupted entry (fault-plan injection or a
+// damaged database file) fails this check, which is what routes its jobs to
+// the StaticCaps fallback instead of poisoning allocations with NaN caps.
+func (e Entry) Valid() bool {
+	musts := []units.Power{e.MonitorHostPower, e.MonitorMaxHostPower, e.MonitorCriticalPwr, e.NeededCritical, e.NeededMean}
+	for _, p := range musts {
+		if math.IsNaN(p.Watts()) || math.IsInf(p.Watts(), 0) || p <= 0 {
+			return false
+		}
+	}
+	// Waiting-role powers are legitimately zero for mixes with no waiting
+	// hosts; they only need to be finite and non-negative.
+	mays := []units.Power{e.MonitorWaitingPwr, e.NeededWaiting, e.NeededMin, e.NeededMax, e.BalancerHostPower}
+	for _, p := range mays {
+		if math.IsNaN(p.Watts()) || math.IsInf(p.Watts(), 0) || p < 0 {
+			return false
+		}
+	}
+	return e.Hosts > 0
 }
 
 // NeededForRole returns the characterized needed power of a host with the
@@ -252,23 +277,45 @@ func (db *DB) Get(cfg kernel.Config) (Entry, bool) {
 	return e, ok
 }
 
-// MustGet looks up an entry or returns an error naming the configuration.
+// ErrNotCharacterized reports a lookup for a configuration the database has
+// no (valid) entry for. Callers check it with errors.Is; the facade
+// re-exports it.
+var ErrNotCharacterized = errors.New("charz: configuration not characterized")
+
+// MustGet looks up an entry or returns an error naming the configuration,
+// wrapping ErrNotCharacterized.
 func (db *DB) MustGet(cfg kernel.Config) (Entry, error) {
 	e, ok := db.Get(cfg)
 	if !ok {
-		return Entry{}, fmt.Errorf("charz: no characterization for %s", cfg.Name())
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotCharacterized, cfg.Name())
 	}
 	return e, nil
+}
+
+// Clone returns an independent shallow copy of the database: entries are
+// values, so mutating (or corrupting) the clone never reaches the original.
+func (db *DB) Clone() *DB {
+	c := NewDB()
+	for k, e := range db.Entries {
+		c.Entries[k] = e
+	}
+	return c
 }
 
 // Len returns the number of entries.
 func (db *DB) Len() int { return len(db.Entries) }
 
 // CharacterizeAll characterizes every configuration on the shared node
-// pool, building a database.
-func CharacterizeAll(configs []kernel.Config, nodes []*node.Node, opt Options) (*DB, error) {
+// pool, building a database. Cancellation is honored between
+// configurations: the two passes of one configuration always run to
+// completion (leaving the pool at TDP), and the context error is returned
+// before the next configuration starts.
+func CharacterizeAll(ctx context.Context, configs []kernel.Config, nodes []*node.Node, opt Options) (*DB, error) {
 	db := NewDB()
 	for _, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e, err := Characterize(cfg, nodes, opt)
 		if err != nil {
 			return nil, fmt.Errorf("charz: %s: %w", cfg.Name(), err)

@@ -2,6 +2,7 @@ package charz
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -118,7 +119,7 @@ func TestCharacterizeAllAndDB(t *testing.T) {
 		{Intensity: 0.25, Vector: kernel.YMM, Imbalance: 1},
 		{Intensity: 16, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
 	}
-	db, err := CharacterizeAll(configs, nodes, quickOpts())
+	db, err := CharacterizeAll(context.Background(), configs, nodes, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -117,7 +118,7 @@ func TestCoordinatedRunRespectsBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run(40)
+	res, err := c.Run(context.Background(), 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestOnlineCoordinationBeatsStaticSplit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.Run(60)
+		res, err := c.Run(context.Background(), 60)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func TestOnlineConvergesTowardPrecharacterizedBehavior(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run(60)
+	res, err := c.Run(context.Background(), 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestGrantHistoryEvolves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run(30)
+	res, err := c.Run(context.Background(), 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestProtocolIntervalRespected(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Interval = 5
-	res, err := c.Run(20)
+	res, err := c.Run(context.Background(), 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestRunValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Run(0); err == nil {
+	if _, err := c.Run(context.Background(), 0); err == nil {
 		t.Error("zero iterations accepted")
 	}
 }

@@ -1,15 +1,22 @@
 package coordinator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"powerstack/internal/bsp"
+	"powerstack/internal/fault"
 	"powerstack/internal/obs"
 	"powerstack/internal/stats"
 	"powerstack/internal/units"
 )
+
+// DefaultHoldRounds is how many consecutive protocol rounds the coordinator
+// holds a job's previous grant when its Request goes missing, before
+// concluding the runtime is gone and reclaiming the job's budget span.
+const DefaultHoldRounds = 3
 
 // Coordinator is the resource-manager endpoint of the protocol: it owns the
 // system budget and renegotiates per-job budgets from the runtimes'
@@ -25,10 +32,20 @@ type Coordinator struct {
 	// Interval is how many iterations pass between protocol rounds
 	// (1 = renegotiate every iteration).
 	Interval int
+	// Faults consults a fault plan for dropped Requests; nil injects
+	// nothing.
+	Faults *fault.Plan
+	// HoldRounds overrides DefaultHoldRounds (zero selects the default):
+	// a missing Request is treated as "hold the previous grant" for this
+	// many consecutive rounds, after which the job is floored at its
+	// minimum and its span redistributed to the responsive jobs.
+	HoldRounds int
 
 	Runtimes []*Runtime
 
 	obs *obs.Sink
+	// misses counts consecutive missing Requests per runtime.
+	misses []int
 }
 
 // SetObs attaches an observability sink to the coordinator, its job
@@ -149,15 +166,53 @@ type Result struct {
 // TimeCI95 returns the 95% confidence half-width of the iteration times.
 func (r Result) TimeCI95() float64 { return stats.ConfidenceInterval95(r.IterTimes) }
 
+// heldRequest synthesizes the Request for a runtime whose real one went
+// missing this round. Within the hold horizon, the job's previous grant is
+// pinned (Needed = Min = MaxUseful = grant) so the allocation cannot move
+// it; past the horizon, the job is floored at its hosts' minimum settable
+// power and the reclaimed span flows to the responsive jobs.
+func (c *Coordinator) heldRequest(i int, rt *Runtime, round, holdRounds int) Request {
+	c.misses[i]++
+	var minFloor units.Power
+	for _, h := range rt.Job.Hosts {
+		minFloor += h.Node.MinLimit()
+	}
+	if c.misses[i] <= holdRounds {
+		held := rt.grant
+		if held < minFloor {
+			held = minFloor
+		}
+		c.obs.RequestHold(rt.Job.ID, round, held.Watts(), c.misses[i], false)
+		return Request{JobID: rt.Job.ID, Needed: held, Min: held, MaxUseful: held}
+	}
+	c.obs.RequestHold(rt.Job.ID, round, minFloor.Watts(), c.misses[i], true)
+	return Request{JobID: rt.Job.ID, Needed: minFloor, Min: minFloor, MaxUseful: minFloor}
+}
+
 // Run executes iters iterations with protocol rounds every Interval
-// iterations.
-func (c *Coordinator) Run(iters int) (Result, error) {
+// iterations. Cancelling ctx stops the run at the next iteration boundary
+// with ctx's error.
+//
+// A protocol round with a missing Request (injected through Faults, or any
+// future lossy transport) degrades instead of failing: for up to
+// HoldRounds consecutive misses the job's previous grant is held by
+// synthesizing a Request pinned at that grant, and past the horizon the
+// job is floored at its minimum settable power so its span flows to the
+// jobs still talking. Both decisions are journaled as RequestHold events.
+func (c *Coordinator) Run(ctx context.Context, iters int) (Result, error) {
 	if iters <= 0 {
 		return Result{}, errors.New("coordinator: iterations must be positive")
 	}
 	interval := c.Interval
 	if interval <= 0 {
 		interval = 1
+	}
+	holdRounds := c.HoldRounds
+	if holdRounds <= 0 {
+		holdRounds = DefaultHoldRounds
+	}
+	if c.misses == nil {
+		c.misses = make([]int, len(c.Runtimes))
 	}
 	totalNodes := 0
 	for _, rt := range c.Runtimes {
@@ -169,7 +224,11 @@ func (c *Coordinator) Run(iters int) (Result, error) {
 		GrantHistory: map[string][]units.Power{},
 	}
 	var jobElapsed = make([]time.Duration, len(c.Runtimes))
+	round := 0
 	for k := 0; k < iters; k++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		for ji, rt := range c.Runtimes {
 			ir, err := rt.step(k)
 			if err != nil {
@@ -182,8 +241,14 @@ func (c *Coordinator) Run(iters int) (Result, error) {
 			jobElapsed[ji] += ir.Elapsed
 		}
 		if c.ShareAcrossJobs && (k+1)%interval == 0 {
+			round++
 			reqs := make([]Request, len(c.Runtimes))
 			for i, rt := range c.Runtimes {
+				if c.Faults.RequestDropped(rt.Job.ID, round) {
+					reqs[i] = c.heldRequest(i, rt, round, holdRounds)
+					continue
+				}
+				c.misses[i] = 0
 				reqs[i] = rt.request()
 			}
 			for i, g := range Allocate(c.Budget, reqs) {

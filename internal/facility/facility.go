@@ -9,6 +9,7 @@
 package facility
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,8 +17,10 @@ import (
 	"time"
 
 	"powerstack/internal/charz"
+	"powerstack/internal/fault"
 	"powerstack/internal/kernel"
 	"powerstack/internal/node"
+	"powerstack/internal/obs"
 	"powerstack/internal/policy"
 	"powerstack/internal/rm"
 	"powerstack/internal/telemetry"
@@ -50,6 +53,16 @@ type Config struct {
 	Tick     time.Duration
 
 	Seed uint64
+
+	// Faults is an optional deterministic fault plan. Crashes drain nodes
+	// mid-run (requeueing their jobs) and scheduled repairs rejoin them;
+	// MSR faults exercise the manager's retry/quarantine path; telemetry
+	// dropouts hold samples; characterization corruption triggers policy
+	// fallbacks. Nil or empty injects nothing.
+	Faults *fault.Plan
+	// Obs journals every fault and degradation decision; nil disables
+	// instrumentation.
+	Obs *obs.Sink
 }
 
 // Validate checks the configuration.
@@ -110,20 +123,32 @@ type Result struct {
 	TotalEnergy units.Energy
 	// BudgetViolationTicks counts samples above the system budget.
 	BudgetViolationTicks int
+	// Requeued counts jobs returned to the queue after a crash drained
+	// one of their hosts; Quarantined and Rejoined count node drain-set
+	// transitions over the run.
+	Requeued, Quarantined, Rejoined int
 }
 
-// Run executes the simulation.
-func Run(cfg Config) (*Result, error) {
+// Run executes the simulation. Cancelling ctx stops the run at the next
+// tick boundary with ctx's error.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
 	pol := cfg.Policy
 	if pol == nil {
 		pol = policy.StaticCaps{}
 	}
+	// Corruption applies to a clone so the caller's database survives the
+	// run intact; policies see the damaged view and fall back.
+	db := cfg.Faults.CorruptDB(cfg.DB, cfg.Obs)
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
 	mgr := rm.NewManager(cfg.Nodes)
-	sched, err := rm.NewScheduler(mgr, cfg.DB, cfg.SystemBudget)
+	mgr.Obs = cfg.Obs
+	sched, err := rm.NewScheduler(mgr, db, cfg.SystemBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +159,12 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{}
 	now := time.Unix(0, 0).UTC()
+	cfg.Faults.Arm(cfg.Nodes, cfg.Obs)
+	root.SetFaultPlan(cfg.Faults, now, cfg.Obs)
+	nodeByID := map[string]*node.Node{}
+	for _, n := range cfg.Nodes {
+		nodeByID[n.ID] = n
+	}
 	if _, err := root.Sample(now); err != nil { // prime energy trackers
 		return nil, err
 	}
@@ -148,7 +179,7 @@ func Run(cfg Config) (*Result, error) {
 		if len(mgr.Jobs()) == 0 {
 			return nil
 		}
-		alloc, err := mgr.Plan(pol, cfg.SystemBudget, cfg.DB)
+		alloc, err := mgr.Plan(pol, cfg.SystemBudget, db)
 		if err != nil {
 			return err
 		}
@@ -157,7 +188,60 @@ func Run(cfg Config) (*Result, error) {
 
 	jobSeq := 0
 	for elapsed := time.Duration(0); elapsed < cfg.Duration; elapsed += cfg.Tick {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tickEnd := now.Add(cfg.Tick)
+
+		// Fire this tick's scheduled faults before any job advances:
+		// crashes drain nodes (requeueing the jobs that held them),
+		// repairs rejoin nodes, slow-node windows open and close.
+		faultsFired := false
+		for _, tr := range cfg.Faults.ApplyAt(elapsed, elapsed+cfg.Tick) {
+			switch tr.Kind {
+			case fault.NodeCrash:
+				n, ok := nodeByID[tr.Node]
+				if !ok {
+					continue
+				}
+				fault.Crash(n)
+				cfg.Obs.FaultInjected(string(fault.NodeCrash), tr.Node, "", 0)
+				holder, held := mgr.Drain(tr.Node, "crash")
+				res.Quarantined++
+				if held {
+					if err := sched.Requeue(holder); err != nil {
+						return nil, err
+					}
+					res.Requeued++
+					for i, r := range active {
+						if r.sj == holder {
+							active = append(active[:i], active[i+1:]...)
+							break
+						}
+					}
+				}
+				faultsFired = true
+			case fault.NodeRepair:
+				n, ok := nodeByID[tr.Node]
+				if !ok {
+					continue
+				}
+				fault.Repair(n)
+				if mgr.Rejoin(tr.Node) {
+					res.Rejoined++
+				}
+			case fault.SlowNode:
+				if n, ok := nodeByID[tr.Node]; ok {
+					n.SetDegradation(tr.Factor)
+					cfg.Obs.FaultInjected(string(fault.SlowNode), tr.Node, "", tr.Factor)
+				}
+			}
+		}
+		if faultsFired {
+			if err := replan(); err != nil {
+				return nil, err
+			}
+		}
 
 		// Arrivals within this tick.
 		for !nextArrival.After(tickEnd) {

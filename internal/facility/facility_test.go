@@ -1,6 +1,7 @@
 package facility
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -25,7 +26,7 @@ func facilityEnv(t *testing.T, nNodes int) ([]*node.Node, *charz.DB, []kernel.Co
 		{Intensity: 0.5, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
 		{Intensity: 32, Vector: kernel.XMM, Imbalance: 1},
 	}
-	db, err := charz.CharacterizeAll(workloads, scratch, charz.Options{
+	db, err := charz.CharacterizeAll(context.Background(), workloads, scratch, charz.Options{
 		MonitorIters: 5, BalancerIters: 30, Seed: 3, NoiseSigma: 0,
 	})
 	if err != nil {
@@ -83,7 +84,7 @@ func TestConfigValidation(t *testing.T) {
 func TestFacilitySimulationRuns(t *testing.T) {
 	nodes, db, workloads := facilityEnv(t, 8)
 	cfg := baseConfig(nodes, db, workloads)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFacilityRespectsBudget(t *testing.T) {
 	// Tight budget: the scheduler's power admission (uncapped-demand
 	// based) must keep the facility within the limit at all times.
 	cfg.SystemBudget = units.Power(len(nodes)) * 180 * units.Watt
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFacilityDeterministicBySeed(t *testing.T) {
 	nodes, db, workloads := facilityEnv(t, 6)
 	cfg := baseConfig(nodes, db, workloads)
 	cfg.Duration = 10 * time.Minute
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestFacilityDeterministicBySeed(t *testing.T) {
 	nodes2, db2, workloads2 := facilityEnv(t, 6)
 	cfg2 := baseConfig(nodes2, db2, workloads2)
 	cfg2.Duration = 10 * time.Minute
-	b, err := Run(cfg2)
+	b, err := Run(context.Background(), cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestHigherLoadRaisesUtilization(t *testing.T) {
 	quiet := baseConfig(nodes, db, workloads)
 	quiet.MeanInterarrival = 4 * time.Minute
 	quiet.Duration = 20 * time.Minute
-	resQuiet, err := Run(quiet)
+	resQuiet, err := Run(context.Background(), quiet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestHigherLoadRaisesUtilization(t *testing.T) {
 	busy := baseConfig(nodes2, db2, workloads2)
 	busy.MeanInterarrival = 15 * time.Second
 	busy.Duration = 20 * time.Minute
-	resBusy, err := Run(busy)
+	resBusy, err := Run(context.Background(), busy)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -88,20 +88,35 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("msr: %s 0x%03X: %s", e.Op, e.Register, e.Reason)
 }
 
+// Op names one unprivileged access direction for fault arming.
+type Op string
+
+// The two unprivileged access directions.
+const (
+	OpRead  Op = "read"
+	OpWrite Op = "write"
+)
+
+// opReg addresses one (direction, register) fault slot.
+type opReg struct {
+	op  Op
+	reg uint32
+}
+
 // Device is one simulated per-socket MSR file (e.g. /dev/cpu/N/msr_safe).
 // It is safe for concurrent use: the GEOPM controller and the resource
 // manager may touch the same socket from different goroutines.
 type Device struct {
-	mu          sync.RWMutex
-	regs        map[uint32]uint64
-	allowlist   map[uint32]Access
-	faults      map[uint32]error
-	writeFaults map[uint32]*writeFault
+	mu        sync.RWMutex
+	regs      map[uint32]uint64
+	allowlist map[uint32]Access
+	faults    map[uint32]error
+	armed     map[opReg]*countdownFault
 }
 
-// writeFault is a countdown fault: the next remaining unprivileged writes
-// succeed, then every later write fails with err.
-type writeFault struct {
+// countdownFault is a countdown fault: the next remaining unprivileged
+// accesses in its direction succeed, then every later access fails with err.
+type countdownFault struct {
 	remaining int
 	err       error
 }
@@ -122,15 +137,32 @@ func NewDevice(allowlist map[uint32]Access) *Device {
 // Read returns the value of the register, failing for registers that are not
 // on the allowlist.
 func (d *Device) Read(reg uint32) (uint64, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.faults[reg]; err != nil {
+		return 0, err
+	}
+	if err := d.countdown(OpRead, reg); err != nil {
 		return 0, err
 	}
 	if _, ok := d.allowlist[reg]; !ok {
 		return 0, &Error{Op: "read", Register: reg, Reason: "not in allowlist"}
 	}
 	return d.regs[reg], nil
+}
+
+// countdown advances the armed countdown fault for (op, reg), returning its
+// error once the budget of healthy accesses is spent. Callers hold d.mu.
+func (d *Device) countdown(op Op, reg uint32) error {
+	cf, ok := d.armed[opReg{op, reg}]
+	if !ok {
+		return nil
+	}
+	if cf.remaining <= 0 {
+		return cf.err
+	}
+	cf.remaining--
+	return nil
 }
 
 // Write stores value into the writable bits of the register. Bits outside
@@ -142,11 +174,8 @@ func (d *Device) Write(reg uint32, value uint64) error {
 	if err := d.faults[reg]; err != nil {
 		return err
 	}
-	if wf, ok := d.writeFaults[reg]; ok {
-		if wf.remaining <= 0 {
-			return wf.err
-		}
-		wf.remaining--
+	if err := d.countdown(OpWrite, reg); err != nil {
+		return err
 	}
 	acc, ok := d.allowlist[reg]
 	if !ok {
@@ -228,27 +257,30 @@ func (d *Device) SetFault(reg uint32, err error) {
 	d.faults[reg] = err
 }
 
-// SetWriteFaultAfter arms a countdown fault on the register: the next n
-// unprivileged writes succeed, then every later write fails with err. A nil
-// err disarms it. It complements SetFault for failure windows that open
-// mid-run — e.g. a limit programmed successfully at cell start but failing
-// at release time. Reads and privileged accesses are unaffected.
-func (d *Device) SetWriteFaultAfter(reg uint32, n int, err error) {
+// ArmFault arms a countdown fault on (op, reg): the next after unprivileged
+// accesses in that direction succeed, then every later one fails with err. A
+// nil err disarms the slot. It complements SetFault for failure windows that
+// open mid-run — e.g. a limit programmed successfully at cell start but
+// failing at release time, or an energy counter that stops answering after
+// the first few samples. The opposite direction and privileged accesses are
+// unaffected. It generalizes the former SetWriteFaultAfter hook, which only
+// covered writes; the fault package's plans are the usual way to arm it.
+func (d *Device) ArmFault(op Op, reg uint32, after int, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err == nil {
-		delete(d.writeFaults, reg)
+		delete(d.armed, opReg{op, reg})
 		return
 	}
-	if d.writeFaults == nil {
-		d.writeFaults = map[uint32]*writeFault{}
+	if d.armed == nil {
+		d.armed = map[opReg]*countdownFault{}
 	}
-	d.writeFaults[reg] = &writeFault{remaining: n, err: err}
+	d.armed[opReg{op, reg}] = &countdownFault{remaining: after, err: err}
 }
 
 // Clone returns an independent copy of the device: register contents, the
 // allowlist, and any injected fault state are all duplicated, so accesses
-// to the clone never affect the original (and vice versa). Countdown write
+// to the clone never affect the original (and vice versa). Armed countdown
 // faults keep their remaining budget at the moment of cloning. This is the
 // register-file half of node cloning for cell-isolated pools.
 func (d *Device) Clone() *Device {
@@ -269,10 +301,10 @@ func (d *Device) Clone() *Device {
 			c.faults[addr] = err
 		}
 	}
-	if len(d.writeFaults) > 0 {
-		c.writeFaults = make(map[uint32]*writeFault, len(d.writeFaults))
-		for addr, wf := range d.writeFaults {
-			c.writeFaults[addr] = &writeFault{remaining: wf.remaining, err: wf.err}
+	if len(d.armed) > 0 {
+		c.armed = make(map[opReg]*countdownFault, len(d.armed))
+		for key, cf := range d.armed {
+			c.armed[key] = &countdownFault{remaining: cf.remaining, err: cf.err}
 		}
 	}
 	return c

@@ -282,10 +282,10 @@ func TestCloneCopiesFaults(t *testing.T) {
 	}
 }
 
-func TestSetWriteFaultAfterCountdown(t *testing.T) {
+func TestArmFaultWriteCountdown(t *testing.T) {
 	d := NewDevice(nil)
 	boom := errors.New("boom")
-	d.SetWriteFaultAfter(MSRPkgPowerLimit, 2, boom)
+	d.ArmFault(OpWrite, MSRPkgPowerLimit, 2, boom)
 	// The first two writes pass, then the register fails persistently.
 	for i := 0; i < 2; i++ {
 		if err := d.Write(MSRPkgPowerLimit, uint64(i)); err != nil {
@@ -303,16 +303,37 @@ func TestSetWriteFaultAfterCountdown(t *testing.T) {
 		t.Fatalf("read: %v", err)
 	}
 	// A nil error disarms the countdown.
-	d.SetWriteFaultAfter(MSRPkgPowerLimit, 0, nil)
+	d.ArmFault(OpWrite, MSRPkgPowerLimit, 0, nil)
 	if err := d.Write(MSRPkgPowerLimit, 9); err != nil {
 		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestArmFaultReadCountdown(t *testing.T) {
+	d := NewDevice(nil)
+	boom := errors.New("boom")
+	d.ArmFault(OpRead, MSRPkgEnergyStatus, 1, boom)
+	if _, err := d.Read(MSRPkgEnergyStatus); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := d.Read(MSRPkgEnergyStatus); !errors.Is(err, boom) {
+		t.Fatalf("second read err = %v, want injected fault", err)
+	}
+	// Writes never trip a read fault; the register is read-only, so use the
+	// writable PL1 register armed only for reads.
+	d.ArmFault(OpRead, MSRPkgPowerLimit, 0, boom)
+	if err := d.Write(MSRPkgPowerLimit, 3); err != nil {
+		t.Fatalf("write with read fault armed: %v", err)
+	}
+	if _, err := d.Read(MSRPkgPowerLimit); !errors.Is(err, boom) {
+		t.Fatalf("read err = %v, want injected fault", err)
 	}
 }
 
 func TestCloneCopiesWriteFaultCountdown(t *testing.T) {
 	d := NewDevice(nil)
 	boom := errors.New("boom")
-	d.SetWriteFaultAfter(MSRPkgPowerLimit, 1, boom)
+	d.ArmFault(OpWrite, MSRPkgPowerLimit, 1, boom)
 	c := d.Clone()
 	// Each device has its own countdown budget.
 	if err := c.Write(MSRPkgPowerLimit, 1); err != nil {

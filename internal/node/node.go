@@ -39,6 +39,12 @@ type Node struct {
 	// spin-wait ablation; production runs leave it false.
 	IdleWait bool
 
+	// degrade multiplies the node's work time when > 1, modeling a slowed
+	// host (thermal throttling, a sick DIMM, a noisy neighbor on shared
+	// storage). Fault plans set it through SetDegradation; zero means
+	// healthy.
+	degrade float64
+
 	// op memoizes the steady-state operating point for the last
 	// (phase, cap) pair: across the 100 iterations of a run the cap and
 	// phase are constant, so resolving frequency by binary search once
@@ -125,6 +131,26 @@ func (n *Node) resolve(ph cpumodel.Phase, cap units.Power) opPoint {
 	return n.op
 }
 
+// SetDegradation sets a work-time multiplier modeling a slowed host; f <= 1
+// restores nominal speed. The slowdown stretches compute time (the node
+// arrives later at every barrier) without changing the power model, which is
+// how a throttling host looks to the rest of the stack.
+func (n *Node) SetDegradation(f float64) {
+	if f <= 1 {
+		n.degrade = 0
+		return
+	}
+	n.degrade = f
+}
+
+// Degradation returns the current work-time multiplier (1 when healthy).
+func (n *Node) Degradation() float64 {
+	if n.degrade > 1 {
+		return n.degrade
+	}
+	return 1
+}
+
 // SetFrequencyPin requests a P-state ceiling through IA32_PERF_CTL on both
 // sockets (the DVFS control path GEOPM's frequency agents use). The
 // request is quantized to the socket's P-state step and clipped to its
@@ -195,7 +221,7 @@ func New(id string, spec cpumodel.Spec, eta float64) (*Node, error) {
 // derived purely from register contents, which are copied verbatim). The
 // observability sink does not carry over; attach one with SetObs.
 func (n *Node) Clone() *Node {
-	c := &Node{ID: n.ID, IdleWait: n.IdleWait, op: n.op, opValid: n.opValid}
+	c := &Node{ID: n.ID, IdleWait: n.IdleWait, degrade: n.degrade, op: n.op, opValid: n.opValid}
 	c.sockets = make([]*SocketUnit, 0, len(n.sockets))
 	for _, su := range n.sockets {
 		dev := su.Dev.Clone()
@@ -300,7 +326,7 @@ func (n *Node) WorkTime(ph cpumodel.Phase) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	return n.resolve(ph, limit.Power).tWork, nil
+	return time.Duration(float64(n.resolve(ph, limit.Power).tWork) * n.Degradation()), nil
 }
 
 // PhaseResult reports one node's share of one bulk-synchronous iteration.
@@ -341,7 +367,7 @@ func (n *Node) CompleteIteration(ph cpumodel.Phase, iterTime time.Duration, work
 	}
 
 	fWork := op.fWork
-	tWork := time.Duration(float64(op.tWork) * workScale)
+	tWork := time.Duration(float64(op.tWork) * workScale * n.Degradation())
 	if tWork > iterTime {
 		// The barrier cannot release before the slowest host; treat this
 		// host as critical.

@@ -36,6 +36,29 @@ const (
 	EvEnergyWrap EventType = "energy_wrap"
 	// EvCell marks sim evaluation-cell progress (start and finish).
 	EvCell EventType = "cell"
+	// EvFaultInjected is a fault-plan injection arming or firing (MSR
+	// faults, crashes, slow nodes, dropouts, characterization corruption).
+	EvFaultInjected EventType = "fault_injected"
+	// EvPolicyFallback is the resource manager substituting a StaticCaps
+	// uniform split for a job whose characterization is missing or corrupt.
+	EvPolicyFallback EventType = "policy_fallback"
+	// EvNodeQuarantined is a node moved to the drain set after repeated
+	// control failures or a crash.
+	EvNodeQuarantined EventType = "node_quarantined"
+	// EvNodeRejoined is a repaired node returning to the free pool.
+	EvNodeRejoined EventType = "node_rejoined"
+	// EvCapRetry is a failed power-limit write being retried.
+	EvCapRetry EventType = "cap_retry"
+	// EvRequestHold is the coordinator holding a job's previous grant
+	// because its Request went missing (and, past the hold horizon,
+	// redistributing the job's budget).
+	EvRequestHold EventType = "request_hold"
+	// EvTelemetryHold is a telemetry leaf holding its last sample through a
+	// dropout or read failure.
+	EvTelemetryHold EventType = "telemetry_hold"
+	// EvJobRequeued is the facility returning a crashed node's job to the
+	// scheduler queue.
+	EvJobRequeued EventType = "job_requeued"
 )
 
 // Event is one structured decision record. Fields are flat and typed so

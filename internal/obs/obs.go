@@ -53,6 +53,24 @@ const (
 	MetricCells = "powerstack_sim_cells_total"
 	// MetricCellSeconds is the wall-time histogram of sim cells.
 	MetricCellSeconds = "powerstack_sim_cell_seconds"
+	// MetricFaults counts fault-plan injections armed or fired, labeled
+	// kind.
+	MetricFaults = "powerstack_faults_injected_total"
+	// MetricQuarantines counts nodes moved to the drain set.
+	MetricQuarantines = "powerstack_nodes_quarantined_total"
+	// MetricRejoins counts repaired nodes returning to service.
+	MetricRejoins = "powerstack_nodes_rejoined_total"
+	// MetricFallbacks counts StaticCaps fallbacks for uncharacterized jobs.
+	MetricFallbacks = "powerstack_policy_fallbacks_total"
+	// MetricCapRetries counts retried power-limit writes.
+	MetricCapRetries = "powerstack_cap_write_retries_total"
+	// MetricRequestHolds counts coordinator grant holds for missing
+	// Requests.
+	MetricRequestHolds = "powerstack_request_holds_total"
+	// MetricTelemetryHolds counts telemetry samples held through dropouts.
+	MetricTelemetryHolds = "powerstack_telemetry_holds_total"
+	// MetricRequeues counts jobs requeued after losing a node.
+	MetricRequeues = "powerstack_jobs_requeued_total"
 )
 
 // Sink bundles the metrics registry and the event journal. The zero value
@@ -204,6 +222,96 @@ func (s *Sink) Clamp(host string, fromWatts, toWatts float64) {
 	}
 	s.Metrics.Counter(MetricClamps).Inc()
 	s.Journal.Record(Event{Type: EvClamp, Layer: "telemetry", Host: host, Value: toWatts, Aux: fromWatts})
+}
+
+// FaultInjected records one fault-plan injection arming or firing: kind is
+// the injection kind, host the target node (empty for job-scoped faults),
+// scope the job/config target when host-less.
+func (s *Sink) FaultInjected(kind, host, scope string, value float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricFaults, "kind", kind).Inc()
+	s.Journal.Record(Event{Type: EvFaultInjected, Layer: "fault", Scope: scope + kindSep + kind, Host: host, Value: value})
+}
+
+// kindSep joins the fault scope and kind inside one Scope field so the
+// journal stays flat ("job3|msr_write_fault").
+const kindSep = "|"
+
+// PolicyFallback records the resource manager substituting a StaticCaps-style
+// uniform split for a job whose characterization entry is missing or corrupt.
+func (s *Sink) PolicyFallback(job, reason string) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricFallbacks, "reason", reason).Inc()
+	s.Journal.Record(Event{Type: EvPolicyFallback, Layer: "rm", Scope: job + kindSep + reason})
+}
+
+// Quarantine records a node moving to the drain set for the given reason
+// ("cap_write", "release", "crash").
+func (s *Sink) Quarantine(host, reason string) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricQuarantines, "reason", reason).Inc()
+	s.Journal.Record(Event{Type: EvNodeQuarantined, Layer: "rm", Scope: reason, Host: host})
+}
+
+// Rejoin records a repaired node returning to the free pool.
+func (s *Sink) Rejoin(host string) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricRejoins).Inc()
+	s.Journal.Record(Event{Type: EvNodeRejoined, Layer: "rm", Host: host})
+}
+
+// CapRetry records one retry of a failed power-limit write: the watts being
+// programmed and the attempt number (1-based).
+func (s *Sink) CapRetry(host string, watts float64, attempt int) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricCapRetries).Inc()
+	s.Journal.Record(Event{Type: EvCapRetry, Layer: "rm", Host: host, Iter: attempt, Value: watts})
+}
+
+// RequestHold records the coordinator holding a job's previous grant through
+// a missing Request. misses is the consecutive-miss count; redistributed is
+// true once the hold horizon is exceeded and the job's budget is released
+// back to the pool.
+func (s *Sink) RequestHold(job string, round int, watts float64, misses int, redistributed bool) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricRequestHolds, "job", job).Inc()
+	aux := float64(misses)
+	if redistributed {
+		aux = -aux
+	}
+	s.Journal.Record(Event{Type: EvRequestHold, Layer: "coordinator", Scope: job, Iter: round, Value: watts, Aux: aux})
+}
+
+// TelemetryHold records a telemetry leaf holding its last known power
+// through a sample dropout or read failure.
+func (s *Sink) TelemetryHold(host string, heldWatts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricTelemetryHolds).Inc()
+	s.Journal.Record(Event{Type: EvTelemetryHold, Layer: "telemetry", Host: host, Value: heldWatts})
+}
+
+// JobRequeued records the facility returning a job to the scheduler queue
+// after a node loss, with the iterations it still has to run.
+func (s *Sink) JobRequeued(job string, remaining int) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricRequeues).Inc()
+	s.Journal.Record(Event{Type: EvJobRequeued, Layer: "facility", Scope: job, Value: float64(remaining)})
 }
 
 // CellStart marks a sim evaluation cell beginning.

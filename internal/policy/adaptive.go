@@ -17,6 +17,19 @@ type slot struct {
 	alloc  units.Power
 }
 
+// withFallback wraps a characterization-driven signal so Fallback jobs
+// (missing or corrupt entries) target the uniform per-host share instead of
+// reading Char fields: their hosts neither donate to nor draw from the
+// redistribution pool, which is exactly the StaticCaps treatment.
+func withFallback(per units.Power, signal func(JobInfo, HostInfo) units.Power) func(JobInfo, HostInfo) units.Power {
+	return func(j JobInfo, h HostInfo) units.Power {
+		if j.Fallback {
+			return per
+		}
+		return signal(j, h)
+	}
+}
+
 // flatten builds slots for every host, with targets chosen by the given
 // signal function.
 func flatten(jobs []JobInfo, signal func(JobInfo, HostInfo) units.Power) []slot {
@@ -171,12 +184,13 @@ func (MinimizeWaste) Name() string { return "MinimizeWaste" }
 
 // Allocate implements Policy.
 func (MinimizeWaste) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
-	if _, err := validate(jobs); err != nil {
+	total, err := validate(jobs)
+	if err != nil {
 		return nil, err
 	}
-	slots := flatten(jobs, func(j JobInfo, h HostInfo) units.Power {
+	slots := flatten(jobs, withFallback(sys.Budget/units.Power(total), func(j JobInfo, h HostInfo) units.Power {
 		return j.Char.MonitorPowerForRole(h.Role)
-	})
+	}))
 	uniformInit(slots, sys.Budget)
 	pool := reclaim(slots)
 	pool = topUp(slots, pool)
@@ -210,9 +224,9 @@ func (JobAdaptive) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
 	out := Allocation{}
 	for _, j := range jobs {
 		jobBudget := per * units.Power(len(j.Hosts))
-		slots := flatten([]JobInfo{j}, func(j JobInfo, h HostInfo) units.Power {
+		slots := flatten([]JobInfo{j}, withFallback(per, func(j JobInfo, h HostInfo) units.Power {
 			return j.Char.NeededForRole(h.Role)
-		})
+		}))
 		uniformInit(slots, jobBudget)
 		pool := reclaim(slots)
 		topUp(slots, pool)
@@ -257,12 +271,13 @@ func (MixedAdaptive) Name() string { return "MixedAdaptive" }
 
 // Allocate implements Policy.
 func (MixedAdaptive) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
-	if _, err := validate(jobs); err != nil {
+	total, err := validate(jobs)
+	if err != nil {
 		return nil, err
 	}
-	slots := flatten(jobs, func(j JobInfo, h HostInfo) units.Power {
+	slots := flatten(jobs, withFallback(sys.Budget/units.Power(total), func(j JobInfo, h HostInfo) units.Power {
 		return j.Char.NeededForRole(h.Role)
-	})
+	}))
 	uniformInit(slots, sys.Budget) // step 1
 	pool := reclaim(slots)         // step 2
 	topUp(slots, pool)             // step 3

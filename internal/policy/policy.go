@@ -43,6 +43,12 @@ type JobInfo struct {
 	ID    string
 	Hosts []HostInfo
 	Char  charz.Entry
+	// Fallback marks a job whose characterization is missing or corrupt.
+	// Every policy gives such a job the StaticCaps treatment — a uniform
+	// clamped share of the budget per host — instead of reading its Char
+	// fields, so one damaged database record degrades that job's
+	// allocation quality without failing the whole plan.
+	Fallback bool
 }
 
 // System describes the cluster-level constraint.
@@ -154,16 +160,23 @@ type Precharacterized struct{}
 // Name implements Policy.
 func (Precharacterized) Name() string { return "Precharacterized" }
 
-// Allocate implements Policy.
-func (Precharacterized) Allocate(_ System, jobs []JobInfo) (Allocation, error) {
-	if _, err := validate(jobs); err != nil {
+// Allocate implements Policy. Fallback jobs have no monitor run to quote
+// caps from; they receive a uniform share of the system budget instead.
+func (Precharacterized) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
+	total, err := validate(jobs)
+	if err != nil {
 		return nil, err
 	}
+	per := sys.Budget / units.Power(total)
 	out := Allocation{}
 	for _, j := range jobs {
 		caps := make([]units.Power, len(j.Hosts))
 		for i, h := range j.Hosts {
-			caps[i] = units.Clamp(j.Char.MonitorMaxHostPower, h.Min, h.Max)
+			if j.Fallback {
+				caps[i] = units.Clamp(per, h.Min, h.Max)
+			} else {
+				caps[i] = units.Clamp(j.Char.MonitorMaxHostPower, h.Min, h.Max)
+			}
 		}
 		out[j.ID] = caps
 	}

@@ -36,9 +36,16 @@ type Scheduler struct {
 
 	queue   []*QueuedJob
 	started []*ScheduledJob
-	// committed is the admitted jobs' total power demand.
+	// committed is the admitted jobs' total power demand; demands
+	// remembers each started job's admission estimate so completion
+	// releases exactly what admission committed, even when the
+	// characterization entry was corrupt and a fallback estimate was used.
 	committed units.Power
+	demands   map[*ScheduledJob]units.Power
 	nextOrder int
+	// totalNodes is the managed pool size at construction, the basis of
+	// the uniform fallback demand estimate for corrupt entries.
+	totalNodes int
 	// Backfill allows later queued jobs to start ahead of a blocked head
 	// job when they fit, EASY-style. The head job's start is never
 	// delayed by backfilled jobs in this model because power and nodes
@@ -57,12 +64,21 @@ func NewScheduler(mgr *Manager, db *charz.DB, budget units.Power) (*Scheduler, e
 	if budget <= 0 {
 		return nil, errors.New("rm: scheduler budget must be positive")
 	}
-	return &Scheduler{mgr: mgr, db: db, budget: budget, Backfill: true}, nil
+	return &Scheduler{
+		mgr: mgr, db: db, budget: budget, Backfill: true,
+		demands:    map[*ScheduledJob]units.Power{},
+		totalNodes: mgr.FreeNodes() + len(mgr.quarantined),
+	}, nil
 }
 
 // Enqueue validates a submission and places it in the queue. The power
 // demand is taken from the characterization: nodes x the workload's mean
-// uncapped host power.
+// uncapped host power. A present-but-corrupt entry degrades to the uniform
+// estimate of budget/totalNodes per host, so a damaged database record
+// does not make the job unschedulable; a configuration missing entirely
+// still fails with charz.ErrNotCharacterized (admission needs *some*
+// estimate, and none exists). A job whose demand exceeds the whole system
+// budget fails with ErrBudgetInfeasible: it could never start.
 func (s *Scheduler) Enqueue(spec JobSpec) (*QueuedJob, error) {
 	if spec.Nodes <= 0 {
 		return nil, fmt.Errorf("rm: job %s requests %d nodes", spec.ID, spec.Nodes)
@@ -71,9 +87,17 @@ func (s *Scheduler) Enqueue(spec JobSpec) (*QueuedJob, error) {
 	if err != nil {
 		return nil, err
 	}
+	demand := entry.MonitorHostPower * units.Power(spec.Nodes)
+	if !entry.Valid() && s.totalNodes > 0 {
+		demand = s.budget / units.Power(s.totalNodes) * units.Power(spec.Nodes)
+	}
+	if demand > s.budget {
+		return nil, fmt.Errorf("%w: job %s demands %v against budget %v",
+			ErrBudgetInfeasible, spec.ID, demand, s.budget)
+	}
 	qj := &QueuedJob{
 		Spec:        spec,
-		Demand:      entry.MonitorHostPower * units.Power(spec.Nodes),
+		Demand:      demand,
 		SubmitOrder: s.nextOrder,
 	}
 	qj.EstimatedRuntime = entry.MonitorIterTime * 100 // the paper's 100-iteration runs
@@ -103,6 +127,7 @@ func (s *Scheduler) admit(qj *QueuedJob, seed uint64) error {
 		return err
 	}
 	s.committed += qj.Demand
+	s.demands[sj] = qj.Demand
 	s.started = append(s.started, sj)
 	return nil
 }
@@ -146,14 +171,44 @@ func (s *Scheduler) Complete(sj *ScheduledJob) error {
 	if idx < 0 {
 		return fmt.Errorf("rm: job %s is not running", sj.Spec.ID)
 	}
-	entry, err := s.db.MustGet(sj.Spec.Config)
-	if err != nil {
-		return err
-	}
-	s.committed -= entry.MonitorHostPower * units.Power(sj.Spec.Nodes)
+	s.committed -= s.demands[sj]
+	delete(s.demands, sj)
 	if s.committed < 0 {
 		s.committed = 0
 	}
 	s.started = append(s.started[:idx], s.started[idx+1:]...)
 	return s.mgr.release(sj)
+}
+
+// Requeue aborts a started job — typically because a crash drained one of
+// its hosts out from under it — releases its surviving nodes and power
+// commitment, and places it back at the head of the queue so it restarts
+// as soon as capacity allows. The decision is journaled as a JobRequeued
+// event.
+func (s *Scheduler) Requeue(sj *ScheduledJob) error {
+	idx := -1
+	for i, cand := range s.started {
+		if cand == sj {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("rm: job %s is not running", sj.Spec.ID)
+	}
+	demand := s.demands[sj]
+	s.committed -= demand
+	delete(s.demands, sj)
+	if s.committed < 0 {
+		s.committed = 0
+	}
+	s.started = append(s.started[:idx], s.started[idx+1:]...)
+	if err := s.mgr.release(sj); err != nil {
+		return err
+	}
+	qj := &QueuedJob{Spec: sj.Spec, Demand: demand, SubmitOrder: s.nextOrder}
+	s.nextOrder++
+	s.queue = append([]*QueuedJob{qj}, s.queue...)
+	s.mgr.Obs.JobRequeued(sj.Spec.ID, len(s.queue))
+	return nil
 }

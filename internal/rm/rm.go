@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"powerstack/internal/bsp"
@@ -22,6 +23,22 @@ import (
 	"powerstack/internal/obs"
 	"powerstack/internal/policy"
 	"powerstack/internal/units"
+)
+
+// Sentinel errors callers match with errors.Is. They are part of the
+// resource manager's API: every wrapped variant carries the job and node
+// context in its message while staying matchable.
+var (
+	// ErrInsufficientNodes reports a submission larger than the managed
+	// pool could ever satisfy, quarantine aside.
+	ErrInsufficientNodes = errors.New("rm: insufficient nodes")
+	// ErrNodeQuarantined reports a submission that free nodes cannot
+	// satisfy only because nodes sit in the quarantine drain set — the
+	// caller may retry after repairs rejoin them.
+	ErrNodeQuarantined = errors.New("rm: nodes quarantined")
+	// ErrBudgetInfeasible reports a job whose characterized power demand
+	// exceeds the scheduler's whole system budget: it can never start.
+	ErrBudgetInfeasible = errors.New("rm: power demand exceeds system budget")
 )
 
 // JobSpec is a job submission.
@@ -38,10 +55,22 @@ type ScheduledJob struct {
 	Job  *bsp.Job
 }
 
-// Manager owns the free pool and the scheduled jobs.
+// DefaultCapRetries is how many times a failed power-limit write is
+// retried before the manager gives up on the node and quarantines it. Two
+// retries distinguish a transient glitch from the persistent msr-safe
+// failures the fault plan injects.
+const DefaultCapRetries = 2
+
+// Manager owns the free pool, the scheduled jobs, and the quarantine drain
+// set of nodes that stopped responding to power control.
 type Manager struct {
 	free []*node.Node
 	jobs []*ScheduledJob
+	// quarantined holds drained nodes by ID. A quarantined node never
+	// returns to the free pool until Rejoin; one still referenced by a
+	// running job keeps computing at its last programmed limit, but the
+	// manager stops writing caps to it.
+	quarantined map[string]*node.Node
 
 	// Obs is propagated to the GEOPM controllers RunAll spawns; nil
 	// disables instrumentation. The registry and journal are safe under
@@ -53,11 +82,18 @@ type Manager struct {
 	// out above the manager (the parallel evaluation grid) lower it to
 	// keep total goroutine pressure proportional to the machine.
 	Workers int
+
+	// CapRetries overrides DefaultCapRetries (negative disables retries;
+	// zero selects the default).
+	CapRetries int
 }
 
 // NewManager builds a manager over the given node pool.
 func NewManager(pool []*node.Node) *Manager {
-	return &Manager{free: append([]*node.Node(nil), pool...)}
+	return &Manager{
+		free:        append([]*node.Node(nil), pool...),
+		quarantined: map[string]*node.Node{},
+	}
 }
 
 // FreeNodes returns the number of unallocated nodes.
@@ -66,14 +102,120 @@ func (m *Manager) FreeNodes() int { return len(m.free) }
 // Jobs returns the scheduled jobs in submission order.
 func (m *Manager) Jobs() []*ScheduledJob { return m.jobs }
 
+// Quarantined returns the drained nodes, sorted by ID.
+func (m *Manager) Quarantined() []*node.Node {
+	out := make([]*node.Node, 0, len(m.quarantined))
+	for _, n := range m.quarantined {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// quarantine moves a node into the drain set (idempotent) and journals the
+// decision. The node is not in the free pool afterwards.
+func (m *Manager) quarantine(n *node.Node, reason string) {
+	if _, done := m.quarantined[n.ID]; done {
+		return
+	}
+	for i, f := range m.free {
+		if f == n {
+			m.free = append(m.free[:i], m.free[i+1:]...)
+			break
+		}
+	}
+	m.quarantined[n.ID] = n
+	m.Obs.Quarantine(n.ID, reason)
+}
+
+// Drain takes a node out of service by ID: removed from the free pool or,
+// if a running job holds it, left in place but quarantined so no further
+// caps are written to it. It returns the holding job, if any. The facility
+// calls this when the fault plan crashes a node.
+func (m *Manager) Drain(id, reason string) (*ScheduledJob, bool) {
+	var n *node.Node
+	var holder *ScheduledJob
+	for _, f := range m.free {
+		if f.ID == id {
+			n = f
+			break
+		}
+	}
+	if n == nil {
+		for _, sj := range m.jobs {
+			for _, h := range sj.Job.Hosts {
+				if h.Node.ID == id {
+					n, holder = h.Node, sj
+					break
+				}
+			}
+			if n != nil {
+				break
+			}
+		}
+	}
+	if n == nil {
+		return nil, false
+	}
+	m.quarantine(n, reason)
+	return holder, holder != nil
+}
+
+// Rejoin returns a repaired node from the drain set to the free pool,
+// restoring its TDP limit first. Nodes whose limit still cannot be
+// programmed stay quarantined.
+func (m *Manager) Rejoin(id string) bool {
+	n, ok := m.quarantined[id]
+	if !ok {
+		return false
+	}
+	if err := m.setLimit(n, n.TDP()); err != nil {
+		return false
+	}
+	delete(m.quarantined, id)
+	m.free = append(m.free, n)
+	m.Obs.Rejoin(id)
+	return true
+}
+
+// setLimit programs one node's power limit with bounded retries, journaling
+// each retry. It returns the last error once the retry budget is spent.
+func (m *Manager) setLimit(n *node.Node, watts units.Power) error {
+	retries := m.CapRetries
+	if retries == 0 {
+		retries = DefaultCapRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			m.Obs.CapRetry(n.ID, watts.Watts(), attempt)
+		}
+		if _, err = n.SetPowerLimit(watts); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
 // Submit allocates nodes for the spec and schedules the job. The seed
-// drives the job's OS-noise stream.
+// drives the job's OS-noise stream. When the request exceeds the free pool
+// the error distinguishes, via errors.Is, a pool that is simply too small
+// (ErrInsufficientNodes) from one starved by quarantined nodes
+// (ErrNodeQuarantined — retry after repairs).
 func (m *Manager) Submit(spec JobSpec, seed uint64) (*ScheduledJob, error) {
 	if spec.Nodes <= 0 {
 		return nil, fmt.Errorf("rm: job %s requests %d nodes", spec.ID, spec.Nodes)
 	}
 	if spec.Nodes > len(m.free) {
-		return nil, fmt.Errorf("rm: job %s requests %d nodes, %d free", spec.ID, spec.Nodes, len(m.free))
+		if spec.Nodes <= len(m.free)+len(m.quarantined) {
+			return nil, fmt.Errorf("%w: job %s requests %d nodes, %d free, %d quarantined",
+				ErrNodeQuarantined, spec.ID, spec.Nodes, len(m.free), len(m.quarantined))
+		}
+		return nil, fmt.Errorf("%w: job %s requests %d nodes, %d free",
+			ErrInsufficientNodes, spec.ID, spec.Nodes, len(m.free))
 	}
 	alloc := m.free[:spec.Nodes]
 	rest := m.free[spec.Nodes:]
@@ -88,27 +230,37 @@ func (m *Manager) Submit(spec JobSpec, seed uint64) (*ScheduledJob, error) {
 }
 
 // ReleaseAll returns every job's nodes to the free pool and clears the
-// schedule. It attempts to reset every node to its TDP limit even after a
-// reset fails, so one faulty host cannot strand the rest of the pool, and
-// reports all reset failures joined into one error. Nodes whose reset
-// failed are still returned to the free pool — their limit state is
-// undefined, which is exactly what the joined error tells the caller.
+// schedule. A node whose TDP reset keeps failing after retries is
+// quarantined instead of returned — one faulty host cannot strand the rest
+// of the pool, and it can never be handed to a future job with a stale
+// limit. Fault-driven reset failures are therefore handled, not reported:
+// ReleaseAll errors only on conditions the drain set cannot absorb.
 func (m *Manager) ReleaseAll() error {
-	var errs []error
 	for _, sj := range m.jobs {
-		for _, n := range sj.Job.Nodes() {
-			if _, err := n.SetPowerLimit(n.TDP()); err != nil {
-				errs = append(errs, fmt.Errorf("rm: releasing job %s: %w", sj.Spec.ID, err))
-			}
-			m.free = append(m.free, n)
-		}
+		m.releaseNodes(sj)
 	}
 	m.jobs = nil
-	return errors.Join(errs...)
+	return nil
 }
 
-// release returns one job's nodes to the free pool (at TDP limits) and
-// removes it from the schedule.
+// releaseNodes returns one job's nodes to the free pool at TDP limits,
+// quarantining any node whose reset persistently fails and skipping nodes
+// already drained.
+func (m *Manager) releaseNodes(sj *ScheduledJob) {
+	for _, n := range sj.Job.Nodes() {
+		if _, drained := m.quarantined[n.ID]; drained {
+			continue
+		}
+		if err := m.setLimit(n, n.TDP()); err != nil {
+			m.quarantine(n, "release")
+			continue
+		}
+		m.free = append(m.free, n)
+	}
+}
+
+// release returns one job's nodes to the free pool (at TDP limits, with
+// failing nodes quarantined) and removes it from the schedule.
 func (m *Manager) release(sj *ScheduledJob) error {
 	idx := -1
 	for i, cand := range m.jobs {
@@ -120,19 +272,17 @@ func (m *Manager) release(sj *ScheduledJob) error {
 	if idx < 0 {
 		return fmt.Errorf("rm: job %s is not scheduled", sj.Spec.ID)
 	}
-	for _, n := range sj.Job.Nodes() {
-		if _, err := n.SetPowerLimit(n.TDP()); err != nil {
-			return err
-		}
-		m.free = append(m.free, n)
-	}
+	m.releaseNodes(sj)
 	m.jobs = append(m.jobs[:idx], m.jobs[idx+1:]...)
 	return nil
 }
 
 // JobInfos assembles the policy-layer view of the scheduled jobs from the
-// characterization database. Every job's configuration must have been
-// characterized.
+// characterization database. A job whose configuration is missing from the
+// database, or whose entry fails validation (corrupt power fields), is
+// marked Fallback instead of failing the whole plan: the policies give it a
+// StaticCaps-style uniform share, and the substitution is journaled as a
+// PolicyFallback decision.
 func (m *Manager) JobInfos(db *charz.DB) ([]policy.JobInfo, error) {
 	if db == nil {
 		return nil, errors.New("rm: nil characterization database")
@@ -140,10 +290,16 @@ func (m *Manager) JobInfos(db *charz.DB) ([]policy.JobInfo, error) {
 	infos := make([]policy.JobInfo, 0, len(m.jobs))
 	for _, sj := range m.jobs {
 		entry, err := db.MustGet(sj.Spec.Config)
-		if err != nil {
-			return nil, err
-		}
 		info := policy.JobInfo{ID: sj.Spec.ID, Char: entry}
+		switch {
+		case err != nil:
+			info.Fallback = true
+			info.Char = charz.Entry{}
+			m.Obs.PolicyFallback(sj.Spec.ID, "not_characterized")
+		case !entry.Valid():
+			info.Fallback = true
+			m.Obs.PolicyFallback(sj.Spec.ID, "corrupt_entry")
+		}
 		for _, h := range sj.Job.Hosts {
 			info.Hosts = append(info.Hosts, policy.HostInfo{
 				Role: h.Role,
@@ -167,6 +323,16 @@ func (m *Manager) Plan(p policy.Policy, budget units.Power, db *charz.DB) (polic
 
 // Apply programs an allocation's per-host caps through the GEOPM static
 // agent path (clamping to each host's settable range happens in the agent).
+//
+// A host whose cap write persistently fails (after setLimit's bounded
+// retries) is quarantined and, when the free pool has a spare, replaced in
+// the job in place: the spare takes the failed host's cap and role, and
+// the job's barrier structure is untouched. With no spare available the
+// faulty node stays in the job at its last programmed limit — the job
+// keeps running, merely uncontrolled on that host — and the condition is
+// journaled. Apply therefore errors only on structural problems (an
+// allocation that does not match the schedule), never on injected or
+// transient hardware faults: graceful degradation is the contract.
 func (m *Manager) Apply(alloc policy.Allocation) error {
 	for _, sj := range m.jobs {
 		caps, ok := alloc[sj.Spec.ID]
@@ -176,11 +342,36 @@ func (m *Manager) Apply(alloc policy.Allocation) error {
 		if len(caps) != len(sj.Job.Hosts) {
 			return fmt.Errorf("rm: job %s: %d caps for %d hosts", sj.Spec.ID, len(caps), len(sj.Job.Hosts))
 		}
-		for i, h := range sj.Job.Hosts {
-			if _, err := h.Node.SetPowerLimit(caps[i]); err != nil {
-				return err
+		for i := range sj.Job.Hosts {
+			n := sj.Job.Hosts[i].Node
+			if _, drained := m.quarantined[n.ID]; drained {
+				// Already given up on: keep the job running at the
+				// node's last limit without another retry storm.
+				continue
+			}
+			if err := m.setLimit(n, caps[i]); err == nil {
+				continue
+			}
+			m.quarantine(n, "cap_write")
+			if spare := m.takeSpare(caps[i]); spare != nil {
+				sj.Job.Hosts[i].Node = spare
 			}
 		}
+	}
+	return nil
+}
+
+// takeSpare claims a free node that accepts the given cap, quarantining
+// candidates that refuse it. Returns nil when the pool has no usable spare.
+func (m *Manager) takeSpare(watts units.Power) *node.Node {
+	for len(m.free) > 0 {
+		spare := m.free[0]
+		m.free = m.free[1:]
+		if err := m.setLimit(spare, watts); err != nil {
+			m.quarantine(spare, "cap_write")
+			continue
+		}
+		return spare
 	}
 	return nil
 }

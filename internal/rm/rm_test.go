@@ -1,6 +1,7 @@
 package rm
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -37,6 +38,7 @@ func charDB(t *testing.T) *charz.DB {
 	t.Helper()
 	nodes := testPool(t, 6)
 	db, err := charz.CharacterizeAll(
+		context.Background(),
 		[]kernel.Config{cfgBalanced(), cfgImbalanced()},
 		nodes,
 		charz.Options{MonitorIters: 8, BalancerIters: 40, Seed: 9, NoiseSigma: 0},
@@ -105,7 +107,7 @@ func TestReleaseAllRestoresPoolAndLimits(t *testing.T) {
 	}
 }
 
-func TestJobInfosRequiresCharacterization(t *testing.T) {
+func TestJobInfosFallsBackWithoutCharacterization(t *testing.T) {
 	m := NewManager(testPool(t, 4))
 	if _, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 2}, 1); err != nil {
 		t.Fatal(err)
@@ -113,8 +115,14 @@ func TestJobInfosRequiresCharacterization(t *testing.T) {
 	if _, err := m.JobInfos(nil); err == nil {
 		t.Error("nil db accepted")
 	}
-	if _, err := m.JobInfos(charz.NewDB()); err == nil {
-		t.Error("missing characterization accepted")
+	// A missing entry degrades to a fallback job instead of failing the
+	// whole plan.
+	infos, err := m.JobInfos(charz.NewDB())
+	if err != nil {
+		t.Fatalf("missing characterization errored: %v", err)
+	}
+	if len(infos) != 1 || !infos[0].Fallback {
+		t.Errorf("infos = %+v, want one fallback job", infos)
 	}
 }
 
@@ -215,7 +223,7 @@ func TestPrecharacterizedOverrunsTightBudget(t *testing.T) {
 	}
 }
 
-func TestReleaseAllJoinsResetFailures(t *testing.T) {
+func TestReleaseAllQuarantinesResetFailures(t *testing.T) {
 	pool := testPool(t, 6)
 	m := NewManager(pool)
 	if _, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 2}, 1); err != nil {
@@ -230,13 +238,100 @@ func TestReleaseAllJoinsResetFailures(t *testing.T) {
 	pool[0].Sockets()[0].Dev.SetFault(msr.MSRPkgPowerLimit, errA)
 	pool[2].Sockets()[1].Dev.SetFault(msr.MSRPkgPowerLimit, errB)
 
-	err := m.ReleaseAll()
-	if !errors.Is(err, errA) || !errors.Is(err, errB) {
-		t.Errorf("err = %v, want both injected faults joined", err)
+	if err := m.ReleaseAll(); err != nil {
+		t.Errorf("ReleaseAll = %v, want graceful degradation", err)
 	}
-	// Despite the failures, every node is back in the free pool and the
-	// schedule is empty — one faulty host must not strand the rest.
-	if m.FreeNodes() != 6 || len(m.Jobs()) != 0 {
+	// The healthy nodes return to the pool; the two faulty ones land in
+	// quarantine instead of poisoning future schedules.
+	if m.FreeNodes() != 4 || len(m.Jobs()) != 0 {
 		t.Errorf("free=%d jobs=%d after faulty release", m.FreeNodes(), len(m.Jobs()))
+	}
+	if q := m.Quarantined(); len(q) != 2 {
+		t.Fatalf("quarantined = %d nodes, want 2", len(q))
+	}
+}
+
+func TestSubmitDistinguishesQuarantineFromCapacity(t *testing.T) {
+	pool := testPool(t, 4)
+	m := NewManager(pool)
+	if _, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	pool[0].Sockets()[0].Dev.SetFault(msr.MSRPkgPowerLimit, errors.New("stuck"))
+	if err := m.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 free + 1 quarantined: a 4-node job is blocked only by quarantine,
+	// a 5-node job could never fit.
+	if _, err := m.Submit(JobSpec{ID: "b", Config: cfgBalanced(), Nodes: 4}, 2); !errors.Is(err, ErrNodeQuarantined) {
+		t.Errorf("err = %v, want ErrNodeQuarantined", err)
+	}
+	if _, err := m.Submit(JobSpec{ID: "c", Config: cfgBalanced(), Nodes: 5}, 3); !errors.Is(err, ErrInsufficientNodes) {
+		t.Errorf("err = %v, want ErrInsufficientNodes", err)
+	}
+}
+
+func TestApplySwapsQuarantinedHostForSpare(t *testing.T) {
+	db := charDB(t)
+	pool := testPool(t, 6)
+	m := NewManager(pool)
+	sj, err := m.Submit(JobSpec{ID: "bal", Config: cfgBalanced(), Nodes: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second host's cap writes fail persistently (retries included).
+	bad := sj.Job.Hosts[1].Node
+	bad.Sockets()[0].Dev.SetFault(msr.MSRPkgPowerLimit, errors.New("write fault"))
+
+	alloc, err := m.Plan(policy.MixedAdaptive{}, 6*200*units.Watt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(alloc); err != nil {
+		t.Fatalf("Apply = %v, want spare swap instead of failure", err)
+	}
+	if sj.Job.Hosts[1].Node == bad {
+		t.Error("faulty host still in the job")
+	}
+	if q := m.Quarantined(); len(q) != 1 || q[0] != bad {
+		t.Errorf("quarantined = %v, want the faulty node", q)
+	}
+	// Two spares remained free before the swap; one was consumed.
+	if m.FreeNodes() != 1 {
+		t.Errorf("free = %d, want 1", m.FreeNodes())
+	}
+	// The job still runs end to end on the repaired host set.
+	if _, err := m.RunAll(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainAndRejoin(t *testing.T) {
+	pool := testPool(t, 4)
+	m := NewManager(pool)
+	sj, err := m.Submit(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := sj.Job.Hosts[0].Node.ID
+	holder, wasHeld := m.Drain(held, "crash")
+	if !wasHeld || holder != sj {
+		t.Fatalf("Drain(%s) = %v/%v, want the holding job", held, holder, wasHeld)
+	}
+	free := pool[3].ID
+	if _, wasHeld := m.Drain(free, "crash"); wasHeld {
+		t.Error("draining a free node reported a holder")
+	}
+	if len(m.Quarantined()) != 2 {
+		t.Fatalf("quarantined = %d, want 2", len(m.Quarantined()))
+	}
+	if !m.Rejoin(free) {
+		t.Error("healthy node failed to rejoin")
+	}
+	if m.Rejoin("no-such-node") {
+		t.Error("unknown node rejoined")
+	}
+	if len(m.Quarantined()) != 1 {
+		t.Errorf("quarantined = %d after rejoin, want 1", len(m.Quarantined()))
 	}
 }

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -17,6 +18,7 @@ import (
 	"powerstack/internal/charz"
 	"powerstack/internal/cluster"
 	"powerstack/internal/coordinator"
+	"powerstack/internal/fault"
 	"powerstack/internal/geopm"
 	"powerstack/internal/node"
 	"powerstack/internal/obs"
@@ -85,6 +87,29 @@ type Runner struct {
 	// index, so any parallelism level produces byte-identical Cell and
 	// Savings values.
 	Parallelism int
+
+	// Faults is an optional deterministic fault plan, armed independently
+	// on every cell's cloned pool. The grid has no simulated clock, so
+	// crash injections take their nodes out for the whole run: crashed
+	// nodes are excluded from the cell pool (journaled as quarantined)
+	// and spare clones are provisioned so the manager can replace hosts
+	// it quarantines for persistent cap-write failures mid-cell. Nil or
+	// empty leaves the pool construction — and the grid's byte-identical
+	// determinism — exactly as before.
+	Faults *fault.Plan
+
+	// dbOnce/dbView cache the plan's corrupted view of DB (the original
+	// database is never mutated; an empty plan aliases DB unchanged).
+	dbOnce sync.Once
+	dbView *charz.DB
+}
+
+// db returns the characterization view cells plan against: DB itself, or a
+// clone with the fault plan's corruptions poisoned in. Lazy and cached so
+// corruption events are journaled once per runner, not once per cell.
+func (r *Runner) db() *charz.DB {
+	r.dbOnce.Do(func() { r.dbView = r.Faults.CorruptDB(r.DB, r.Obs) })
+	return r.dbView
 }
 
 // workers returns the effective cell-level worker count.
@@ -101,12 +126,37 @@ func (r *Runner) workers() int {
 // attachment idempotent and current: a sink swapped between cells reaches
 // the very next cell's nodes instead of being latched out forever.
 func (r *Runner) cellPool(n int) []*node.Node {
-	pool := cluster.ClonePool(r.Pool[:n])
+	src := r.Pool[:n]
+	if !r.Faults.Empty() {
+		// Chaos cell: skip nodes the plan crashes (down for the whole
+		// clockless run — journaled as drained) and extend the clone set
+		// with spares, one per node the plan may force out of service, so
+		// quarantine replacement has somewhere to draw from.
+		crashed := map[string]bool{}
+		for _, id := range r.Faults.CrashedAtStart() {
+			crashed[id] = true
+		}
+		want := n + len(r.Faults.ImpactedNodes())
+		src = make([]*node.Node, 0, want)
+		for _, nd := range r.Pool {
+			if len(src) == want {
+				break
+			}
+			if crashed[nd.ID] {
+				r.Obs.FaultInjected(string(fault.NodeCrash), nd.ID, "", 0)
+				r.Obs.Quarantine(nd.ID, "crash")
+				continue
+			}
+			src = append(src, nd)
+		}
+	}
+	pool := cluster.ClonePool(src)
 	if r.Obs != nil {
 		for _, nd := range pool {
 			nd.SetObs(r.Obs)
 		}
 	}
+	r.Faults.Arm(pool, r.Obs)
 	return pool
 }
 
@@ -117,11 +167,15 @@ func NewRunner(pool []*node.Node, db *charz.DB) *Runner {
 
 // RunCell executes one mix under one policy at one budget. The cell runs
 // on a private clone of the runner's pool, so concurrent cells are fully
-// isolated and the runner's pool is never mutated. A failure to release
-// the cell pool (reset limits to TDP) is joined with the cell error rather
-// than discarded: with cell-isolated pools nothing downstream would ever
-// observe the corruption, so it must fail loudly here.
-func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, budget units.Power) (cell Cell, err error) {
+// isolated and the runner's pool is never mutated (nodes a fault plan
+// takes down are quarantined inside the cell's clone world, never in the
+// runner's pool). Cancelling ctx is honored at the cell boundary: a cell
+// that has started runs to completion, releasing its clone pool to TDP as
+// always.
+func (r *Runner) RunCell(ctx context.Context, mix workload.Mix, p policy.Policy, budgetName string, budget units.Power) (cell Cell, err error) {
+	if err := ctx.Err(); err != nil {
+		return Cell{}, err
+	}
 	if r.Iters <= 0 {
 		return Cell{}, errors.New("sim: iterations must be positive")
 	}
@@ -160,7 +214,7 @@ func (r *Runner) RunCell(mix workload.Mix, p policy.Policy, budgetName string, b
 		}
 	}
 
-	alloc, err := mgr.Plan(p, budget, r.DB)
+	alloc, err := mgr.Plan(p, budget, r.db())
 	if err != nil {
 		return Cell{}, err
 	}
@@ -231,8 +285,12 @@ const OnlinePolicyName = "OnlineMixedAdaptive"
 // paper's future work) on one mix at one budget: no characterization data
 // is consumed — job runtimes renegotiate budgets with the resource manager
 // every iteration. Job seeds match RunCell's, so the cell pairs with the
-// StaticCaps baseline for ComputeSavings.
-func (r *Runner) RunOnlineCell(mix workload.Mix, budgetName string, budget units.Power) (Cell, error) {
+// StaticCaps baseline for ComputeSavings. Cancelling ctx stops the
+// protocol loop at its next iteration boundary.
+func (r *Runner) RunOnlineCell(ctx context.Context, mix workload.Mix, budgetName string, budget units.Power) (Cell, error) {
+	if err := ctx.Err(); err != nil {
+		return Cell{}, err
+	}
 	if r.Iters <= 0 {
 		return Cell{}, errors.New("sim: iterations must be positive")
 	}
@@ -261,10 +319,11 @@ func (r *Runner) RunOnlineCell(mix workload.Mix, budgetName string, budget units
 	if err != nil {
 		return Cell{}, err
 	}
+	coord.Faults = r.Faults
 	if r.Obs != nil {
 		coord.SetObs(r.Obs)
 	}
-	res, err := coord.Run(r.Iters)
+	res, err := coord.Run(ctx, r.Iters)
 	if err != nil {
 		return Cell{}, err
 	}
@@ -378,15 +437,17 @@ type Grid struct {
 // dynamic policies against StaticCaps. Cells from every mix are fanned out
 // over one bounded worker pool (see Parallelism); because each cell runs
 // on its own cloned node pool with policy-independent seeds, the result is
-// byte-identical to the sequential grid.
-func (r *Runner) Run(mixes []workload.Mix) (*Grid, error) {
-	return r.runGrid(mixes)
+// byte-identical to the sequential grid. Cancelling ctx stops the grid at
+// the next cell boundary: in-flight cells drain, unstarted cells are
+// skipped, and ctx's error is returned.
+func (r *Runner) Run(ctx context.Context, mixes []workload.Mix) (*Grid, error) {
+	return r.runGrid(ctx, mixes)
 }
 
 // RunMix executes one mix across all budgets and policies, fanning its
 // cells out like Run.
-func (r *Runner) RunMix(mix workload.Mix) (MixResult, error) {
-	g, err := r.runGrid([]workload.Mix{mix})
+func (r *Runner) RunMix(ctx context.Context, mix workload.Mix) (MixResult, error) {
+	g, err := r.runGrid(ctx, []workload.Mix{mix})
 	if err != nil {
 		return MixResult{}, err
 	}
@@ -403,11 +464,11 @@ type cellTask struct{ mi, li, pi int }
 // output is independent of worker interleaving; on failure the error of
 // the first cell in grid order is returned after all in-flight cells
 // drain.
-func (r *Runner) runGrid(mixes []workload.Mix) (*Grid, error) {
+func (r *Runner) runGrid(ctx context.Context, mixes []workload.Mix) (*Grid, error) {
 	pols := policy.All()
 	budgets := make([]workload.Budgets, len(mixes))
 	for i, mix := range mixes {
-		b, err := workload.SelectBudgets(mix, r.DB)
+		b, err := workload.SelectBudgets(mix, r.db())
 		if err != nil {
 			return nil, err
 		}
@@ -442,8 +503,8 @@ func (r *Runner) runGrid(mixes []workload.Mix) (*Grid, error) {
 			defer wg.Done()
 			for t := range taskCh {
 				level := budgets[t.mi].Levels()[t.li]
-				cell, err := r.RunCell(mixes[t.mi], pols[t.pi], level.Name, level.Power)
-				if err != nil {
+				cell, err := r.RunCell(ctx, mixes[t.mi], pols[t.pi], level.Name, level.Power)
+				if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 					err = fmt.Errorf("sim: %s/%s/%s: %w", mixes[t.mi].Name, level.Name, pols[t.pi].Name(), err)
 				}
 				cells[t.mi][t.li][t.pi] = cell

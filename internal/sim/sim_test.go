@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -61,7 +62,7 @@ func TestRunCellBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cell, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
+	cell, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +97,11 @@ func TestRunCellValidation(t *testing.T) {
 	mix := smallWasteful()
 	pool, db := testEnv(t, []workload.Mix{mix}, 4)
 	r := NewRunner(pool, db)
-	if _, err := r.RunCell(mix, policy.StaticCaps{}, "min", 1000); err == nil {
+	if _, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "min", 1000); err == nil {
 		t.Error("oversized mix accepted")
 	}
 	r.Iters = 0
-	if _, err := r.RunCell(mix, policy.StaticCaps{}, "min", 1000); err == nil {
+	if _, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "min", 1000); err == nil {
 		t.Error("zero iterations accepted")
 	}
 }
@@ -115,7 +116,7 @@ func TestWastefulPowerSavingsShape(t *testing.T) {
 	r.Iters = 20
 	r.NoiseSigma = 0
 
-	mr, err := r.RunMix(mix)
+	mr, err := r.RunMix(context.Background(), mix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,15 +159,15 @@ func TestOnlineCellMatchesOfflineMixedAdaptive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
+	base, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	offline, err := r.RunCell(mix, policy.MixedAdaptive{}, "ideal", budgets.Ideal)
+	offline, err := r.RunCell(context.Background(), mix, policy.MixedAdaptive{}, "ideal", budgets.Ideal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	online, err := r.RunOnlineCell(mix, "ideal", budgets.Ideal)
+	online, err := r.RunOnlineCell(context.Background(), mix, "ideal", budgets.Ideal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,11 +293,11 @@ func TestPairedSeedsAcrossPolicies(t *testing.T) {
 	pool, db := testEnv(t, []workload.Mix{mix}, mix.TotalNodes())
 	r := NewRunner(pool, db)
 	r.Iters = 6
-	a, err := r.RunCell(mix, policy.StaticCaps{}, "x", 18*200*units.Watt)
+	a, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "x", 18*200*units.Watt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.RunCell(mix, policy.StaticCaps{}, "x", 18*200*units.Watt)
+	b, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "x", 18*200*units.Watt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestAssembleZeroElapsedKeepsSeriesFinite(t *testing.T) {
 	}
 }
 
-func TestRunCellSurfacesReleaseFault(t *testing.T) {
+func TestRunCellQuarantinesReleaseFault(t *testing.T) {
 	mix := smallWasteful()
 	pool, db := testEnv(t, []workload.Mix{mix}, mix.TotalNodes())
 	r := NewRunner(pool, db)
@@ -361,25 +362,38 @@ func TestRunCellSurfacesReleaseFault(t *testing.T) {
 
 	// Arm a write-countdown fault on one socket's power-limit register:
 	// the cell's single Apply write succeeds, then the TDP reset in
-	// ReleaseAll fails. The fault deep-copies into the cell's cloned pool.
+	// ReleaseAll fails. The fault deep-copies into the cell's cloned pool,
+	// where the manager quarantines the node instead of failing the cell.
 	errBoom := errors.New("msr_safe: write rejected")
-	pool[0].Sockets()[0].Dev.SetWriteFaultAfter(msr.MSRPkgPowerLimit, 1, errBoom)
-	defer pool[0].Sockets()[0].Dev.SetWriteFaultAfter(msr.MSRPkgPowerLimit, 0, nil)
+	pool[0].Sockets()[0].Dev.ArmFault(msr.OpWrite, msr.MSRPkgPowerLimit, 1, errBoom)
+	defer pool[0].Sockets()[0].Dev.SetFault(msr.MSRPkgPowerLimit, nil)
 
-	cell, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
-	if !errors.Is(err, errBoom) {
-		t.Fatalf("err = %v, want the injected release fault surfaced", err)
+	cell, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "ideal", budgets.Ideal)
+	if err != nil {
+		t.Fatalf("err = %v, want graceful quarantine instead of failure", err)
 	}
-	// The cell itself completed before release; its measurement is intact.
+	// The measurement is intact.
 	if cell.TotalEnergy <= 0 || len(cell.IterTimes) != 6 {
-		t.Errorf("cell not assembled despite successful run: %+v", cell)
+		t.Errorf("cell not assembled: %+v", cell)
 	}
-	// A cell whose release failed must not be journaled as done.
+	// The degradation decision is journaled, and the cell still completes.
+	var quarantined, done bool
 	for _, e := range r.Obs.Journal.Snapshot() {
+		if e.Type == obs.EvNodeQuarantined {
+			quarantined = true
+		}
 		if e.Type == obs.EvCell && e.Value > 0 {
-			t.Errorf("CellDone recorded for a failed cell: %+v", e)
+			done = true
 		}
 	}
+	if !quarantined {
+		t.Error("no NodeQuarantined event journaled for the faulty node")
+	}
+	if !done {
+		t.Error("CellDone not recorded for the completed cell")
+	}
+	// The original pool is untouched by the clone's quarantine; clearing
+	// the armed fault leaves it fully reusable.
 }
 
 func TestFindHeadlineAllNegative(t *testing.T) {
@@ -415,7 +429,7 @@ func TestOnlineCellJournalOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.RunOnlineCell(mix, "ideal", budgets.Ideal); err != nil {
+	if _, err := r.RunOnlineCell(context.Background(), mix, "ideal", budgets.Ideal); err != nil {
 		t.Fatal(err)
 	}
 	events := r.Obs.Journal.Snapshot()
@@ -460,12 +474,12 @@ func TestSwappedSinkReachesNextCell(t *testing.T) {
 
 	first := obs.New()
 	r.Obs = first
-	if _, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal); err != nil {
+	if _, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "ideal", budgets.Ideal); err != nil {
 		t.Fatal(err)
 	}
 	second := obs.New()
 	r.Obs = second
-	if _, err := r.RunCell(mix, policy.StaticCaps{}, "ideal", budgets.Ideal); err != nil {
+	if _, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "ideal", budgets.Ideal); err != nil {
 		t.Fatal(err)
 	}
 
@@ -507,7 +521,7 @@ func TestGridEquivalence(t *testing.T) {
 		r.Iters = 5
 		r.NoiseSigma = 0
 		r.Parallelism = parallelism
-		g, err := r.Run(mixes)
+		g, err := r.Run(context.Background(), mixes)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", parallelism, err)
 		}
@@ -538,7 +552,7 @@ func benchGrid(b *testing.B, parallelism int) {
 		r.Iters = 10
 		r.NoiseSigma = 0
 		r.Parallelism = parallelism
-		if _, err := r.Run(mixes); err != nil {
+		if _, err := r.Run(context.Background(), mixes); err != nil {
 			b.Fatal(err)
 		}
 	}

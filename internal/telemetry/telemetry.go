@@ -13,7 +13,9 @@ import (
 	"sort"
 	"time"
 
+	"powerstack/internal/fault"
 	"powerstack/internal/node"
+	"powerstack/internal/obs"
 	"powerstack/internal/units"
 )
 
@@ -102,6 +104,12 @@ type Domain struct {
 	lastEnergy units.Energy
 	lastTime   time.Time
 	primed     bool
+
+	// faults and start drive injected sample dropouts (SetFaultPlan);
+	// sink journals hold decisions. Both are nil-safe and leaf-local.
+	faults *fault.Plan
+	start  time.Time
+	sink   *obs.Sink
 }
 
 // NewNodeDomain builds a leaf domain for a node.
@@ -160,14 +168,49 @@ func BuildHierarchy(nodes []*node.Node, pduSize, historyLen int) (*Domain, error
 	return NewAggregateDomain("facility", historyLen, pdus...)
 }
 
+// SetFaultPlan arms injected telemetry dropouts on every leaf under d:
+// a leaf whose sample falls inside one of the plan's dropout windows holds
+// its last value instead of reading the node. The start time anchors the
+// plan's relative onsets; sink (nil-safe) journals each held sample.
+func (d *Domain) SetFaultPlan(p *fault.Plan, start time.Time, sink *obs.Sink) {
+	for _, leaf := range d.Leaves() {
+		leaf.faults = p
+		leaf.start = start
+		leaf.sink = sink
+	}
+}
+
 // Sample reads power at time ts throughout the hierarchy: leaves derive
 // power from RAPL energy deltas, interior domains sum their children.
 // Returns the domain's power at this sample.
+//
+// A leaf degrades instead of failing: during an injected dropout window it
+// holds its last sampled power, and when the node's energy counter cannot
+// be read (the node is down) it reports zero draw and re-primes on
+// recovery. Both substitutions are journaled as TelemetryHold events, so
+// Sample only errors on conditions no monitoring system should paper over
+// (none today — the error return is kept for future structural failures).
 func (d *Domain) Sample(ts time.Time) (units.Power, error) {
 	if d.Node != nil {
+		if d.faults.DropoutActive(d.Name, ts.Sub(d.start)) {
+			var p units.Power
+			if last, ok := d.series.Last(); ok {
+				p = last.Power
+			}
+			d.series.Append(Sample{Time: ts, Power: p})
+			d.sink.TelemetryHold(d.Name, p.Watts())
+			return p, nil
+		}
 		e, err := d.Node.Energy()
 		if err != nil {
-			return 0, fmt.Errorf("telemetry: %s: %w", d.Name, err)
+			// Dead node: no energy flows that we can meter. Report zero
+			// and forget the priming state so the first post-repair
+			// sample re-primes rather than integrating across the
+			// outage.
+			d.primed = false
+			d.series.Append(Sample{Time: ts, Power: 0})
+			d.sink.TelemetryHold(d.Name, 0)
+			return 0, nil
 		}
 		var p units.Power
 		if d.primed {

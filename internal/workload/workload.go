@@ -304,10 +304,19 @@ func SelectBudgets(m Mix, db *charz.DB) (Budgets, error) {
 	var b Budgets
 	minNeeded := units.Power(1e18)
 	var maxUncapped units.Power
+	// Corrupt entries (NaN-poisoned power fields) are excluded from the
+	// extrema and the ideal sum — one damaged record must not poison the
+	// whole mix's budget selection — and their jobs are charged the mean
+	// per-host ideal of the valid jobs afterwards.
+	var validHosts, corruptHosts int
 	for _, j := range m.Jobs {
 		e, err := db.MustGet(j.Config)
 		if err != nil {
 			return Budgets{}, err
+		}
+		if !e.Valid() {
+			corruptHosts += j.Nodes
+			continue
 		}
 		// "The workload in the mix [with] the least power consumed by a
 		// single node under the performance-aware characterization":
@@ -326,6 +335,14 @@ func SelectBudgets(m Mix, db *charz.DB) (Budgets, error) {
 		nWait := bsp.WaitingHosts(j.Config, j.Nodes)
 		nCrit := j.Nodes - nWait
 		b.Ideal += units.Power(nCrit)*e.NeededCritical + units.Power(nWait)*e.NeededWaiting
+		validHosts += j.Nodes
+	}
+	if validHosts == 0 {
+		return Budgets{}, fmt.Errorf("workload: mix %s: %w: every entry is corrupt",
+			m.Name, charz.ErrNotCharacterized)
+	}
+	if corruptHosts > 0 {
+		b.Ideal += b.Ideal / units.Power(validHosts) * units.Power(corruptHosts)
 	}
 	total := units.Power(m.TotalNodes())
 	b.Min = total * minNeeded

@@ -1,6 +1,7 @@
 package powerstack
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -34,7 +35,7 @@ func TestObservabilityThroughFacade(t *testing.T) {
 		{ID: "b", Config: KernelConfig{Intensity: 32, Vector: kernel.YMM, Imbalance: 1}, Nodes: 8},
 	}}
 	const iters = 10
-	if _, err := sys.Coordinate(mix, 16*190*1.0, iters); err != nil {
+	if _, err := sys.Coordinate(context.Background(), mix, 16*190*1.0, iters); err != nil {
 		t.Fatal(err)
 	}
 
@@ -77,11 +78,11 @@ func TestRunMixRecordsCells(t *testing.T) {
 		t.Fatal(err)
 	}
 	mix := workload.WastefulPower().Scaled(24)
-	if err := sys.CharacterizeMixes([]Mix{mix}, QuickCharacterization()); err != nil {
+	if err := sys.CharacterizeMixes(context.Background(), []Mix{mix}, QuickCharacterization()); err != nil {
 		t.Fatal(err)
 	}
 	sink := sys.EnableObservability()
-	if _, err := sys.RunMix(mix, 6); err != nil {
+	if _, err := sys.RunMix(context.Background(), mix, 6); err != nil {
 		t.Fatal(err)
 	}
 	if got := sink.Metrics.Histogram(obs.MetricCellSeconds, nil).Count(); got == 0 {

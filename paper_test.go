@@ -4,6 +4,7 @@
 package powerstack
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestPaperTakeawaysOnWastefulPower(t *testing.T) {
 	}
 	mix := workload.WastefulPower().Scaled(36)
 	r, _ := paperEnv(t, []workload.Mix{mix}, mix.TotalNodes())
-	mr, err := r.RunMix(mix)
+	mr, err := r.RunMix(context.Background(), mix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,18 +131,18 @@ func TestPaperFigure7Claims(t *testing.T) {
 	mix := workload.WastefulPower().Scaled(27)
 	r, budgets := paperEnv(t, []workload.Mix{mix}, mix.TotalNodes())
 
-	pre, err := r.RunCell(mix, policy.Precharacterized{}, "min", budgets.Min)
+	pre, err := r.RunCell(context.Background(), mix, policy.Precharacterized{}, "min", budgets.Min)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pre.Utilization <= 1.0 {
 		t.Errorf("Precharacterized min utilization %v, want > 100%%", pre.Utilization)
 	}
-	static, err := r.RunCell(mix, policy.StaticCaps{}, "max", budgets.Max)
+	static, err := r.RunCell(context.Background(), mix, policy.StaticCaps{}, "max", budgets.Max)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixed, err := r.RunCell(mix, policy.MixedAdaptive{}, "max", budgets.Max)
+	mixed, err := r.RunCell(context.Background(), mix, policy.MixedAdaptive{}, "max", budgets.Max)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestPaperNeedUsedPowerClaims(t *testing.T) {
 	}
 	mix := workload.NeedUsedPower().Scaled(27)
 	r, _ := paperEnv(t, []workload.Mix{mix}, mix.TotalNodes())
-	mr, err := r.RunMix(mix)
+	mr, err := r.RunMix(context.Background(), mix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestPaperHeadlineScale(t *testing.T) {
 	}
 	mix := workload.HighImbalance().Scaled(32)
 	r, _ := paperEnv(t, []workload.Mix{mix}, mix.TotalNodes())
-	mr, err := r.RunMix(mix)
+	mr, err := r.RunMix(context.Background(), mix)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,14 +23,16 @@
 //
 //	sys, err := powerstack.NewSystem(powerstack.Options{ClusterSize: 64, Seed: 1})
 //	...
-//	err = sys.Characterize(cfgs, powerstack.QuickCharacterization())
+//	ctx := context.Background()
+//	err = sys.Characterize(ctx, cfgs, powerstack.QuickCharacterization())
 //	mix := workload.WastefulPower().Scaled(40)
-//	result, err := sys.RunMix(mix, 50)
+//	result, err := sys.RunMix(ctx, mix, 50)
 //
 // See examples/ for complete programs.
 package powerstack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -40,10 +42,13 @@ import (
 	"powerstack/internal/cluster"
 	"powerstack/internal/coordinator"
 	"powerstack/internal/cpumodel"
+	"powerstack/internal/facility"
+	"powerstack/internal/fault"
 	"powerstack/internal/kernel"
 	"powerstack/internal/node"
 	"powerstack/internal/obs"
 	"powerstack/internal/policy"
+	"powerstack/internal/rm"
 	"powerstack/internal/sim"
 	"powerstack/internal/stats"
 	"powerstack/internal/units"
@@ -78,7 +83,59 @@ type (
 	Sink = obs.Sink
 	// DebugServer is a running observability HTTP server.
 	DebugServer = obs.Server
+	// FaultPlan is a deterministic, seed-reproducible set of fault
+	// injections (MSR faults, node crashes, slow nodes, telemetry
+	// dropouts, characterization corruption). Nil and empty plans inject
+	// nothing.
+	FaultPlan = fault.Plan
+	// FaultInjection is one declarative fault of a plan.
+	FaultInjection = fault.Injection
+	// FaultGenOptions shape GenerateFaults.
+	FaultGenOptions = fault.GenOptions
+	// FacilityConfig shapes a trace-driven machine-room simulation.
+	FacilityConfig = facility.Config
+	// FacilityResult summarizes a facility simulation: the power trace,
+	// job throughput, and fault/degradation counters.
+	FacilityResult = facility.Result
+	// CoordinationResult aggregates a Coordinate run.
+	CoordinationResult = coordinator.Result
 )
+
+// Sentinel errors exposed as API: match them with errors.Is on anything
+// the facade returns. Every internal wrap uses %w, so the job, node, and
+// configuration context in the message never hides the category.
+var (
+	// ErrNotCharacterized reports a workload configuration absent from
+	// the characterization database.
+	ErrNotCharacterized = charz.ErrNotCharacterized
+	// ErrInsufficientNodes reports a job submission larger than the node
+	// pool could ever satisfy.
+	ErrInsufficientNodes = rm.ErrInsufficientNodes
+	// ErrNodeQuarantined reports a submission blocked only by nodes in
+	// the quarantine drain set — retry after repairs rejoin them.
+	ErrNodeQuarantined = rm.ErrNodeQuarantined
+	// ErrBudgetInfeasible reports a job whose power demand exceeds the
+	// whole system budget.
+	ErrBudgetInfeasible = rm.ErrBudgetInfeasible
+)
+
+// The injectable fault classes, for hand-built plans (GenerateFaults covers
+// the common randomized case).
+const (
+	FaultMSRWrite         = fault.MSRWriteFault
+	FaultMSRRead          = fault.MSRReadFault
+	FaultNodeCrash        = fault.NodeCrash
+	FaultSlowNode         = fault.SlowNode
+	FaultTelemetryDropout = fault.TelemetryDropout
+	FaultRequestDropout   = fault.RequestDropout
+	FaultCharzCorruption  = fault.CharzCorruption
+)
+
+// GenerateFaults builds a deterministic fault plan over the given node IDs:
+// the same seed and options always yield the same plan.
+func GenerateFaults(nodeIDs []string, opts FaultGenOptions) *FaultPlan {
+	return fault.Generate(nodeIDs, opts)
+}
 
 // Options configure a simulated system.
 type Options struct {
@@ -115,6 +172,10 @@ type System struct {
 	// Obs is the system's observability sink after EnableObservability;
 	// nil until then, which keeps every instrumented hot path free.
 	Obs *obs.Sink
+	// Faults is an optional deterministic fault plan applied by RunMix,
+	// Evaluate, and RunFacility. Nil (or empty) injects nothing and
+	// reproduces the fault-free results byte for byte.
+	Faults *FaultPlan
 
 	seed uint64
 }
@@ -181,8 +242,9 @@ func QuickCharacterization() charz.Options {
 
 // Characterize runs the two-pass characterization for every given config on
 // the system's characterization pool, merging results into the database.
-func (s *System) Characterize(configs []KernelConfig, opt charz.Options) error {
-	db, err := charz.CharacterizeAll(configs, s.CharPool, opt)
+// Cancelling ctx stops between configurations with ctx's error.
+func (s *System) Characterize(ctx context.Context, configs []KernelConfig, opt charz.Options) error {
+	db, err := charz.CharacterizeAll(ctx, configs, s.CharPool, opt)
 	if err != nil {
 		return err
 	}
@@ -194,7 +256,7 @@ func (s *System) Characterize(configs []KernelConfig, opt charz.Options) error {
 
 // CharacterizeMixes characterizes every distinct configuration the mixes
 // use.
-func (s *System) CharacterizeMixes(mixes []Mix, opt charz.Options) error {
+func (s *System) CharacterizeMixes(ctx context.Context, mixes []Mix, opt charz.Options) error {
 	seen := map[string]bool{}
 	var configs []KernelConfig
 	for _, m := range mixes {
@@ -205,7 +267,7 @@ func (s *System) CharacterizeMixes(mixes []Mix, opt charz.Options) error {
 			}
 		}
 	}
-	return s.Characterize(configs, opt)
+	return s.Characterize(ctx, configs, opt)
 }
 
 // Runner returns an evaluation runner over the system's experiment pool.
@@ -213,21 +275,49 @@ func (s *System) Runner() *sim.Runner {
 	r := sim.NewRunner(s.Pool, s.DB)
 	r.Seed = s.seed + 1000
 	r.Obs = s.Obs
+	r.Faults = s.Faults
 	return r
 }
 
-// RunMix evaluates one mix across all budgets and policies.
-func (s *System) RunMix(mix Mix, iters int) (MixResult, error) {
+// RunMix evaluates one mix across all budgets and policies. Cancelling ctx
+// abandons the run at the next cell boundary and returns an error matching
+// errors.Is(err, context.Canceled); every node is left capped at TDP.
+func (s *System) RunMix(ctx context.Context, mix Mix, iters int) (MixResult, error) {
 	r := s.Runner()
 	r.Iters = iters
-	return r.RunMix(mix)
+	return r.RunMix(ctx, mix)
 }
 
-// Evaluate runs the full Figure 7/8 grid over the given mixes.
-func (s *System) Evaluate(mixes []Mix, iters int) (*Grid, error) {
+// Evaluate runs the full Figure 7/8 grid over the given mixes. Cancellation
+// behaves as in RunMix.
+func (s *System) Evaluate(ctx context.Context, mixes []Mix, iters int) (*Grid, error) {
 	r := s.Runner()
 	r.Iters = iters
-	return r.Run(mixes)
+	return r.Run(ctx, mixes)
+}
+
+// RunFacility executes a trace-driven machine-room simulation over the
+// system's experiment pool. Zero-value cfg fields are defaulted from the
+// system: Nodes from Pool, DB from the characterization database, Obs from
+// the system sink, Faults from the system plan, Seed from the system seed.
+// Cancelling ctx stops the run at the next tick boundary.
+func (s *System) RunFacility(ctx context.Context, cfg FacilityConfig) (*FacilityResult, error) {
+	if cfg.Nodes == nil {
+		cfg.Nodes = s.Pool
+	}
+	if cfg.DB == nil {
+		cfg.DB = s.DB
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = s.Obs
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = s.Faults
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = s.seed + 2000
+	}
+	return facility.Run(ctx, cfg)
 }
 
 // Policies returns every policy in the paper's presentation order.
@@ -250,8 +340,10 @@ func PolicyByName(name string) (Policy, error) {
 // Coordinate runs the mix under the execution-time coordination protocol
 // (the paper's future work: no pre-characterization; job runtimes
 // renegotiate budgets with the resource manager every iteration) on the
-// system's experiment pool.
-func (s *System) Coordinate(mix Mix, budget units.Power, iters int) (coordinator.Result, error) {
+// system's experiment pool. Cancelling ctx stops between protocol rounds.
+// The system fault plan's request dropouts exercise the hold-then-
+// redistribute degradation path.
+func (s *System) Coordinate(ctx context.Context, mix Mix, budget units.Power, iters int) (coordinator.Result, error) {
 	if mix.TotalNodes() > len(s.Pool) {
 		return coordinator.Result{}, fmt.Errorf("powerstack: mix needs %d nodes, pool has %d", mix.TotalNodes(), len(s.Pool))
 	}
@@ -277,5 +369,6 @@ func (s *System) Coordinate(mix Mix, budget units.Power, iters int) (coordinator
 		return coordinator.Result{}, err
 	}
 	coord.SetObs(s.Obs)
-	return coord.Run(iters)
+	coord.Faults = s.Faults
+	return coord.Run(ctx, iters)
 }

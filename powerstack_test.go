@@ -1,6 +1,7 @@
 package powerstack
 
 import (
+	"context"
 	"testing"
 
 	"powerstack/internal/kernel"
@@ -26,14 +27,14 @@ func TestSystemEndToEnd(t *testing.T) {
 	}
 
 	mix := workload.WastefulPower().Scaled(24)
-	if err := sys.CharacterizeMixes([]Mix{mix}, QuickCharacterization()); err != nil {
+	if err := sys.CharacterizeMixes(context.Background(), []Mix{mix}, QuickCharacterization()); err != nil {
 		t.Fatal(err)
 	}
 	if sys.DB.Len() == 0 {
 		t.Fatal("characterization produced no entries")
 	}
 
-	res, err := sys.RunMix(mix, 8)
+	res, err := sys.RunMix(context.Background(), mix, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestCoordinateFacade(t *testing.T) {
 		{ID: "a", Config: KernelConfig{Intensity: 8, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 3}, Nodes: 8},
 		{ID: "b", Config: KernelConfig{Intensity: 32, Vector: kernel.YMM, Imbalance: 1}, Nodes: 8},
 	}}
-	res, err := sys.Coordinate(mix, 16*190*1.0, 20)
+	res, err := sys.Coordinate(context.Background(), mix, 16*190*1.0, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestCoordinateFacade(t *testing.T) {
 		}
 	}
 	// Oversized mixes are rejected.
-	if _, err := sys.Coordinate(Mix{Jobs: []workload.JobSpec{{ID: "x", Config: mix.Jobs[0].Config, Nodes: 99}}}, 1000, 5); err == nil {
+	if _, err := sys.Coordinate(context.Background(), Mix{Jobs: []workload.JobSpec{{ID: "x", Config: mix.Jobs[0].Config, Nodes: 99}}}, 1000, 5); err == nil {
 		t.Error("oversized mix accepted")
 	}
 }
@@ -125,7 +126,7 @@ func TestCharacterizeSingleConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := KernelConfig{Intensity: 4, Vector: kernel.YMM, Imbalance: 1}
-	if err := sys.Characterize([]KernelConfig{cfg}, QuickCharacterization()); err != nil {
+	if err := sys.Characterize(context.Background(), []KernelConfig{cfg}, QuickCharacterization()); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := sys.DB.Get(cfg); !ok {
