@@ -11,8 +11,14 @@
 // Usage:
 //
 //	facility [-nodes N] [-hours H] [-budget "50 kW"] [-policy MixedAdaptive]
-//	         [-interarrival 45s] [-seed N]
+//	         [-interarrival 45s] [-seed N] [-engine event|tick] [-telemetry 5m]
 //	         [-crashes N] [-msrfaults N] [-dropouts N] [-faultseed N]
+//
+// The -engine flag selects the simulation core: "event" (the default)
+// advances a virtual clock between arrivals, completions, faults, and
+// telemetry samples; "tick" replays the fixed-step loop the event engine
+// is golden-tested against. -telemetry sets the sampling cadence (under
+// the tick engine it must be a multiple of the tick).
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 	policyName := flag.String("policy", "MixedAdaptive", "power policy for the running set")
 	interarrival := flag.Duration("interarrival", 45*time.Second, "mean job inter-arrival time")
 	seed := flag.Uint64("seed", 1, "random seed")
+	engineName := flag.String("engine", powerstack.FacilityEngineEvent, "simulation core: event or tick")
+	telemetry := flag.Duration("telemetry", 0, "telemetry sampling cadence (default: one sample per tick)")
 	crashes := flag.Int("crashes", 0, "nodes to crash mid-run (half are repaired)")
 	msrFaults := flag.Int("msrfaults", 0, "nodes with injected MSR write faults")
 	dropouts := flag.Int("dropouts", 0, "nodes with injected telemetry dropouts")
@@ -95,6 +103,7 @@ func main() {
 	}
 
 	cfg := powerstack.FacilityConfig{
+		Engine:           *engineName,
 		Policy:           pol,
 		SystemBudget:     budget,
 		MeanInterarrival: *interarrival,
@@ -104,6 +113,7 @@ func main() {
 		Workloads:        workloads,
 		Duration:         duration,
 		Tick:             time.Minute,
+		TelemetryEvery:   *telemetry,
 		Seed:             *seed,
 	}
 	log.Printf("simulating %v over %d nodes under %v (%s policy)...",
@@ -113,7 +123,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("done in %v wall time", time.Since(start).Round(time.Millisecond))
+	work := fmt.Sprintf("%d events dispatched", res.EventsDispatched)
+	if cfg.Engine == powerstack.FacilityEngineTick {
+		work = fmt.Sprintf("%d ticks simulated", res.TicksSimulated)
+	}
+	log.Printf("done in %v wall time (%s engine, %s)",
+		time.Since(start).Round(time.Millisecond), cfg.Engine, work)
 
 	// Downsample the trace into a line chart.
 	chart := report.LineChart{

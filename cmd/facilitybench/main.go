@@ -1,0 +1,162 @@
+// Command facilitybench times the facility simulation's two cores — the
+// fixed-tick loop and the discrete-event engine — on the same machine-room
+// scenario and writes the comparison to a JSON file, so the perf
+// trajectory of the event engine is tracked in-repo from run to run.
+//
+// The default scenario is the regime the event engine exists for: a large
+// pool (1000 nodes) simulated for a long span (30 days) under light load,
+// where the tick core burns a real BSP iteration per running job every 30
+// seconds of virtual time while the event core only touches jobs when
+// something actually happens.
+//
+// Usage:
+//
+//	facilitybench [-nodes 1000] [-days 30] [-tick 30s] [-telemetry 4h]
+//	              [-interarrival 4h] [-seed 7] [-out BENCH_facility.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/facility"
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/policy"
+	"powerstack/internal/units"
+)
+
+type engineReport struct {
+	NsPerOp          int64   `json:"ns_per_op"`
+	Seconds          float64 `json:"seconds"`
+	EventsDispatched int     `json:"events_dispatched"`
+	TicksSimulated   int     `json:"ticks_simulated"`
+	Submitted        int     `json:"submitted"`
+	Completed        int     `json:"completed"`
+	TotalEnergyJ     float64 `json:"total_energy_joules"`
+}
+
+type report struct {
+	Nodes             int          `json:"nodes"`
+	DurationHours     float64      `json:"duration_hours"`
+	TickSeconds       float64      `json:"tick_seconds"`
+	TelemetrySeconds  float64      `json:"telemetry_every_seconds"`
+	InterarrivalHours float64      `json:"interarrival_hours"`
+	Seed              uint64       `json:"seed"`
+	Tick              engineReport `json:"tick"`
+	Event             engineReport `json:"event"`
+	Speedup           float64      `json:"speedup"`
+}
+
+func env(nNodes int) ([]*node.Node, *charz.DB, []kernel.Config, error) {
+	c, err := cluster.New(nNodes+4, cpumodel.Quartz(), cpumodel.QuartzVariation(), 41)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	scratch := c.Nodes()[nNodes:]
+	workloads := []kernel.Config{
+		{Intensity: 8, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 0.5, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
+		{Intensity: 32, Vector: kernel.XMM, Imbalance: 1},
+	}
+	db, err := charz.CharacterizeAll(context.Background(), workloads, scratch, charz.Options{
+		MonitorIters: 5, BalancerIters: 30, Seed: 3, NoiseSigma: 0,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c.Nodes()[:nNodes], db, workloads, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("facilitybench: ")
+	nNodes := flag.Int("nodes", 1000, "cluster size")
+	days := flag.Float64("days", 30, "simulated span in days")
+	tick := flag.Duration("tick", 30*time.Second, "tick-engine step (and event-engine horizon quantum)")
+	telemetry := flag.Duration("telemetry", 4*time.Hour, "telemetry sampling cadence")
+	interarrival := flag.Duration("interarrival", 4*time.Hour, "mean job inter-arrival time")
+	seed := flag.Uint64("seed", 7, "random seed")
+	out := flag.String("out", "BENCH_facility.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{
+		Nodes:             *nNodes,
+		DurationHours:     *days * 24,
+		TickSeconds:       tick.Seconds(),
+		TelemetrySeconds:  telemetry.Seconds(),
+		InterarrivalHours: interarrival.Hours(),
+		Seed:              *seed,
+	}
+	duration := time.Duration(*days * 24 * float64(time.Hour))
+	for _, eng := range []string{facility.EngineTick, facility.EngineEvent} {
+		// Fresh pool per run: the simulation mutates node state.
+		nodes, db, workloads, err := env(*nNodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := facility.Config{
+			Engine:           eng,
+			Nodes:            nodes,
+			DB:               db,
+			Policy:           policy.MixedAdaptive{},
+			SystemBudget:     units.Power(*nNodes) * 200 * units.Watt,
+			MeanInterarrival: *interarrival,
+			// Long jobs: roughly half a day of 50ms iterations, so the
+			// tick core pays a real probe iteration per job per tick for
+			// tens of thousands of ticks.
+			MinJobIterations: 700000,
+			MaxJobIterations: 1000000,
+			JobSizes:         []int{2, 4, 8},
+			Workloads:        workloads,
+			Duration:         duration,
+			Tick:             *tick,
+			TelemetryEvery:   *telemetry,
+			Seed:             *seed,
+		}
+		log.Printf("%s engine: %d nodes, %v...", eng, *nNodes, duration)
+		start := time.Now()
+		res, err := facility.Run(context.Background(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(start)
+		er := engineReport{
+			NsPerOp:          wall.Nanoseconds(),
+			Seconds:          wall.Seconds(),
+			EventsDispatched: res.EventsDispatched,
+			TicksSimulated:   res.TicksSimulated,
+			Submitted:        res.Submitted,
+			Completed:        res.Completed,
+			TotalEnergyJ:     res.TotalEnergy.Joules(),
+		}
+		log.Printf("%s engine: %v wall, %d events, %d ticks, %d/%d jobs completed",
+			eng, wall.Round(time.Millisecond), er.EventsDispatched, er.TicksSimulated, er.Completed, er.Submitted)
+		if eng == facility.EngineTick {
+			rep.Tick = er
+		} else {
+			rep.Event = er
+		}
+	}
+	if rep.Event.NsPerOp > 0 {
+		rep.Speedup = float64(rep.Tick.NsPerOp) / float64(rep.Event.NsPerOp)
+	}
+	log.Printf("speedup: %.2fx", rep.Speedup)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

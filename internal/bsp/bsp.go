@@ -282,6 +282,34 @@ func (j *Job) RunSpan(span time.Duration) (SpanResult, error) {
 	return res, nil
 }
 
+// CreditSteadyState credits count repetitions of a previously sampled
+// iteration analytically: each host's energy, time, and flops accounting
+// advances as if the iteration repeated count times at the same operating
+// point, without re-running the compute model. The event-driven facility
+// uses this to jump a job from one event boundary to the next in O(hosts)
+// instead of O(hosts x iterations). Crediting goes to the job's CURRENT
+// nodes (spare swaps may have replaced the ones ir sampled), indexed by
+// host position. count <= 0 is a no-op.
+func (j *Job) CreditSteadyState(ir IterationResult, count int) {
+	if count <= 0 {
+		return
+	}
+	for i, h := range ir.PerHost {
+		if i >= len(j.Hosts) {
+			break
+		}
+		j.Hosts[i].Node.CreditIterations(node.PhaseResult{
+			WorkTime:     h.WorkTime,
+			Energy:       h.Energy,
+			DRAMEnergy:   h.DRAMEnergy,
+			MeanPower:    h.MeanPower,
+			AchievedFreq: h.AchievedFreq,
+			Flops:        h.Flops,
+		}, ir.Elapsed, count)
+	}
+	j.iterCount += count
+}
+
 // RunResult aggregates a multi-iteration run of one job.
 type RunResult struct {
 	Iterations      int

@@ -3,11 +3,14 @@ package coordinator
 import (
 	"context"
 	"math"
+	"reflect"
 	"testing"
+	"time"
 
 	"powerstack/internal/bsp"
 	"powerstack/internal/cluster"
 	"powerstack/internal/cpumodel"
+	"powerstack/internal/engine"
 	"powerstack/internal/geopm"
 	"powerstack/internal/kernel"
 	"powerstack/internal/units"
@@ -279,5 +282,71 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := c.Run(context.Background(), 0); err == nil {
 		t.Error("zero iterations accepted")
+	}
+}
+
+// TestRunOnSharedEngineMatchesRun pins the Run/RunOn contract: running the
+// protocol on a caller-supplied scheduler produces the same result as the
+// private one Run creates, the iteration events land on the virtual
+// timeline (the clock ends at the node-weighted elapsed time), and exactly
+// one event is dispatched per iteration.
+func TestRunOnSharedEngineMatchesRun(t *testing.T) {
+	const iters = 40
+	run := func() coordResult {
+		jobs := testJobs(t, wastefulSpecs())
+		c, err := New(24*190*units.Power(1), jobs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(context.Background(), iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return coordResult{res: res}
+	}
+	runOn := func() coordResult {
+		jobs := testJobs(t, wastefulSpecs())
+		c, err := New(24*190*units.Power(1), jobs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New()
+		res, err := c.RunOn(context.Background(), eng, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return coordResult{res: res, eng: eng}
+	}
+	private, shared := run(), runOn()
+	if !reflect.DeepEqual(private.res, shared.res) {
+		t.Errorf("RunOn result differs from Run:\n  Run:   %+v\n  RunOn: %+v", private.res, shared.res)
+	}
+	if got := shared.eng.Dispatched(); got != iters {
+		t.Errorf("dispatched %d events, want one per iteration (%d)", got, iters)
+	}
+	if shared.eng.Now() <= 0 {
+		t.Error("engine clock did not advance")
+	}
+	// The last iteration event fires at the cumulative elapsed time of the
+	// iterations before it.
+	want := time.Duration((1 - 1/float64(iters)) * float64(shared.res.Elapsed))
+	if diff := shared.eng.Now() - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("clock ended at %v, want ~%v", shared.eng.Now(), want)
+	}
+}
+
+type coordResult struct {
+	res Result
+	eng *engine.Scheduler
+}
+
+func TestRunOnNilEngineRejected(t *testing.T) {
+	jobs := testJobs(t, wastefulSpecs())
+	c, err := New(24*190*units.Power(1), jobs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunOn(context.Background(), nil, 10); err == nil {
+		t.Error("nil engine accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"powerstack/internal/bsp"
+	"powerstack/internal/engine"
 	"powerstack/internal/fault"
 	"powerstack/internal/obs"
 	"powerstack/internal/stats"
@@ -199,7 +200,24 @@ func (c *Coordinator) heldRequest(i int, rt *Runtime, round, holdRounds int) Req
 // synthesizing a Request pinned at that grant, and past the horizon the
 // job is floored at its minimum settable power so its span flows to the
 // jobs still talking. Both decisions are journaled as RequestHold events.
+//
+// Run is RunOn on a private discrete-event engine; callers that want the
+// protocol's round boundaries interleaved with other event streams (the
+// facility, fault timelines) hand RunOn a shared scheduler instead.
 func (c *Coordinator) Run(ctx context.Context, iters int) (Result, error) {
+	return c.RunOn(ctx, engine.New(), iters)
+}
+
+// RunOn executes the protocol on the given discrete-event scheduler: every
+// bulk-synchronous iteration is one event whose virtual time is the
+// node-weighted elapsed time so far, so protocol rounds land on the shared
+// virtual timeline at the moments they would occur in the machine room.
+// The scheduler's pending events are drained before returning; results are
+// identical to Run's.
+func (c *Coordinator) RunOn(ctx context.Context, eng *engine.Scheduler, iters int) (Result, error) {
+	if eng == nil {
+		return Result{}, errors.New("coordinator: nil engine")
+	}
 	if iters <= 0 {
 		return Result{}, errors.New("coordinator: iterations must be positive")
 	}
@@ -225,38 +243,48 @@ func (c *Coordinator) Run(ctx context.Context, iters int) (Result, error) {
 	}
 	var jobElapsed = make([]time.Duration, len(c.Runtimes))
 	round := 0
-	for k := 0; k < iters; k++ {
-		if err := ctx.Err(); err != nil {
-			return Result{}, err
-		}
-		for ji, rt := range c.Runtimes {
-			ir, err := rt.step(k)
-			if err != nil {
-				return Result{}, fmt.Errorf("coordinator: iteration %d job %s: %w", k, rt.Job.ID, err)
-			}
-			w := float64(len(rt.Job.Hosts)) / float64(totalNodes)
-			res.IterTimes[k] += w * ir.Elapsed.Seconds()
-			res.TotalEnergy += ir.TotalEnergy
-			res.TotalFlops += ir.TotalFlops
-			jobElapsed[ji] += ir.Elapsed
-		}
-		if c.ShareAcrossJobs && (k+1)%interval == 0 {
-			round++
-			reqs := make([]Request, len(c.Runtimes))
-			for i, rt := range c.Runtimes {
-				if c.Faults.RequestDropped(rt.Job.ID, round) {
-					reqs[i] = c.heldRequest(i, rt, round, holdRounds)
-					continue
+	var schedule func(k int, at time.Duration)
+	schedule = func(k int, at time.Duration) {
+		eng.Schedule(at, "coord_iter", func(now time.Duration) error {
+			var stepElapsed time.Duration
+			for ji, rt := range c.Runtimes {
+				ir, err := rt.step(k)
+				if err != nil {
+					return fmt.Errorf("coordinator: iteration %d job %s: %w", k, rt.Job.ID, err)
 				}
-				c.misses[i] = 0
-				reqs[i] = rt.request()
+				w := float64(len(rt.Job.Hosts)) / float64(totalNodes)
+				res.IterTimes[k] += w * ir.Elapsed.Seconds()
+				res.TotalEnergy += ir.TotalEnergy
+				res.TotalFlops += ir.TotalFlops
+				jobElapsed[ji] += ir.Elapsed
+				stepElapsed += time.Duration(w * float64(ir.Elapsed))
 			}
-			for i, g := range Allocate(c.Budget, reqs) {
-				c.obs.Grant(g.JobID, k, g.Budget.Watts())
-				c.Runtimes[i].regrant(g, k)
-				res.GrantHistory[g.JobID] = append(res.GrantHistory[g.JobID], g.Budget)
+			if c.ShareAcrossJobs && (k+1)%interval == 0 {
+				round++
+				reqs := make([]Request, len(c.Runtimes))
+				for i, rt := range c.Runtimes {
+					if c.Faults.RequestDropped(rt.Job.ID, round) {
+						reqs[i] = c.heldRequest(i, rt, round, holdRounds)
+						continue
+					}
+					c.misses[i] = 0
+					reqs[i] = rt.request()
+				}
+				for i, g := range Allocate(c.Budget, reqs) {
+					c.obs.Grant(g.JobID, k, g.Budget.Watts())
+					c.Runtimes[i].regrant(g, k)
+					res.GrantHistory[g.JobID] = append(res.GrantHistory[g.JobID], g.Budget)
+				}
 			}
-		}
+			if k+1 < iters {
+				schedule(k+1, now+stepElapsed)
+			}
+			return nil
+		})
+	}
+	schedule(0, eng.Now())
+	if err := eng.Drain(ctx); err != nil {
+		return Result{}, err
 	}
 	for ji, rt := range c.Runtimes {
 		w := float64(len(rt.Job.Hosts)) / float64(totalNodes)

@@ -1,0 +1,368 @@
+package facility
+
+// The discrete-event facility core. Where the tick loop pays for every
+// tick — a real BSP iteration per running job, a fault-window scan, a
+// telemetry sample — whether or not anything happened, this core schedules
+// each concern as its own event stream on internal/engine and lets the
+// virtual clock jump between them:
+//
+//	arrival     Poisson arrivals at their exact sampled times (the next
+//	            arrival is scheduled when the current one fires — no
+//	            per-tick scan).
+//	completion  each running job's end, computed from a probed steady-state
+//	            iteration time and re-scheduled whenever caps change.
+//	fault       the fault plan's Timeline entries (crashes, repairs,
+//	            slow-node windows) at their exact onsets.
+//	replan      the optional periodic policy replan (ReplanEvery).
+//	sample      telemetry on its own cadence (TelemetryEvery).
+//
+// Between events a job's progress is analytic: one real iteration probes
+// the operating point after every (re)plan, and bsp.CreditSteadyState
+// credits the repetitions the probe implies. Determinism is inherited from
+// the engine's (time, sequence) dispatch order — two runs with the same
+// seed dispatch the same events in the same order.
+
+import (
+	"context"
+	"time"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/engine"
+	"powerstack/internal/fault"
+	"powerstack/internal/rm"
+	"powerstack/internal/telemetry"
+	"powerstack/internal/units"
+)
+
+// evJob is one running job under the event core.
+type evJob struct {
+	sj        *rm.ScheduledJob
+	remaining int       // iterations still to run (including uncredited)
+	submitted time.Time // absolute submit time
+	started   time.Time // absolute start time
+
+	// iter is the probed steady-state iteration at the current operating
+	// point; credited is the virtual time the job's accounting has reached
+	// (energy and iteration counters are settled up to it).
+	iter     bsp.IterationResult
+	credited time.Duration
+	// comp is the pending completion event (0 when none).
+	comp engine.EventID
+}
+
+// eventSim runs one facility simulation on the discrete-event engine.
+type eventSim struct {
+	*simState
+	eng    *engine.Scheduler
+	active []*evJob
+
+	// Node-utilization accounting is a time integral here, not a per-tick
+	// census: busyIntegral accrues busyNodes over the span since busyAt
+	// every time the active set is about to change.
+	busyNodes    int
+	busyAt       time.Duration
+	busyIntegral float64
+}
+
+// runEvent executes the simulation on the discrete-event core.
+func runEvent(ctx context.Context, st *simState) (*Result, error) {
+	s := &eventSim{simState: st, eng: engine.New()}
+	s.eng.Obs = st.cfg.Obs
+
+	// Fault timeline: every crash/repair/slow transition at its exact
+	// onset. The tick loop scans windows (prev, now], so onsets at or
+	// before zero never fire there; mirror that (At == 0 slow nodes are
+	// already armed by Plan.Arm in setup).
+	for _, tt := range st.cfg.Faults.Timeline() {
+		if tt.At <= 0 || tt.At > st.horizon {
+			continue
+		}
+		tr := tt.Transition
+		switch tr.Kind {
+		case fault.NodeCrash:
+			s.eng.Schedule(tt.At, "fault_crash", func(now time.Duration) error {
+				return s.onCrash(tr.Node, now)
+			})
+		case fault.NodeRepair:
+			s.eng.Schedule(tt.At, "fault_repair", func(now time.Duration) error {
+				return s.onRepair(tr.Node, now)
+			})
+		case fault.SlowNode:
+			s.eng.Schedule(tt.At, "fault_slow", func(now time.Duration) error {
+				return s.onSlow(tr.Node, tr.Factor, now)
+			})
+		}
+	}
+
+	// Periodic replans, when configured.
+	if re := st.cfg.ReplanEvery; re > 0 {
+		s.eng.Every(re, re, st.horizon, "replan", s.onReplan)
+	}
+
+	// Telemetry sampling on its own cadence.
+	s.eng.Every(st.telEvery, st.telEvery, st.horizon, "sample", s.onSample)
+
+	// The arrival chain: each arrival schedules the next.
+	if first := expDuration(st.rng, st.cfg.MeanInterarrival); first <= st.horizon {
+		s.eng.Schedule(first, "arrival", s.onArrival)
+	}
+
+	if err := s.eng.RunUntil(ctx, st.horizon); err != nil {
+		return nil, err
+	}
+
+	// Settle accounting at the horizon: jobs still running keep their
+	// uncredited tail (their completions lie beyond the end of the run),
+	// but the busy-node integral closes here.
+	s.accrue(st.horizon)
+	st.res.EventsDispatched = int(s.eng.Dispatched())
+	if st.horizon > 0 && len(st.cfg.Nodes) > 0 {
+		st.res.MeanNodeUtilization = s.busyIntegral / (float64(st.horizon) * float64(len(st.cfg.Nodes)))
+	}
+	st.finalize()
+	return st.res, nil
+}
+
+// accrue closes the busy-node integral up to now. Call it before any
+// change to the active set.
+func (s *eventSim) accrue(now time.Duration) {
+	if now > s.busyAt {
+		s.busyIntegral += float64(s.busyNodes) * float64(now-s.busyAt)
+		s.busyAt = now
+	}
+}
+
+// recount refreshes the busy-node census after the active set changed.
+func (s *eventSim) recount() {
+	busy := 0
+	for _, r := range s.active {
+		busy += r.sj.Spec.Nodes
+	}
+	s.busyNodes = busy
+}
+
+// advance settles a job's analytic progress up to now: every whole
+// iteration that fits since the last settlement is credited at the probed
+// operating point. The fractional remainder stays uncredited — it
+// completes later, possibly at a different operating point.
+func (s *eventSim) advance(r *evJob, now time.Duration) {
+	if r.iter.Elapsed <= 0 || now <= r.credited || r.remaining <= 0 {
+		return
+	}
+	k := int((now - r.credited) / r.iter.Elapsed)
+	if k > r.remaining {
+		k = r.remaining
+	}
+	if k <= 0 {
+		return
+	}
+	r.sj.Job.CreditSteadyState(r.iter, k)
+	r.remaining -= k
+	r.credited += time.Duration(k) * r.iter.Elapsed
+}
+
+// advanceAll settles every active job up to now. Handlers that change caps
+// or speeds call it first so history is credited at the old operating
+// point.
+func (s *eventSim) advanceAll(now time.Duration) {
+	for _, r := range s.active {
+		s.advance(r, now)
+	}
+}
+
+// probe resolves a job's current operating point with one real iteration
+// (OS noise and all), counts it, and re-schedules the job's completion
+// from the new steady-state iteration time.
+func (s *eventSim) probe(r *evJob, now time.Duration) error {
+	ir, err := r.sj.Job.RunIteration()
+	if err != nil {
+		return err
+	}
+	r.iter = ir
+	r.remaining--
+	r.credited = now + ir.Elapsed
+	s.scheduleCompletion(r)
+	return nil
+}
+
+// scheduleCompletion (re)schedules a job's completion event at the time
+// its remaining iterations will have elapsed at the probed rate.
+func (s *eventSim) scheduleCompletion(r *evJob) {
+	if r.comp != 0 {
+		s.eng.Cancel(r.comp)
+	}
+	due := r.credited
+	if r.remaining > 0 && r.iter.Elapsed > 0 {
+		due += time.Duration(r.remaining) * r.iter.Elapsed
+	}
+	r.comp = s.eng.Schedule(due, "completion", func(now time.Duration) error {
+		return s.onComplete(r, now)
+	})
+}
+
+// removeActive drops a job from the active set, cancelling its pending
+// completion.
+func (s *eventSim) removeActive(victim *evJob) {
+	if victim.comp != 0 {
+		s.eng.Cancel(victim.comp)
+		victim.comp = 0
+	}
+	for i, r := range s.active {
+		if r == victim {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// reconcile is the shared tail of every state-changing event: settle
+// analytic progress, dispatch whatever now fits, replan when the running
+// set changed (mutated, or jobs just started), and re-probe operating
+// points where caps or speeds may have moved.
+func (s *eventSim) reconcile(now time.Duration, mutated, reprobeAll bool) error {
+	s.accrue(now)
+	s.advanceAll(now)
+	startedNow, err := s.sched.Dispatch(s.cfg.Seed + uint64(s.jobSeq))
+	if err != nil {
+		return err
+	}
+	var fresh []*evJob
+	for _, sj := range startedNow {
+		at := s.start.Add(now)
+		r := &evJob{
+			sj:        sj,
+			remaining: s.lengths[sj.Spec.ID],
+			submitted: s.submitTimes[sj.Spec.ID],
+			started:   at,
+		}
+		s.active = append(s.active, r)
+		fresh = append(fresh, r)
+		s.res.Started++
+		s.res.MeanQueueWait += at.Sub(r.submitted)
+	}
+	if mutated || len(startedNow) > 0 {
+		if err := s.replan(); err != nil {
+			return err
+		}
+		reprobeAll = true
+	}
+	probeSet := fresh
+	if reprobeAll {
+		probeSet = s.active
+	}
+	for _, r := range probeSet {
+		if err := s.probe(r, now); err != nil {
+			return err
+		}
+	}
+	s.recount()
+	return nil
+}
+
+// onArrival submits one Poisson arrival and schedules the next.
+func (s *eventSim) onArrival(now time.Duration) error {
+	gap, err := s.submitArrival(s.start.Add(now))
+	if err != nil {
+		return err
+	}
+	if next := now + gap; next <= s.horizon {
+		s.eng.Schedule(next, "arrival", s.onArrival)
+	}
+	return s.reconcile(now, false, false)
+}
+
+// onComplete finishes a job whose analytically scheduled end has arrived.
+func (s *eventSim) onComplete(r *evJob, now time.Duration) error {
+	r.comp = 0
+	s.accrue(now)
+	s.advance(r, now)
+	if r.remaining > 0 {
+		// The operating point moved under the estimate; re-aim.
+		s.scheduleCompletion(r)
+		return nil
+	}
+	if err := s.sched.Complete(r.sj); err != nil {
+		return err
+	}
+	s.res.Completed++
+	s.removeActive(r)
+	return s.reconcile(now, true, false)
+}
+
+// onCrash takes a node down: drain it, requeue the job that held it, and
+// replan around the loss.
+func (s *eventSim) onCrash(nodeID string, now time.Duration) error {
+	n, ok := s.nodeByID[nodeID]
+	if !ok {
+		return nil
+	}
+	s.accrue(now)
+	s.advanceAll(now) // settle at the pre-crash operating point
+	fault.Crash(n)
+	s.cfg.Obs.FaultInjected(string(fault.NodeCrash), nodeID, "", 0)
+	holder, held := s.mgr.Drain(nodeID, "crash")
+	if held {
+		for _, r := range s.active {
+			if r.sj == holder {
+				s.removeActive(r)
+				break
+			}
+		}
+		if err := s.sched.Requeue(holder); err != nil {
+			return err
+		}
+		s.res.Requeued++
+	}
+	return s.reconcile(now, true, false)
+}
+
+// onRepair brings a crashed node back; the freed capacity may start queued
+// jobs at the next dispatch.
+func (s *eventSim) onRepair(nodeID string, now time.Duration) error {
+	n, ok := s.nodeByID[nodeID]
+	if !ok {
+		return nil
+	}
+	s.accrue(now)
+	fault.Repair(n)
+	s.mgr.Rejoin(nodeID)
+	return s.reconcile(now, false, false)
+}
+
+// onSlow opens or closes a slow-node window. Caps do not move (the tick
+// loop never replanned on degradation either), but iteration times did, so
+// every operating point is re-probed and completions re-aimed.
+func (s *eventSim) onSlow(nodeID string, factor float64, now time.Duration) error {
+	n, ok := s.nodeByID[nodeID]
+	if !ok {
+		return nil
+	}
+	s.accrue(now)
+	s.advanceAll(now) // settle at the pre-degradation speed
+	n.SetDegradation(factor)
+	s.cfg.Obs.FaultInjected(string(fault.SlowNode), nodeID, "", factor)
+	return s.reconcile(now, false, true)
+}
+
+// onReplan is the periodic policy replan event.
+func (s *eventSim) onReplan(now time.Duration) error {
+	return s.reconcile(now, true, false)
+}
+
+// onSample reads the telemetry hierarchy. Jobs settle first so the energy
+// counters reflect every iteration completed by now — the sampled power is
+// then the same ΔE/Δt the tick loop saw.
+func (s *eventSim) onSample(now time.Duration) error {
+	s.advanceAll(now)
+	at := s.start.Add(now)
+	p, err := s.root.Sample(at)
+	if err != nil {
+		return err
+	}
+	s.res.Trace = append(s.res.Trace, telemetry.Sample{Time: at, Power: p})
+	s.res.TotalEnergy += units.EnergyOver(p, s.telEvery)
+	if p > s.cfg.SystemBudget {
+		s.res.BudgetViolationTicks++
+	}
+	return nil
+}

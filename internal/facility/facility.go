@@ -6,6 +6,15 @@
 // bulk-synchronous engine advances every running job (fast-forwarding
 // through steady state), and the telemetry hierarchy samples facility
 // power — producing, bottom-up, the kind of trace Figure 1 shows top-down.
+//
+// Two time-advancement cores are available. The default discrete-event
+// core (EngineEvent) schedules arrivals, job completions, faults, policy
+// replans, and telemetry samples at their exact virtual times on
+// internal/engine, jumping straight from one event to the next — a lightly
+// loaded month costs what its events cost, not what its ticks would. The
+// fixed-tick core (EngineTick) is the original loop, kept as a
+// compatibility mode and as the golden reference the equivalence tests
+// compare against.
 package facility
 
 import (
@@ -25,6 +34,17 @@ import (
 	"powerstack/internal/rm"
 	"powerstack/internal/telemetry"
 	"powerstack/internal/units"
+)
+
+// Engine selectors for Config.Engine.
+const (
+	// EngineEvent is the discrete-event core: virtual clock, exact-time
+	// arrivals/completions/faults, decoupled telemetry cadence. The
+	// default ("" selects it).
+	EngineEvent = "event"
+	// EngineTick is the original fixed-tick loop, kept for compatibility
+	// and as the equivalence reference.
+	EngineTick = "tick"
 )
 
 // Config shapes a facility simulation.
@@ -47,10 +67,24 @@ type Config struct {
 	// Workloads is the kernel-config population (sampled uniformly).
 	Workloads []kernel.Config
 
-	// Duration is the simulated span; Tick the scheduling/telemetry
-	// cadence.
+	// Duration is the simulated span; Tick the scheduling granularity of
+	// the tick engine (and the default telemetry cadence of both).
 	Duration time.Duration
 	Tick     time.Duration
+
+	// Engine selects the time-advancement core: EngineEvent (default) or
+	// EngineTick.
+	Engine string
+	// TelemetryEvery is the telemetry sampling cadence; zero selects Tick.
+	// Under EngineTick it must be a positive multiple of Tick (samples can
+	// only land on tick boundaries); under EngineEvent any positive cadence
+	// works — decoupling sampling from scheduling is where the event core's
+	// speedup on long horizons comes from.
+	TelemetryEvery time.Duration
+	// ReplanEvery adds a periodic policy replan on top of the
+	// change-driven ones (job start/finish, crash); zero disables it.
+	// Under EngineTick it must be a multiple of Tick.
+	ReplanEvery time.Duration
 
 	Seed uint64
 
@@ -60,9 +94,26 @@ type Config struct {
 	// dropouts hold samples; characterization corruption triggers policy
 	// fallbacks. Nil or empty injects nothing.
 	Faults *fault.Plan
-	// Obs journals every fault and degradation decision; nil disables
-	// instrumentation.
+	// Obs journals every fault, degradation, and engine-dispatch decision;
+	// nil disables instrumentation.
 	Obs *obs.Sink
+}
+
+// telemetryEvery resolves the sampling cadence.
+func (c *Config) telemetryEvery() time.Duration {
+	if c.TelemetryEvery > 0 {
+		return c.TelemetryEvery
+	}
+	return c.Tick
+}
+
+// horizon is the simulated end time: Duration rounded up to a whole number
+// of ticks, which is where the tick loop has always stopped (its last tick
+// may overshoot Duration). Both engines run to the same horizon so their
+// results compare.
+func (c *Config) horizon() time.Duration {
+	ticks := (c.Duration + c.Tick - 1) / c.Tick
+	return time.Duration(ticks) * c.Tick
 }
 
 // Validate checks the configuration.
@@ -84,6 +135,22 @@ func (c *Config) Validate() error {
 		return errors.New("facility: no workloads")
 	case c.Tick <= 0 || c.Duration < c.Tick:
 		return errors.New("facility: bad tick/duration")
+	case c.TelemetryEvery < 0:
+		return errors.New("facility: telemetry cadence must not be negative")
+	case c.ReplanEvery < 0:
+		return errors.New("facility: replan cadence must not be negative")
+	}
+	switch c.Engine {
+	case "", EngineEvent:
+	case EngineTick:
+		if c.TelemetryEvery > 0 && c.TelemetryEvery%c.Tick != 0 {
+			return fmt.Errorf("facility: tick engine needs TelemetryEvery (%v) to be a multiple of Tick (%v)", c.TelemetryEvery, c.Tick)
+		}
+		if c.ReplanEvery > 0 && c.ReplanEvery%c.Tick != 0 {
+			return fmt.Errorf("facility: tick engine needs ReplanEvery (%v) to be a multiple of Tick (%v)", c.ReplanEvery, c.Tick)
+		}
+	default:
+		return fmt.Errorf("facility: unknown engine %q (want %q or %q)", c.Engine, EngineEvent, EngineTick)
 	}
 	for _, s := range c.JobSizes {
 		if s <= 0 || s > len(c.Nodes) {
@@ -108,11 +175,22 @@ type running struct {
 
 // Result summarizes a facility simulation.
 type Result struct {
-	// Trace is the facility power series, one sample per tick.
+	// Trace is the facility power series, one sample per telemetry
+	// interval (TelemetryEvery, defaulting to Tick).
 	Trace []telemetry.Sample
 	// Submitted, Started, and Completed count jobs.
 	Submitted, Started, Completed int
-	// MeanQueueWait averages the submit-to-start delay of started jobs.
+	// QueuedAtEnd counts jobs still waiting in the scheduler queue when
+	// the run's horizon is reached — submitted but never started.
+	QueuedAtEnd int
+	// MeanQueueWait averages the submit-to-start delay over jobs that
+	// started; jobs still queued at the end (QueuedAtEnd) never started
+	// and are deliberately excluded — a facility drowning in arrivals can
+	// therefore report a short wait next to a large QueuedAtEnd. Under the
+	// tick engine a job arriving mid-tick starts at the enclosing tick's
+	// beginning, so individual waits (and a lightly loaded mean) can be
+	// slightly negative; the event engine starts jobs at their exact
+	// arrival times and never reports negative waits.
 	MeanQueueWait time.Duration
 	// MeanNodeUtilization is the time-averaged fraction of busy nodes.
 	MeanNodeUtilization float64
@@ -121,72 +199,188 @@ type Result struct {
 	PeakPower units.Power
 	// TotalEnergy is the facility CPU energy over the run.
 	TotalEnergy units.Energy
-	// BudgetViolationTicks counts samples above the system budget.
+	// BudgetViolationTicks counts trace samples above the system budget.
 	BudgetViolationTicks int
 	// Requeued counts jobs returned to the queue after a crash drained
 	// one of their hosts; Quarantined and Rejoined count node drain-set
-	// transitions over the run.
+	// entries and exits over the run (every quarantine reason: crash
+	// drains, failed cap writes, failed releases).
 	Requeued, Quarantined, Rejoined int
+	// EventsDispatched counts discrete events the event engine dispatched
+	// (zero under the tick engine); TicksSimulated counts the tick
+	// engine's iterations (zero under the event engine). Together they
+	// are the work measure BENCH_facility.json tracks.
+	EventsDispatched int
+	TicksSimulated   int
 }
 
-// Run executes the simulation. Cancelling ctx stops the run at the next
-// tick boundary with ctx's error.
-func Run(ctx context.Context, cfg Config) (*Result, error) {
+// simState is the setup shared by both engines: validated config, corrupt
+// database view, managers, telemetry hierarchy, RNG, and the bookkeeping
+// maps the arrival process feeds.
+type simState struct {
+	cfg      Config
+	pol      policy.Policy
+	db       *charz.DB
+	rng      *rand.Rand
+	mgr      *rm.Manager
+	sched    *rm.Scheduler
+	root     *telemetry.Domain
+	res      *Result
+	start    time.Time // wall-clock epoch of virtual time zero
+	nodeByID map[string]*node.Node
+
+	lengths     map[string]int // queued job ID -> iterations
+	submitTimes map[string]time.Time
+	jobSeq      int
+
+	horizon  time.Duration
+	telEvery time.Duration
+}
+
+// maxHistory caps the telemetry ring size at its previous fixed value.
+const maxHistory = 1 << 16
+
+// setup builds the shared simulation state.
+func setup(cfg Config) (*simState, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
-	pol := cfg.Policy
-	if pol == nil {
-		pol = policy.StaticCaps{}
+	st := &simState{
+		cfg:         cfg,
+		pol:         cfg.Policy,
+		res:         &Result{},
+		start:       time.Unix(0, 0).UTC(),
+		nodeByID:    map[string]*node.Node{},
+		lengths:     map[string]int{},
+		submitTimes: map[string]time.Time{},
+		horizon:     cfg.horizon(),
+		telEvery:    cfg.telemetryEvery(),
+	}
+	if st.pol == nil {
+		st.pol = policy.StaticCaps{}
 	}
 	// Corruption applies to a clone so the caller's database survives the
 	// run intact; policies see the damaged view and fall back.
-	db := cfg.Faults.CorruptDB(cfg.DB, cfg.Obs)
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
-	mgr := rm.NewManager(cfg.Nodes)
-	mgr.Obs = cfg.Obs
-	sched, err := rm.NewScheduler(mgr, db, cfg.SystemBudget)
+	st.db = cfg.Faults.CorruptDB(cfg.DB, cfg.Obs)
+	st.rng = rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
+	st.mgr = rm.NewManager(cfg.Nodes)
+	st.mgr.Obs = cfg.Obs
+	st.mgr.OnQuarantine = func(string, string) { st.res.Quarantined++ }
+	st.mgr.OnRejoin = func(string) { st.res.Rejoined++ }
+	sched, err := rm.NewScheduler(st.mgr, st.db, cfg.SystemBudget)
 	if err != nil {
 		return nil, err
 	}
-	root, err := telemetry.BuildHierarchy(cfg.Nodes, 16, 1<<16)
+	st.sched = sched
+	// Size the telemetry rings to the run instead of the historical 64k
+	// fixed cap: a 1000-node hierarchy at full depth is ~1k Series, and
+	// pre-zeroing 64k samples each cost ~20s and gigabytes before any
+	// simulation started. The watchdog and Last() only ever look at the
+	// recent window, so a ring covering the whole run (plus slack) is
+	// observably identical.
+	history := int(st.horizon/st.telEvery) + 8
+	if history < 64 {
+		history = 64
+	}
+	if history > maxHistory {
+		history = maxHistory
+	}
+	root, err := telemetry.BuildHierarchy(cfg.Nodes, 16, history)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{}
-	now := time.Unix(0, 0).UTC()
+	st.root = root
 	cfg.Faults.Arm(cfg.Nodes, cfg.Obs)
-	root.SetFaultPlan(cfg.Faults, now, cfg.Obs)
-	nodeByID := map[string]*node.Node{}
+	root.SetFaultPlan(cfg.Faults, st.start, cfg.Obs)
 	for _, n := range cfg.Nodes {
-		nodeByID[n.ID] = n
+		st.nodeByID[n.ID] = n
 	}
-	if _, err := root.Sample(now); err != nil { // prime energy trackers
+	if _, err := root.Sample(st.start); err != nil { // prime energy trackers
 		return nil, err
 	}
+	return st, nil
+}
+
+// replan redistributes the system budget across the running set.
+func (st *simState) replan() error {
+	if len(st.mgr.Jobs()) == 0 {
+		return nil
+	}
+	alloc, err := st.mgr.Plan(st.pol, st.cfg.SystemBudget, st.db)
+	if err != nil {
+		return err
+	}
+	return st.mgr.Apply(alloc)
+}
+
+// submitArrival draws one arrival from the config RNG and enqueues it. The
+// draw order (workload, size, length, next gap) is shared by both engines
+// so the same seed produces the same job sequence. It returns the gap to
+// the next arrival.
+func (st *simState) submitArrival(at time.Time) (time.Duration, error) {
+	st.jobSeq++
+	spec := rm.JobSpec{
+		ID:     fmt.Sprintf("job%05d", st.jobSeq),
+		Config: st.cfg.Workloads[st.rng.IntN(len(st.cfg.Workloads))],
+		Nodes:  st.cfg.JobSizes[st.rng.IntN(len(st.cfg.JobSizes))],
+	}
+	if _, err := st.sched.Enqueue(spec); err != nil {
+		return 0, err
+	}
+	st.lengths[spec.ID] = st.cfg.MinJobIterations + st.rng.IntN(st.cfg.MaxJobIterations-st.cfg.MinJobIterations+1)
+	st.submitTimes[spec.ID] = at
+	st.res.Submitted++
+	return expDuration(st.rng, st.cfg.MeanInterarrival), nil
+}
+
+// finalize computes the aggregate statistics both engines share.
+func (st *simState) finalize() {
+	res := st.res
+	res.QueuedAtEnd = len(st.sched.Queue())
+	if res.Started > 0 {
+		res.MeanQueueWait /= time.Duration(res.Started)
+	}
+	var sum float64
+	for _, s := range res.Trace {
+		sum += s.Power.Watts()
+		if s.Power > res.PeakPower {
+			res.PeakPower = s.Power
+		}
+	}
+	if len(res.Trace) > 0 {
+		res.MeanPower = units.Power(sum / float64(len(res.Trace)))
+	}
+}
+
+// Run executes the simulation on the configured engine (EngineEvent by
+// default). Cancelling ctx stops the run at the next event or tick
+// boundary with ctx's error.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	st, err := setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Engine == EngineTick {
+		return runTick(ctx, st)
+	}
+	return runEvent(ctx, st)
+}
+
+// runTick is the fixed-tick compatibility core: every tick fires the
+// window's faults, enqueues the window's arrivals, dispatches, advances
+// every running job by one RunSpan, and (on telemetry boundaries) samples
+// the hierarchy.
+func runTick(ctx context.Context, st *simState) (*Result, error) {
+	cfg, res, mgr, sched := st.cfg, st.res, st.mgr, st.sched
+	now := st.start
 
 	var active []*running
-	lengths := map[string]int{} // queued job ID -> iterations
-	submitTimes := map[string]time.Time{}
-	nextArrival := now.Add(expDuration(rng, cfg.MeanInterarrival))
+	nextArrival := now.Add(expDuration(st.rng, cfg.MeanInterarrival))
 	var busyNodeTicks, totalTicks int
 
-	replan := func() error {
-		if len(mgr.Jobs()) == 0 {
-			return nil
-		}
-		alloc, err := mgr.Plan(pol, cfg.SystemBudget, db)
-		if err != nil {
-			return err
-		}
-		return mgr.Apply(alloc)
-	}
-
-	jobSeq := 0
 	for elapsed := time.Duration(0); elapsed < cfg.Duration; elapsed += cfg.Tick {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -200,14 +394,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		for _, tr := range cfg.Faults.ApplyAt(elapsed, elapsed+cfg.Tick) {
 			switch tr.Kind {
 			case fault.NodeCrash:
-				n, ok := nodeByID[tr.Node]
+				n, ok := st.nodeByID[tr.Node]
 				if !ok {
 					continue
 				}
 				fault.Crash(n)
 				cfg.Obs.FaultInjected(string(fault.NodeCrash), tr.Node, "", 0)
 				holder, held := mgr.Drain(tr.Node, "crash")
-				res.Quarantined++
 				if held {
 					if err := sched.Requeue(holder); err != nil {
 						return nil, err
@@ -222,61 +415,52 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				faultsFired = true
 			case fault.NodeRepair:
-				n, ok := nodeByID[tr.Node]
+				n, ok := st.nodeByID[tr.Node]
 				if !ok {
 					continue
 				}
 				fault.Repair(n)
-				if mgr.Rejoin(tr.Node) {
-					res.Rejoined++
-				}
+				mgr.Rejoin(tr.Node)
 			case fault.SlowNode:
-				if n, ok := nodeByID[tr.Node]; ok {
+				if n, ok := st.nodeByID[tr.Node]; ok {
 					n.SetDegradation(tr.Factor)
 					cfg.Obs.FaultInjected(string(fault.SlowNode), tr.Node, "", tr.Factor)
 				}
 			}
 		}
 		if faultsFired {
-			if err := replan(); err != nil {
+			if err := st.replan(); err != nil {
 				return nil, err
 			}
 		}
 
 		// Arrivals within this tick.
 		for !nextArrival.After(tickEnd) {
-			jobSeq++
-			spec := rm.JobSpec{
-				ID:     fmt.Sprintf("job%05d", jobSeq),
-				Config: cfg.Workloads[rng.IntN(len(cfg.Workloads))],
-				Nodes:  cfg.JobSizes[rng.IntN(len(cfg.JobSizes))],
-			}
-			if _, err := sched.Enqueue(spec); err != nil {
+			at := nextArrival
+			gap, err := st.submitArrival(at)
+			if err != nil {
 				return nil, err
 			}
-			lengths[spec.ID] = cfg.MinJobIterations + rng.IntN(cfg.MaxJobIterations-cfg.MinJobIterations+1)
-			submitTimes[spec.ID] = nextArrival
-			res.Submitted++
-			nextArrival = nextArrival.Add(expDuration(rng, cfg.MeanInterarrival))
+			nextArrival = at.Add(gap)
 		}
 
 		// Admit what fits, then replan power across the running set.
-		startedNow, err := sched.Dispatch(cfg.Seed + uint64(jobSeq))
+		startedNow, err := sched.Dispatch(cfg.Seed + uint64(st.jobSeq))
 		if err != nil {
 			return nil, err
 		}
 		for _, sj := range startedNow {
 			active = append(active, &running{
 				sj:        sj,
-				remaining: lengths[sj.Spec.ID],
-				submitted: submitTimes[sj.Spec.ID],
+				remaining: st.lengths[sj.Spec.ID],
+				submitted: st.submitTimes[sj.Spec.ID],
 				started:   now,
 			})
 			res.Started++
-			res.MeanQueueWait += now.Sub(submitTimes[sj.Spec.ID])
+			res.MeanQueueWait += now.Sub(st.submitTimes[sj.Spec.ID])
 		}
 		if len(startedNow) > 0 {
-			if err := replan(); err != nil {
+			if err := st.replan(); err != nil {
 				return nil, err
 			}
 		}
@@ -302,20 +486,29 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		active = still
 		if completedAny {
-			if err := replan(); err != nil {
+			if err := st.replan(); err != nil {
 				return nil, err
 			}
 		}
 
-		// Telemetry.
-		p, err := root.Sample(tickEnd)
-		if err != nil {
-			return nil, err
+		// Periodic replans on their own cadence.
+		if cfg.ReplanEvery > 0 && (elapsed+cfg.Tick)%cfg.ReplanEvery == 0 {
+			if err := st.replan(); err != nil {
+				return nil, err
+			}
 		}
-		res.Trace = append(res.Trace, telemetry.Sample{Time: tickEnd, Power: p})
-		res.TotalEnergy += units.EnergyOver(p, cfg.Tick)
-		if p > cfg.SystemBudget {
-			res.BudgetViolationTicks++
+
+		// Telemetry on its own cadence (every tick by default).
+		if (elapsed+cfg.Tick)%st.telEvery == 0 {
+			p, err := st.root.Sample(tickEnd)
+			if err != nil {
+				return nil, err
+			}
+			res.Trace = append(res.Trace, telemetry.Sample{Time: tickEnd, Power: p})
+			res.TotalEnergy += units.EnergyOver(p, st.telEvery)
+			if p > cfg.SystemBudget {
+				res.BudgetViolationTicks++
+			}
 		}
 		busy := 0
 		for _, r := range active {
@@ -326,30 +519,26 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		now = tickEnd
 	}
 
-	if res.Started > 0 {
-		res.MeanQueueWait /= time.Duration(res.Started)
-	}
+	res.TicksSimulated = totalTicks
 	if totalTicks > 0 {
 		res.MeanNodeUtilization = float64(busyNodeTicks) / float64(totalTicks*len(cfg.Nodes))
 	}
-	var sum float64
-	for _, s := range res.Trace {
-		sum += s.Power.Watts()
-		if s.Power > res.PeakPower {
-			res.PeakPower = s.Power
-		}
-	}
-	if len(res.Trace) > 0 {
-		res.MeanPower = units.Power(sum / float64(len(res.Trace)))
-	}
+	st.finalize()
 	return res, nil
 }
 
-// expDuration samples an exponential inter-arrival gap.
+// expDuration samples an exponential inter-arrival gap. The result is
+// clamped to at least 1ns: a mean so small that the sampled gap truncates
+// to zero would otherwise stall the arrival loop (and the event engine's
+// arrival chain) at a single instant forever.
 func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
 	u := rng.Float64()
 	if u <= 0 {
 		u = math.SmallestNonzeroFloat64
 	}
-	return time.Duration(-math.Log(u) * float64(mean))
+	d := time.Duration(-math.Log(u) * float64(mean))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
 }

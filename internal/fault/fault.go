@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 	"time"
 
 	"powerstack/internal/charz"
@@ -244,6 +245,45 @@ func (p *Plan) ApplyAt(prev, now time.Duration) []Transition {
 			}
 		}
 	}
+	return out
+}
+
+// TimedTransition is a Transition stamped with its exact firing time, for
+// consumers that schedule faults as discrete events instead of scanning
+// (prev, now] windows every tick.
+type TimedTransition struct {
+	// At is the transition's exact virtual firing time.
+	At time.Duration
+	Transition
+}
+
+// Timeline expands the plan's time-scheduled injections into an explicit
+// event list: each NodeCrash yields a crash at At (plus a NodeRepair at
+// At+RepairAfter when repair is scheduled), each SlowNode yields its onset
+// at At (plus a Factor-1 window close at At+Duration when bounded). The
+// list is sorted by time, ties broken by declaration order, so an event
+// engine scheduling it in order dispatches exactly the transitions ApplyAt
+// would have reported tick by tick.
+func (p *Plan) Timeline() []TimedTransition {
+	if p.Empty() {
+		return nil
+	}
+	var out []TimedTransition
+	for _, in := range p.Injections {
+		switch in.Kind {
+		case NodeCrash:
+			out = append(out, TimedTransition{At: in.At, Transition: Transition{Kind: NodeCrash, Node: in.Node}})
+			if in.RepairAfter > 0 {
+				out = append(out, TimedTransition{At: in.At + in.RepairAfter, Transition: Transition{Kind: NodeRepair, Node: in.Node}})
+			}
+		case SlowNode:
+			out = append(out, TimedTransition{At: in.At, Transition: Transition{Kind: SlowNode, Node: in.Node, Factor: in.Factor}})
+			if in.Duration > 0 {
+				out = append(out, TimedTransition{At: in.At + in.Duration, Transition: Transition{Kind: SlowNode, Node: in.Node, Factor: 1}})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
 

@@ -59,6 +59,10 @@ const (
 	// EvJobRequeued is the facility returning a crashed node's job to the
 	// scheduler queue.
 	EvJobRequeued EventType = "job_requeued"
+	// EvEngineDispatch is the discrete-event engine dispatching one
+	// scheduled event (Scope carries the event kind, Value the virtual time
+	// in seconds).
+	EvEngineDispatch EventType = "engine_dispatch"
 )
 
 // Event is one structured decision record. Fields are flat and typed so

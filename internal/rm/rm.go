@@ -86,6 +86,16 @@ type Manager struct {
 	// CapRetries overrides DefaultCapRetries (negative disables retries;
 	// zero selects the default).
 	CapRetries int
+
+	// OnQuarantine, when set, is invoked every time a node enters the
+	// drain set, with the node ID and the reason ("cap_write", "release",
+	// "crash"). It fires exactly once per quarantined node — repeat drains
+	// are idempotent — so callers can count quarantines without watching
+	// the journal. Called synchronously from the manager's goroutine.
+	OnQuarantine func(id, reason string)
+	// OnRejoin, when set, is invoked every time a repaired node returns to
+	// the free pool (after its TDP limit is restored).
+	OnRejoin func(id string)
 }
 
 // NewManager builds a manager over the given node pool.
@@ -126,6 +136,9 @@ func (m *Manager) quarantine(n *node.Node, reason string) {
 	}
 	m.quarantined[n.ID] = n
 	m.Obs.Quarantine(n.ID, reason)
+	if m.OnQuarantine != nil {
+		m.OnQuarantine(n.ID, reason)
+	}
 }
 
 // Drain takes a node out of service by ID: removed from the free pool or,
@@ -175,6 +188,9 @@ func (m *Manager) Rejoin(id string) bool {
 	delete(m.quarantined, id)
 	m.free = append(m.free, n)
 	m.Obs.Rejoin(id)
+	if m.OnRejoin != nil {
+		m.OnRejoin(id)
+	}
 	return true
 }
 

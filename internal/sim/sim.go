@@ -18,6 +18,7 @@ import (
 	"powerstack/internal/charz"
 	"powerstack/internal/cluster"
 	"powerstack/internal/coordinator"
+	"powerstack/internal/engine"
 	"powerstack/internal/fault"
 	"powerstack/internal/geopm"
 	"powerstack/internal/node"
@@ -323,7 +324,10 @@ func (r *Runner) RunOnlineCell(ctx context.Context, mix workload.Mix, budgetName
 	if r.Obs != nil {
 		coord.SetObs(r.Obs)
 	}
-	res, err := coord.Run(ctx, r.Iters)
+	// Online cells run on the discrete-event core explicitly: one engine
+	// per cell keeps the virtual timeline (and its journaled dispatches)
+	// cell-local, which is what lets the parallel grid stay byte-identical.
+	res, err := coord.RunOn(ctx, engine.New(), r.Iters)
 	if err != nil {
 		return Cell{}, err
 	}

@@ -264,7 +264,8 @@ func (d *Domain) Leaves() []*Domain {
 }
 
 // TopConsumers returns the k leaves with the highest latest power, sorted
-// descending — the watchdog's clamping order.
+// descending — the watchdog's clamping order. k is clamped to [0, leaves]:
+// a negative k returns nothing rather than panicking.
 func (d *Domain) TopConsumers(k int) []*Domain {
 	leaves := d.Leaves()
 	sort.SliceStable(leaves, func(a, b int) bool {
@@ -272,6 +273,9 @@ func (d *Domain) TopConsumers(k int) []*Domain {
 		pb, _ := leaves[b].series.Last()
 		return pa.Power > pb.Power
 	})
+	if k < 0 {
+		k = 0
+	}
 	if k > len(leaves) {
 		k = len(leaves)
 	}

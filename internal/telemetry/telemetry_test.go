@@ -259,3 +259,87 @@ func TestWatchdogQuietWithinBudget(t *testing.T) {
 		}
 	}
 }
+
+func TestFindEdgeCases(t *testing.T) {
+	nodes := testNodes(t, 6)
+	root, err := BuildHierarchy(nodes, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Find("facility") != root {
+		t.Error("Find(root name) did not return the root")
+	}
+	if d := root.Find(nodes[4].ID); d == nil || d.Node != nodes[4] {
+		t.Errorf("Find(%s) = %v", nodes[4].ID, d)
+	}
+	if d := root.Find("no-such-domain"); d != nil {
+		t.Errorf("Find(missing) = %v, want nil", d)
+	}
+	// Duplicate names resolve to the first match in preorder: the root
+	// shadows a deeper domain carrying the same name.
+	dup, err := NewNodeDomain(nodes[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup.Name = "facility"
+	root.Children[0].Children = append(root.Children[0].Children, dup)
+	if got := root.Find("facility"); got != root {
+		t.Error("duplicate name resolved to a descendant, want preorder-first (root)")
+	}
+}
+
+func TestLeavesEdgeCases(t *testing.T) {
+	nodes := testNodes(t, 5)
+	root, err := BuildHierarchy(nodes, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := root.Leaves()
+	if len(leaves) != 5 {
+		t.Fatalf("leaves = %d, want 5", len(leaves))
+	}
+	// Leaves come back in hierarchy (node) order, not power order.
+	for i, l := range leaves {
+		if l.Node != nodes[i] {
+			t.Fatalf("leaf %d = %s, want %s", i, l.Node.ID, nodes[i].ID)
+		}
+	}
+	// A bare leaf domain is its own only leaf.
+	solo, err := NewNodeDomain(nodes[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solo.Leaves(); len(got) != 1 || got[0] != solo {
+		t.Errorf("bare leaf Leaves() = %v", got)
+	}
+	// A hand-built interior domain with no children (bypassing the
+	// constructor's validation) must report no leaves, not panic.
+	empty := &Domain{Name: "hollow"}
+	if got := empty.Leaves(); len(got) != 0 {
+		t.Errorf("childless domain leaves = %d, want 0", len(got))
+	}
+}
+
+func TestTopConsumersEdgeCases(t *testing.T) {
+	nodes := testNodes(t, 3)
+	root, err := BuildHierarchy(nodes, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Negative k clamps to nothing rather than panicking.
+	if got := root.TopConsumers(-1); len(got) != 0 {
+		t.Errorf("TopConsumers(-1) = %d leaves, want 0", len(got))
+	}
+	if got := root.TopConsumers(0); len(got) != 0 {
+		t.Errorf("TopConsumers(0) = %d leaves, want 0", len(got))
+	}
+	// Before any sample exists every leaf reads zero power; the call must
+	// still return exactly k leaves.
+	if got := root.TopConsumers(2); len(got) != 2 {
+		t.Errorf("unsampled TopConsumers(2) = %d leaves", len(got))
+	}
+	empty := &Domain{Name: "hollow"}
+	if got := empty.TopConsumers(3); len(got) != 0 {
+		t.Errorf("childless TopConsumers(3) = %d, want 0", len(got))
+	}
+}
