@@ -1,0 +1,247 @@
+// Command campaign runs a multi-seed facility sweep: a scenario matrix
+// (seeds × interarrival rates × budgets × policies × optional fault lanes)
+// fanned across a bounded worker pool, with per-group statistics (mean,
+// bootstrap 95% CI) and Welch policy comparisons in the report. The
+// serialized report is byte-identical at any -parallel setting.
+//
+// Characterization runs once through a process-wide cache; with -cachefile
+// the cache persists across invocations, so repeat campaigns on the same
+// platform skip characterization entirely.
+//
+// Usage:
+//
+//	campaign [-nodes N] [-hours H] [-engine event|tick] [-seeds N]
+//	         [-interarrivals 30m,45m] [-budgets "4 kW,6 kW"]
+//	         [-policies all|StaticCaps,MixedAdaptive] [-parallel N]
+//	         [-cachefile charz.json] [-format json|csv] [-out report.json]
+//	         [-crashes N] [-msrfaults N] [-slownodes N] [-faultseed N]
+//
+// Chaos flags add a "chaos" fault lane next to the default "clean" lane, so
+// every policy is ranked under both.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"powerstack"
+	"powerstack/internal/kernel"
+	"powerstack/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+	nNodes := flag.Int("nodes", 16, "cluster size")
+	hours := flag.Float64("hours", 8, "simulated span in hours")
+	engineName := flag.String("engine", powerstack.FacilityEngineEvent, "simulation core: event or tick")
+	seeds := flag.Int("seeds", 5, "replications per scenario cell (seeds 1..N)")
+	interarrivals := flag.String("interarrivals", "30m", "comma-separated mean job inter-arrival times")
+	budgets := flag.String("budgets", "", "comma-separated system budgets (e.g. \"4 kW,6 kW\"; default 240 W/node)")
+	policies := flag.String("policies", "all", "comma-separated policy names, or \"all\"")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS); the report is identical at any setting")
+	cacheFile := flag.String("cachefile", "", "characterization cache path (loaded if present, saved after)")
+	format := flag.String("format", "json", "report format: json or csv")
+	outPath := flag.String("out", "", "report destination (default stdout)")
+	crashes := flag.Int("crashes", 0, "chaos lane: nodes to crash mid-run (half are repaired)")
+	msrFaults := flag.Int("msrfaults", 0, "chaos lane: nodes with injected MSR write faults")
+	slowNodes := flag.Int("slownodes", 0, "chaos lane: nodes degraded mid-run")
+	faultSeed := flag.Uint64("faultseed", 7, "seed of the generated chaos plan")
+	flag.Parse()
+	ctx := context.Background()
+
+	if *seeds <= 0 {
+		log.Fatal("-seeds must be positive")
+	}
+	pols, err := parsePolicies(*policies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ias, err := parseDurations(*interarrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buds []units.Power
+	if *budgets == "" {
+		buds = []units.Power{units.Power(*nNodes) * 240 * units.Watt}
+	} else if buds, err = parsePowers(*budgets); err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := powerstack.NewSystem(powerstack.Options{ClusterSize: *nNodes + 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads := []kernel.Config{
+		{Intensity: 0.25, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 8, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 32, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 1, Vector: kernel.YMM, WaitingPct: 50, Imbalance: 2},
+		{Intensity: 16, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 3},
+		{Intensity: 8, Vector: kernel.XMM, Imbalance: 1},
+	}
+
+	cache := powerstack.NewCharacterizationCache()
+	if *cacheFile != "" {
+		if loaded, err := powerstack.LoadCharacterizationCache(*cacheFile); err == nil {
+			cache = loaded
+			log.Printf("loaded characterization cache (%d entries) from %s", cache.Len(), *cacheFile)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("characterizing %d workloads...", len(workloads))
+	start := time.Now()
+	if err := sys.CharacterizeCached(ctx, workloads, powerstack.QuickCharacterization(), cache); err != nil {
+		log.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	log.Printf("characterization done in %v (%d cache hits, %d misses)",
+		time.Since(start).Round(time.Millisecond), hits, misses)
+	if *cacheFile != "" {
+		if err := cache.SaveFile(*cacheFile); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var jobSizes []int
+	for _, sz := range []int{2, 4, 8, 16} {
+		if sz <= *nNodes {
+			jobSizes = append(jobSizes, sz)
+		}
+	}
+
+	duration := time.Duration(*hours * float64(time.Hour))
+	cfg := powerstack.CampaignConfig{
+		Base: powerstack.FacilityConfig{
+			Engine:           *engineName,
+			MinJobIterations: 2000,
+			MaxJobIterations: 20000,
+			JobSizes:         jobSizes,
+			Workloads:        workloads,
+			Duration:         duration,
+			Tick:             time.Minute,
+		},
+		Interarrivals: ias,
+		Budgets:       buds,
+		Policies:      pols,
+		Parallelism:   *parallel,
+	}
+	for s := 1; s <= *seeds; s++ {
+		cfg.Seeds = append(cfg.Seeds, uint64(s))
+	}
+	if *crashes+*msrFaults+*slowNodes > 0 {
+		var ids []string
+		for _, n := range sys.Pool {
+			ids = append(ids, n.ID)
+		}
+		plan := powerstack.GenerateFaults(ids, powerstack.FaultGenOptions{
+			Seed:           *faultSeed,
+			Crashes:        *crashes,
+			RepairFraction: 0.5,
+			MSRWriteFaults: *msrFaults,
+			SlowNodes:      *slowNodes,
+			Horizon:        duration,
+		})
+		cfg.FaultPlans = []powerstack.CampaignFaultPlan{{Name: "clean"}, {Name: "chaos", Plan: plan}}
+	}
+
+	nScen := len(cfg.Seeds) * len(ias) * len(buds) * len(pols)
+	if len(cfg.FaultPlans) > 0 {
+		nScen *= len(cfg.FaultPlans)
+	}
+	log.Printf("running %d scenarios over %d nodes (%v each)...", nScen, len(sys.Pool), duration)
+	start = time.Now()
+	rep, err := sys.RunCampaign(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("campaign done in %v wall time", time.Since(start).Round(time.Millisecond))
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = rep.WriteJSON(w)
+	case "csv":
+		err = rep.WriteCSV(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, g := range rep.Groups {
+		log.Printf("%-16s ia=%-6s budget=%-8s fault=%-6s energy %.1f kJ ±%.1f  wait %.0fs  completed %.1f",
+			g.Policy, g.Interarrival, g.Budget, g.Fault,
+			g.Energy.Mean/1e3, g.Energy.CI95/1e3, g.QueueWait.Mean, g.Completed.Mean)
+	}
+	for _, c := range rep.Comparisons {
+		mark := func(welch, paired bool) string {
+			switch {
+			case welch:
+				return " (significant)"
+			case paired:
+				return " (significant paired)"
+			}
+			return ""
+		}
+		log.Printf("%s vs %s [ia=%s budget=%s fault=%s]: energy %+.1f%%%s, queue wait %+.1f%%%s",
+			c.Policy, c.Baseline, c.Interarrival, c.Budget, c.Fault,
+			100*c.EnergyChange, mark(c.EnergySignificant, c.EnergyPairedSignificant),
+			100*c.QueueWaitChange, mark(c.QueueWaitSignificant, c.WaitPairedSignificant))
+	}
+}
+
+func parsePolicies(s string) ([]powerstack.Policy, error) {
+	if strings.EqualFold(s, "all") {
+		return powerstack.Policies(), nil
+	}
+	var out []powerstack.Policy
+	for _, name := range strings.Split(s, ",") {
+		p, err := powerstack.PolicyByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, f := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func parsePowers(s string) ([]units.Power, error) {
+	var out []units.Power
+	for _, f := range strings.Split(s, ",") {
+		p, err := units.ParsePower(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

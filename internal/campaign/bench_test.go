@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/facility"
+	"powerstack/internal/policy"
+	"powerstack/internal/units"
+)
+
+// benchSetup mirrors testRunner without a *testing.T, sized for a
+// 16-scenario matrix.
+func benchSetup(b *testing.B) (*Runner, Config) {
+	b.Helper()
+	const nodes = 6
+	c, err := cluster.New(nodes+3, cpumodel.Quartz(), cpumodel.QuartzVariation(), 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := c.Nodes()
+	opt := charz.Options{MonitorIters: 10, BalancerIters: 40, Seed: 2, NoiseSigma: -1}
+	db, err := charz.CharacterizeAll(context.Background(), testWorkloads(), pool[nodes:], opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Base: facility.Config{
+			MinJobIterations: 500,
+			MaxJobIterations: 2000,
+			JobSizes:         []int{2, 4},
+			Workloads:        testWorkloads(),
+			Duration:         4 * time.Hour,
+			Tick:             time.Minute,
+		},
+		Seeds:         []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+		Interarrivals: []time.Duration{20 * time.Minute},
+		Budgets:       []units.Power{nodes * 240},
+		Policies:      []policy.Policy{policy.StaticCaps{}, policy.MixedAdaptive{}},
+	}
+	return &Runner{Nodes: pool[:nodes], DB: db}, cfg
+}
+
+func benchmarkCampaign(b *testing.B, parallel int) {
+	r, cfg := benchSetup(b)
+	cfg.Parallelism = parallel
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(ctx, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSequential(b *testing.B) { benchmarkCampaign(b, 1) }
+func BenchmarkCampaignParallel4(b *testing.B)  { benchmarkCampaign(b, 4) }
+func BenchmarkCampaignParallel8(b *testing.B)  { benchmarkCampaign(b, 8) }

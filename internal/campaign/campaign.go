@@ -1,0 +1,235 @@
+// Package campaign is the multi-run evaluation engine: it fans a scenario
+// matrix (seeds × interarrival rates × budgets × policies × fault plans)
+// of facility simulations across a bounded worker pool and aggregates the
+// per-seed outcomes into the per-group statistics (mean, bootstrap CI,
+// policy-vs-policy Welch tests) the paper's policy ranking rests on.
+//
+// Determinism is the contract the whole package is built around, following
+// the sim grid's cell-isolation pattern: every scenario runs on its own
+// clone pool (recycled through a cluster.PoolRecycler rather than freshly
+// cloned each time), results land in index-addressed slots, errors are
+// reported in matrix order, and the Report carries no wall-clock or
+// scheduling-order data — so a campaign's serialized output is
+// byte-identical at any parallelism, including fully sequential.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"powerstack/internal/charz"
+	"powerstack/internal/cluster"
+	"powerstack/internal/facility"
+	"powerstack/internal/fault"
+	"powerstack/internal/node"
+	"powerstack/internal/obs"
+	"powerstack/internal/policy"
+	"powerstack/internal/units"
+)
+
+// NamedFaultPlan pairs a fault plan with the label it appears under in
+// reports. A nil Plan (or nil-Plan entry) is the clean lane.
+type NamedFaultPlan struct {
+	Name string
+	Plan *fault.Plan
+}
+
+// Config describes a campaign: a base facility configuration plus the
+// matrix axes swept over it.
+type Config struct {
+	// Base is the facility configuration template every scenario starts
+	// from. Its Nodes, DB, Obs, Seed, MeanInterarrival, SystemBudget,
+	// Policy, and Faults fields are overridden per scenario; everything
+	// else (workloads, job geometry, duration, tick, engine) is shared.
+	Base facility.Config
+
+	// Seeds are the replication axis: every (interarrival, budget, policy,
+	// fault) cell runs once per seed, and per-group statistics aggregate
+	// across them.
+	Seeds []uint64
+	// Interarrivals sweeps the Poisson arrival process' mean gap.
+	Interarrivals []time.Duration
+	// Budgets sweeps the facility power limit.
+	Budgets []units.Power
+	// Policies sweeps the Section III policies under comparison.
+	Policies []policy.Policy
+	// FaultPlans optionally sweeps fault lanes; empty runs one clean lane.
+	FaultPlans []NamedFaultPlan
+
+	// Parallelism bounds the worker pool; <= 0 selects GOMAXPROCS. 1 is
+	// fully sequential and produces byte-identical reports to any other
+	// setting.
+	Parallelism int
+}
+
+// Scenario is one fully instantiated cell of the matrix.
+type Scenario struct {
+	Index        int
+	Seed         uint64
+	Interarrival time.Duration
+	Budget       units.Power
+	Policy       policy.Policy
+	Fault        NamedFaultPlan
+}
+
+// scenarios enumerates the matrix in canonical order: policy-major, then
+// interarrival, budget, fault lane, and seeds innermost — so one group's
+// replications are contiguous and the group order matches the report.
+func (c *Config) scenarios() []Scenario {
+	plans := c.FaultPlans
+	if len(plans) == 0 {
+		plans = []NamedFaultPlan{{Name: "clean"}}
+	}
+	out := make([]Scenario, 0, len(c.Policies)*len(c.Interarrivals)*len(c.Budgets)*len(plans)*len(c.Seeds))
+	for _, pol := range c.Policies {
+		for _, ia := range c.Interarrivals {
+			for _, budget := range c.Budgets {
+				for _, plan := range plans {
+					for _, seed := range c.Seeds {
+						out = append(out, Scenario{
+							Index:        len(out),
+							Seed:         seed,
+							Interarrival: ia,
+							Budget:       budget,
+							Policy:       pol,
+							Fault:        plan,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *Config) validate() error {
+	if len(c.Seeds) == 0 {
+		return errors.New("campaign: no seeds")
+	}
+	if len(c.Interarrivals) == 0 {
+		return errors.New("campaign: no interarrival rates")
+	}
+	if len(c.Budgets) == 0 {
+		return errors.New("campaign: no budgets")
+	}
+	if len(c.Policies) == 0 {
+		return errors.New("campaign: no policies")
+	}
+	for _, p := range c.Policies {
+		if p == nil {
+			return errors.New("campaign: nil policy")
+		}
+	}
+	return nil
+}
+
+// Runner executes campaigns over a source node pool and a shared
+// characterization database.
+type Runner struct {
+	// Nodes is the pristine source pool. It is never run on directly:
+	// every scenario gets an isolated clone (recycled between scenarios).
+	Nodes []*node.Node
+	// DB is the shared characterization database; it must cover
+	// Base.Workloads. Campaign workers only read it (fault lanes corrupt
+	// private clones), so one DB serves all scenarios.
+	DB *charz.DB
+	// Obs, when set, journals shard starts/finishes and counts scenarios;
+	// it receives wall-clock data, which deliberately never reaches the
+	// Report.
+	Obs *obs.Sink
+}
+
+// Run executes the campaign matrix and aggregates the report. The report
+// is independent of Parallelism and of worker scheduling: scenario results
+// are slotted by matrix index, aggregation follows matrix order, and on
+// error the first failure in matrix order is returned (as Run's error,
+// wrapped with its scenario), regardless of which worker hit an error
+// first on the wall clock.
+func (r *Runner) Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(r.Nodes) == 0 {
+		return nil, errors.New("campaign: runner has no nodes")
+	}
+	scenarios := cfg.scenarios()
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+
+	results := make([]*facility.Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	recycler := cluster.NewPoolRecycler(r.Nodes)
+	tasks := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range tasks {
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
+				errs[idx] = r.runScenario(ctx, &cfg, scenarios[idx], worker, recycler, results)
+			}
+		}(w)
+	}
+	for idx := range scenarios {
+		tasks <- idx
+	}
+	close(tasks)
+	wg.Wait()
+
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: scenario %d (%s): %w", idx, describe(scenarios[idx]), err)
+		}
+	}
+	return buildReport(len(r.Nodes), cfg, scenarios, results), nil
+}
+
+// runScenario executes one cell on a recycled clone pool.
+func (r *Runner) runScenario(ctx context.Context, cfg *Config, sc Scenario, worker int, recycler *cluster.PoolRecycler, results []*facility.Result) error {
+	r.Obs.CampaignShardStart(sc.Policy.Name(), sc.Index, worker)
+	start := time.Now()
+
+	pool := recycler.Acquire()
+	fc := cfg.Base
+	fc.Nodes = pool
+	fc.DB = r.DB
+	fc.Obs = r.Obs
+	fc.Seed = sc.Seed
+	fc.MeanInterarrival = sc.Interarrival
+	fc.SystemBudget = sc.Budget
+	fc.Policy = sc.Policy
+	fc.Faults = sc.Fault.Plan
+
+	res, err := facility.Run(ctx, fc)
+	if err != nil {
+		// The pool may hold partial run state; drop it rather than
+		// recycling (RestoreFrom would clean it, but an errored run is
+		// rare enough that isolation beats reuse).
+		return err
+	}
+	recycler.Release(pool)
+	results[sc.Index] = res
+
+	r.Obs.CampaignShardDone(sc.Policy.Name(), sc.Index, worker, time.Since(start).Seconds())
+	return nil
+}
+
+func describe(sc Scenario) string {
+	return fmt.Sprintf("policy=%s ia=%s budget=%s fault=%s seed=%d",
+		sc.Policy.Name(), sc.Interarrival, sc.Budget, sc.Fault.Name, sc.Seed)
+}

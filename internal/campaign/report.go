@@ -1,0 +1,347 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand/v2"
+	"strconv"
+	"time"
+
+	"powerstack/internal/facility"
+	"powerstack/internal/stats"
+	"powerstack/internal/units"
+)
+
+// ScenarioResult is the deterministic outcome of one scenario. It carries
+// only simulation-derived quantities — no wall-clock times, no worker
+// identities — so serialized reports are byte-identical across parallelism
+// settings.
+type ScenarioResult struct {
+	Index        int           `json:"index"`
+	Seed         uint64        `json:"seed"`
+	Interarrival time.Duration `json:"interarrival_ns"`
+	Budget       units.Power   `json:"budget_watts"`
+	Policy       string        `json:"policy"`
+	Fault        string        `json:"fault"`
+
+	Submitted            int           `json:"submitted"`
+	Started              int           `json:"started"`
+	Completed            int           `json:"completed"`
+	QueuedAtEnd          int           `json:"queued_at_end"`
+	MeanQueueWait        time.Duration `json:"mean_queue_wait_ns"`
+	MeanNodeUtilization  float64       `json:"mean_node_utilization"`
+	MeanPower            units.Power   `json:"mean_power_watts"`
+	PeakPower            units.Power   `json:"peak_power_watts"`
+	TotalEnergy          units.Energy  `json:"total_energy_joules"`
+	BudgetViolationTicks int           `json:"budget_violation_ticks"`
+	Requeued             int           `json:"requeued"`
+	Quarantined          int           `json:"quarantined"`
+	Rejoined             int           `json:"rejoined"`
+}
+
+// Metric is the aggregate of one quantity across a group's seeds: the
+// descriptive summary plus a percentile-bootstrap 95% CI of the mean.
+type Metric struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// CI95 is the half-width of the t-distribution confidence interval
+	// (the Figure 8 error bar convention).
+	CI95 float64 `json:"ci95"`
+	// BootLo and BootHi bound the bootstrap percentile interval.
+	BootLo float64 `json:"boot_lo"`
+	BootHi float64 `json:"boot_hi"`
+}
+
+// Group aggregates one (policy, interarrival, budget, fault) cell across
+// its seeds.
+type Group struct {
+	Policy       string        `json:"policy"`
+	Interarrival time.Duration `json:"interarrival_ns"`
+	Budget       units.Power   `json:"budget_watts"`
+	Fault        string        `json:"fault"`
+	Seeds        int           `json:"seeds"`
+
+	Energy      Metric `json:"total_energy_joules"`
+	QueueWait   Metric `json:"mean_queue_wait_seconds"`
+	MeanPower   Metric `json:"mean_power_watts"`
+	Completed   Metric `json:"completed_jobs"`
+	Utilization Metric `json:"mean_node_utilization"`
+}
+
+// Comparison is a Welch two-sample test of one policy against the baseline
+// policy on the same (interarrival, budget, fault) cell.
+type Comparison struct {
+	Baseline     string        `json:"baseline"`
+	Policy       string        `json:"policy"`
+	Interarrival time.Duration `json:"interarrival_ns"`
+	Budget       units.Power   `json:"budget_watts"`
+	Fault        string        `json:"fault"`
+
+	// EnergyChange and QueueWaitChange are relative changes of the group
+	// means versus the baseline ((policy-baseline)/baseline, the Figure 8
+	// transformation); the T/Significant pairs are the Welch test results
+	// deciding whether each change exceeds run-to-run noise.
+	EnergyChange         float64 `json:"energy_change"`
+	EnergyT              float64 `json:"energy_t"`
+	EnergySignificant    bool    `json:"energy_significant"`
+	QueueWaitChange      float64 `json:"queue_wait_change"`
+	QueueWaitT           float64 `json:"queue_wait_t"`
+	QueueWaitSignificant bool    `json:"queue_wait_significant"`
+
+	// The Paired variants exploit that both policies ran the same seeds —
+	// identical arrival times and job draws — so the per-seed difference
+	// cancels the seed-to-seed workload variance the unpaired Welch test
+	// must absorb. They are one-sample t tests of the per-seed deltas
+	// against zero, and are the sharper instrument when the policy effect
+	// is small next to the draw variance.
+	EnergyPairedT           float64 `json:"energy_paired_t"`
+	EnergyPairedSignificant bool    `json:"energy_paired_significant"`
+	WaitPairedT             float64 `json:"queue_wait_paired_t"`
+	WaitPairedSignificant   bool    `json:"queue_wait_paired_significant"`
+}
+
+// Report is a campaign's full deterministic output.
+type Report struct {
+	Nodes       int              `json:"nodes"`
+	Scenarios   []ScenarioResult `json:"scenarios"`
+	Groups      []Group          `json:"groups"`
+	Comparisons []Comparison     `json:"comparisons"`
+}
+
+// bootResamples sizes the bootstrap distributions behind every group CI.
+const bootResamples = 2000
+
+func scenarioResult(sc Scenario, res *facility.Result) ScenarioResult {
+	return ScenarioResult{
+		Index:                sc.Index,
+		Seed:                 sc.Seed,
+		Interarrival:         sc.Interarrival,
+		Budget:               sc.Budget,
+		Policy:               sc.Policy.Name(),
+		Fault:                sc.Fault.Name,
+		Submitted:            res.Submitted,
+		Started:              res.Started,
+		Completed:            res.Completed,
+		QueuedAtEnd:          res.QueuedAtEnd,
+		MeanQueueWait:        res.MeanQueueWait,
+		MeanNodeUtilization:  res.MeanNodeUtilization,
+		MeanPower:            res.MeanPower,
+		PeakPower:            res.PeakPower,
+		TotalEnergy:          res.TotalEnergy,
+		BudgetViolationTicks: res.BudgetViolationTicks,
+		Requeued:             res.Requeued,
+		Quarantined:          res.Quarantined,
+		Rejoined:             res.Rejoined,
+	}
+}
+
+// metric aggregates xs with a group-seeded bootstrap. The RNG is derived
+// from the group's matrix position, never from scheduling, keeping the CI
+// identical at any parallelism.
+func metric(xs []float64, rng *rand.Rand) Metric {
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		return Metric{}
+	}
+	lo, hi := stats.BootstrapCI(xs, bootResamples, stats.Mean, 0.95, rng)
+	return Metric{Mean: s.Mean, StdDev: s.StdDev, Min: s.Min, Max: s.Max, CI95: s.CI95, BootLo: lo, BootHi: hi}
+}
+
+func buildReport(nodes int, cfg Config, scenarios []Scenario, results []*facility.Result) *Report {
+	rep := &Report{Nodes: nodes, Scenarios: make([]ScenarioResult, len(scenarios))}
+	for i, sc := range scenarios {
+		rep.Scenarios[i] = scenarioResult(sc, results[i])
+	}
+
+	// Groups: scenarios are enumerated group-major with seeds innermost,
+	// so each group is one contiguous block of len(Seeds) results.
+	nSeeds := len(cfg.Seeds)
+	for base, gi := 0, 0; base < len(scenarios); base, gi = base+nSeeds, gi+1 {
+		sc := scenarios[base]
+		g := Group{
+			Policy:       sc.Policy.Name(),
+			Interarrival: sc.Interarrival,
+			Budget:       sc.Budget,
+			Fault:        sc.Fault.Name,
+			Seeds:        nSeeds,
+		}
+		energy := make([]float64, nSeeds)
+		wait := make([]float64, nSeeds)
+		power := make([]float64, nSeeds)
+		completed := make([]float64, nSeeds)
+		util := make([]float64, nSeeds)
+		for i := 0; i < nSeeds; i++ {
+			r := results[base+i]
+			energy[i] = r.TotalEnergy.Joules()
+			wait[i] = r.MeanQueueWait.Seconds()
+			power[i] = r.MeanPower.Watts()
+			completed[i] = float64(r.Completed)
+			util[i] = r.MeanNodeUtilization
+		}
+		rng := rand.New(rand.NewPCG(0xC0FFEE, uint64(gi)))
+		g.Energy = metric(energy, rng)
+		g.QueueWait = metric(wait, rng)
+		g.MeanPower = metric(power, rng)
+		g.Completed = metric(completed, rng)
+		g.Utilization = metric(util, rng)
+		rep.Groups = append(rep.Groups, g)
+	}
+
+	rep.Comparisons = buildComparisons(cfg, scenarios, results)
+	return rep
+}
+
+// buildComparisons runs Welch tests of every non-baseline policy against
+// the baseline (StaticCaps when present, else the first policy) on each
+// (interarrival, budget, fault) cell.
+func buildComparisons(cfg Config, scenarios []Scenario, results []*facility.Result) []Comparison {
+	if len(cfg.Policies) < 2 {
+		return nil
+	}
+	baseline := cfg.Policies[0]
+	for _, p := range cfg.Policies {
+		if p.Name() == "StaticCaps" {
+			baseline = p
+			break
+		}
+	}
+
+	// Index contiguous seed blocks by (policy, ia, budget, fault).
+	type cell struct {
+		policy, fault string
+		ia            time.Duration
+		budget        units.Power
+	}
+	nSeeds := len(cfg.Seeds)
+	blocks := map[cell]int{}
+	for base := 0; base < len(scenarios); base += nSeeds {
+		sc := scenarios[base]
+		blocks[cell{sc.Policy.Name(), sc.Fault.Name, sc.Interarrival, sc.Budget}] = base
+	}
+
+	series := func(base int, f func(*facility.Result) float64) []float64 {
+		xs := make([]float64, nSeeds)
+		for i := range xs {
+			xs[i] = f(results[base+i])
+		}
+		return xs
+	}
+	energyOf := func(r *facility.Result) float64 { return r.TotalEnergy.Joules() }
+	waitOf := func(r *facility.Result) float64 { return r.MeanQueueWait.Seconds() }
+
+	var out []Comparison
+	plans := cfg.FaultPlans
+	if len(plans) == 0 {
+		plans = []NamedFaultPlan{{Name: "clean"}}
+	}
+	for _, pol := range cfg.Policies {
+		if pol.Name() == baseline.Name() {
+			continue
+		}
+		for _, ia := range cfg.Interarrivals {
+			for _, budget := range cfg.Budgets {
+				for _, plan := range plans {
+					pBase, ok1 := blocks[cell{pol.Name(), plan.Name, ia, budget}]
+					bBase, ok2 := blocks[cell{baseline.Name(), plan.Name, ia, budget}]
+					if !ok1 || !ok2 {
+						continue
+					}
+					pe, be := series(pBase, energyOf), series(bBase, energyOf)
+					pw, bw := series(pBase, waitOf), series(bBase, waitOf)
+					cmp := Comparison{
+						Baseline:     baseline.Name(),
+						Policy:       pol.Name(),
+						Interarrival: ia,
+						Budget:       budget,
+						Fault:        plan.Name,
+					}
+					cmp.EnergyChange = stats.RelativeChange(stats.Mean(pe), stats.Mean(be))
+					cmp.EnergyT, cmp.EnergySignificant = stats.WelchTTest(pe, be)
+					cmp.QueueWaitChange = stats.RelativeChange(stats.Mean(pw), stats.Mean(bw))
+					cmp.QueueWaitT, cmp.QueueWaitSignificant = stats.WelchTTest(pw, bw)
+					cmp.EnergyPairedT, cmp.EnergyPairedSignificant = pairedT(pe, be)
+					cmp.WaitPairedT, cmp.WaitPairedSignificant = pairedT(pw, bw)
+					out = append(out, cmp)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pairedT runs a one-sample t test of the per-seed deltas against zero:
+// significant when the 95% confidence interval of the mean delta excludes
+// zero. Both series must be seed-aligned, which the matrix enumeration
+// guarantees (seeds are the innermost axis of every block).
+func pairedT(p, b []float64) (t float64, significant bool) {
+	d := make([]float64, len(p))
+	for i := range d {
+		d[i] = p[i] - b[i]
+	}
+	s, err := stats.Summarize(d)
+	if err != nil || s.StdDev == 0 {
+		return 0, false
+	}
+	t = s.Mean / (s.StdDev / math.Sqrt(float64(len(d))))
+	return t, math.Abs(s.Mean) > s.CI95
+}
+
+// WriteJSON serializes the report with stable indentation; equal reports
+// serialize to equal bytes.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteCSV emits one row per scenario, in matrix order.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"index", "seed", "interarrival_s", "budget_watts", "policy", "fault",
+		"submitted", "started", "completed", "queued_at_end",
+		"mean_queue_wait_s", "mean_node_utilization", "mean_power_watts",
+		"peak_power_watts", "total_energy_joules", "budget_violation_ticks",
+		"requeued", "quarantined", "rejoined",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range r.Scenarios {
+		row := []string{
+			strconv.Itoa(s.Index),
+			strconv.FormatUint(s.Seed, 10),
+			f(s.Interarrival.Seconds()),
+			f(s.Budget.Watts()),
+			s.Policy,
+			s.Fault,
+			strconv.Itoa(s.Submitted),
+			strconv.Itoa(s.Started),
+			strconv.Itoa(s.Completed),
+			strconv.Itoa(s.QueuedAtEnd),
+			f(s.MeanQueueWait.Seconds()),
+			f(s.MeanNodeUtilization),
+			f(s.MeanPower.Watts()),
+			f(s.PeakPower.Watts()),
+			f(s.TotalEnergy.Joules()),
+			strconv.Itoa(s.BudgetViolationTicks),
+			strconv.Itoa(s.Requeued),
+			strconv.Itoa(s.Quarantined),
+			strconv.Itoa(s.Rejoined),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,189 @@
+// Characterization cache: the process-wide, concurrency-safe front of the
+// characterization pipeline. A campaign's scenario matrix re-runs the same
+// workload set under different seeds, budgets, and policies — without a
+// cache every scenario would pay the two-pass monitor+balancer runs for
+// kernel configurations characterized moments earlier by a sibling worker.
+package charz
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+
+	"powerstack/internal/kernel"
+	"powerstack/internal/node"
+	"powerstack/internal/obs"
+)
+
+// Cache memoizes Characterize results keyed by kernel configuration and
+// node-platform identity. Concurrent GetOrCharacterize calls for the same
+// key are single-flighted: one caller runs the characterization, the rest
+// block until the entry lands and share it. Calls for different keys
+// proceed independently.
+type Cache struct {
+	// Obs, when set, journals every lookup outcome.
+	Obs *obs.Sink
+
+	mu       sync.Mutex
+	entries  map[string]Entry
+	inflight map[string]*call
+
+	hits, misses int
+}
+
+// call is one in-flight characterization other lookups of the same key can
+// join.
+type call struct {
+	done  chan struct{}
+	entry Entry
+	err   error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries:  map[string]Entry{},
+		inflight: map[string]*call{},
+	}
+}
+
+// Key derives the cache key for characterizing cfg on the given nodes with
+// the given options. The kernel configuration name pins the workload; the
+// hashed tail pins everything else an entry depends on — node count,
+// per-node platform spec (a characterization on degraded or differently
+// calibrated silicon must not be served to a pristine pool), and the run
+// options.
+func Key(cfg kernel.Config, nodes []*node.Node, opt Options) string {
+	h := fnv.New64a()
+	write := func(s string) { _, _ = h.Write([]byte(s)) }
+	write(cfg.Name())
+	fmt.Fprintf(h, "|n=%d|mi=%d|bi=%d|s=%d|ns=%g", len(nodes), opt.MonitorIters, opt.BalancerIters, opt.Seed, opt.NoiseSigma)
+	for _, n := range nodes {
+		sp := n.Spec()
+		fmt.Fprintf(h, "|%v,%v,%v,%v,%v,%g,%g,%g,%g,%g,%g,%d,%g",
+			sp.BaseFreq, sp.MinFreq, sp.MaxTurbo, sp.TDP, sp.MinPowerLimit,
+			sp.StaticPower.Watts(), sp.CBase, sp.CFPU, sp.CMem, sp.CSpin,
+			sp.FreqExponent, sp.ActiveCores, n.Eta())
+	}
+	return fmt.Sprintf("%s@%016x", cfg.Name(), h.Sum64())
+}
+
+// GetOrCharacterize returns the cached entry for (cfg, nodes, opt), running
+// Characterize on nodes exactly once per key. hit reports whether the entry
+// was served from the cache (including joining a characterization another
+// goroutine had already started — the caller's nodes go untouched either
+// way). Waiting callers honor ctx; the characterization itself runs to
+// completion under its initiator.
+func (c *Cache) GetOrCharacterize(ctx context.Context, cfg kernel.Config, nodes []*node.Node, opt Options) (Entry, bool, error) {
+	key := Key(cfg, nodes, opt)
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		c.Obs.CacheLookup(key, true)
+		return e, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		// Someone else is characterizing this key; join them.
+		c.hits++
+		c.mu.Unlock()
+		c.Obs.CacheLookup(key, true)
+		select {
+		case <-cl.done:
+			return cl.entry, true, cl.err
+		case <-ctx.Done():
+			return Entry{}, false, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.misses++
+	c.mu.Unlock()
+	c.Obs.CacheLookup(key, false)
+
+	cl.entry, cl.err = Characterize(cfg, nodes, opt)
+
+	c.mu.Lock()
+	if cl.err == nil {
+		c.entries[key] = cl.entry
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.entry, false, cl.err
+}
+
+// Stats returns the lookup counts so far. A joined in-flight
+// characterization counts as a hit: the caller was spared the run.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cacheFile is the persisted form of a Cache.
+type cacheFile struct {
+	Entries map[string]Entry `json:"entries"`
+}
+
+// Save writes the stored entries as JSON (keys included, so a reloaded
+// cache hits for the same configuration, platform, and options).
+func (c *Cache) Save(w io.Writer) error {
+	c.mu.Lock()
+	cf := cacheFile{Entries: make(map[string]Entry, len(c.entries))}
+	for k, e := range c.entries {
+		cf.Entries[k] = e
+	}
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cf)
+}
+
+// SaveFile writes the cache to a file path.
+func (c *Cache) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCache reads a cache written by Save.
+func LoadCache(r io.Reader) (*Cache, error) {
+	var cf cacheFile
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("charz: decoding cache: %w", err)
+	}
+	c := NewCache()
+	for k, e := range cf.Entries {
+		c.entries[k] = e
+	}
+	return c, nil
+}
+
+// LoadCacheFile reads a cache from a file path.
+func LoadCacheFile(path string) (*Cache, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCache(f)
+}

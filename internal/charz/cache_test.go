@@ -1,0 +1,250 @@
+package charz
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/units"
+)
+
+// TestDBConcurrentPutGet hammers one DB from many goroutines; run under
+// -race this pins the satellite-1 guarantee that campaign workers can share
+// a database.
+func TestDBConcurrentPutGet(t *testing.T) {
+	db := NewDB()
+	cfgs := make([]kernel.Config, 8)
+	for i := range cfgs {
+		cfgs[i] = kernel.Config{Intensity: float64(i + 1), Vector: kernel.YMM, Imbalance: 1}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cfg := cfgs[(g+i)%len(cfgs)]
+				db.Put(Entry{Config: cfg, Hosts: 4, MonitorHostPower: units.Power(100 + i)})
+				if e, ok := db.Get(cfgs[i%len(cfgs)]); ok && e.Hosts != 4 {
+					t.Error("torn entry")
+					return
+				}
+				_ = db.Len()
+				if i%50 == 0 {
+					_ = db.Clone()
+					var buf bytes.Buffer
+					_ = db.Save(&buf)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Len() != len(cfgs) {
+		t.Fatalf("Len = %d, want %d", db.Len(), len(cfgs))
+	}
+}
+
+// TestDBPutOnZeroValue pins that Put on a zero-value DB (e.g. one decoded
+// from JSON by an outer struct) initializes the map instead of panicking.
+func TestDBPutOnZeroValue(t *testing.T) {
+	var db DB
+	db.Put(Entry{Config: kernel.Config{Intensity: 1, Vector: kernel.XMM, Imbalance: 1}, Hosts: 2})
+	if db.Len() != 1 {
+		t.Fatal("entry not stored")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c, err := cluster.New(4, cpumodel.Quartz(), cpumodel.QuartzVariation(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	cfg := kernel.Config{Intensity: 8, Vector: kernel.YMM, Imbalance: 1}
+	opt := quickOpts()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	entries := make([]Entry, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine gets its own isolated node pool, as campaign
+			// workers would; the cache must still characterize only once.
+			pool := cluster.ClonePool(c.Nodes())
+			entries[g], _, errs[g] = cache.GetOrCharacterize(context.Background(), cfg, pool, opt)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := 1; g < goroutines; g++ {
+		if entries[g] != entries[0] {
+			t.Fatalf("goroutine %d got a different entry", g)
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 characterization", misses)
+	}
+	if hits != goroutines-1 {
+		t.Fatalf("hits = %d, want %d", hits, goroutines-1)
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	c, err := cluster.New(4, cpumodel.Quartz(), cpumodel.QuartzVariation(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := c.Nodes()
+	cfg := kernel.Config{Intensity: 8, Vector: kernel.YMM, Imbalance: 1}
+	opt := quickOpts()
+	base := Key(cfg, nodes, opt)
+
+	cfg2 := cfg
+	cfg2.Intensity = 16
+	if Key(cfg2, nodes, opt) == base {
+		t.Error("key ignores kernel config")
+	}
+	opt2 := opt
+	opt2.Seed++
+	if Key(cfg, nodes, opt2) == base {
+		t.Error("key ignores options")
+	}
+	if Key(cfg, nodes[:3], opt) == base {
+		t.Error("key ignores node count")
+	}
+	// Same platform, fresh clones: must collide, or the cache never hits
+	// across campaign worker pools.
+	if Key(cfg, cluster.ClonePool(nodes), opt) != base {
+		t.Error("key differs across clones of the same platform")
+	}
+}
+
+func TestCacheHitSkipsCharacterization(t *testing.T) {
+	c, err := cluster.New(4, cpumodel.Quartz(), cpumodel.QuartzVariation(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	cfg := kernel.Config{Intensity: 0.25, Vector: kernel.XMM, Imbalance: 1}
+	opt := quickOpts()
+
+	e1, hit1, err := cache.GetOrCharacterize(context.Background(), cfg, c.Nodes(), opt)
+	if err != nil || hit1 {
+		t.Fatalf("first lookup: hit=%v err=%v", hit1, err)
+	}
+	e2, hit2, err := cache.GetOrCharacterize(context.Background(), cfg, c.Nodes(), opt)
+	if err != nil || !hit2 {
+		t.Fatalf("second lookup: hit=%v err=%v", hit2, err)
+	}
+	if e1 != e2 {
+		t.Fatal("hit returned a different entry")
+	}
+}
+
+func TestCacheSaveLoadRoundTrip(t *testing.T) {
+	c, err := cluster.New(3, cpumodel.Quartz(), cpumodel.QuartzVariation(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	cfg := kernel.Config{Intensity: 1, Vector: kernel.XMM, WaitingPct: 50, Imbalance: 2}
+	opt := quickOpts()
+	want, _, err := cache.GetOrCharacterize(context.Background(), cfg, c.Nodes(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := cache.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCache(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("loaded %d entries, want 1", loaded.Len())
+	}
+	got, hit, err := loaded.GetOrCharacterize(context.Background(), cfg, c.Nodes(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("reloaded cache missed for the same key")
+	}
+	if got != want {
+		t.Fatal("reloaded entry differs")
+	}
+	if _, err := LoadCache(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCacheFileRoundTrip(t *testing.T) {
+	c, err := cluster.New(3, cpumodel.Quartz(), cpumodel.QuartzVariation(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	cfg := kernel.Config{Intensity: 4, Vector: kernel.YMM, Imbalance: 1}
+	if _, _, err := cache.GetOrCharacterize(context.Background(), cfg, c.Nodes(), quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/cache.json"
+	if err := cache.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCacheFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("loaded %d entries, want 1", loaded.Len())
+	}
+	if _, err := LoadCacheFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestCacheConcurrentDistinctKeys pins that characterizations of different
+// keys do not serialize on each other's in-flight calls.
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c, err := cluster.New(3, cpumodel.Quartz(), cpumodel.QuartzVariation(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	opt := quickOpts()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cfg := kernel.Config{Intensity: float64(uint(1) << uint(g)), Vector: kernel.YMM, Imbalance: 1}
+			pool := cluster.ClonePool(c.Nodes())
+			if _, _, err := cache.GetOrCharacterize(context.Background(), cfg, pool, opt); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := cache.Stats()
+	if hits != 0 || misses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 0/4", hits, misses)
+	}
+	if cache.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", cache.Len())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"powerstack/internal/bsp"
@@ -260,8 +261,14 @@ func tdpBudget(nodes []*node.Node) units.Power {
 	return total
 }
 
-// DB is a characterization database keyed by configuration name.
+// DB is a characterization database keyed by configuration name. Put, Get,
+// MustGet, Clone, Len, and Save are safe for concurrent use: a campaign's
+// workers share one database across scenarios, with cache misses writing
+// entries while other scenarios read. Direct access to Entries (JSON
+// round-trips, fault-plan corruption of a private clone) remains
+// single-goroutine territory.
 type DB struct {
+	mu      sync.RWMutex
 	Entries map[string]Entry `json:"entries"`
 }
 
@@ -269,10 +276,19 @@ type DB struct {
 func NewDB() *DB { return &DB{Entries: map[string]Entry{}} }
 
 // Put stores an entry.
-func (db *DB) Put(e Entry) { db.Entries[e.Config.Name()] = e }
+func (db *DB) Put(e Entry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.Entries == nil {
+		db.Entries = map[string]Entry{}
+	}
+	db.Entries[e.Config.Name()] = e
+}
 
 // Get looks up the entry for a configuration.
 func (db *DB) Get(cfg kernel.Config) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	e, ok := db.Entries[cfg.Name()]
 	return e, ok
 }
@@ -295,6 +311,8 @@ func (db *DB) MustGet(cfg kernel.Config) (Entry, error) {
 // Clone returns an independent shallow copy of the database: entries are
 // values, so mutating (or corrupting) the clone never reaches the original.
 func (db *DB) Clone() *DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	c := NewDB()
 	for k, e := range db.Entries {
 		c.Entries[k] = e
@@ -303,7 +321,11 @@ func (db *DB) Clone() *DB {
 }
 
 // Len returns the number of entries.
-func (db *DB) Len() int { return len(db.Entries) }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.Entries)
+}
 
 // CharacterizeAll characterizes every configuration on the shared node
 // pool, building a database. Cancellation is honored between
@@ -327,6 +349,8 @@ func CharacterizeAll(ctx context.Context, configs []kernel.Config, nodes []*node
 
 // Save writes the database as JSON.
 func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(db)

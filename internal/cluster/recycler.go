@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"sync"
+
+	"powerstack/internal/node"
+)
+
+// PoolRecycler hands out clone pools of a source node set and takes them
+// back for reuse, the way the campaign runner's workers consume them. A
+// fresh ClonePool allocates two register maps, a RAPL domain, and a socket
+// pair per node; across a thousand-scenario campaign that clone+GC churn
+// dominates, so Acquire prefers a free-listed pool restored in place
+// (node.RestoreFrom) over cloning. Restoration happens at Acquire time, from
+// the pristine source — whatever a previous run left behind (armed faults,
+// degradation, energy accounting, power limits) is wiped, so a recycled pool
+// is byte-equivalent to a fresh clone (pinned by the campaign tests).
+//
+// The recycler is safe for concurrent Acquire/Release; the pools it returns
+// are not shared and belong to the caller until Release.
+type PoolRecycler struct {
+	src []*node.Node
+
+	mu   sync.Mutex
+	free [][]*node.Node
+
+	// reused and cloned count Acquire outcomes, for benchmarks.
+	reused, cloned int
+}
+
+// NewPoolRecycler builds a recycler over the given source pool. The source
+// nodes are never handed out and must stay unmutated while the recycler is
+// in use — they are the pristine state every recycled pool restores to.
+func NewPoolRecycler(src []*node.Node) *PoolRecycler {
+	return &PoolRecycler{src: src}
+}
+
+// Acquire returns an isolated pool cloned from the source set, recycling a
+// released pool when one is available.
+func (r *PoolRecycler) Acquire() []*node.Node {
+	r.mu.Lock()
+	if n := len(r.free); n > 0 {
+		pool := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		r.reused++
+		r.mu.Unlock()
+		for i, nd := range pool {
+			if err := nd.RestoreFrom(r.src[i]); err != nil {
+				// A foreign pool slipped in; isolate with a fresh clone.
+				return ClonePool(r.src)
+			}
+		}
+		return pool
+	}
+	r.cloned++
+	r.mu.Unlock()
+	return ClonePool(r.src)
+}
+
+// Release returns a pool obtained from Acquire to the free list. Pools of
+// the wrong shape are dropped rather than recycled.
+func (r *PoolRecycler) Release(pool []*node.Node) {
+	if len(pool) != len(r.src) {
+		return
+	}
+	r.mu.Lock()
+	r.free = append(r.free, pool)
+	r.mu.Unlock()
+}
+
+// Stats reports how many Acquire calls reused a recycled pool and how many
+// fell back to cloning.
+func (r *PoolRecycler) Stats() (reused, cloned int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reused, r.cloned
+}

@@ -1,0 +1,156 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+
+	"powerstack/internal/cluster"
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/kernel"
+	"powerstack/internal/msr"
+	"powerstack/internal/node"
+)
+
+func recyclerSrc(t *testing.T, n int) []*node.Node {
+	t.Helper()
+	c, err := cluster.New(n, cpumodel.Quartz(), cpumodel.QuartzVariation(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Nodes()
+}
+
+// dirty pushes a pool through every state-bearing surface a facility run
+// touches: power limits, energy accounting, APERF/MPERF counters, armed
+// MSR faults, and performance degradation.
+func dirty(t *testing.T, pool []*node.Node) {
+	t.Helper()
+	cfg := kernel.Config{Intensity: 8, Vector: kernel.YMM, Imbalance: 1}
+	ph := cpumodel.Phase{Work: cfg.TotalWorkPerHost(18, true), Vector: cfg.Vector}
+	for i, nd := range pool {
+		if _, err := nd.SetPowerLimit(nd.MinLimit() + (nd.TDP()-nd.MinLimit())/2); err != nil {
+			t.Fatal(err)
+		}
+		iterTime, err := nd.WorkTime(ph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3+i; k++ {
+			if _, err := nd.CompleteIteration(ph, iterTime, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nd.SetDegradation(0.8)
+		nd.Sockets()[0].Dev.ArmFault(msr.OpWrite, msr.MSRPkgPowerLimit, 2, errors.New("injected"))
+	}
+}
+
+// registersEqual compares every MSR of every socket of two pools.
+func registersEqual(t *testing.T, a, b []*node.Node) {
+	t.Helper()
+	for i := range a {
+		for si, sa := range a[i].Sockets() {
+			sb := b[i].Sockets()[si]
+			regsA := sa.Dev.Registers()
+			regsB := sb.Dev.Registers()
+			if len(regsA) != len(regsB) {
+				t.Fatalf("node %d socket %d: register sets differ (%d vs %d)", i, si, len(regsA), len(regsB))
+			}
+			for _, reg := range regsA {
+				if va, vb := sa.Dev.PrivilegedRead(reg), sb.Dev.PrivilegedRead(reg); va != vb {
+					t.Fatalf("node %d socket %d reg 0x%x: %#x vs %#x", i, si, reg, va, vb)
+				}
+			}
+		}
+	}
+}
+
+// TestRecycledPoolMatchesFreshClone is the satellite-3 guard at the
+// register level: a pool that ran a full dirtying cycle, was released, and
+// re-acquired must be indistinguishable from a fresh clone of the source —
+// no leaked MSR state, energy accounting, armed faults, or degradation.
+func TestRecycledPoolMatchesFreshClone(t *testing.T) {
+	src := recyclerSrc(t, 4)
+	r := cluster.NewPoolRecycler(src)
+
+	pool := r.Acquire()
+	dirty(t, pool)
+	r.Release(pool)
+
+	recycled := r.Acquire()
+	fresh := cluster.ClonePool(src)
+	registersEqual(t, recycled, fresh)
+
+	for i, nd := range recycled {
+		if nd.Degradation() != fresh[i].Degradation() {
+			t.Fatalf("node %d: degradation leaked", i)
+		}
+		// The armed write fault must be gone: three limit writes on the
+		// recycled node all succeed (the dirty cycle armed it to fire
+		// after 2 writes).
+		for k := 0; k < 3; k++ {
+			if _, err := nd.SetPowerLimit(nd.TDP()); err != nil {
+				t.Fatalf("node %d write %d: armed fault leaked: %v", i, k, err)
+			}
+		}
+	}
+
+	reused, cloned := r.Stats()
+	if reused != 1 || cloned != 1 {
+		t.Fatalf("stats = (%d reused, %d cloned), want (1, 1)", reused, cloned)
+	}
+}
+
+// TestRecycledPoolBehavesLikeFresh runs identical work on a recycled and a
+// fresh pool and compares the physical outcomes exactly.
+func TestRecycledPoolBehavesLikeFresh(t *testing.T) {
+	src := recyclerSrc(t, 3)
+	r := cluster.NewPoolRecycler(src)
+
+	pool := r.Acquire()
+	dirty(t, pool)
+	r.Release(pool)
+	recycled := r.Acquire()
+	fresh := cluster.ClonePool(src)
+
+	cfg := kernel.Config{Intensity: 4, Vector: kernel.YMM, Imbalance: 1}
+	ph := cpumodel.Phase{Work: cfg.TotalWorkPerHost(18, true), Vector: cfg.Vector}
+	run := func(pool []*node.Node) []node.PhaseResult {
+		var out []node.PhaseResult
+		for _, nd := range pool {
+			if _, err := nd.SetPowerLimit(180); err != nil {
+				t.Fatal(err)
+			}
+			iterTime, err := nd.WorkTime(ph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 5; k++ {
+				res, err := nd.CompleteIteration(ph, iterTime, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, res)
+			}
+		}
+		return out
+	}
+	a, b := run(recycled), run(fresh)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d: recycled %+v vs fresh %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRecyclerRejectsForeignPool pins the shape guard.
+func TestRecyclerRejectsForeignPool(t *testing.T) {
+	src := recyclerSrc(t, 3)
+	r := cluster.NewPoolRecycler(src)
+	r.Release(cluster.ClonePool(src)[:2]) // wrong size: dropped
+	_ = r.Acquire()
+	_, cloned := r.Stats()
+	if cloned != 1 {
+		t.Fatalf("cloned = %d, want 1 (short pool must not be recycled)", cloned)
+	}
+}

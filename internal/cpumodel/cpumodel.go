@@ -210,6 +210,51 @@ func (s Socket) PowerAt(ph Phase, f units.Frequency) units.Power {
 	return s.dynamic(d, f)
 }
 
+// Operate resolves the phase's iteration time, sustained power, and pipe
+// utilizations at frequency f in one fused pass, sharing the roofline
+// evaluations that TimeFor, Utilization, and PowerAt would each redo. The
+// results are bit-identical to calling the three separately (same operands,
+// same operation order — pinned by TestOperateMatchesSeparate); node.resolve
+// uses it on the cap-resolution hot path, where the three-call version paid
+// for five roofline evaluations per resolve.
+func (s Socket) Operate(ph Phase, f units.Frequency) (time.Duration, units.Power, roofline.Utilization) {
+	var tComp, tMem float64
+	degenerate := false
+	if ph.Work.Flops > 0 {
+		roof := float64(s.ComputeRoofPerCore(ph.Vector, f))
+		if roof <= 0 {
+			degenerate = true
+		} else {
+			tComp = float64(ph.Work.Flops) / roof
+		}
+	}
+	if !degenerate && ph.Work.Traffic > 0 {
+		roof := float64(s.MemRoofPerCore(f))
+		if roof <= 0 {
+			degenerate = true
+		} else {
+			tMem = float64(ph.Work.Traffic) / roof
+		}
+	}
+	var dur time.Duration
+	if !degenerate {
+		dur = time.Duration(math.Max(tComp, tMem) * float64(time.Second))
+	}
+	var u roofline.Utilization
+	if total := dur.Seconds(); total > 0 {
+		if ph.Work.Flops > 0 {
+			u.FPU = tComp / total
+		}
+		if ph.Work.Traffic > 0 {
+			u.Mem = tMem / total
+		}
+	}
+	vec := ph.Vector.PowerScale()
+	base := s.Spec.CBase * (0.75 + 0.25*vec)
+	d := base + s.Spec.CFPU*vec*u.FPU + s.Spec.CMem*u.Mem
+	return dur, s.dynamic(d, f), u
+}
+
 // SpinPowerAt returns the socket power while all cores poll at a barrier at
 // frequency f. A spin loop keeps the front end fully busy without touching
 // the FP or memory pipes, so it burns nearly as much power as real work —

@@ -1,0 +1,109 @@
+package cpumodel
+
+import (
+	"sort"
+
+	"powerstack/internal/units"
+)
+
+// CapTable precomputes the monotone frequency→power curve of one
+// (socket, phase) pair on a fine grid, so cap-to-frequency inversions need a
+// binary search over stored powers plus a short in-bracket bisection instead
+// of the 48 full power-model evaluations FrequencyForCap spends. The P-state
+// range is small and discrete — [MinFreq, MaxTurbo] at FreqStep granularity —
+// so a grid at FreqStep/8 (113 points on Quartz) brackets any cap tightly.
+//
+// Tables are immutable after construction and safe to share across
+// goroutines; node pools share them between clones for exactly that reason.
+type CapTable struct {
+	s    Socket
+	ph   Phase
+	spin bool
+	// freqs ascends from MinFreq to MaxTurbo; powers[i] is the exact
+	// model power at freqs[i].
+	freqs  []units.Frequency
+	powers []units.Power
+}
+
+// capTableSubSteps is the grid refinement below the P-state step.
+const capTableSubSteps = 8
+
+// capTableBisectIters bounds the in-bracket bisection. A FreqStep/8 bracket
+// (12.5 MHz on Quartz) halved 24 times resolves frequency below 1 Hz —
+// indistinguishable from the full-range bisection at every tolerance the
+// stack observes, at half the power-model evaluations.
+const capTableBisectIters = 24
+
+// NewCapTable builds the cap-inversion table for the phase's work mix.
+func NewCapTable(s Socket, ph Phase) *CapTable {
+	return newCapTable(s, ph, false)
+}
+
+// NewSpinCapTable builds the cap-inversion table for the spin-wait loop.
+func NewSpinCapTable(s Socket) *CapTable {
+	return newCapTable(s, Phase{}, true)
+}
+
+func newCapTable(s Socket, ph Phase, spin bool) *CapTable {
+	lo, hi := s.Spec.MinFreq, s.Spec.MaxTurbo
+	step := s.Spec.FreqStep / capTableSubSteps
+	if step <= 0 {
+		step = (hi - lo) / 128
+	}
+	t := &CapTable{s: s, ph: ph, spin: spin}
+	if step <= 0 { // degenerate spec: single-point range
+		t.freqs = []units.Frequency{lo, hi}
+		t.powers = []units.Power{t.powerAt(lo), t.powerAt(hi)}
+		return t
+	}
+	n := int((hi-lo)/step) + 2
+	t.freqs = make([]units.Frequency, 0, n)
+	t.powers = make([]units.Power, 0, n)
+	for f := lo; f < hi; f += step {
+		t.freqs = append(t.freqs, f)
+		t.powers = append(t.powers, t.powerAt(f))
+	}
+	t.freqs = append(t.freqs, hi)
+	t.powers = append(t.powers, t.powerAt(hi))
+	return t
+}
+
+func (t *CapTable) powerAt(f units.Frequency) units.Power {
+	if t.spin {
+		return t.s.SpinPowerAt(f)
+	}
+	return t.s.PowerAt(t.ph, f)
+}
+
+// FrequencyForCap returns the achieved frequency at which the table's phase
+// meets the cap, with the same boundary semantics as Socket.FrequencyForCap:
+// MaxTurbo if even full speed fits the cap, MinFreq if even the lowest
+// P-state overshoots it. The returned frequency always satisfies
+// power(f) <= cap away from the MinFreq floor — the bisection keeps the
+// bracket invariant the property tests pin.
+func (t *CapTable) FrequencyForCap(cap units.Power) units.Frequency {
+	n := len(t.freqs)
+	if t.powers[n-1] <= cap {
+		return t.freqs[n-1]
+	}
+	if t.powers[0] > cap {
+		return t.freqs[0]
+	}
+	// Largest grid point whose power fits the cap; its successor overshoots.
+	i := sort.Search(n, func(k int) bool { return t.powers[k] > cap }) - 1
+	lo, hi := t.freqs[i], t.freqs[i+1]
+	if t.powerAt(lo) > cap {
+		// Monotonicity dust broke the bracket (never observed for the
+		// calibrated model); fall back to the full range.
+		lo, hi = t.freqs[0], t.freqs[n-1]
+	}
+	for k := 0; k < capTableBisectIters; k++ {
+		mid := (lo + hi) / 2
+		if t.powerAt(mid) <= cap {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,173 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"powerstack/internal/kernel"
+	"powerstack/internal/units"
+)
+
+func tablePhases() []Phase {
+	cfgs := []kernel.Config{
+		{Intensity: 0.25, Vector: kernel.XMM, Imbalance: 1},
+		{Intensity: 8, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 32, Vector: kernel.YMM, Imbalance: 1},
+		{Intensity: 1, Vector: kernel.XMM, WaitingPct: 50, Imbalance: 2},
+		{Intensity: 16, Vector: kernel.YMM, WaitingPct: 75, Imbalance: 3},
+	}
+	var phases []Phase
+	for _, c := range cfgs {
+		phases = append(phases,
+			Phase{Work: c.TotalWorkPerHost(18, true), Vector: c.Vector},
+			Phase{Work: c.TotalWorkPerHost(18, false), Vector: c.Vector},
+		)
+	}
+	return phases
+}
+
+func tableSockets() []Socket {
+	spec := Quartz()
+	etas := []float64{0.94, 1.0, 1.06}
+	out := make([]Socket, len(etas))
+	for i, eta := range etas {
+		out[i] = NewSocket(spec, eta)
+	}
+	return out
+}
+
+// TestOperateMatchesSeparate pins the fused hot-path Operate against the
+// three separate model calls, with exact equality: any drift here changes
+// simulation results everywhere.
+func TestOperateMatchesSeparate(t *testing.T) {
+	for _, s := range tableSockets() {
+		for _, ph := range tablePhases() {
+			for f := s.Spec.MinFreq; f <= s.Spec.MaxTurbo; f += s.Spec.FreqStep / 4 {
+				dur, pwr, util := s.Operate(ph, f)
+				if want := s.TimeFor(ph, f); dur != want {
+					t.Fatalf("eta=%v ph=%+v f=%v: dur %v != TimeFor %v", s.Eta, ph, f, dur, want)
+				}
+				if want := s.PowerAt(ph, f); pwr != want {
+					t.Fatalf("eta=%v ph=%+v f=%v: power %v != PowerAt %v", s.Eta, ph, f, pwr, want)
+				}
+				if want := s.Utilization(ph, f); util != want {
+					t.Fatalf("eta=%v ph=%+v f=%v: util %+v != Utilization %+v", s.Eta, ph, f, util, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOperateDegenerate pins the zero-roofline early-out path.
+func TestOperateDegenerate(t *testing.T) {
+	spec := Quartz()
+	s := NewSocket(spec, 1.0)
+	ph := Phase{Work: kernel.Work{Flops: 1e9}} // zero traffic, pure compute
+	dur, pwr, util := s.Operate(ph, s.Spec.BaseFreq)
+	if dur != s.TimeFor(ph, s.Spec.BaseFreq) || pwr != s.PowerAt(ph, s.Spec.BaseFreq) || util != s.Utilization(ph, s.Spec.BaseFreq) {
+		t.Fatal("pure-compute phase diverges from separate calls")
+	}
+}
+
+// TestCapTableMatchesBisection pins the table-driven inversion against the
+// full-range bisection across a dense cap sweep: both must land within the
+// model's own cap-respecting tolerance, and the table result must respect
+// the cap whenever the bisection does.
+func TestCapTableMatchesBisection(t *testing.T) {
+	for _, s := range tableSockets() {
+		for _, ph := range tablePhases() {
+			tbl := NewCapTable(s, ph)
+			pMin := s.PowerAt(ph, s.Spec.MinFreq)
+			pMax := s.PowerAt(ph, s.Spec.MaxTurbo)
+			for i := 0; i <= 200; i++ {
+				cap := pMin + (pMax-pMin)*units.Power(float64(i)/200)*1.1 - (pMax-pMin)*0.05
+				got := tbl.FrequencyForCap(cap)
+				want := s.FrequencyForCap(ph, cap)
+				// Both bisections terminate well below any physically
+				// observable resolution; agreement within 1 kHz leaves
+				// orders of magnitude of margin.
+				if diff := got - want; diff > 1e3 || diff < -1e3 {
+					t.Fatalf("eta=%v ph=%+v cap=%v: table %v vs bisection %v", s.Eta, ph, cap, got, want)
+				}
+				if got > s.Spec.MinFreq && s.PowerAt(ph, got) > cap {
+					t.Fatalf("eta=%v ph=%+v cap=%v: table frequency %v overshoots cap", s.Eta, ph, cap, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSpinCapTableMatchesBisection does the same for the spin-power curve.
+func TestSpinCapTableMatchesBisection(t *testing.T) {
+	for _, s := range tableSockets() {
+		tbl := NewSpinCapTable(s)
+		pMin := s.SpinPowerAt(s.Spec.MinFreq)
+		pMax := s.SpinPowerAt(s.Spec.MaxTurbo)
+		for i := 0; i <= 200; i++ {
+			cap := pMin + (pMax-pMin)*units.Power(float64(i)/200)*1.1 - (pMax-pMin)*0.05
+			got := tbl.FrequencyForCap(cap)
+			want := s.SpinFrequencyForCap(cap)
+			if diff := got - want; diff > 1e3 || diff < -1e3 {
+				t.Fatalf("eta=%v cap=%v: table %v vs bisection %v", s.Eta, cap, got, want)
+			}
+		}
+	}
+}
+
+// TestCapTableBoundaries pins the exact boundary semantics shared with
+// Socket.FrequencyForCap.
+func TestCapTableBoundaries(t *testing.T) {
+	s := NewSocket(Quartz(), 1.0)
+	ph := tablePhases()[2]
+	tbl := NewCapTable(s, ph)
+	if got := tbl.FrequencyForCap(s.PowerAt(ph, s.Spec.MaxTurbo) + 1); got != s.Spec.MaxTurbo {
+		t.Errorf("generous cap: got %v, want MaxTurbo", got)
+	}
+	if got := tbl.FrequencyForCap(s.PowerAt(ph, s.Spec.MinFreq) - 1); got != s.Spec.MinFreq {
+		t.Errorf("impossible cap: got %v, want MinFreq", got)
+	}
+}
+
+func BenchmarkFrequencyForCap(b *testing.B) {
+	s := NewSocket(Quartz(), 1.0)
+	ph := tablePhases()[2]
+	cap := s.PowerAt(ph, s.Spec.BaseFreq)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.FrequencyForCap(ph, cap)
+	}
+}
+
+func BenchmarkCapTableFrequencyForCap(b *testing.B) {
+	s := NewSocket(Quartz(), 1.0)
+	ph := tablePhases()[2]
+	tbl := NewCapTable(s, ph)
+	cap := s.PowerAt(ph, s.Spec.BaseFreq)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.FrequencyForCap(cap)
+	}
+}
+
+func BenchmarkOperate(b *testing.B) {
+	s := NewSocket(Quartz(), 1.0)
+	ph := tablePhases()[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = s.Operate(ph, s.Spec.BaseFreq)
+	}
+}
+
+func BenchmarkSeparateTimePowerUtil(b *testing.B) {
+	s := NewSocket(Quartz(), 1.0)
+	ph := tablePhases()[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.TimeFor(ph, s.Spec.BaseFreq)
+		_ = s.PowerAt(ph, s.Spec.BaseFreq)
+		_ = s.Utilization(ph, s.Spec.BaseFreq)
+	}
+}

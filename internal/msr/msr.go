@@ -310,6 +310,46 @@ func (d *Device) Clone() *Device {
 	return c
 }
 
+// RestoreFrom resets the device to the state of src: register contents,
+// sticky faults, and armed countdown faults (with their remaining budgets at
+// the moment of the call) are all copied; the allowlist is left alone, since
+// devices restored into each other share a construction-time allowlist. It
+// is the in-place counterpart of Clone for pool recycling — reusing the
+// existing register map avoids the per-clone map churn that dominates
+// campaign sweeps. src must not be the receiver's concurrent writer.
+func (d *Device) RestoreFrom(src *Device) {
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for addr := range d.regs {
+		if _, ok := src.regs[addr]; !ok {
+			delete(d.regs, addr)
+		}
+	}
+	for addr, v := range src.regs {
+		d.regs[addr] = v
+	}
+	clear(d.faults)
+	if len(src.faults) > 0 {
+		if d.faults == nil {
+			d.faults = make(map[uint32]error, len(src.faults))
+		}
+		for addr, err := range src.faults {
+			d.faults[addr] = err
+		}
+	}
+	clear(d.armed)
+	if len(src.armed) > 0 {
+		if d.armed == nil {
+			d.armed = make(map[opReg]*countdownFault, len(src.armed))
+		}
+		for key, cf := range src.armed {
+			d.armed[key] = &countdownFault{remaining: cf.remaining, err: cf.err}
+		}
+	}
+}
+
 // ExtractBits returns bits [lo, hi] (inclusive) of v, shifted down.
 func ExtractBits(v uint64, hi, lo uint) uint64 {
 	if hi < lo || hi > 63 {

@@ -55,6 +55,43 @@ type Node struct {
 	// sink receives limit-write and frequency-pin events when
 	// observability is enabled; nil costs one comparison per write.
 	sink *obs.Sink
+
+	// capTables caches immutable frequency→power inversion tables per
+	// phase (plus one for the spin loop), built lazily on first resolve.
+	// Tables derive purely from the socket model, so clones share them;
+	// the maps themselves are per-node (a node is single-goroutine-owned).
+	capTables map[capKey]*cpumodel.CapTable
+	spinTable *cpumodel.CapTable
+}
+
+// capKey identifies a cached cap table by the work mix that shaped it.
+type capKey struct {
+	traffic units.Bytes
+	flops   units.Flops
+	vector  int
+}
+
+// capTableFor returns (building if needed) the cap-inversion table of the
+// phase's work mix.
+func (n *Node) capTableFor(ph cpumodel.Phase) *cpumodel.CapTable {
+	k := capKey{traffic: ph.Work.Traffic, flops: ph.Work.Flops, vector: int(ph.Vector)}
+	if t, ok := n.capTables[k]; ok {
+		return t
+	}
+	if n.capTables == nil {
+		n.capTables = make(map[capKey]*cpumodel.CapTable, 8)
+	}
+	t := cpumodel.NewCapTable(n.sockets[0].Model, ph)
+	n.capTables[k] = t
+	return t
+}
+
+// spinCapTable returns (building if needed) the spin-loop cap table.
+func (n *Node) spinCapTable() *cpumodel.CapTable {
+	if n.spinTable == nil {
+		n.spinTable = cpumodel.NewSpinCapTable(n.sockets[0].Model)
+	}
+	return n.spinTable
 }
 
 // SetObs attaches an observability sink to the node and its RAPL domains.
@@ -96,8 +133,8 @@ func (n *Node) resolve(ph cpumodel.Phase, cap units.Power) opPoint {
 		return n.op
 	}
 	m := n.sockets[0].Model
-	fWork := m.FrequencyForCap(ph, cap)
-	fSpin := m.SpinFrequencyForCap(cap)
+	fWork := n.capTableFor(ph).FrequencyForCap(cap)
+	fSpin := n.spinCapTable().FrequencyForCap(cap)
 	if pin > 0 {
 		// A P-state request (IA32_PERF_CTL) is a ceiling: RAPL can still
 		// clamp below it, but the core never exceeds the requested ratio.
@@ -113,6 +150,7 @@ func (n *Node) resolve(ph cpumodel.Phase, cap units.Power) opPoint {
 		fSpin = m.Spec.MinFreq
 		pSpin = m.IdleWaitPower()
 	}
+	tWork, pWork, util := m.Operate(ph, fWork)
 	n.op = opPoint{
 		traffic:  ph.Work.Traffic,
 		flops:    ph.Work.Flops,
@@ -121,11 +159,11 @@ func (n *Node) resolve(ph cpumodel.Phase, cap units.Power) opPoint {
 		pin:      pin,
 		idleWait: n.IdleWait,
 		fWork:    fWork,
-		tWork:    m.TimeFor(ph, fWork),
-		pWork:    m.PowerAt(ph, fWork),
+		tWork:    tWork,
+		pWork:    pWork,
 		fSpin:    fSpin,
 		pSpin:    pSpin,
-		uMem:     m.Utilization(ph, fWork).Mem,
+		uMem:     util.Mem,
 	}
 	n.opValid = true
 	return n.op
@@ -231,7 +269,42 @@ func (n *Node) Clone() *Node {
 			Rapl:  su.Rapl.Clone(dev),
 		})
 	}
+	// Cap tables are immutable and derived purely from the (copied) model,
+	// so the clone shares the table pointers in a map of its own — each
+	// node grows its map independently, never mutating a shared table.
+	if len(n.capTables) > 0 {
+		c.capTables = make(map[capKey]*cpumodel.CapTable, len(n.capTables))
+		for k, t := range n.capTables {
+			c.capTables[k] = t
+		}
+	}
+	c.spinTable = n.spinTable
 	return c
+}
+
+// RestoreFrom resets the node in place to the state of src, which must be a
+// same-ID original this node was cloned from (directly or transitively):
+// register files, RAPL accounting, fault arming, degradation, and the
+// memoized operating point all revert; the observability sink detaches. It
+// is the recycling counterpart of Clone — reusing the allocated sockets,
+// register maps, and cap tables keeps a campaign's clone+GC churn flat no
+// matter how many scenarios run.
+func (n *Node) RestoreFrom(src *Node) error {
+	if n.ID != src.ID || len(n.sockets) != len(src.sockets) {
+		return fmt.Errorf("node: cannot restore %s from %s", n.ID, src.ID)
+	}
+	n.IdleWait = src.IdleWait
+	n.degrade = src.degrade
+	n.op = src.op
+	n.opValid = src.opValid
+	n.sink = nil
+	for i, su := range n.sockets {
+		ss := src.sockets[i]
+		su.Model = ss.Model.Clone()
+		su.Dev.RestoreFrom(ss.Dev)
+		su.Rapl.RestoreFrom(ss.Rapl)
+	}
+	return nil
 }
 
 // Sockets returns the node's socket units.

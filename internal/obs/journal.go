@@ -63,6 +63,13 @@ const (
 	// scheduled event (Scope carries the event kind, Value the virtual time
 	// in seconds).
 	EvEngineDispatch EventType = "engine_dispatch"
+	// EvCampaignShard is a campaign worker starting (Value 0) or finishing
+	// (Value = wall seconds) one scenario of the matrix. Iter carries the
+	// scenario index, Aux the worker index.
+	EvCampaignShard EventType = "campaign_shard"
+	// EvCacheLookup is a characterization-cache lookup (Scope carries the
+	// cache key, Value 1 for a hit and 0 for a miss).
+	EvCacheLookup EventType = "charz_cache"
 )
 
 // Event is one structured decision record. Fields are flat and typed so

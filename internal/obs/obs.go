@@ -77,6 +77,15 @@ const (
 	// MetricEngineEvents counts discrete-event engine dispatches, labeled
 	// kind (arrival, completion, fault, sample, replan, ...).
 	MetricEngineEvents = "powerstack_engine_events_total"
+	// MetricCampaignScenarios counts campaign scenarios completed, labeled
+	// policy.
+	MetricCampaignScenarios = "powerstack_campaign_scenarios_total"
+	// MetricCharzCacheHits counts characterization-cache lookups served
+	// from a stored entry.
+	MetricCharzCacheHits = "powerstack_charz_cache_hits_total"
+	// MetricCharzCacheMisses counts characterization-cache lookups that
+	// had to run the two-pass characterization.
+	MetricCharzCacheMisses = "powerstack_charz_cache_misses_total"
 )
 
 // Sink bundles the metrics registry and the event journal. The zero value
@@ -330,6 +339,41 @@ func (s *Sink) EngineDispatch(kind string, at time.Duration) {
 	}
 	s.Metrics.Counter(MetricEngineEvents, "kind", kind).Inc()
 	s.Journal.Record(Event{Type: EvEngineDispatch, Layer: "engine", Scope: kind, Value: at.Seconds()})
+}
+
+// CampaignShardStart marks a campaign worker picking up scenario in the
+// matrix order.
+func (s *Sink) CampaignShardStart(policy string, scenario, worker int) {
+	if s == nil {
+		return
+	}
+	s.Journal.Record(Event{Type: EvCampaignShard, Layer: "campaign", Scope: policy, Iter: scenario, Aux: float64(worker)})
+}
+
+// CampaignShardDone marks a campaign worker finishing a scenario after
+// seconds of wall time.
+func (s *Sink) CampaignShardDone(policy string, scenario, worker int, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricCampaignScenarios, "policy", policy).Inc()
+	s.Journal.Record(Event{Type: EvCampaignShard, Layer: "campaign", Scope: policy, Iter: scenario, Value: seconds, Aux: float64(worker)})
+}
+
+// CacheLookup records a characterization-cache lookup outcome for the
+// given key.
+func (s *Sink) CacheLookup(key string, hit bool) {
+	if s == nil {
+		return
+	}
+	v := 0.0
+	metric := MetricCharzCacheMisses
+	if hit {
+		v = 1
+		metric = MetricCharzCacheHits
+	}
+	s.Metrics.Counter(metric).Inc()
+	s.Journal.Record(Event{Type: EvCacheLookup, Layer: "charz", Scope: key, Value: v})
 }
 
 // CellStart marks a sim evaluation cell beginning.

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"sync"
+
 	"powerstack/internal/units"
 )
 
@@ -17,21 +19,77 @@ type slot struct {
 	alloc  units.Power
 }
 
-// withFallback wraps a characterization-driven signal so Fallback jobs
-// (missing or corrupt entries) target the uniform per-host share instead of
-// reading Char fields: their hosts neither donate to nor draw from the
-// redistribution pool, which is exactly the StaticCaps treatment.
-func withFallback(per units.Power, signal func(JobInfo, HostInfo) units.Power) func(JobInfo, HostInfo) units.Power {
-	return func(j JobInfo, h HostInfo) units.Power {
-		if j.Fallback {
-			return per
+// signalKind selects which characterization signal sets slot targets.
+type signalKind uint8
+
+const (
+	// sigNeeded targets the balancer's performance-aware needed power.
+	sigNeeded signalKind = iota
+	// sigMonitor targets the monitor run's observed power.
+	sigMonitor
+)
+
+// scratch holds the per-Allocate working buffers the dynamic policies reuse
+// across replans. A facility run replans on every running-set change — and
+// a campaign multiplies that by its scenario matrix — so the flatten/top-up
+// slices are pooled instead of reallocated per call. Buffers are reset, not
+// reallocated, between uses; results are value-copied out by assemble, so
+// reuse never leaks state between calls.
+type scratch struct {
+	slots   []slot
+	needy   []int
+	open    []int
+	weights []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// appendJob flattens one job's hosts into s.slots with targets from the
+// given signal. Fallback jobs (missing or corrupt characterization entries)
+// target the uniform per-host share instead of reading Char fields: their
+// hosts neither donate to nor draw from the redistribution pool, which is
+// exactly the StaticCaps treatment.
+func (s *scratch) appendJob(ji int, j JobInfo, per units.Power, kind signalKind) {
+	for hi, h := range j.Hosts {
+		target := per
+		if !j.Fallback {
+			if kind == sigMonitor {
+				target = j.Char.MonitorPowerForRole(h.Role)
+			} else {
+				target = j.Char.NeededForRole(h.Role)
+			}
 		}
-		return signal(j, h)
+		s.slots = append(s.slots, slot{
+			job:    ji,
+			idx:    hi,
+			min:    h.Min,
+			max:    h.Max,
+			target: units.Clamp(target, h.Min, h.Max),
+		})
 	}
 }
 
+// flattenAll rebuilds s.slots over every host of every job.
+func (s *scratch) flattenAll(jobs []JobInfo, per units.Power, kind signalKind) {
+	s.slots = s.slots[:0]
+	for ji, j := range jobs {
+		s.appendJob(ji, j, per, kind)
+	}
+}
+
+// flattenJob rebuilds s.slots over a single job's hosts.
+func (s *scratch) flattenJob(j JobInfo, per units.Power, kind signalKind) {
+	s.slots = s.slots[:0]
+	s.appendJob(0, j, per, kind)
+}
+
 // flatten builds slots for every host, with targets chosen by the given
-// signal function.
+// signal function. The policies themselves run on the pooled scratch path
+// (flattenAll); this allocating form remains for tests that probe the
+// flattening in isolation.
 func flatten(jobs []JobInfo, signal func(JobInfo, HostInfo) units.Power) []slot {
 	var slots []slot
 	for ji, j := range jobs {
@@ -77,21 +135,22 @@ func reclaim(slots []slot) units.Power {
 // need more power (allocation below target), at most up to the target,
 // repeating until the pool is exhausted or every host is satisfied. It
 // returns the unspent remainder.
-func topUp(slots []slot, pool units.Power) units.Power {
+func (s *scratch) topUp(pool units.Power) units.Power {
 	const eps = 1e-6
+	slots := s.slots
 	for pool > eps {
-		var needy []int
+		s.needy = s.needy[:0]
 		for i := range slots {
 			if slots[i].alloc < slots[i].target-units.Power(eps) {
-				needy = append(needy, i)
+				s.needy = append(s.needy, i)
 			}
 		}
-		if len(needy) == 0 {
+		if len(s.needy) == 0 {
 			break
 		}
-		share := pool / units.Power(len(needy))
+		share := pool / units.Power(len(s.needy))
 		var spent units.Power
-		for _, i := range needy {
+		for _, i := range s.needy {
 			grant := slots[i].target - slots[i].alloc
 			if grant > share {
 				grant = share
@@ -107,6 +166,12 @@ func topUp(slots []slot, pool units.Power) units.Power {
 	return pool
 }
 
+// topUp is the standalone form of (*scratch).topUp for tests.
+func topUp(slots []slot, pool units.Power) units.Power {
+	s := scratch{slots: slots}
+	return s.topUp(pool)
+}
+
 // weightedSurplus implements step 4: a single weighted pass that allocates
 // the remaining pool across the hosts, with weights equal to the distance
 // from each host's minimum settable limit to its current allocation, each
@@ -120,33 +185,34 @@ func topUp(slots []slot, pool units.Power) units.Power {
 // into the Figure 8 energy savings — instead of re-inflating the caps of
 // hosts that would only burn the power spinning at a barrier. It returns
 // the unspent remainder.
-func weightedSurplus(slots []slot, pool units.Power) units.Power {
+func (s *scratch) weightedSurplus(pool units.Power) units.Power {
 	const eps = 1e-6
 	if pool <= eps {
 		return pool
 	}
-	var weights []float64
-	var open []int
+	slots := s.slots
+	s.open = s.open[:0]
+	s.weights = s.weights[:0]
 	var totalW float64
 	for i := range slots {
 		if slots[i].alloc >= slots[i].max-units.Power(eps) {
 			continue
 		}
 		w := float64(slots[i].alloc - slots[i].min)
-		open = append(open, i)
-		weights = append(weights, w)
+		s.open = append(s.open, i)
+		s.weights = append(s.weights, w)
 		totalW += w
 	}
-	if len(open) == 0 {
+	if len(s.open) == 0 {
 		return pool
 	}
 	var spent units.Power
-	for k, i := range open {
+	for k, i := range s.open {
 		var share units.Power
 		if totalW > 0 {
-			share = units.Power(float64(pool) * weights[k] / totalW)
+			share = units.Power(float64(pool) * s.weights[k] / totalW)
 		} else {
-			share = pool / units.Power(len(open))
+			share = pool / units.Power(len(s.open))
 		}
 		grant := slots[i].max - slots[i].alloc
 		if grant > share {
@@ -158,7 +224,16 @@ func weightedSurplus(slots []slot, pool units.Power) units.Power {
 	return pool - spent
 }
 
-// assemble converts slots back into an Allocation.
+// weightedSurplus is the standalone form of (*scratch).weightedSurplus for
+// tests.
+func weightedSurplus(slots []slot, pool units.Power) units.Power {
+	s := scratch{slots: slots}
+	return s.weightedSurplus(pool)
+}
+
+// assemble converts slots back into an Allocation. The returned map and cap
+// slices are freshly allocated — they are the policy's API result and must
+// outlive the pooled scratch the slots came from.
 func assemble(jobs []JobInfo, slots []slot) Allocation {
 	out := Allocation{}
 	for _, j := range jobs {
@@ -188,14 +263,14 @@ func (MinimizeWaste) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	slots := flatten(jobs, withFallback(sys.Budget/units.Power(total), func(j JobInfo, h HostInfo) units.Power {
-		return j.Char.MonitorPowerForRole(h.Role)
-	}))
-	uniformInit(slots, sys.Budget)
-	pool := reclaim(slots)
-	pool = topUp(slots, pool)
-	weightedSurplus(slots, pool)
-	return assemble(jobs, slots), nil
+	s := getScratch()
+	defer putScratch(s)
+	s.flattenAll(jobs, sys.Budget/units.Power(total), sigMonitor)
+	uniformInit(s.slots, sys.Budget)
+	pool := reclaim(s.slots)
+	pool = s.topUp(pool)
+	s.weightedSurplus(pool)
+	return assemble(jobs, s.slots), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -222,22 +297,25 @@ func (JobAdaptive) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
 	}
 	per := sys.Budget / units.Power(total)
 	out := Allocation{}
+	s := getScratch()
+	defer putScratch(s)
 	for _, j := range jobs {
 		jobBudget := per * units.Power(len(j.Hosts))
-		slots := flatten([]JobInfo{j}, withFallback(per, func(j JobInfo, h HostInfo) units.Power {
-			return j.Char.NeededForRole(h.Role)
-		}))
-		uniformInit(slots, jobBudget)
-		pool := reclaim(slots)
-		topUp(slots, pool)
+		s.flattenJob(j, per, sigNeeded)
+		uniformInit(s.slots, jobBudget)
+		pool := reclaim(s.slots)
+		s.topUp(pool)
 		// Any surplus left after every host reaches its needed power
 		// stays unprogrammed: the application-aware runtime refuses to
 		// raise a host's limit past its characterized need, because the
 		// extra power would only be burned spinning at barriers. This is
 		// the budget under-utilization of Figure 7 marker (a) that turns
 		// into the energy savings of Figure 8 at relaxed budgets.
-		alloc := assemble([]JobInfo{j}, slots)
-		out[j.ID] = alloc[j.ID]
+		caps := make([]units.Power, len(j.Hosts))
+		for _, sl := range s.slots {
+			caps[sl.idx] = sl.alloc
+		}
+		out[j.ID] = caps
 	}
 	return out, nil
 }
@@ -275,13 +353,13 @@ func (MixedAdaptive) Allocate(sys System, jobs []JobInfo) (Allocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	slots := flatten(jobs, withFallback(sys.Budget/units.Power(total), func(j JobInfo, h HostInfo) units.Power {
-		return j.Char.NeededForRole(h.Role)
-	}))
-	uniformInit(slots, sys.Budget) // step 1
-	pool := reclaim(slots)         // step 2
-	topUp(slots, pool)             // step 3
+	s := getScratch()
+	defer putScratch(s)
+	s.flattenAll(jobs, sys.Budget/units.Power(total), sigNeeded)
+	uniformInit(s.slots, sys.Budget) // step 1
+	pool := reclaim(s.slots)         // step 2
+	s.topUp(pool)                    // step 3
 	// Step 4's surplus stays reserved, not programmed — see the type
 	// comment.
-	return assemble(jobs, slots), nil
+	return assemble(jobs, s.slots), nil
 }

@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"testing"
+
+	"powerstack/internal/bsp"
+	"powerstack/internal/charz"
+	"powerstack/internal/units"
+)
+
+// benchJobs builds a realistic replan input: 8 jobs × 16 hosts with a mix
+// of critical and waiting roles and per-job characterization spread.
+func benchJobs() []JobInfo {
+	jobs := make([]JobInfo, 8)
+	for ji := range jobs {
+		hosts := make([]HostInfo, 16)
+		for hi := range hosts {
+			role := bsp.Critical
+			if hi%4 == 3 {
+				role = bsp.Waiting
+			}
+			hosts[hi] = HostInfo{Role: role, Min: 68, Max: 120}
+		}
+		spread := units.Power(ji * 3)
+		jobs[ji] = JobInfo{
+			ID:    string(rune('a' + ji)),
+			Hosts: hosts,
+			Char: charz.Entry{
+				Hosts:               16,
+				MonitorHostPower:    95 - spread,
+				MonitorMaxHostPower: 110 - spread,
+				MonitorCriticalPwr:  108 - spread,
+				MonitorWaitingPwr:   80 - spread,
+				NeededCritical:      100 - spread,
+				NeededWaiting:       72,
+				NeededMin:           70,
+				NeededMax:           100 - spread,
+				NeededMean:          88 - spread,
+			},
+		}
+	}
+	return jobs
+}
+
+func benchmarkAllocate(b *testing.B, p Policy) {
+	jobs := benchJobs()
+	sys := System{Budget: 100 * 8 * 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Allocate(sys, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMixedAdaptiveAllocate(b *testing.B) { benchmarkAllocate(b, MixedAdaptive{}) }
+func BenchmarkMinimizeWasteAllocate(b *testing.B) { benchmarkAllocate(b, MinimizeWaste{}) }
+func BenchmarkJobAdaptiveAllocate(b *testing.B)   { benchmarkAllocate(b, JobAdaptive{}) }
+func BenchmarkStaticCapsAllocate(b *testing.B)    { benchmarkAllocate(b, StaticCaps{}) }
+
+// TestScratchReuseMatchesFresh pins that the pooled-scratch Allocate path
+// is independent of whatever a previous call left in the pooled buffers: a
+// second identical call — which observes dirty scratch — must reproduce the
+// first call exactly.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	jobs := benchJobs()
+	sys := System{Budget: 100 * 8 * 16}
+	for _, p := range All() {
+		first, err := p.Allocate(sys, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		// Different shape in between, to dirty the pooled buffers.
+		if _, err := p.Allocate(System{Budget: 900}, jobs[:3]); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		second, err := p.Allocate(sys, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for id, caps := range first {
+			for i, c := range caps {
+				if second[id][i] != c {
+					t.Fatalf("%s: job %s host %d: %v then %v", p.Name(), id, i, c, second[id][i])
+				}
+			}
+		}
+	}
+}

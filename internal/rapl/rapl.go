@@ -150,6 +150,18 @@ func (d *Domain) Clone(dev *msr.Device) *Domain {
 	return &Domain{dev: dev, units: d.units, pkg: d.pkg, dram: d.dram}
 }
 
+// RestoreFrom resets the domain's wraparound trackers to the state of src
+// and detaches any observability sink — the in-place counterpart of Clone
+// for pool recycling. The decoded units are construction-time constants of
+// the bound device and are left alone; the caller restores the device's
+// registers separately (msr.Device.RestoreFrom).
+func (d *Domain) RestoreFrom(src *Domain) {
+	d.pkg = src.pkg
+	d.dram = src.dram
+	d.sink = nil
+	d.sinkHost = ""
+}
+
 // SetLimit programs PL1 in MSR_PKG_POWER_LIMIT. The power is quantized to
 // the power unit and the window to the time unit, as on hardware.
 func (d *Domain) SetLimit(l Limit) error {

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchSample(n int) []float64 {
+	rng := rand.New(rand.NewPCG(7, 11))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 100 + 20*rng.NormFloat64()
+	}
+	return xs
+}
+
+func BenchmarkBootstrap(b *testing.B) {
+	xs := benchSample(64)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bootstrap(xs, 200, Mean, rng)
+	}
+}
+
+func BenchmarkBootstrapCI(b *testing.B) {
+	xs := benchSample(64)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BootstrapCI(xs, 200, Mean, 0.95, rng)
+	}
+}
+
+func BenchmarkKMeans1D(b *testing.B) {
+	xs := benchSample(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans1D(xs, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBootstrapAllocsPinned pins the per-call allocation budget of the
+// bootstrap path: the sampling distribution itself (1 slice) is the API
+// result, and the resample scratch must come from the pool, not a fresh
+// make per call.
+func TestBootstrapAllocsPinned(t *testing.T) {
+	xs := benchSample(64)
+	rng := rand.New(rand.NewPCG(3, 4))
+	// Warm the pool outside the measured region.
+	Bootstrap(xs, 10, Mean, rng)
+	allocs := testing.AllocsPerRun(20, func() {
+		Bootstrap(xs, 10, Mean, rng)
+	})
+	// One alloc for the returned distribution; allow one more for pool
+	// internals under GC pressure.
+	if allocs > 2 {
+		t.Fatalf("Bootstrap allocates %.1f objects per call, want <= 2", allocs)
+	}
+}
+
+// TestKMeansAllocsPinned pins KMeans1D's allocation budget: the sorted
+// copy, the centroid/assignment/size slices, the hoisted Lloyd buffers, and
+// the Clustering header — not a per-iteration or per-sample count.
+func TestKMeansAllocsPinned(t *testing.T) {
+	xs := benchSample(500)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := KMeans1D(xs, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// sorted copy, centroids, assign, sums, counts, Sizes, Clustering,
+	// sortByCentroid's order/remap/newCentroids = 10; headroom for
+	// sort.Slice's closure.
+	if allocs > 14 {
+		t.Fatalf("KMeans1D allocates %.1f objects per call, want <= 14", allocs)
+	}
+}

@@ -1,6 +1,16 @@
 package stats
 
-import "math/rand/v2"
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+)
+
+// resamplePool recycles the per-call resample buffer. A campaign aggregates
+// a bootstrap CI per (group, metric) cell — thousands of Bootstrap calls,
+// each of which would otherwise allocate a scratch slice only to overwrite
+// every element before use.
+var resamplePool = sync.Pool{New: func() any { return new([]float64) }}
 
 // Bootstrap draws nResamples bootstrap resamples of xs, applies statistic to
 // each, and returns the resulting sampling distribution. The supplied RNG
@@ -13,13 +23,20 @@ func Bootstrap(xs []float64, nResamples int, statistic func([]float64) float64, 
 		rng = rand.New(rand.NewPCG(0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9))
 	}
 	out := make([]float64, nResamples)
-	buf := make([]float64, len(xs))
+	bp := resamplePool.Get().(*[]float64)
+	buf := *bp
+	if cap(buf) < len(xs) {
+		buf = make([]float64, len(xs))
+	}
+	buf = buf[:len(xs)]
 	for r := range out {
 		for i := range buf {
 			buf[i] = xs[rng.IntN(len(xs))]
 		}
 		out[r] = statistic(buf)
 	}
+	*bp = buf
+	resamplePool.Put(bp)
 	return out
 }
 
@@ -30,10 +47,11 @@ func BootstrapCI(xs []float64, nResamples int, statistic func([]float64) float64
 	if len(dist) == 0 {
 		return 0, 0
 	}
+	// dist is freshly built and private; sort once in place and take both
+	// percentiles from the sorted order instead of copy+sorting per tail.
+	sort.Float64s(dist)
 	alpha := (1 - level) / 2 * 100
-	lo, _ = Percentile(dist, alpha)
-	hi, _ = Percentile(dist, 100-alpha)
-	return lo, hi
+	return percentileSorted(dist, alpha), percentileSorted(dist, 100-alpha)
 }
 
 // Histogram bins xs into nBins equal-width bins spanning [min, max] and

@@ -96,17 +96,26 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0], nil
+	return percentileSorted(sorted, p), nil
+}
+
+// percentileSorted is Percentile over data the caller has already sorted
+// ascending. Callers that take several percentiles of one sample (bootstrap
+// CIs, k-means quantile init) sort once and query through this instead of
+// paying Percentile's copy+sort per query. xs must be non-empty and sorted;
+// p must be in [0, 100].
+func percentileSorted(xs []float64, p float64) float64 {
+	if len(xs) == 1 {
+		return xs[0]
 	}
-	rank := p / 100 * float64(len(sorted)-1)
+	rank := p / 100 * float64(len(xs)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo], nil
+		return xs[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // Median returns the 50th percentile of xs.

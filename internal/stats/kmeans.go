@@ -46,8 +46,11 @@ func KMeans1D(xs []float64, k int) (*Clustering, error) {
 	if k <= 0 || len(xs) < k {
 		return nil, ErrKMeans
 	}
-	distinct := countDistinct(xs)
-	if distinct < k {
+	// One ascending copy serves the distinct-count scan and every quantile
+	// query; the per-quantile Percentile calls used to copy+sort xs each.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if countDistinctSorted(sorted) < k {
 		return nil, ErrKMeans
 	}
 
@@ -55,15 +58,13 @@ func KMeans1D(xs []float64, k int) (*Clustering, error) {
 	centroids := make([]float64, k)
 	for i := range centroids {
 		p := (float64(i) + 0.5) / float64(k) * 100
-		q, err := Percentile(xs, p)
-		if err != nil {
-			return nil, err
-		}
-		centroids[i] = q
+		centroids[i] = percentileSorted(sorted, p)
 	}
 	dedupeCentroids(centroids, xs)
 
 	assign := make([]int, len(xs))
+	sums := make([]float64, k)
+	counts := make([]int, k)
 	const maxIter = 200
 	iter := 0
 	for ; iter < maxIter; iter++ {
@@ -86,8 +87,9 @@ func KMeans1D(xs []float64, k int) (*Clustering, error) {
 			break
 		}
 		// Update step.
-		sums := make([]float64, k)
-		counts := make([]int, k)
+		for c := range sums {
+			sums[c], counts[c] = 0, 0
+		}
 		for i, x := range xs {
 			sums[assign[i]] += x
 			counts[assign[i]]++
@@ -138,12 +140,20 @@ func (cl *Clustering) sortByCentroid() {
 	}
 }
 
-func countDistinct(xs []float64) int {
-	seen := make(map[float64]struct{}, len(xs))
-	for _, x := range xs {
-		seen[x] = struct{}{}
+// countDistinctSorted counts distinct values in an ascending slice by an
+// adjacent-pair scan, replacing the map-based count that allocated a bucket
+// per sample.
+func countDistinctSorted(sorted []float64) int {
+	if len(sorted) == 0 {
+		return 0
 	}
-	return len(seen)
+	n := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			n++
+		}
+	}
+	return n
 }
 
 // dedupeCentroids nudges duplicate initial centroids apart so that Lloyd's

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -126,7 +127,9 @@ func TestKMeansInvariants(t *testing.T) {
 			return true
 		}
 		k := int(kRaw)%3 + 1
-		if countDistinct(xs) < k {
+		sortedXs := append([]float64(nil), xs...)
+		sort.Float64s(sortedXs)
+		if countDistinctSorted(sortedXs) < k {
 			return true
 		}
 		cl, err := KMeans1D(xs, k)

@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"powerstack/internal/bsp"
+	"powerstack/internal/campaign"
 	"powerstack/internal/charz"
 	"powerstack/internal/cluster"
 	"powerstack/internal/coordinator"
@@ -97,6 +98,18 @@ type (
 	// FacilityResult summarizes a facility simulation: the power trace,
 	// job throughput, and fault/degradation counters.
 	FacilityResult = facility.Result
+	// CampaignConfig shapes a multi-seed campaign: a base facility
+	// configuration plus the scenario matrix swept over it.
+	CampaignConfig = campaign.Config
+	// CampaignReport is a campaign's deterministic output: per-scenario
+	// results, per-group statistics, and policy comparisons.
+	CampaignReport = campaign.Report
+	// CampaignFaultPlan pairs a fault plan with its report label for the
+	// campaign fault-lane axis.
+	CampaignFaultPlan = campaign.NamedFaultPlan
+	// CharacterizationCache memoizes characterization runs process-wide,
+	// keyed by kernel config, platform, and options.
+	CharacterizationCache = charz.Cache
 	// CoordinationResult aggregates a Coordinate run.
 	CoordinationResult = coordinator.Result
 )
@@ -264,6 +277,35 @@ func (s *System) Characterize(ctx context.Context, configs []KernelConfig, opt c
 	return nil
 }
 
+// NewCharacterizationCache returns an empty process-wide characterization
+// cache for CharacterizeCached.
+func NewCharacterizationCache() *CharacterizationCache { return charz.NewCache() }
+
+// LoadCharacterizationCache loads a cache persisted with its SaveFile
+// method, so repeat campaign invocations skip characterization entirely.
+func LoadCharacterizationCache(path string) (*CharacterizationCache, error) {
+	return charz.LoadCacheFile(path)
+}
+
+// CharacterizeCached is Characterize through a memoizing cache: a
+// configuration whose (config, platform, options) key is already cached is
+// served without simulation, and misses characterize on the CharPool and
+// populate both the cache and the database. Concurrent callers of the same
+// key share one characterization run.
+func (s *System) CharacterizeCached(ctx context.Context, configs []KernelConfig, opt charz.Options, cache *CharacterizationCache) error {
+	if cache.Obs == nil {
+		cache.Obs = s.Obs
+	}
+	for _, cfg := range configs {
+		e, _, err := cache.GetOrCharacterize(ctx, cfg, s.CharPool, opt)
+		if err != nil {
+			return err
+		}
+		s.DB.Put(e)
+	}
+	return nil
+}
+
 // CharacterizeMixes characterizes every distinct configuration the mixes
 // use.
 func (s *System) CharacterizeMixes(ctx context.Context, mixes []Mix, opt charz.Options) error {
@@ -328,6 +370,15 @@ func (s *System) RunFacility(ctx context.Context, cfg FacilityConfig) (*Facility
 		cfg.Seed = s.seed + 2000
 	}
 	return facility.Run(ctx, cfg)
+}
+
+// RunCampaign fans a scenario matrix of facility simulations across a
+// bounded worker pool over the system's experiment pool and shared
+// characterization database, aggregating per-group statistics and policy
+// comparisons. The report is byte-identical at any cfg.Parallelism.
+func (s *System) RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
+	r := &campaign.Runner{Nodes: s.Pool, DB: s.DB, Obs: s.Obs}
+	return r.Run(ctx, cfg)
 }
 
 // Policies returns every policy in the paper's presentation order.
