@@ -15,9 +15,15 @@
 //	         [-policies all|StaticCaps,MixedAdaptive] [-parallel N]
 //	         [-cachefile charz.json] [-format json|csv] [-out report.json]
 //	         [-crashes N] [-msrfaults N] [-slownodes N] [-faultseed N]
+//	         [-flightdir flights/]
 //
 // Chaos flags add a "chaos" fault lane next to the default "clean" lane, so
 // every policy is ranked under both.
+//
+// -flightdir enables the flight recorder: every failed scenario, and every
+// successful one whose result looks anomalous (quarantines or requeues),
+// writes a self-contained post-mortem artifact into the directory. Inspect
+// artifacts with "obsdump flight". Flight capture never alters the report.
 package main
 
 import (
@@ -53,6 +59,7 @@ func main() {
 	msrFaults := flag.Int("msrfaults", 0, "chaos lane: nodes with injected MSR write faults")
 	slowNodes := flag.Int("slownodes", 0, "chaos lane: nodes degraded mid-run")
 	faultSeed := flag.Uint64("faultseed", 7, "seed of the generated chaos plan")
+	flightDir := flag.String("flightdir", "", "write flight-recorder artifacts for failed/anomalous scenarios here")
 	flag.Parse()
 	ctx := context.Background()
 
@@ -132,6 +139,12 @@ func main() {
 		Budgets:       buds,
 		Policies:      pols,
 		Parallelism:   *parallel,
+		FlightDir:     *flightDir,
+	}
+	if *flightDir != "" {
+		// Flight artifacts capture the sink's metrics/journal/spans at the
+		// moment of failure; without a sink they would be near-empty.
+		sys.EnableObservability()
 	}
 	for s := 1; s <= *seeds; s++ {
 		cfg.Seeds = append(cfg.Seeds, uint64(s))

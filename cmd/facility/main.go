@@ -13,18 +13,26 @@
 //	facility [-nodes N] [-hours H] [-budget "50 kW"] [-policy MixedAdaptive]
 //	         [-interarrival 45s] [-seed N] [-engine event|tick] [-telemetry 5m]
 //	         [-crashes N] [-msrfaults N] [-dropouts N] [-faultseed N]
+//	         [-metrics path] [-trace path] [-spans path] [-events path]
 //
 // The -engine flag selects the simulation core: "event" (the default)
 // advances a virtual clock between arrivals, completions, faults, and
 // telemetry samples; "tick" replays the fixed-step loop the event engine
 // is golden-tested against. -telemetry sets the sampling cadence (under
 // the tick engine it must be a multiple of the tick).
+//
+// The artifact flags enable observability and dump the run's telemetry:
+// -metrics writes a Prometheus snapshot, -trace a Chrome trace_event JSON
+// whose events and spans are stamped with virtual (simulated) time, -spans
+// the raw span log as JSONL (render with "obsdump spans"), and -events the
+// decision-event journal. "-" writes to stdout.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -50,6 +58,10 @@ func main() {
 	msrFaults := flag.Int("msrfaults", 0, "nodes with injected MSR write faults")
 	dropouts := flag.Int("dropouts", 0, "nodes with injected telemetry dropouts")
 	faultSeed := flag.Uint64("faultseed", 7, "seed of the generated fault plan")
+	metricsPath := flag.String("metrics", "", "write a Prometheus metrics snapshot here (- = stdout)")
+	tracePath := flag.String("trace", "", "write a virtual-time Chrome trace JSON here (- = stdout)")
+	spansPath := flag.String("spans", "", "write the span log JSONL here (- = stdout)")
+	eventsPath := flag.String("events", "", "write the decision-event journal JSON here (- = stdout)")
 	flag.Parse()
 	ctx := context.Background()
 
@@ -84,6 +96,10 @@ func main() {
 	}
 
 	duration := time.Duration(*hours * float64(time.Hour))
+	dumping := *metricsPath != "" || *tracePath != "" || *spansPath != "" || *eventsPath != ""
+	if dumping {
+		sys.EnableObservability()
+	}
 	if *crashes+*msrFaults+*dropouts > 0 {
 		var ids []string
 		for _, n := range sys.Pool {
@@ -162,4 +178,47 @@ func main() {
 		fmt.Printf("faults: %d nodes quarantined, %d rejoined, %d jobs requeued\n",
 			res.Quarantined, res.Rejoined, res.Requeued)
 	}
+
+	if dumping {
+		if err := dumpArtifacts(sys.Obs, *metricsPath, *tracePath, *spansPath, *eventsPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// dumpArtifacts writes the requested observability artifacts, treating "-"
+// as stdout and "" as skip.
+func dumpArtifacts(sink *powerstack.Sink, metricsPath, tracePath, spansPath, eventsPath string) error {
+	to := func(path, what string, write func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			fmt.Printf("--- %s ---\n", what)
+			return write(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close() //nolint:errcheck // write error takes precedence
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote %s to %s", what, path)
+		return nil
+	}
+	if err := to(metricsPath, "metrics snapshot", sink.WritePrometheus); err != nil {
+		return err
+	}
+	if err := to(tracePath, "Chrome trace", sink.WriteTrace); err != nil {
+		return err
+	}
+	if err := to(spansPath, "span log", sink.WriteSpans); err != nil {
+		return err
+	}
+	return to(eventsPath, "event journal", sink.Journal.WriteJSON)
 }

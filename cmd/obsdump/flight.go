@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"powerstack/internal/obs"
+)
+
+// cmdFlight prints a flight-recorder artifact's summary and, with -dir,
+// unpacks its components into standalone files the other subcommands (and
+// chrome://tracing) consume directly: metrics.txt, events.json,
+// spans.jsonl, open_spans.jsonl, config.json, fault_plan.json,
+// result.json.
+func cmdFlight(args []string) {
+	fs := flag.NewFlagSet("obsdump flight", flag.ExitOnError)
+	dir := fs.String("dir", "", "unpack the artifact's components into this directory")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		log.Fatal("usage: obsdump flight [-dir out] flight.json")
+	}
+	fr, err := obs.ReadFlightFile(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("flight artifact %s\n", fs.Arg(0))
+	fmt.Printf("  captured: %s\n", fr.CapturedAt.Format("2006-01-02 15:04:05 MST"))
+	fmt.Printf("  reason:   %s\n", fr.Reason)
+	if fr.Scenario != "" {
+		fmt.Printf("  scenario: %s\n", fr.Scenario)
+	}
+	if fr.Error != "" {
+		fmt.Printf("  error:    %s\n", fr.Error)
+	}
+	fmt.Printf("  seed:     %d\n", fr.Seed)
+	fmt.Printf("  events:   %d in tail (%d recorded, %d dropped)\n",
+		len(fr.Events), fr.EventsTotal, fr.EventsDropped)
+	fmt.Printf("  spans:    %d closed, %d still open\n", len(fr.Spans), len(fr.OpenSpans))
+	fmt.Printf("  metrics:  %d bytes of Prometheus text\n", len(fr.Metrics))
+
+	if *dir == "" {
+		return
+	}
+	if err := unpackFlight(fr, *dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// unpackFlight writes each non-empty component of the record as its own
+// file under dir.
+func unpackFlight(fr *obs.FlightRecord, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, data []byte) error {
+		if len(data) == 0 {
+			return nil
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", path)
+		return nil
+	}
+	jsonl := func(spans []obs.SpanRecord) []byte {
+		var b strings.Builder
+		for _, sp := range spans {
+			line, err := json.Marshal(sp)
+			if err != nil {
+				continue
+			}
+			b.Write(line)
+			b.WriteByte('\n')
+		}
+		return []byte(b.String())
+	}
+	var eventsJSON []byte
+	if len(fr.Events) > 0 {
+		eventsJSON, _ = json.MarshalIndent(fr.Events, "", "  ") //nolint:errcheck // obs.Event always marshals
+	}
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{
+		{"metrics.txt", []byte(fr.Metrics)},
+		{"events.json", eventsJSON},
+		{"spans.jsonl", jsonl(fr.Spans)},
+		{"open_spans.jsonl", jsonl(fr.OpenSpans)},
+		{"config.json", fr.Config},
+		{"fault_plan.json", fr.FaultPlan},
+		{"result.json", fr.Result},
+	} {
+		if err := write(c.name, c.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cmdHist reads a Prometheus text exposition (obsdump -metrics, the
+// /metrics endpoint, or a flight artifact's metrics.txt) and prints a
+// per-series quantile summary for every histogram family: count, sum,
+// mean, and interpolated p50/p90/p99 recovered from the cumulative
+// buckets. Non-histogram families are ignored.
+func cmdHist(args []string) {
+	fs := flag.NewFlagSet("obsdump hist", flag.ExitOnError)
+	in := fs.String("in", "-", "Prometheus text metrics to read (- = stdin)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close() //nolint:errcheck // read-only
+		r = f
+	}
+	series, order, err := parseHistograms(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(order) == 0 {
+		fmt.Println("no histogram series")
+		return
+	}
+	for _, key := range order {
+		h := series[key]
+		mean := math.NaN()
+		if h.count > 0 {
+			mean = h.sum / h.count
+		}
+		fmt.Printf("%s count=%g sum=%g mean=%g p50=%g p90=%g p99=%g\n",
+			key, h.count, h.sum, mean,
+			h.quantile(0.50), h.quantile(0.90), h.quantile(0.99))
+	}
+}
+
+// histBucket is one cumulative bucket: observations <= le.
+type histBucket struct {
+	le    float64
+	count float64
+}
+
+// histSeries accumulates one labeled histogram series across its
+// _bucket/_sum/_count sample lines.
+type histSeries struct {
+	buckets []histBucket
+	sum     float64
+	count   float64
+}
+
+// quantile mirrors the in-process Histogram.Quantile: linear
+// interpolation within the bucket the q-th observation falls in, with the
+// +Inf bucket collapsing to the highest finite bound.
+func (h *histSeries) quantile(q float64) float64 {
+	sort.Slice(h.buckets, func(i, j int) bool { return h.buckets[i].le < h.buckets[j].le })
+	if len(h.buckets) == 0 {
+		return math.NaN()
+	}
+	total := h.buckets[len(h.buckets)-1].count
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	lower, prevCum := 0.0, 0.0
+	for _, b := range h.buckets {
+		if b.count >= rank {
+			if math.IsInf(b.le, 1) {
+				return lower
+			}
+			inBucket := b.count - prevCum
+			if inBucket <= 0 {
+				return b.le
+			}
+			return lower + (b.le-lower)*(rank-prevCum)/inBucket
+		}
+		if !math.IsInf(b.le, 1) {
+			lower = b.le
+		}
+		prevCum = b.count
+	}
+	return lower
+}
+
+// parseHistograms scans Prometheus text exposition and collects every
+// histogram series, keyed by "family{labels}" with the le label stripped.
+// order preserves first-appearance order for stable output.
+func parseHistograms(r io.Reader) (map[string]*histSeries, []string, error) {
+	series := map[string]*histSeries{}
+	var order []string
+	get := func(key string) *histSeries {
+		h, ok := series[key]
+		if !ok {
+			h = &histSeries{}
+			series[key] = h
+			order = append(order, key)
+		}
+		return h
+	}
+
+	histFamilies := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if fields := strings.Fields(line); len(fields) >= 4 && fields[1] == "TYPE" && fields[3] == "histogram" {
+				histFamilies[fields[2]] = true
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obsdump hist: %w (line %q)", err, line)
+		}
+		var family, suffix string
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) {
+				family, suffix = strings.TrimSuffix(name, s), s
+				break
+			}
+		}
+		if suffix == "" || !histFamilies[family] {
+			continue
+		}
+		le, rest := splitLE(labels)
+		key := family
+		if len(rest) > 0 {
+			key += "{" + strings.Join(rest, ",") + "}"
+		}
+		switch suffix {
+		case "_bucket":
+			bound, err := parseLE(le)
+			if err != nil {
+				return nil, nil, fmt.Errorf("obsdump hist: bad le %q", le)
+			}
+			get(key).buckets = append(get(key).buckets, histBucket{le: bound, count: value})
+		case "_sum":
+			get(key).sum = value
+		case "_count":
+			get(key).count = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return series, order, nil
+}
+
+// parseSample splits one exposition line into name, raw label pairs, and
+// the sample value.
+func parseSample(line string) (name string, labels []string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		body, tail, ok := scanLabelBody(rest[i+1:])
+		if !ok {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		labels = body
+		rest = strings.TrimSpace(tail)
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample")
+		}
+		name, rest = fields[0], fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", nil, 0, fmt.Errorf("missing value")
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, labels, value, nil
+}
+
+// scanLabelBody consumes `key="value",...}` honoring \" escapes inside
+// quoted values, returning the label pairs and the text after the brace.
+func scanLabelBody(s string) (labels []string, tail string, ok bool) {
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			cur.WriteByte(c)
+			escaped = false
+		case inQuote && c == '\\':
+			cur.WriteByte(c)
+			escaped = true
+		case c == '"':
+			cur.WriteByte(c)
+			inQuote = !inQuote
+		case !inQuote && c == ',':
+			if cur.Len() > 0 {
+				labels = append(labels, cur.String())
+				cur.Reset()
+			}
+		case !inQuote && c == '}':
+			if cur.Len() > 0 {
+				labels = append(labels, cur.String())
+			}
+			return labels, s[i+1:], true
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	return nil, "", false
+}
+
+// splitLE strips the le pair from a label list, returning its raw value
+// and the remaining pairs.
+func splitLE(labels []string) (le string, rest []string) {
+	for _, l := range labels {
+		if v, ok := strings.CutPrefix(l, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		rest = append(rest, l)
+	}
+	return le, rest
+}
+
+// parseLE parses a bucket bound, accepting the +Inf spelling.
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -14,7 +14,13 @@
 //
 //	obsdump [-nodes 16] [-iters 30] [-budget 0.8] [-watchdog 0.9]
 //	        [-metrics -] [-trace powerstack-trace.json] [-events path]
-//	        [-serve localhost:6060] [-seed 1]
+//	        [-spans path] [-serve localhost:6060] [-seed 1]
+//
+// Subcommands operate on previously written artifacts:
+//
+//	obsdump spans  [-in spans.jsonl]      render a span log as a tree
+//	obsdump hist   [-in metrics.txt]      summarize histogram quantiles
+//	obsdump flight [-dir out] flight.json unpack a flight-recorder artifact
 package main
 
 import (
@@ -41,6 +47,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("obsdump: ")
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "spans":
+			cmdSpans(os.Args[2:])
+			return
+		case "hist":
+			cmdHist(os.Args[2:])
+			return
+		case "flight":
+			cmdFlight(os.Args[2:])
+			return
+		}
+	}
 	nodes := flag.Int("nodes", 16, "total nodes, split across the two demo jobs")
 	iters := flag.Int("iters", 30, "bulk-synchronous iterations to run")
 	budgetFrac := flag.Float64("budget", 0.8, "coordinator budget as a fraction of total TDP")
@@ -48,6 +67,7 @@ func main() {
 	metricsPath := flag.String("metrics", "-", "write the Prometheus metrics snapshot here (- = stdout)")
 	tracePath := flag.String("trace", "powerstack-trace.json", "write the Chrome trace JSON here (empty = skip)")
 	eventsPath := flag.String("events", "", "also write the raw event journal JSON here")
+	spansPath := flag.String("spans", "", "also write the span log JSONL here (render with obsdump spans)")
 	serveAddr := flag.String("serve", "", "serve /metrics, /events, /trace, /debug/pprof on this address after the run and block")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
@@ -88,6 +108,12 @@ func main() {
 		log.Fatal(err)
 	}
 	coord.SetObs(sink)
+
+	// Root the demo's span tree so obsdump -spans output renders as one
+	// trace: demo → per-iteration coord_iter spans.
+	rootSpan := sink.StartSpan(obs.SpanContext{}, "obsdump", "demo").
+		SetIter(*iters).SetValue(budget.Watts())
+	coord.SpanParent = rootSpan.Ctx()
 
 	// The watchdog samples the node hierarchy between iterations. Its
 	// budget is derived from the draw observed early in the run so clamp
@@ -131,6 +157,7 @@ func main() {
 			}
 		}
 	}
+	rootSpan.End()
 	log.Printf("run complete in %v", time.Since(start).Round(time.Millisecond))
 	if wd != nil {
 		log.Printf("watchdog: %d violations, %d clamps", wd.Violations, wd.Clamps)
@@ -138,7 +165,7 @@ func main() {
 	log.Printf("journal: %d events recorded (%d retained, %d dropped)",
 		sink.Journal.Total(), sink.Journal.Total()-sink.Journal.Dropped(), sink.Journal.Dropped())
 
-	if err := dump(sink, *metricsPath, *tracePath, *eventsPath); err != nil {
+	if err := dump(sink, *metricsPath, *tracePath, *eventsPath, *spansPath); err != nil {
 		log.Fatal(err)
 	}
 
@@ -155,8 +182,8 @@ func main() {
 	}
 }
 
-// dump writes the three artifacts, treating "-" as stdout and "" as skip.
-func dump(sink *obs.Sink, metricsPath, tracePath, eventsPath string) error {
+// dump writes the run artifacts, treating "-" as stdout and "" as skip.
+func dump(sink *obs.Sink, metricsPath, tracePath, eventsPath, spansPath string) error {
 	to := func(path, what string, write func(io.Writer) error) error {
 		if path == "" {
 			return nil
@@ -185,5 +212,8 @@ func dump(sink *obs.Sink, metricsPath, tracePath, eventsPath string) error {
 	if err := to(tracePath, "Chrome trace", sink.WriteTrace); err != nil {
 		return err
 	}
-	return to(eventsPath, "event journal", sink.Journal.WriteJSON)
+	if err := to(eventsPath, "event journal", sink.Journal.WriteJSON); err != nil {
+		return err
+	}
+	return to(spansPath, "span log", sink.WriteSpans)
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"powerstack/internal/obs"
+)
+
+// cmdSpans renders a JSONL span log (obsdump -spans, /spans endpoint, or a
+// flight artifact unpacked with obsdump flight -dir) as an indented tree:
+// one tree per trace, children nested under their parent span and ordered
+// by wall-clock start, so the printout mirrors the causal structure the
+// Chrome trace shows graphically.
+func cmdSpans(args []string) {
+	fs := flag.NewFlagSet("obsdump spans", flag.ExitOnError)
+	in := fs.String("in", "-", "span log JSONL to read (- = stdin)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close() //nolint:errcheck // read-only
+		r = f
+	}
+	spans, err := obs.ReadSpansJSONL(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(spans) == 0 {
+		fmt.Println("no spans")
+		return
+	}
+	renderSpanTrees(os.Stdout, spans)
+}
+
+// renderSpanTrees groups spans by trace and prints each trace's tree.
+func renderSpanTrees(w io.Writer, spans []obs.SpanRecord) {
+	byTrace := map[obs.TraceID][]obs.SpanRecord{}
+	var traces []obs.TraceID
+	for _, sp := range spans {
+		if _, ok := byTrace[sp.Trace]; !ok {
+			traces = append(traces, sp.Trace)
+		}
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i] < traces[j] })
+
+	for _, tr := range traces {
+		group := byTrace[tr]
+		fmt.Fprintf(w, "trace %d (%d spans)\n", tr, len(group))
+
+		children := map[obs.SpanID][]obs.SpanRecord{}
+		ids := map[obs.SpanID]bool{}
+		for _, sp := range group {
+			ids[sp.ID] = true
+		}
+		var roots []obs.SpanRecord
+		for _, sp := range group {
+			// A span whose parent never made it into the log (ring
+			// wraparound, still open elsewhere) renders as a root.
+			if sp.Parent != 0 && ids[sp.Parent] {
+				children[sp.Parent] = append(children[sp.Parent], sp)
+			} else {
+				roots = append(roots, sp)
+			}
+		}
+		byWall := func(s []obs.SpanRecord) {
+			sort.Slice(s, func(i, j int) bool {
+				if s[i].Wall != s[j].Wall {
+					return s[i].Wall < s[j].Wall
+				}
+				return s[i].ID < s[j].ID
+			})
+		}
+		byWall(roots)
+		for _, c := range children {
+			byWall(c)
+		}
+		var walk func(sp obs.SpanRecord, depth int)
+		walk = func(sp obs.SpanRecord, depth int) {
+			fmt.Fprintf(w, "%s%s\n", strings.Repeat("  ", depth+1), describeSpan(sp))
+			for _, c := range children[sp.ID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, root := range roots {
+			walk(root, 0)
+		}
+	}
+}
+
+// describeSpan formats one span as a single tree row.
+func describeSpan(sp obs.SpanRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s", sp.Layer, sp.Name)
+	if sp.Scope != "" {
+		fmt.Fprintf(&b, " scope=%s", sp.Scope)
+	}
+	if sp.Host != "" {
+		fmt.Fprintf(&b, " host=%s", sp.Host)
+	}
+	if sp.Iter != 0 {
+		fmt.Fprintf(&b, " iter=%d", sp.Iter)
+	}
+	if sp.Value != 0 {
+		fmt.Fprintf(&b, " value=%g", sp.Value)
+	}
+	fmt.Fprintf(&b, " wall=%s", sp.WallDur.Round(time.Microsecond))
+	if sp.VStart != 0 || sp.VEnd != 0 {
+		fmt.Fprintf(&b, " vt=[%s, %s]", sp.VStart, sp.VEnd)
+	}
+	if sp.Open {
+		b.WriteString(" (open)")
+	}
+	return b.String()
+}

@@ -15,8 +15,11 @@ package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -64,6 +67,24 @@ type Config struct {
 	// fully sequential and produces byte-identical reports to any other
 	// setting.
 	Parallelism int
+
+	// FlightDir, when non-empty, enables the flight recorder: every failed
+	// scenario — and every successful one the Anomalous predicate flags —
+	// writes a self-contained post-mortem artifact
+	// (flight-<index>-<reason>.json) into this directory. The directory is
+	// created if missing. Flight artifacts carry wall-clock data and never
+	// feed the Report, so determinism is unaffected.
+	FlightDir string `json:"-"`
+	// Anomalous flags a successful scenario's result for flight capture;
+	// nil selects DefaultAnomalous. Only consulted when FlightDir is set.
+	Anomalous func(*facility.Result) bool `json:"-"`
+}
+
+// DefaultAnomalous is the stock anomaly predicate: a scenario that
+// quarantined a node or requeued a job saw its fault machinery bite and is
+// worth a post-mortem.
+func DefaultAnomalous(res *facility.Result) bool {
+	return res.Quarantined > 0 || res.Requeued > 0
 }
 
 // Scenario is one fully instantiated cell of the matrix.
@@ -166,6 +187,18 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Report, error) {
 		workers = len(scenarios)
 	}
 
+	if cfg.FlightDir != "" {
+		if err := os.MkdirAll(cfg.FlightDir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: flight dir: %w", err)
+		}
+	}
+
+	// The campaign root span parents every scenario span; one trace covers
+	// the whole matrix.
+	root := r.Obs.StartSpan(obs.SpanContext{}, "campaign", "campaign").
+		SetIter(len(scenarios)).SetValue(float64(workers))
+	defer root.End()
+
 	results := make([]*facility.Result, len(scenarios))
 	errs := make([]error, len(scenarios))
 	recycler := cluster.NewPoolRecycler(r.Nodes)
@@ -181,7 +214,7 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Report, error) {
 					errs[idx] = err
 					continue
 				}
-				errs[idx] = r.runScenario(ctx, &cfg, scenarios[idx], worker, recycler, results)
+				errs[idx] = r.runScenario(ctx, &cfg, scenarios[idx], worker, root.Ctx(), recycler, results)
 			}
 		}(w)
 	}
@@ -200,15 +233,20 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Report, error) {
 }
 
 // runScenario executes one cell on a recycled clone pool.
-func (r *Runner) runScenario(ctx context.Context, cfg *Config, sc Scenario, worker int, recycler *cluster.PoolRecycler, results []*facility.Result) error {
+func (r *Runner) runScenario(ctx context.Context, cfg *Config, sc Scenario, worker int, parent obs.SpanContext, recycler *cluster.PoolRecycler, results []*facility.Result) error {
 	r.Obs.CampaignShardStart(sc.Policy.Name(), sc.Index, worker)
 	start := time.Now()
+
+	sp := r.Obs.StartSpan(parent, "campaign", "scenario").
+		SetScope(sc.Policy.Name()).SetIter(sc.Index).SetValue(sc.Budget.Watts())
+	defer sp.End()
 
 	pool := recycler.Acquire()
 	fc := cfg.Base
 	fc.Nodes = pool
 	fc.DB = r.DB
 	fc.Obs = r.Obs
+	fc.SpanParent = sp.Ctx()
 	fc.Seed = sc.Seed
 	fc.MeanInterarrival = sc.Interarrival
 	fc.SystemBudget = sc.Budget
@@ -220,13 +258,76 @@ func (r *Runner) runScenario(ctx context.Context, cfg *Config, sc Scenario, work
 		// The pool may hold partial run state; drop it rather than
 		// recycling (RestoreFrom would clean it, but an errored run is
 		// rare enough that isolation beats reuse).
+		r.captureFlight(cfg, sc, "error", err, nil)
 		return err
 	}
 	recycler.Release(pool)
 	results[sc.Index] = res
 
 	r.Obs.CampaignShardDone(sc.Policy.Name(), sc.Index, worker, time.Since(start).Seconds())
+	if cfg.FlightDir != "" {
+		anomalous := cfg.Anomalous
+		if anomalous == nil {
+			anomalous = DefaultAnomalous
+		}
+		if anomalous(res) {
+			r.captureFlight(cfg, sc, "anomalous", nil, res)
+		}
+	}
 	return nil
+}
+
+// captureFlight writes one flight-recorder artifact for the scenario. The
+// capture is post-mortem best-effort: a write failure is reported on the
+// campaign's own sink and otherwise swallowed — flight recording must
+// never turn a completed scenario into a failed one.
+func (r *Runner) captureFlight(cfg *Config, sc Scenario, reason string, runErr error, res *facility.Result) {
+	if cfg.FlightDir == "" {
+		return
+	}
+	errText := ""
+	if runErr != nil {
+		errText = runErr.Error()
+	}
+	fr := obs.CaptureFlight(r.Obs, describe(sc), reason, errText, int64(sc.Seed))
+	// The scenario's shape travels as opaque JSON so the artifact stays
+	// self-describing without the flight recorder importing config types.
+	summary := struct {
+		Policy       string        `json:"policy"`
+		Interarrival time.Duration `json:"interarrival_ns"`
+		Budget       float64       `json:"budget_watts"`
+		FaultLane    string        `json:"fault_lane"`
+		Duration     time.Duration `json:"duration_ns"`
+		Tick         time.Duration `json:"tick_ns"`
+		Engine       string        `json:"engine,omitempty"`
+		Nodes        int           `json:"nodes"`
+	}{
+		Policy:       sc.Policy.Name(),
+		Interarrival: sc.Interarrival,
+		Budget:       sc.Budget.Watts(),
+		FaultLane:    sc.Fault.Name,
+		Duration:     cfg.Base.Duration,
+		Tick:         cfg.Base.Tick,
+		Engine:       cfg.Base.Engine,
+		Nodes:        len(r.Nodes),
+	}
+	if b, err := json.Marshal(summary); err == nil {
+		fr.Config = b
+	}
+	if sc.Fault.Plan != nil {
+		if b, err := json.Marshal(sc.Fault.Plan); err == nil {
+			fr.FaultPlan = b
+		}
+	}
+	if res != nil {
+		if b, err := json.Marshal(res); err == nil {
+			fr.Result = b
+		}
+	}
+	path := filepath.Join(cfg.FlightDir, fmt.Sprintf("flight-%04d-%s.json", sc.Index, reason))
+	if err := fr.WriteFile(path); err != nil {
+		r.Obs.Record(obs.Event{Type: "flight_write_failed", Layer: "campaign", Scope: path})
+	}
 }
 
 func describe(sc Scenario) string {

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"powerstack/internal/kernel"
 	"powerstack/internal/node"
@@ -79,20 +80,32 @@ func Key(cfg kernel.Config, nodes []*node.Node, opt Options) string {
 // way). Waiting callers honor ctx; the characterization itself runs to
 // completion under its initiator.
 func (c *Cache) GetOrCharacterize(ctx context.Context, cfg kernel.Config, nodes []*node.Node, opt Options) (Entry, bool, error) {
+	// Lookup timing is observability-only: the clock read is gated on an
+	// attached sink so the uninstrumented path stays wall-clock-free.
+	var lookupStart time.Time
+	if c.Obs.Enabled() {
+		lookupStart = time.Now()
+	}
+	lookupSeconds := func() float64 {
+		if lookupStart.IsZero() {
+			return 0
+		}
+		return time.Since(lookupStart).Seconds()
+	}
 	key := Key(cfg, nodes, opt)
 
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		c.Obs.CacheLookup(key, true)
+		c.Obs.CacheLookup(key, true, lookupSeconds())
 		return e, true, nil
 	}
 	if cl, ok := c.inflight[key]; ok {
 		// Someone else is characterizing this key; join them.
 		c.hits++
 		c.mu.Unlock()
-		c.Obs.CacheLookup(key, true)
+		c.Obs.CacheLookup(key, true, lookupSeconds())
 		select {
 		case <-cl.done:
 			return cl.entry, true, cl.err
@@ -104,7 +117,7 @@ func (c *Cache) GetOrCharacterize(ctx context.Context, cfg kernel.Config, nodes 
 	c.inflight[key] = cl
 	c.misses++
 	c.mu.Unlock()
-	c.Obs.CacheLookup(key, false)
+	c.Obs.CacheLookup(key, false, lookupSeconds())
 
 	cl.entry, cl.err = Characterize(cfg, nodes, opt)
 

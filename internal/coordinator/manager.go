@@ -44,6 +44,11 @@ type Coordinator struct {
 
 	Runtimes []*Runtime
 
+	// SpanParent links the per-iteration coord_iter spans into an enclosing
+	// trace (a facility run, an obsdump demo); the zero value starts a new
+	// trace per iteration's span tree root.
+	SpanParent obs.SpanContext
+
 	obs *obs.Sink
 	// misses counts consecutive missing Requests per runtime.
 	misses []int
@@ -232,6 +237,19 @@ func (c *Coordinator) RunOn(ctx context.Context, eng *engine.Scheduler, iters in
 	if c.misses == nil {
 		c.misses = make([]int, len(c.Runtimes))
 	}
+	// Record through a virtual-clock view of the sink for the duration of
+	// the run: the engine advances its clock before dispatching, so
+	// everything recorded inside iteration handlers (epochs, grants,
+	// reallocs, node limit writes) carries its virtual timestamp. The base
+	// sink is restored on return.
+	if base := c.obs; base != nil {
+		vsink := base.WithVClock(eng.Now)
+		c.SetObs(vsink)
+		if eng.Obs == nil {
+			eng.Obs = vsink
+		}
+		defer c.SetObs(base)
+	}
 	totalNodes := 0
 	for _, rt := range c.Runtimes {
 		totalNodes += len(rt.Job.Hosts)
@@ -246,6 +264,8 @@ func (c *Coordinator) RunOn(ctx context.Context, eng *engine.Scheduler, iters in
 	var schedule func(k int, at time.Duration)
 	schedule = func(k int, at time.Duration) {
 		eng.Schedule(at, "coord_iter", func(now time.Duration) error {
+			sp := c.obs.StartSpan(c.SpanParent, "coordinator", "coord_iter").SetIter(k)
+			defer sp.End()
 			var stepElapsed time.Duration
 			for ji, rt := range c.Runtimes {
 				ir, err := rt.step(k)
@@ -276,6 +296,7 @@ func (c *Coordinator) RunOn(ctx context.Context, eng *engine.Scheduler, iters in
 					res.GrantHistory[g.JobID] = append(res.GrantHistory[g.JobID], g.Budget)
 				}
 			}
+			sp.SetValue(stepElapsed.Seconds())
 			if k+1 < iters {
 				schedule(k+1, now+stepElapsed)
 			}

@@ -67,7 +67,11 @@ type eventSim struct {
 // runEvent executes the simulation on the discrete-event core.
 func runEvent(ctx context.Context, st *simState) (*Result, error) {
 	s := &eventSim{simState: st, eng: engine.New()}
-	s.eng.Obs = st.cfg.Obs
+	// The engine advances its clock before dispatching a handler, so its
+	// Now is the correct virtual timestamp for everything recorded inside
+	// handlers (and for the engine's own dispatch events).
+	st.vclock = s.eng.Now
+	s.eng.Obs = st.obs
 
 	// Fault timeline: every crash/repair/slow transition at its exact
 	// onset. The tick loop scans windows (prev, now], so onsets at or
@@ -285,6 +289,9 @@ func (s *eventSim) onComplete(r *evJob, now time.Duration) error {
 		return err
 	}
 	s.res.Completed++
+	s.obs.JobFinished(r.sj.Spec.ID,
+		r.started.Sub(r.submitted).Seconds(),
+		s.start.Add(now).Sub(r.submitted).Seconds())
 	s.removeActive(r)
 	return s.reconcile(now, true, false)
 }
@@ -299,7 +306,7 @@ func (s *eventSim) onCrash(nodeID string, now time.Duration) error {
 	s.accrue(now)
 	s.advanceAll(now) // settle at the pre-crash operating point
 	fault.Crash(n)
-	s.cfg.Obs.FaultInjected(string(fault.NodeCrash), nodeID, "", 0)
+	s.obs.FaultInjected(string(fault.NodeCrash), nodeID, "", 0)
 	holder, held := s.mgr.Drain(nodeID, "crash")
 	if held {
 		for _, r := range s.active {
@@ -340,7 +347,7 @@ func (s *eventSim) onSlow(nodeID string, factor float64, now time.Duration) erro
 	s.accrue(now)
 	s.advanceAll(now) // settle at the pre-degradation speed
 	n.SetDegradation(factor)
-	s.cfg.Obs.FaultInjected(string(fault.SlowNode), nodeID, "", factor)
+	s.obs.FaultInjected(string(fault.SlowNode), nodeID, "", factor)
 	return s.reconcile(now, false, true)
 }
 

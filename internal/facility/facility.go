@@ -95,8 +95,13 @@ type Config struct {
 	// fallbacks. Nil or empty injects nothing.
 	Faults *fault.Plan
 	// Obs journals every fault, degradation, and engine-dispatch decision;
-	// nil disables instrumentation.
+	// nil disables instrumentation. The facility derives a virtual-clock
+	// view of this sink (obs.Sink.WithVClock) so events and spans recorded
+	// during the run carry their simulated timestamps.
 	Obs *obs.Sink
+	// SpanParent links the run's root span into an enclosing trace (a
+	// campaign scenario); the zero value starts a new trace.
+	SpanParent obs.SpanContext
 }
 
 // telemetryEvery resolves the sampling cadence.
@@ -235,6 +240,20 @@ type simState struct {
 
 	horizon  time.Duration
 	telEvery time.Duration
+
+	// obs is the virtual-clock view of cfg.Obs: it shares the registry,
+	// journal, spans, and stream but stamps everything recorded during the
+	// run with the simulated time read through vclock. vclock is installed
+	// by whichever engine runs (the event core's engine clock, the tick
+	// core's elapsed counter) and reads zero during setup — which is
+	// correct, setup happens at virtual time zero.
+	obs    *obs.Sink
+	vclock func() time.Duration
+
+	// spanCtx is the run's root span, parent of every replan span; round
+	// numbers the replan rounds for span annotation.
+	spanCtx obs.SpanContext
+	round   int
 }
 
 // maxHistory caps the telemetry ring size at its previous fixed value.
@@ -262,12 +281,21 @@ func setup(cfg Config) (*simState, error) {
 	if st.pol == nil {
 		st.pol = policy.StaticCaps{}
 	}
+	// Everything the run records goes through a virtual-clock view of the
+	// caller's sink; the indirection through st.vclock lets the engine
+	// install its clock after setup.
+	st.obs = cfg.Obs.WithVClock(func() time.Duration {
+		if st.vclock == nil {
+			return 0
+		}
+		return st.vclock()
+	})
 	// Corruption applies to a clone so the caller's database survives the
 	// run intact; policies see the damaged view and fall back.
-	st.db = cfg.Faults.CorruptDB(cfg.DB, cfg.Obs)
+	st.db = cfg.Faults.CorruptDB(cfg.DB, st.obs)
 	st.rng = rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
 	st.mgr = rm.NewManager(cfg.Nodes)
-	st.mgr.Obs = cfg.Obs
+	st.mgr.Obs = st.obs
 	st.mgr.OnQuarantine = func(string, string) { st.res.Quarantined++ }
 	st.mgr.OnRejoin = func(string) { st.res.Rejoined++ }
 	sched, err := rm.NewScheduler(st.mgr, st.db, cfg.SystemBudget)
@@ -293,10 +321,17 @@ func setup(cfg Config) (*simState, error) {
 		return nil, err
 	}
 	st.root = root
-	cfg.Faults.Arm(cfg.Nodes, cfg.Obs)
-	root.SetFaultPlan(cfg.Faults, st.start, cfg.Obs)
+	cfg.Faults.Arm(cfg.Nodes, st.obs)
+	root.SetFaultPlan(cfg.Faults, st.start, st.obs)
 	for _, n := range cfg.Nodes {
 		st.nodeByID[n.ID] = n
+		// Node-level events (limit writes, MSR writes, pins) recorded
+		// during the run carry virtual timestamps too. Campaign pool
+		// clones arrive without a sink, so this is also what turns their
+		// node instrumentation on.
+		if cfg.Obs != nil {
+			n.SetObs(st.obs)
+		}
 	}
 	if _, err := root.Sample(st.start); err != nil { // prime energy trackers
 		return nil, err
@@ -304,16 +339,31 @@ func setup(cfg Config) (*simState, error) {
 	return st, nil
 }
 
-// replan redistributes the system budget across the running set.
+// replan redistributes the system budget across the running set. Each
+// round runs under its own span (parented to the run span, parenting the
+// per-node cap-write spans the manager opens) and records its wall latency.
 func (st *simState) replan() error {
-	if len(st.mgr.Jobs()) == 0 {
+	jobs := len(st.mgr.Jobs())
+	if jobs == 0 {
 		return nil
 	}
-	alloc, err := st.mgr.Plan(st.pol, st.cfg.SystemBudget, st.db)
-	if err != nil {
-		return err
+	st.round++
+	sp := st.obs.StartSpan(st.spanCtx, "facility", "replan").SetIter(st.round).SetValue(float64(jobs))
+	var t0 time.Time
+	if st.obs.Enabled() {
+		t0 = time.Now()
 	}
-	return st.mgr.Apply(alloc)
+	st.mgr.SpanParent = sp.Ctx()
+	alloc, err := st.mgr.Plan(st.pol, st.cfg.SystemBudget, st.db)
+	if err == nil {
+		err = st.mgr.Apply(alloc)
+	}
+	st.mgr.SpanParent = obs.SpanContext{}
+	sp.End()
+	if !t0.IsZero() {
+		st.obs.ReplanLatency(jobs, time.Since(t0).Seconds())
+	}
+	return err
 }
 
 // submitArrival draws one arrival from the config RNG and enqueues it. The
@@ -363,6 +413,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Obs != nil {
+		// setup re-pointed the nodes at the run-local virtual-clock sink;
+		// hand them back to the caller's sink when the run ends so a
+		// long-lived cluster does not keep stamping stale virtual times.
+		defer func() {
+			for _, n := range cfg.Nodes {
+				n.SetObs(cfg.Obs)
+			}
+		}()
+	}
+	sp := st.obs.StartSpan(cfg.SpanParent, "facility", "facility_run").
+		SetIter(len(cfg.Nodes)).SetValue(cfg.SystemBudget.Watts())
+	defer sp.End()
+	st.spanCtx = sp.Ctx()
 	if cfg.Engine == EngineTick {
 		return runTick(ctx, st)
 	}
@@ -377,6 +441,11 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 	cfg, res, mgr, sched := st.cfg, st.res, st.mgr, st.sched
 	now := st.start
 
+	// The tick core's virtual clock is the end of the tick being
+	// processed — the time at which the tick's effects are credited.
+	var vElapsed time.Duration
+	st.vclock = func() time.Duration { return vElapsed }
+
 	var active []*running
 	nextArrival := now.Add(expDuration(st.rng, cfg.MeanInterarrival))
 	var busyNodeTicks, totalTicks int
@@ -386,6 +455,7 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 			return nil, err
 		}
 		tickEnd := now.Add(cfg.Tick)
+		vElapsed = elapsed + cfg.Tick
 
 		// Fire this tick's scheduled faults before any job advances:
 		// crashes drain nodes (requeueing the jobs that held them),
@@ -399,7 +469,7 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 					continue
 				}
 				fault.Crash(n)
-				cfg.Obs.FaultInjected(string(fault.NodeCrash), tr.Node, "", 0)
+				st.obs.FaultInjected(string(fault.NodeCrash), tr.Node, "", 0)
 				holder, held := mgr.Drain(tr.Node, "crash")
 				if held {
 					if err := sched.Requeue(holder); err != nil {
@@ -424,7 +494,7 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 			case fault.SlowNode:
 				if n, ok := st.nodeByID[tr.Node]; ok {
 					n.SetDegradation(tr.Factor)
-					cfg.Obs.FaultInjected(string(fault.SlowNode), tr.Node, "", tr.Factor)
+					st.obs.FaultInjected(string(fault.SlowNode), tr.Node, "", tr.Factor)
 				}
 			}
 		}
@@ -480,6 +550,9 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 				}
 				res.Completed++
 				completedAny = true
+				st.obs.JobFinished(r.sj.Spec.ID,
+					r.started.Sub(r.submitted).Seconds(),
+					tickEnd.Sub(r.submitted).Seconds())
 				continue
 			}
 			still = append(still, r)

@@ -1,0 +1,127 @@
+package facility
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"powerstack/internal/obs"
+)
+
+// traceSpan is the slice of a Chrome trace "X" event the nesting assertions
+// need.
+type traceSpan struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	Args struct {
+		Span    uint64  `json:"span"`
+		Parent  uint64  `json:"parent"`
+		VStartS float64 `json:"vt_start_s"`
+	} `json:"args"`
+}
+
+// TestTraceNestedSpans is the tracing acceptance gate: a 3-node facility
+// run exports a Chrome trace whose span events nest facility_run ⊇ replan ⊇
+// cap_write by wall-clock interval, with the replan rounds ordered by
+// virtual time.
+func TestTraceNestedSpans(t *testing.T) {
+	nodes, db, workloads := facilityEnv(t, 3)
+	cfg := baseConfig(nodes, db, workloads)
+	cfg.JobSizes = []int{2}
+	cfg.Obs = obs.New()
+
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := cfg.Obs.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []traceSpan `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace invalid JSON: %v", err)
+	}
+
+	byName := map[string][]traceSpan{}
+	byID := map[uint64]traceSpan{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 2 {
+			continue
+		}
+		byName[ev.Name] = append(byName[ev.Name], ev)
+		byID[ev.Args.Span] = ev
+	}
+	runs, replans, caps := byName["facility_run"], byName["replan"], byName["cap_write"]
+	if len(runs) != 1 {
+		t.Fatalf("facility_run spans = %d, want 1", len(runs))
+	}
+	if len(replans) == 0 || len(caps) == 0 {
+		t.Fatalf("replan spans = %d, cap_write spans = %d, want > 0 each", len(replans), len(caps))
+	}
+
+	within := func(inner, outer traceSpan) bool {
+		return inner.TS >= outer.TS && inner.TS+inner.Dur <= outer.TS+outer.Dur
+	}
+	run := runs[0]
+	prevV := -1.0
+	for _, rp := range replans {
+		if rp.Args.Parent != run.Args.Span {
+			t.Errorf("replan parent = %d, want facility_run %d", rp.Args.Parent, run.Args.Span)
+		}
+		if !within(rp, run) {
+			t.Errorf("replan [%v, %v] not within facility_run [%v, %v]",
+				rp.TS, rp.TS+rp.Dur, run.TS, run.TS+run.Dur)
+		}
+		// Replan rounds occur in virtual-time order along the run.
+		if rp.Args.VStartS < prevV {
+			t.Errorf("replan virtual start %v out of order (prev %v)", rp.Args.VStartS, prevV)
+		}
+		prevV = rp.Args.VStartS
+	}
+	for _, cw := range caps {
+		parent, ok := byID[cw.Args.Parent]
+		if !ok || parent.Name != "replan" {
+			t.Errorf("cap_write parent %d is %q, want a replan span", cw.Args.Parent, parent.Name)
+			continue
+		}
+		if !within(cw, parent) {
+			t.Errorf("cap_write [%v, %v] not within its replan [%v, %v]",
+				cw.TS, cw.TS+cw.Dur, parent.TS, parent.TS+parent.Dur)
+		}
+	}
+}
+
+// TestObsDoesNotChangeResult checks the tracing instrumentation is inert:
+// the same facility config produces identical results with a live sink and
+// with none.
+func TestObsDoesNotChangeResult(t *testing.T) {
+	run := func(s *obs.Sink) []byte {
+		// Fresh nodes per run: a facility run mutates its pool.
+		nodes, db, workloads := facilityEnv(t, 6)
+		cfg := baseConfig(nodes, db, workloads)
+		cfg.Duration = 10 * time.Minute
+		cfg.Obs = s
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	bare := run(nil)
+	traced := run(obs.New())
+	if string(bare) != string(traced) {
+		t.Error("result changed when tracing was enabled")
+	}
+}

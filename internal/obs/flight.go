@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// FlightRecord is a self-contained post-mortem artifact for one scenario:
+// everything needed to understand (and re-run) a failed or anomalous
+// simulation without the process that produced it. The campaign engine
+// writes one automatically per failed/anomalous scenario; cmd/obsdump
+// flight renders and unpacks them.
+type FlightRecord struct {
+	// CapturedAt is the wall-clock capture time (RFC 3339).
+	CapturedAt time.Time `json:"captured_at"`
+	// Scenario describes the matrix cell ("policy=... ia=... seed=...").
+	Scenario string `json:"scenario,omitempty"`
+	// Reason says why the record was captured ("error", "anomalous").
+	Reason string `json:"reason"`
+	// Error is the scenario error text, when the run failed.
+	Error string `json:"error,omitempty"`
+	// Seed is the scenario's RNG seed, for replay.
+	Seed int64 `json:"seed"`
+
+	// Config, FaultPlan, and Result are opaque JSON blobs supplied by the
+	// capturing layer (the flight recorder does not depend on their types).
+	Config    json.RawMessage `json:"config,omitempty"`
+	FaultPlan json.RawMessage `json:"fault_plan,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+
+	// Metrics is the Prometheus text snapshot at capture time.
+	Metrics string `json:"metrics,omitempty"`
+
+	// EventsTotal and EventsDropped describe the journal at capture time;
+	// Events is its retained tail (newest last).
+	EventsTotal   uint64  `json:"events_total"`
+	EventsDropped uint64  `json:"events_dropped,omitempty"`
+	Events        []Event `json:"events,omitempty"`
+
+	// Spans is the completed-span tail and OpenSpans the spans still in
+	// flight when the record was captured — the "what was it doing"
+	// evidence for hangs and partial failures.
+	Spans     []SpanRecord `json:"spans,omitempty"`
+	OpenSpans []SpanRecord `json:"open_spans,omitempty"`
+}
+
+// DefaultFlightEventTail bounds how much journal tail a flight record
+// carries: enough context to see the lead-up without shipping the whole
+// ring.
+const DefaultFlightEventTail = 2048
+
+// CaptureFlight snapshots the sink into a flight record. scenario, reason,
+// error text, seed, and the opaque config/fault-plan/result blobs come from
+// the caller; metrics, journal tail, and spans come from the sink. A nil
+// sink yields a record with only the caller-supplied fields, so capture is
+// always safe.
+func CaptureFlight(s *Sink, scenario, reason, errText string, seed int64) *FlightRecord {
+	fr := &FlightRecord{
+		CapturedAt: time.Now().UTC(),
+		Scenario:   scenario,
+		Reason:     reason,
+		Error:      errText,
+		Seed:       seed,
+	}
+	if s == nil {
+		return fr
+	}
+	if s.Metrics != nil {
+		var b strings.Builder
+		if err := s.Metrics.WritePrometheus(&b); err == nil {
+			fr.Metrics = b.String()
+		}
+	}
+	if s.Journal != nil {
+		fr.EventsTotal = s.Journal.Total()
+		fr.EventsDropped = s.Journal.Dropped()
+		events := s.Journal.Snapshot()
+		if len(events) > DefaultFlightEventTail {
+			events = events[len(events)-DefaultFlightEventTail:]
+		}
+		fr.Events = events
+	}
+	if s.Spans != nil {
+		spans := s.Spans.Snapshot()
+		if len(spans) > DefaultFlightEventTail {
+			spans = spans[len(spans)-DefaultFlightEventTail:]
+		}
+		fr.Spans = spans
+		fr.OpenSpans = s.Spans.OpenSnapshot()
+	}
+	return fr
+}
+
+// Write renders the record as indented JSON.
+func (fr *FlightRecord) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fr); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the record to path, creating or truncating it.
+func (fr *FlightRecord) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFlightRecord parses a flight record from r.
+func ReadFlightRecord(r io.Reader) (*FlightRecord, error) {
+	var fr FlightRecord
+	if err := json.NewDecoder(r).Decode(&fr); err != nil {
+		return nil, err
+	}
+	return &fr, nil
+}
+
+// ReadFlightFile parses the flight record at path.
+func ReadFlightFile(path string) (*FlightRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFlightRecord(f)
+}

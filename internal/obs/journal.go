@@ -68,8 +68,14 @@ const (
 	// scenario index, Aux the worker index.
 	EvCampaignShard EventType = "campaign_shard"
 	// EvCacheLookup is a characterization-cache lookup (Scope carries the
-	// cache key, Value 1 for a hit and 0 for a miss).
+	// cache key, Value 1 for a hit and 0 for a miss, Aux the wall seconds).
 	EvCacheLookup EventType = "charz_cache"
+	// EvReplan is one facility replan round completing (Iter carries the
+	// running-job count, Value the wall seconds for plan+apply).
+	EvReplan EventType = "replan"
+	// EvJobDone is a job completing (Value carries the turnaround and Aux
+	// the queue wait, both in virtual seconds).
+	EvJobDone EventType = "job_done"
 )
 
 // Event is one structured decision record. Fields are flat and typed so
@@ -77,8 +83,13 @@ const (
 type Event struct {
 	// Seq is the global sequence number (1-based, assigned by the journal).
 	Seq uint64 `json:"seq"`
-	// Time is the offset from the journal's start.
+	// Time is the wall-clock offset from the journal's start.
 	Time time.Duration `json:"ts_ns"`
+	// VTime is the virtual timestamp on the owning engine's simulated
+	// timeline, stamped when the recording sink carries a virtual clock
+	// (Sink.WithVClock). Zero when the event was recorded outside any
+	// simulation, so wall-clock-free consumers can fall back to Time.
+	VTime time.Duration `json:"vt_ns,omitempty"`
 	// Type is the decision kind.
 	Type EventType `json:"type"`
 	// Layer is the stack layer that recorded the event ("coordinator",
@@ -124,9 +135,14 @@ func NewJournal(capacity int) *Journal {
 
 // Record appends an event, stamping its sequence number and time offset.
 // Nil journals drop the event, so callers need no guard.
-func (j *Journal) Record(e Event) {
+func (j *Journal) Record(e Event) { j.recordStamped(e) }
+
+// recordStamped appends an event and returns the stamped copy (sequence
+// number and wall offset filled in) so callers can republish the exact
+// record to live streams. Nil journals return the event untouched.
+func (j *Journal) recordStamped(e Event) Event {
 	if j == nil {
-		return
+		return e
 	}
 	j.mu.Lock()
 	j.total++
@@ -138,6 +154,7 @@ func (j *Journal) Record(e Event) {
 		j.buf[(j.total-1)%uint64(cap(j.buf))] = e
 	}
 	j.mu.Unlock()
+	return e
 }
 
 // Total returns how many events were ever recorded.
@@ -211,6 +228,7 @@ type traceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
@@ -220,9 +238,18 @@ type traceEvent struct {
 // WriteTrace exports the retained events in Chrome trace_event JSON. Each
 // distinct scope/host becomes a named track, decision events render as
 // instants on their track, and power-valued events additionally emit
-// counter samples so grants and clamps plot as stepped series.
+// counter samples so grants and clamps plot as stepped series. Events that
+// carry a virtual timestamp are placed on the simulated timeline, so the
+// trace ordering matches causal order under the event engine rather than
+// recording latency.
 func (j *Journal) WriteTrace(w io.Writer) error {
-	events := j.Snapshot()
+	meta, out := journalTraceEvents(j.Snapshot())
+	return writeTraceDoc(w, append(meta, out...))
+}
+
+// journalTraceEvents renders journal events as instant + counter records on
+// pid 1, one named track per scope/host.
+func journalTraceEvents(events []Event) (meta, out []traceEvent) {
 	tids := map[string]int{}
 	var order []string
 	tidFor := func(track string) int {
@@ -235,7 +262,7 @@ func (j *Journal) WriteTrace(w io.Writer) error {
 		return id
 	}
 
-	out := make([]traceEvent, 0, 2*len(events)+8)
+	out = make([]traceEvent, 0, 2*len(events)+8)
 	for _, e := range events {
 		track := e.Scope
 		if track == "" {
@@ -247,8 +274,14 @@ func (j *Journal) WriteTrace(w io.Writer) error {
 		if track == "" {
 			track = "stack"
 		}
+		// Virtual-stamped events plot at their simulated time; everything
+		// else falls back to the wall offset.
 		ts := float64(e.Time.Microseconds())
 		args := map[string]any{"seq": e.Seq, "layer": e.Layer}
+		if e.VTime > 0 {
+			ts = float64(e.VTime.Microseconds())
+			args["wall_ts_us"] = float64(e.Time.Microseconds())
+		}
 		if e.Scope != "" {
 			args["scope"] = e.Scope
 		}
@@ -289,7 +322,7 @@ func (j *Journal) WriteTrace(w io.Writer) error {
 		}
 	}
 	// Thread-name metadata makes the tracks readable in the viewer.
-	meta := make([]traceEvent, 0, len(order)+1)
+	meta = make([]traceEvent, 0, len(order)+1)
 	meta = append(meta, traceEvent{
 		Name: "process_name", Ph: "M", PID: 1,
 		Args: map[string]any{"name": "powerstack"},
@@ -300,11 +333,16 @@ func (j *Journal) WriteTrace(w io.Writer) error {
 			Args: map[string]any{"name": track},
 		})
 	}
+	return meta, out
+}
 
+// writeTraceDoc wraps trace events in the Chrome JSON Object Format
+// envelope that chrome://tracing and Perfetto load directly.
+func writeTraceDoc(w io.Writer, events []traceEvent) error {
 	doc := struct {
 		TraceEvents     []traceEvent `json:"traceEvents"`
 		DisplayTimeUnit string       `json:"displayTimeUnit"`
-	}{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"}
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(doc); err != nil {

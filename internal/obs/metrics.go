@@ -85,7 +85,108 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
-// Default bucket layouts for the stack's two dominant quantities.
+// Bounds returns the bucket upper bounds (shared slice; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Merge adds every bucket, the sum, and the count of o into h. Campaign
+// shards record into per-shard registries and merge into the campaign
+// registry when the scenario completes; merging is lock-free on both sides
+// (atomic loads of o, atomic adds into h), so a racing Observe is never
+// lost — it lands in whichever snapshot sees it. Histograms with different
+// bucket layouts cannot be combined; Merge reports false and leaves h
+// untouched.
+func (h *Histogram) Merge(o *Histogram) bool {
+	if o == nil {
+		return true
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return false
+	}
+	for i, b := range h.bounds {
+		if b != o.bounds[i] {
+			return false
+		}
+	}
+	for i := range o.counts {
+		if v := o.counts[i].Load(); v > 0 {
+			h.counts[i].Add(v)
+		}
+	}
+	h.sum.Add(o.Sum())
+	h.count.Add(o.Count())
+	return true
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bucket, the same estimate PromQL's
+// histogram_quantile computes. Returns NaN for an empty histogram; samples
+// landing in the +Inf bucket report the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, bound := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (bound-lower)*frac
+		}
+		cum += n
+	}
+	// Rank falls in the +Inf bucket: the best bounded estimate is the
+	// largest finite bound (or NaN when the histogram has no bounds).
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LogBuckets returns logarithmically spaced bucket upper bounds from min to
+// max (inclusive) with perDecade bounds per factor of ten. Log spacing keeps
+// relative error constant across the many orders of magnitude the stack's
+// latencies span (microsecond cache hits to multi-second characterizations)
+// at a fraction of the buckets a linear layout would need at 100k-node
+// scale. Bounds are rounded to three significant figures so the exposition
+// stays readable.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		return nil
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for v := min; v < max*(1-1e-12); v *= ratio {
+		out = append(out, round3(v))
+	}
+	out = append(out, round3(max))
+	return out
+}
+
+func round3(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	exp := math.Floor(math.Log10(math.Abs(v)))
+	scale := math.Pow(10, exp-2)
+	return math.Round(v/scale) * scale
+}
+
+// Default bucket layouts for the stack's dominant quantities.
 var (
 	// SecondsBuckets spans BSP iteration times (tens of milliseconds to
 	// seconds of simulated time) and sim cell wall times.
@@ -93,6 +194,18 @@ var (
 	// WattsBuckets spans per-node power limits on the simulated Broadwell
 	// parts (settable range roughly 100-480 W per dual-socket node).
 	WattsBuckets = []float64{80, 100, 120, 140, 160, 180, 200, 220, 240, 280, 320, 400, 480}
+	// LatencySecondsBuckets spans wall-clock control-path latencies: replan
+	// rounds, cap-write paths, and characterization-cache lookups run from
+	// microseconds (cache hit) to seconds (full two-pass characterization).
+	LatencySecondsBuckets = LogBuckets(1e-6, 10, 3)
+	// VirtualSecondsBuckets spans virtual-clock durations — job waits and
+	// turnarounds on the simulated timeline, from one second to ~12 days.
+	VirtualSecondsBuckets = LogBuckets(1, 1e6, 3)
+	// GrantWattsBuckets spans per-job grant sizes, which range from a single
+	// node's floor to a facility-scale budget.
+	GrantWattsBuckets = LogBuckets(50, 100000, 4)
+	// RetryBuckets counts small discrete retry totals per cap-write.
+	RetryBuckets = []float64{0, 1, 2, 3, 5, 8}
 )
 
 type metricKind uint8
@@ -241,9 +354,107 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	return h
 }
 
+// Merge folds every series of o into r: counters add, gauges take o's
+// value, histograms bucket-merge (creating the series with o's bucket
+// layout on first sight). Campaign shard aggregation merges per-scenario
+// registries into the campaign-wide one. Series whose kind conflicts with
+// an existing series in r are skipped, mirroring the detached-instrument
+// policy of the getters.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil {
+		return
+	}
+	o.mu.RLock()
+	theirs := make(map[string]*series, len(o.series))
+	for k, s := range o.series {
+		theirs[k] = s
+	}
+	o.mu.RUnlock()
+	for key, os := range theirs {
+		r.mu.Lock()
+		s := r.series[key]
+		if s == nil {
+			s = &series{name: os.name, labels: os.labels, kind: os.kind}
+			switch os.kind {
+			case kindCounter:
+				s.c = &Counter{}
+			case kindGauge:
+				s.g = &Gauge{}
+			case kindHistogram:
+				bounds := append([]float64(nil), os.h.bounds...)
+				s.h = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+			}
+			r.series[key] = s
+		}
+		r.mu.Unlock()
+		if s.kind != os.kind {
+			continue
+		}
+		switch os.kind {
+		case kindCounter:
+			s.c.Add(os.c.Value())
+		case kindGauge:
+			s.g.Set(os.g.Value())
+		case kindHistogram:
+			s.h.Merge(os.h)
+		}
+	}
+}
+
+// metricHelp maps each metric family exported by the typed helpers to its
+// HELP line. WritePrometheus falls back to a generic line for families
+// registered outside the helper vocabulary.
+var metricHelp = map[string]string{
+	MetricGrants:            "Resource-manager grants issued to jobs.",
+	MetricGrantWatts:        "Latest granted budget per job in watts.",
+	MetricRegrants:          "Renegotiated budgets accepted by job runtimes.",
+	MetricIterations:        "Bulk-synchronous iterations completed.",
+	MetricIterationSeconds:  "Distribution of BSP iteration times in seconds.",
+	MetricReallocs:          "Within-job per-host limit redistributions.",
+	MetricReallocWatts:      "Watts moved by within-job redistributions.",
+	MetricLimitWrites:       "Node-level RAPL power-limit writes.",
+	MetricLimitWatts:        "Distribution of programmed node power limits in watts.",
+	MetricMSRWrites:         "Raw MSR PL1 register writes.",
+	MetricEnergyWraps:       "32-bit RAPL energy-counter wraparounds.",
+	MetricFreqPins:          "P-state ceiling requests.",
+	MetricPowerWatts:        "Latest sampled power per telemetry domain in watts.",
+	MetricViolations:        "Watchdog budget violations detected.",
+	MetricClamps:            "Watchdog limit clamps applied.",
+	MetricCells:             "Sim evaluation cells completed.",
+	MetricCellSeconds:       "Distribution of sim cell wall times in seconds.",
+	MetricFaults:            "Fault-plan injections armed or fired.",
+	MetricQuarantines:       "Nodes moved to the drain set.",
+	MetricRejoins:           "Repaired nodes returned to service.",
+	MetricFallbacks:         "StaticCaps fallbacks for uncharacterized jobs.",
+	MetricCapRetries:        "Retried power-limit writes.",
+	MetricRequestHolds:      "Coordinator grant holds for missing requests.",
+	MetricTelemetryHolds:    "Telemetry samples held through dropouts.",
+	MetricRequeues:          "Jobs requeued after losing a node.",
+	MetricEngineEvents:      "Discrete-event engine dispatches.",
+	MetricCampaignScenarios: "Campaign scenarios completed.",
+	MetricCharzCacheHits:    "Characterization-cache lookups served from a stored entry.",
+	MetricCharzCacheMisses:  "Characterization-cache lookups that ran the two-pass characterization.",
+	MetricReplanSeconds:     "Distribution of facility replan-round wall latency in seconds.",
+	MetricGrantSizeWatts:    "Distribution of grant sizes in watts.",
+	MetricJobWaitSeconds:    "Distribution of job queue-wait times in virtual seconds.",
+	MetricJobTurnaround:     "Distribution of job turnaround times in virtual seconds.",
+	MetricCapRetryCount:     "Distribution of retries needed per cap write.",
+	MetricCacheLookupTime:   "Distribution of characterization-cache lookup wall latency in seconds.",
+	MetricStreamClients:     "Live streaming clients currently subscribed.",
+	MetricStreamDropped:     "Streaming clients dropped for not keeping up.",
+	MetricSpans:             "Tracing spans completed.",
+}
+
+func helpFor(name string) string {
+	if h, ok := metricHelp[name]; ok {
+		return h
+	}
+	return "powerstack metric " + name + "."
+}
+
 // WritePrometheus renders every series in the Prometheus text exposition
-// format (v0.0.4), grouped by family with one TYPE comment each, sorted by
-// name for deterministic output.
+// format (v0.0.4), grouped by family with one HELP and one TYPE comment
+// each, sorted by name for deterministic output.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	all := make([]*series, 0, len(r.series))
@@ -267,6 +478,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				kind = "gauge"
 			case kindHistogram:
 				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, helpFor(s.name)); err != nil {
+				return err
 			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, kind); err != nil {
 				return err

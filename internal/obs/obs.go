@@ -86,33 +86,98 @@ const (
 	// MetricCharzCacheMisses counts characterization-cache lookups that
 	// had to run the two-pass characterization.
 	MetricCharzCacheMisses = "powerstack_charz_cache_misses_total"
+	// MetricReplanSeconds is the wall-latency histogram of facility replan
+	// rounds (plan + apply).
+	MetricReplanSeconds = "powerstack_replan_seconds"
+	// MetricGrantSizeWatts is the histogram of grant sizes, labeled job.
+	MetricGrantSizeWatts = "powerstack_grant_size_watts"
+	// MetricJobWaitSeconds is the histogram of job queue waits in virtual
+	// seconds (submission to dispatch on the simulated timeline).
+	MetricJobWaitSeconds = "powerstack_job_wait_seconds"
+	// MetricJobTurnaround is the histogram of job turnaround in virtual
+	// seconds (submission to completion).
+	MetricJobTurnaround = "powerstack_job_turnaround_seconds"
+	// MetricCapRetryCount is the histogram of retries needed per cap write.
+	MetricCapRetryCount = "powerstack_cap_write_retry_count"
+	// MetricCacheLookupTime is the wall-latency histogram of
+	// characterization-cache lookups, labeled result (hit or miss).
+	MetricCacheLookupTime = "powerstack_charz_cache_lookup_seconds"
+	// MetricStreamClients gauges the live SSE subscribers.
+	MetricStreamClients = "powerstack_stream_clients"
+	// MetricStreamDropped counts streaming clients dropped for falling
+	// behind their bounded buffer.
+	MetricStreamDropped = "powerstack_stream_clients_dropped_total"
+	// MetricSpans counts completed tracing spans, labeled name.
+	MetricSpans = "powerstack_spans_total"
 )
 
-// Sink bundles the metrics registry and the event journal. The zero value
-// of *Sink (nil) is a valid, free-to-call sink that records nothing.
+// Sink bundles the metrics registry, the event journal, the span log, and
+// the live-stream broadcaster. The zero value of *Sink (nil) is a valid,
+// free-to-call sink that records nothing.
 type Sink struct {
 	Metrics *Registry
 	Journal *Journal
+	Spans   *SpanLog
+	Stream  *Broadcaster
+
+	// vnow, when set, reads the owning engine's virtual clock so every
+	// event and span carries its simulated timestamp alongside wall time.
+	// It is per-derived-sink (WithVClock), never shared mutable state, so
+	// campaign workers recording through one base sink stay race-free.
+	vnow func() time.Duration
 }
 
-// New returns a sink with a fresh registry and a default-capacity journal.
+// New returns a sink with a fresh registry, default-capacity journal, span
+// log, and stream broadcaster.
 func New() *Sink { return NewWithCapacity(0) }
 
 // NewWithCapacity returns a sink whose journal holds at most journalCap
 // events (non-positive selects DefaultJournalCapacity).
 func NewWithCapacity(journalCap int) *Sink {
-	return &Sink{Metrics: NewRegistry(), Journal: NewJournal(journalCap)}
+	j := NewJournal(journalCap)
+	return &Sink{
+		Metrics: NewRegistry(),
+		Journal: j,
+		Spans:   NewSpanLog(0, j.start),
+		Stream:  NewBroadcaster(),
+	}
+}
+
+// WithVClock returns a sink that shares s's registry, journal, spans, and
+// stream but stamps events and spans with the given virtual clock. The
+// engine advances its clock before dispatching handlers, so passing
+// engine.Scheduler.Now yields the correct virtual time for everything
+// recorded inside handlers. A nil sink derives a nil sink.
+func (s *Sink) WithVClock(now func() time.Duration) *Sink {
+	if s == nil {
+		return nil
+	}
+	d := *s
+	d.vnow = now
+	return &d
 }
 
 // Enabled reports whether the sink records anything.
 func (s *Sink) Enabled() bool { return s != nil }
 
-// Record appends a raw event to the journal.
+// record is the single write path for journal events: it stamps the
+// virtual timestamp when a virtual clock is attached, commits the event to
+// the journal, and republishes the stamped record to live stream
+// subscribers. Callers hold no locks.
+func (s *Sink) record(e Event) {
+	if s.vnow != nil {
+		e.VTime = s.vnow()
+	}
+	e = s.Journal.recordStamped(e)
+	s.Stream.publish(e)
+}
+
+// Record appends a raw event to the journal (and the live stream).
 func (s *Sink) Record(e Event) {
 	if s == nil {
 		return
 	}
-	s.Journal.Record(e)
+	s.record(e)
 }
 
 // WritePrometheus renders the metrics snapshot.
@@ -123,13 +188,34 @@ func (s *Sink) WritePrometheus(w io.Writer) error {
 	return s.Metrics.WritePrometheus(w)
 }
 
-// WriteTrace renders the journal as Chrome trace JSON.
+// WriteTrace renders the journal and the span log as one Chrome trace JSON
+// document: journal events as instants and counters on pid 1, spans as
+// nested complete slices on pid 2.
 func (s *Sink) WriteTrace(w io.Writer) error {
-	if s == nil || s.Journal == nil {
+	if s == nil || (s.Journal == nil && s.Spans == nil) {
 		_, err := w.Write([]byte(`{"traceEvents":[]}` + "\n"))
 		return err
 	}
-	return s.Journal.WriteTrace(w)
+	var all []traceEvent
+	if s.Journal != nil {
+		meta, out := journalTraceEvents(s.Journal.Snapshot())
+		all = append(append(all, meta...), out...)
+	}
+	if s.Spans != nil {
+		if spans := s.Spans.Snapshot(); len(spans) > 0 {
+			meta, out := spanTraceEvents(spans)
+			all = append(append(all, meta...), out...)
+		}
+	}
+	return writeTraceDoc(w, all)
+}
+
+// WriteSpans renders the completed spans as JSON Lines.
+func (s *Sink) WriteSpans(w io.Writer) error {
+	if s == nil || s.Spans == nil {
+		return nil
+	}
+	return s.Spans.WriteJSONL(w)
 }
 
 // Grant records a resource-manager grant of watts to a job at a protocol
@@ -140,7 +226,8 @@ func (s *Sink) Grant(job string, round int, watts float64) {
 	}
 	s.Metrics.Counter(MetricGrants, "job", job).Inc()
 	s.Metrics.Gauge(MetricGrantWatts, "job", job).Set(watts)
-	s.Journal.Record(Event{Type: EvGrant, Layer: "coordinator", Scope: job, Iter: round, Value: watts})
+	s.Metrics.Histogram(MetricGrantSizeWatts, GrantWattsBuckets).Observe(watts)
+	s.record(Event{Type: EvGrant, Layer: "coordinator", Scope: job, Iter: round, Value: watts})
 }
 
 // Regrant records a job runtime accepting a renegotiated budget.
@@ -149,7 +236,7 @@ func (s *Sink) Regrant(job string, round int, watts float64) {
 		return
 	}
 	s.Metrics.Counter(MetricRegrants, "job", job).Inc()
-	s.Journal.Record(Event{Type: EvRegrant, Layer: "coordinator", Scope: job, Iter: round, Value: watts})
+	s.record(Event{Type: EvRegrant, Layer: "coordinator", Scope: job, Iter: round, Value: watts})
 }
 
 // Epoch records one bulk-synchronous iteration of a job completing its
@@ -160,7 +247,7 @@ func (s *Sink) Epoch(layer, job string, iter int, seconds float64) {
 	}
 	s.Metrics.Counter(MetricIterations, "layer", layer, "job", job).Inc()
 	s.Metrics.Histogram(MetricIterationSeconds, SecondsBuckets, "layer", layer).Observe(seconds)
-	s.Journal.Record(Event{Type: EvEpoch, Layer: layer, Scope: job, Iter: iter, Value: seconds})
+	s.record(Event{Type: EvEpoch, Layer: layer, Scope: job, Iter: iter, Value: seconds})
 }
 
 // Realloc records an agent redistributing movedWatts of per-host limits
@@ -171,7 +258,7 @@ func (s *Sink) Realloc(job string, iter int, movedWatts float64) {
 	}
 	s.Metrics.Counter(MetricReallocs, "job", job).Inc()
 	s.Metrics.Counter(MetricReallocWatts, "job", job).Add(movedWatts)
-	s.Journal.Record(Event{Type: EvRealloc, Layer: "geopm", Scope: job, Iter: iter, Value: movedWatts})
+	s.record(Event{Type: EvRealloc, Layer: "geopm", Scope: job, Iter: iter, Value: movedWatts})
 }
 
 // LimitWrite records a node-level power-limit write of watts.
@@ -181,7 +268,7 @@ func (s *Sink) LimitWrite(host string, watts float64) {
 	}
 	s.Metrics.Counter(MetricLimitWrites).Inc()
 	s.Metrics.Histogram(MetricLimitWatts, WattsBuckets).Observe(watts)
-	s.Journal.Record(Event{Type: EvLimitWrite, Layer: "node", Host: host, Value: watts})
+	s.record(Event{Type: EvLimitWrite, Layer: "node", Host: host, Value: watts})
 }
 
 // MSRWrite counts one raw PL1 register write on a socket device.
@@ -199,7 +286,7 @@ func (s *Sink) EnergyWrap(domain, host string) {
 		return
 	}
 	s.Metrics.Counter(MetricEnergyWraps, "domain", domain).Inc()
-	s.Journal.Record(Event{Type: EvEnergyWrap, Layer: "rapl", Scope: domain, Host: host})
+	s.record(Event{Type: EvEnergyWrap, Layer: "rapl", Scope: domain, Host: host})
 }
 
 // FreqPin records a P-state ceiling request of hz on a host (0 clears).
@@ -208,7 +295,7 @@ func (s *Sink) FreqPin(host string, hz float64) {
 		return
 	}
 	s.Metrics.Counter(MetricFreqPins).Inc()
-	s.Journal.Record(Event{Type: EvFreqPin, Layer: "node", Host: host, Value: hz})
+	s.record(Event{Type: EvFreqPin, Layer: "node", Host: host, Value: hz})
 }
 
 // PowerSample records the latest sampled power of a telemetry domain.
@@ -226,7 +313,7 @@ func (s *Sink) Violation(domain string, observedWatts, budgetWatts float64) {
 		return
 	}
 	s.Metrics.Counter(MetricViolations, "domain", domain).Inc()
-	s.Journal.Record(Event{Type: EvViolation, Layer: "telemetry", Scope: domain, Value: observedWatts, Aux: budgetWatts})
+	s.record(Event{Type: EvViolation, Layer: "telemetry", Scope: domain, Value: observedWatts, Aux: budgetWatts})
 }
 
 // Clamp records the watchdog cutting a leaf's limit from fromWatts to
@@ -236,7 +323,7 @@ func (s *Sink) Clamp(host string, fromWatts, toWatts float64) {
 		return
 	}
 	s.Metrics.Counter(MetricClamps).Inc()
-	s.Journal.Record(Event{Type: EvClamp, Layer: "telemetry", Host: host, Value: toWatts, Aux: fromWatts})
+	s.record(Event{Type: EvClamp, Layer: "telemetry", Host: host, Value: toWatts, Aux: fromWatts})
 }
 
 // FaultInjected records one fault-plan injection arming or firing: kind is
@@ -247,7 +334,7 @@ func (s *Sink) FaultInjected(kind, host, scope string, value float64) {
 		return
 	}
 	s.Metrics.Counter(MetricFaults, "kind", kind).Inc()
-	s.Journal.Record(Event{Type: EvFaultInjected, Layer: "fault", Scope: scope + kindSep + kind, Host: host, Value: value})
+	s.record(Event{Type: EvFaultInjected, Layer: "fault", Scope: scope + kindSep + kind, Host: host, Value: value})
 }
 
 // kindSep joins the fault scope and kind inside one Scope field so the
@@ -261,7 +348,7 @@ func (s *Sink) PolicyFallback(job, reason string) {
 		return
 	}
 	s.Metrics.Counter(MetricFallbacks, "reason", reason).Inc()
-	s.Journal.Record(Event{Type: EvPolicyFallback, Layer: "rm", Scope: job + kindSep + reason})
+	s.record(Event{Type: EvPolicyFallback, Layer: "rm", Scope: job + kindSep + reason})
 }
 
 // Quarantine records a node moving to the drain set for the given reason
@@ -271,7 +358,7 @@ func (s *Sink) Quarantine(host, reason string) {
 		return
 	}
 	s.Metrics.Counter(MetricQuarantines, "reason", reason).Inc()
-	s.Journal.Record(Event{Type: EvNodeQuarantined, Layer: "rm", Scope: reason, Host: host})
+	s.record(Event{Type: EvNodeQuarantined, Layer: "rm", Scope: reason, Host: host})
 }
 
 // Rejoin records a repaired node returning to the free pool.
@@ -280,7 +367,7 @@ func (s *Sink) Rejoin(host string) {
 		return
 	}
 	s.Metrics.Counter(MetricRejoins).Inc()
-	s.Journal.Record(Event{Type: EvNodeRejoined, Layer: "rm", Host: host})
+	s.record(Event{Type: EvNodeRejoined, Layer: "rm", Host: host})
 }
 
 // CapRetry records one retry of a failed power-limit write: the watts being
@@ -290,7 +377,7 @@ func (s *Sink) CapRetry(host string, watts float64, attempt int) {
 		return
 	}
 	s.Metrics.Counter(MetricCapRetries).Inc()
-	s.Journal.Record(Event{Type: EvCapRetry, Layer: "rm", Host: host, Iter: attempt, Value: watts})
+	s.record(Event{Type: EvCapRetry, Layer: "rm", Host: host, Iter: attempt, Value: watts})
 }
 
 // RequestHold records the coordinator holding a job's previous grant through
@@ -306,7 +393,7 @@ func (s *Sink) RequestHold(job string, round int, watts float64, misses int, red
 	if redistributed {
 		aux = -aux
 	}
-	s.Journal.Record(Event{Type: EvRequestHold, Layer: "coordinator", Scope: job, Iter: round, Value: watts, Aux: aux})
+	s.record(Event{Type: EvRequestHold, Layer: "coordinator", Scope: job, Iter: round, Value: watts, Aux: aux})
 }
 
 // TelemetryHold records a telemetry leaf holding its last known power
@@ -316,7 +403,7 @@ func (s *Sink) TelemetryHold(host string, heldWatts float64) {
 		return
 	}
 	s.Metrics.Counter(MetricTelemetryHolds).Inc()
-	s.Journal.Record(Event{Type: EvTelemetryHold, Layer: "telemetry", Host: host, Value: heldWatts})
+	s.record(Event{Type: EvTelemetryHold, Layer: "telemetry", Host: host, Value: heldWatts})
 }
 
 // JobRequeued records the facility returning a job to the scheduler queue
@@ -326,7 +413,7 @@ func (s *Sink) JobRequeued(job string, remaining int) {
 		return
 	}
 	s.Metrics.Counter(MetricRequeues).Inc()
-	s.Journal.Record(Event{Type: EvJobRequeued, Layer: "facility", Scope: job, Value: float64(remaining)})
+	s.record(Event{Type: EvJobRequeued, Layer: "facility", Scope: job, Value: float64(remaining)})
 }
 
 // EngineDispatch records the discrete-event engine dispatching one event of
@@ -338,7 +425,7 @@ func (s *Sink) EngineDispatch(kind string, at time.Duration) {
 		return
 	}
 	s.Metrics.Counter(MetricEngineEvents, "kind", kind).Inc()
-	s.Journal.Record(Event{Type: EvEngineDispatch, Layer: "engine", Scope: kind, Value: at.Seconds()})
+	s.record(Event{Type: EvEngineDispatch, Layer: "engine", Scope: kind, Value: at.Seconds()})
 }
 
 // CampaignShardStart marks a campaign worker picking up scenario in the
@@ -347,7 +434,7 @@ func (s *Sink) CampaignShardStart(policy string, scenario, worker int) {
 	if s == nil {
 		return
 	}
-	s.Journal.Record(Event{Type: EvCampaignShard, Layer: "campaign", Scope: policy, Iter: scenario, Aux: float64(worker)})
+	s.record(Event{Type: EvCampaignShard, Layer: "campaign", Scope: policy, Iter: scenario, Aux: float64(worker)})
 }
 
 // CampaignShardDone marks a campaign worker finishing a scenario after
@@ -357,23 +444,57 @@ func (s *Sink) CampaignShardDone(policy string, scenario, worker int, seconds fl
 		return
 	}
 	s.Metrics.Counter(MetricCampaignScenarios, "policy", policy).Inc()
-	s.Journal.Record(Event{Type: EvCampaignShard, Layer: "campaign", Scope: policy, Iter: scenario, Value: seconds, Aux: float64(worker)})
+	s.record(Event{Type: EvCampaignShard, Layer: "campaign", Scope: policy, Iter: scenario, Value: seconds, Aux: float64(worker)})
 }
 
 // CacheLookup records a characterization-cache lookup outcome for the
-// given key.
-func (s *Sink) CacheLookup(key string, hit bool) {
+// given key: whether it hit a stored entry and how long the lookup took
+// in wall seconds (zero when the caller did not time it).
+func (s *Sink) CacheLookup(key string, hit bool, seconds float64) {
 	if s == nil {
 		return
 	}
 	v := 0.0
 	metric := MetricCharzCacheMisses
+	result := "miss"
 	if hit {
 		v = 1
 		metric = MetricCharzCacheHits
+		result = "hit"
 	}
 	s.Metrics.Counter(metric).Inc()
-	s.Journal.Record(Event{Type: EvCacheLookup, Layer: "charz", Scope: key, Value: v})
+	s.Metrics.Histogram(MetricCacheLookupTime, LatencySecondsBuckets, "result", result).Observe(seconds)
+	s.record(Event{Type: EvCacheLookup, Layer: "charz", Scope: key, Value: v, Aux: seconds})
+}
+
+// ReplanLatency records one facility replan round: the number of running
+// jobs it covered and the wall seconds plan+apply took.
+func (s *Sink) ReplanLatency(jobs int, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Histogram(MetricReplanSeconds, LatencySecondsBuckets).Observe(seconds)
+	s.record(Event{Type: EvReplan, Layer: "facility", Iter: jobs, Value: seconds})
+}
+
+// JobFinished records a job completing: its queue wait and turnaround in
+// virtual seconds on the simulated timeline.
+func (s *Sink) JobFinished(job string, waitSeconds, turnaroundSeconds float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Histogram(MetricJobWaitSeconds, VirtualSecondsBuckets).Observe(waitSeconds)
+	s.Metrics.Histogram(MetricJobTurnaround, VirtualSecondsBuckets).Observe(turnaroundSeconds)
+	s.record(Event{Type: EvJobDone, Layer: "facility", Scope: job, Value: turnaroundSeconds, Aux: waitSeconds})
+}
+
+// CapWriteRetries records how many retries one node-level cap write needed
+// before succeeding or giving up (0 = first write stuck).
+func (s *Sink) CapWriteRetries(host string, retries int) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Histogram(MetricCapRetryCount, RetryBuckets).Observe(float64(retries))
 }
 
 // CellStart marks a sim evaluation cell beginning.
@@ -381,7 +502,7 @@ func (s *Sink) CellStart(mix, policy, budget string) {
 	if s == nil {
 		return
 	}
-	s.Journal.Record(Event{Type: EvCell, Layer: "sim", Scope: mix + "/" + budget + "/" + policy})
+	s.record(Event{Type: EvCell, Layer: "sim", Scope: mix + "/" + budget + "/" + policy})
 }
 
 // CellDone marks a sim evaluation cell finishing after seconds of wall
@@ -392,5 +513,5 @@ func (s *Sink) CellDone(mix, policy, budget string, seconds float64) {
 	}
 	s.Metrics.Counter(MetricCells, "policy", policy).Inc()
 	s.Metrics.Histogram(MetricCellSeconds, SecondsBuckets).Observe(seconds)
-	s.Journal.Record(Event{Type: EvCell, Layer: "sim", Scope: mix + "/" + budget + "/" + policy, Value: seconds})
+	s.record(Event{Type: EvCell, Layer: "sim", Scope: mix + "/" + budget + "/" + policy, Value: seconds})
 }

@@ -1,19 +1,26 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 )
 
 // NewMux returns the debug HTTP handler for a sink:
 //
-//	/metrics        Prometheus text exposition
-//	/events         retained decision events as JSON
-//	/trace          Chrome trace_event JSON (open in Perfetto)
-//	/debug/pprof/*  the standard runtime profiles
+//	/metrics         Prometheus text exposition
+//	/events          retained decision events as JSON
+//	/trace           Chrome trace_event JSON (open in Perfetto)
+//	/spans           completed spans as JSON Lines
+//	/stream/events   live decision events over SSE (?buffer= per-client cap)
+//	/stream/metrics  periodic metrics snapshots over SSE (?interval=)
+//	/healthz         readiness probe with stream/journal stats
+//	/debug/pprof/*   the standard runtime profiles
 //
 // The mux is exposed separately from Serve so tests and embedders can mount
 // it on their own servers.
@@ -42,12 +49,45 @@ func NewMux(s *Sink) *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := s.WriteSpans(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stream/events", func(w http.ResponseWriter, r *http.Request) {
+		streamEvents(w, r, s)
+	})
+	mux.HandleFunc("/stream/metrics", func(w http.ResponseWriter, r *http.Request) {
+		streamMetrics(w, r, s)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := struct {
+			Status         string `json:"status"`
+			Streaming      bool   `json:"streaming"`
+			StreamClients  int    `json:"stream_clients"`
+			ClientsDropped uint64 `json:"stream_clients_dropped"`
+			EventsTotal    uint64 `json:"events_total"`
+			EventsDropped  uint64 `json:"events_dropped"`
+			SpansTotal     uint64 `json:"spans_total"`
+		}{Status: "ok"}
+		if s != nil {
+			st.Streaming = s.Stream != nil
+			st.StreamClients = s.Stream.Clients()
+			st.ClientsDropped = s.Stream.DroppedClients()
+			st.EventsTotal = s.Journal.Total()
+			st.EventsDropped = s.Journal.Dropped()
+			st.SpansTotal = s.Spans.Total()
+		}
+		json.NewEncoder(w).Encode(st) //nolint:errcheck // best-effort probe
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "powerstack debug server\n\n/metrics\n/events\n/trace\n/debug/pprof/\n")
+		fmt.Fprint(w, "powerstack debug server\n\n/metrics\n/events\n/trace\n/spans\n/stream/events\n/stream/metrics\n/healthz\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -55,6 +95,118 @@ func NewMux(s *Sink) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// streamEvents serves the live decision-event feed as Server-Sent Events.
+// Each journal event becomes one `data: {json}` frame. The per-client
+// buffer is bounded (?buffer=, default DefaultStreamBuffer, max 65536); a
+// client that cannot drain its buffer is dropped by the broadcaster —
+// recorders never block — and receives a final `event: dropped` frame.
+func streamEvents(w http.ResponseWriter, r *http.Request, s *Sink) {
+	if s == nil || s.Stream == nil {
+		http.Error(w, "streaming disabled: no sink", http.StatusServiceUnavailable)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	buf := DefaultStreamBuffer
+	if v := r.URL.Query().Get("buffer"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			buf = min(n, 1<<16)
+		}
+	}
+	sub := s.Stream.Subscribe(buf)
+	defer sub.Close()
+	clients := s.Metrics.Gauge(MetricStreamClients)
+	clients.Add(1)
+	defer clients.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	// The hello frame commits the headers and gives smoke tests a first
+	// frame to assert on before any event traffic arrives.
+	fmt.Fprintf(w, "event: hello\ndata: {\"buffer\":%d}\n\n", buf)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, ok := <-sub.C():
+			if !ok {
+				// The broadcaster dropped this client for falling behind.
+				s.Metrics.Counter(MetricStreamDropped).Inc()
+				fmt.Fprint(w, "event: dropped\ndata: {\"reason\":\"slow client\"}\n\n")
+				fl.Flush()
+				return
+			}
+			b, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "data: %s\n\n", b)
+			fl.Flush()
+		}
+	}
+}
+
+// streamMetrics serves periodic Prometheus snapshots as Server-Sent
+// Events: one multi-line `data:` frame per interval (?interval=, default
+// 2s, floor 50ms), starting with an immediate snapshot.
+func streamMetrics(w http.ResponseWriter, r *http.Request, s *Sink) {
+	if s == nil || s.Metrics == nil {
+		http.Error(w, "streaming disabled: no sink", http.StatusServiceUnavailable)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	interval := 2 * time.Second
+	if v := r.URL.Query().Get("interval"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			interval = max(d, 50*time.Millisecond)
+		}
+	}
+	clients := s.Metrics.Gauge(MetricStreamClients)
+	clients.Add(1)
+	defer clients.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	writeSnapshot := func() {
+		var b strings.Builder
+		if err := s.WritePrometheus(&b); err != nil {
+			return
+		}
+		// SSE multi-line payloads need a data: prefix per line.
+		for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+			fmt.Fprintf(w, "data: %s\n", line)
+		}
+		fmt.Fprint(w, "\n")
+		fl.Flush()
+	}
+	writeSnapshot()
+
+	ctx := r.Context()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			writeSnapshot()
+		}
+	}
 }
 
 // Server is a running debug HTTP server.

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Broadcaster fans journal events out to live stream subscribers — the
+// substrate under the debug server's /stream/events endpoint and the first
+// slice of powerstackd's streaming API.
+//
+// The design constraint is that recorders must never block or slow down on
+// slow consumers: publish is a non-blocking channel send per subscriber,
+// and a subscriber whose bounded buffer is full is dropped on the spot (its
+// channel closed, the drop counted). With no subscribers, publish is one
+// atomic load — the simulation hot path pays nothing for having streaming
+// compiled in.
+type Broadcaster struct {
+	mu      sync.Mutex
+	subs    map[*Subscriber]struct{}
+	n       atomic.Int32
+	dropped atomic.Uint64
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: map[*Subscriber]struct{}{}}
+}
+
+// Subscriber is one live event stream with a bounded buffer. Its channel is
+// closed by the broadcaster when the subscriber falls behind — a receive
+// seeing a closed channel means "you were dropped".
+type Subscriber struct {
+	b  *Broadcaster
+	ch chan Event
+}
+
+// DefaultStreamBuffer bounds a subscriber when the caller passes no size.
+const DefaultStreamBuffer = 256
+
+// Subscribe registers a new subscriber whose buffer holds up to buf events
+// (non-positive selects DefaultStreamBuffer). Nil broadcasters return nil.
+func (b *Broadcaster) Subscribe(buf int) *Subscriber {
+	if b == nil {
+		return nil
+	}
+	if buf <= 0 {
+		buf = DefaultStreamBuffer
+	}
+	s := &Subscriber{b: b, ch: make(chan Event, buf)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	b.n.Add(1)
+	return s
+}
+
+// C returns the subscriber's event channel. The channel is closed when the
+// subscriber is dropped for falling behind; Close does not close it.
+func (s *Subscriber) C() <-chan Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Close unsubscribes. It does not close the channel — the broadcaster is
+// the sole closer, so publishers never send on a closed channel. Safe to
+// call after being dropped.
+func (s *Subscriber) Close() {
+	if s == nil || s.b == nil {
+		return
+	}
+	s.b.mu.Lock()
+	_, present := s.b.subs[s]
+	delete(s.b.subs, s)
+	s.b.mu.Unlock()
+	if present {
+		s.b.n.Add(-1)
+	}
+}
+
+// publish delivers e to every subscriber without blocking. A subscriber
+// whose buffer is full is dropped: removed from the set, its channel
+// closed, the drop counted. Nil broadcasters no-op.
+func (b *Broadcaster) publish(e Event) {
+	if b == nil || b.n.Load() == 0 {
+		return
+	}
+	b.mu.Lock()
+	for s := range b.subs {
+		select {
+		case s.ch <- e:
+		default:
+			delete(b.subs, s)
+			close(s.ch)
+			b.n.Add(-1)
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Clients returns the current subscriber count.
+func (b *Broadcaster) Clients() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.n.Load())
+}
+
+// DroppedClients returns how many subscribers were dropped for falling
+// behind over the broadcaster's lifetime.
+func (b *Broadcaster) DroppedClients() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped.Load()
+}

@@ -77,6 +77,11 @@ type Manager struct {
 	// RunAll's concurrent jobs.
 	Obs *obs.Sink
 
+	// SpanParent, when valid, parents the per-node cap-write spans Apply
+	// opens. The facility points it at the current replan-round span before
+	// each Plan/Apply pair and clears it after.
+	SpanParent obs.SpanContext
+
 	// Workers bounds how many jobs RunAll executes concurrently; zero or
 	// negative selects runtime.GOMAXPROCS(0). Callers that already fan
 	// out above the manager (the parallel evaluation grid) lower it to
@@ -195,7 +200,9 @@ func (m *Manager) Rejoin(id string) bool {
 }
 
 // setLimit programs one node's power limit with bounded retries, journaling
-// each retry. It returns the last error once the retry budget is spent.
+// each retry and recording how many retries the write needed in the
+// cap-write retry-count distribution. It returns the last error once the
+// retry budget is spent.
 func (m *Manager) setLimit(n *node.Node, watts units.Power) error {
 	retries := m.CapRetries
 	if retries == 0 {
@@ -210,9 +217,11 @@ func (m *Manager) setLimit(n *node.Node, watts units.Power) error {
 			m.Obs.CapRetry(n.ID, watts.Watts(), attempt)
 		}
 		if _, err = n.SetPowerLimit(watts); err == nil {
+			m.Obs.CapWriteRetries(n.ID, attempt)
 			return nil
 		}
 	}
+	m.Obs.CapWriteRetries(n.ID, retries)
 	return err
 }
 
@@ -365,13 +374,19 @@ func (m *Manager) Apply(alloc policy.Allocation) error {
 				// node's last limit without another retry storm.
 				continue
 			}
-			if err := m.setLimit(n, caps[i]); err == nil {
+			sp := m.Obs.StartSpan(m.SpanParent, "rm", "cap_write").
+				SetScope(sj.Spec.ID).SetHost(n.ID).SetValue(caps[i].Watts())
+			err := m.setLimit(n, caps[i])
+			if err == nil {
+				sp.End()
 				continue
 			}
 			m.quarantine(n, "cap_write")
 			if spare := m.takeSpare(caps[i]); spare != nil {
 				sj.Job.Hosts[i].Node = spare
+				sp.SetHost(spare.ID)
 			}
+			sp.End()
 		}
 	}
 	return nil

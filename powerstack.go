@@ -79,11 +79,21 @@ type (
 	Grid = sim.Grid
 	// MixResult is one mix's cells and savings.
 	MixResult = sim.MixResult
-	// Sink is the observability sink: a metrics registry plus a bounded
-	// decision-event journal. A nil *Sink is valid and free.
+	// Sink is the observability sink: a metrics registry, a bounded
+	// decision-event journal, a virtual-time span log, and a live-stream
+	// broadcaster. A nil *Sink is valid and free.
 	Sink = obs.Sink
 	// DebugServer is a running observability HTTP server.
 	DebugServer = obs.Server
+	// SpanContext names a tracing span so spans opened across layers link
+	// into one causal trace (campaign → scenario → facility run → replan →
+	// cap write).
+	SpanContext = obs.SpanContext
+	// Span is an in-flight tracing span handle; nil is valid and free.
+	Span = obs.Span
+	// FlightRecord is a self-contained per-scenario post-mortem artifact:
+	// config, seed, fault plan, metrics snapshot, journal tail, and spans.
+	FlightRecord = obs.FlightRecord
 	// FaultPlan is a deterministic, seed-reproducible set of fault
 	// injections (MSR faults, node crashes, slow nodes, telemetry
 	// dropouts, characterization corruption). Nil and empty plans inject
@@ -219,10 +229,18 @@ func (s *System) EnableObservability() *obs.Sink {
 
 // ServeDebug enables observability and starts the debug HTTP server on
 // addr, exposing /metrics (Prometheus text), /events (decision journal),
-// /trace (Chrome trace JSON), and /debug/pprof. Close the returned server
-// when done; use addr ":0" to pick a free port.
+// /trace (Chrome trace JSON of events and spans), /spans (JSONL span log),
+// /stream/events and /stream/metrics (live SSE feeds), /healthz, and
+// /debug/pprof. Close the returned server when done; use addr ":0" to pick
+// a free port.
 func (s *System) ServeDebug(addr string) (*obs.Server, error) {
 	return obs.Serve(addr, s.EnableObservability())
+}
+
+// ReadFlightRecord parses a flight-recorder artifact written by a campaign
+// with CampaignConfig.FlightDir set (see also cmd/obsdump flight).
+func ReadFlightRecord(path string) (*FlightRecord, error) {
+	return obs.ReadFlightFile(path)
 }
 
 // NewSystem builds a simulated Quartz-class system.
