@@ -15,10 +15,19 @@
 //	         [-policies all|StaticCaps,MixedAdaptive] [-parallel N]
 //	         [-cachefile charz.json] [-format json|csv] [-out report.json]
 //	         [-crashes N] [-msrfaults N] [-slownodes N] [-faultseed N]
+//	         [-shockat 2h] [-shockfrac 0.5] [-shockdur 1h]
+//	         [-emergencies preempt,throttle,kill] [-checkpoint K]
 //	         [-flightdir flights/]
 //
 // Chaos flags add a "chaos" fault lane next to the default "clean" lane, so
 // every policy is ranked under both.
+//
+// Shock flags add a "shock" budget-drop lane: at -shockat the facility
+// budget drops to -shockfrac of its value for -shockdur. Combined with
+// -emergencies (a sweep of the budget-emergency response), every response
+// runs the identical shock on the identical seeds, and the report's
+// emergency comparisons rank preempt vs throttle vs kill with seed-paired
+// t tests. -checkpoint sets the jobs' checkpoint cadence in iterations.
 //
 // -flightdir enables the flight recorder: every failed scenario, and every
 // successful one whose result looks anomalous (quarantines or requeues),
@@ -39,6 +48,7 @@ import (
 	"powerstack"
 	"powerstack/internal/kernel"
 	"powerstack/internal/units"
+	"powerstack/internal/workload"
 )
 
 func main() {
@@ -59,6 +69,11 @@ func main() {
 	msrFaults := flag.Int("msrfaults", 0, "chaos lane: nodes with injected MSR write faults")
 	slowNodes := flag.Int("slownodes", 0, "chaos lane: nodes degraded mid-run")
 	faultSeed := flag.Uint64("faultseed", 7, "seed of the generated chaos plan")
+	shockAt := flag.Duration("shockat", 0, "shock lane: budget-drop onset (0 disables the lane)")
+	shockFrac := flag.Float64("shockfrac", 0.5, "shock lane: fraction of the budget kept during the drop")
+	shockDur := flag.Duration("shockdur", 0, "shock lane: drop duration (0 = until the end of the run)")
+	emergencies := flag.String("emergencies", "", "comma-separated budget-emergency responses to sweep (e.g. preempt,throttle,kill)")
+	checkpoint := flag.Int("checkpoint", workload.CheckpointInterval(2000, 20000), "job checkpoint cadence in iterations (0 disables)")
 	flightDir := flag.String("flightdir", "", "write flight-recorder artifacts for failed/anomalous scenarios here")
 	flag.Parse()
 	ctx := context.Background()
@@ -134,12 +149,18 @@ func main() {
 			Workloads:        workloads,
 			Duration:         duration,
 			Tick:             time.Minute,
+			CheckpointEvery:  *checkpoint,
 		},
 		Interarrivals: ias,
 		Budgets:       buds,
 		Policies:      pols,
 		Parallelism:   *parallel,
 		FlightDir:     *flightDir,
+	}
+	if *emergencies != "" {
+		for _, name := range strings.Split(*emergencies, ",") {
+			cfg.Emergencies = append(cfg.Emergencies, powerstack.EmergencyPolicy(strings.TrimSpace(name)))
+		}
 	}
 	if *flightDir != "" {
 		// Flight artifacts capture the sink's metrics/journal/spans at the
@@ -164,10 +185,27 @@ func main() {
 		})
 		cfg.FaultPlans = []powerstack.CampaignFaultPlan{{Name: "clean"}, {Name: "chaos", Plan: plan}}
 	}
+	if *shockAt > 0 {
+		if len(cfg.FaultPlans) == 0 {
+			cfg.FaultPlans = []powerstack.CampaignFaultPlan{{Name: "clean"}}
+		}
+		cfg.FaultPlans = append(cfg.FaultPlans, powerstack.CampaignFaultPlan{
+			Name: "shock",
+			Plan: &powerstack.FaultPlan{Injections: []powerstack.FaultInjection{{
+				Kind:     powerstack.FaultBudgetDrop,
+				At:       *shockAt,
+				Duration: *shockDur,
+				Factor:   *shockFrac,
+			}}},
+		})
+	}
 
 	nScen := len(cfg.Seeds) * len(ias) * len(buds) * len(pols)
 	if len(cfg.FaultPlans) > 0 {
 		nScen *= len(cfg.FaultPlans)
+	}
+	if len(cfg.Emergencies) > 0 {
+		nScen *= len(cfg.Emergencies)
 	}
 	log.Printf("running %d scenarios over %d nodes (%v each)...", nScen, len(sys.Pool), duration)
 	start = time.Now()
@@ -217,6 +255,15 @@ func main() {
 			c.Policy, c.Baseline, c.Interarrival, c.Budget, c.Fault,
 			100*c.EnergyChange, mark(c.EnergySignificant, c.EnergyPairedSignificant),
 			100*c.QueueWaitChange, mark(c.QueueWaitSignificant, c.WaitPairedSignificant))
+	}
+	for _, e := range rep.EmergencyComparisons {
+		mark := ""
+		if e.CompletedPairedSignificant {
+			mark = " (significant paired)"
+		}
+		log.Printf("emergency %s vs %s [%s fault=%s]: completed %+.1f%%%s, energy %+.1f%%, preempted %.1f, killed %.1f",
+			e.Emergency, e.Baseline, e.Policy, e.Fault,
+			100*e.CompletedChange, mark, 100*e.EnergyChange, e.MeanPreempted, e.MeanKilled)
 	}
 }
 

@@ -12,6 +12,8 @@
 //
 //	facility [-nodes N] [-hours H] [-budget "50 kW"] [-policy MixedAdaptive]
 //	         [-interarrival 45s] [-seed N] [-engine event|tick] [-telemetry 5m]
+//	         [-budgetsteps "2h=8 kW,3h=12 kW"] [-emergency preempt|throttle|kill]
+//	         [-checkpoint K] [-budgetdrops N]
 //	         [-crashes N] [-msrfaults N] [-dropouts N] [-faultseed N]
 //	         [-metrics path] [-trace path] [-spans path] [-events path]
 //
@@ -20,6 +22,15 @@
 // telemetry samples; "tick" replays the fixed-step loop the event engine
 // is golden-tested against. -telemetry sets the sampling cadence (under
 // the tick engine it must be a multiple of the tick).
+//
+// -budgetsteps makes the system budget a timeline: comma-separated
+// "offset=power" pairs schedule budget changes at those offsets from run
+// start. -budgetdrops adds N randomized demand-response emergencies
+// (temporary fractional budget drops) to the generated fault plan.
+// -emergency picks the response when a drop strands running jobs above the
+// new budget — preempt at the last checkpoint (default), throttle
+// everyone, or kill — and -checkpoint sets the checkpoint cadence in
+// iterations (0 disables; preempted jobs then restart from scratch).
 //
 // The artifact flags enable observability and dump the run's telemetry:
 // -metrics writes a Prometheus snapshot, -trace a Chrome trace_event JSON
@@ -35,12 +46,14 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"powerstack"
 	"powerstack/internal/kernel"
 	"powerstack/internal/report"
 	"powerstack/internal/units"
+	"powerstack/internal/workload"
 )
 
 func main() {
@@ -54,6 +67,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	engineName := flag.String("engine", powerstack.FacilityEngineEvent, "simulation core: event or tick")
 	telemetry := flag.Duration("telemetry", 0, "telemetry sampling cadence (default: one sample per tick)")
+	budgetSteps := flag.String("budgetsteps", "", "scheduled budget timeline: comma-separated offset=power pairs (e.g. \"2h=8 kW,3h=12 kW\")")
+	emergency := flag.String("emergency", "", "budget-emergency response: preempt (default), throttle, or kill")
+	checkpoint := flag.Int("checkpoint", workload.CheckpointInterval(2000, 20000), "job checkpoint cadence in iterations (0 disables)")
+	budgetDrops := flag.Int("budgetdrops", 0, "randomized demand-response budget drops in the fault plan")
 	crashes := flag.Int("crashes", 0, "nodes to crash mid-run (half are repaired)")
 	msrFaults := flag.Int("msrfaults", 0, "nodes with injected MSR write faults")
 	dropouts := flag.Int("dropouts", 0, "nodes with injected telemetry dropouts")
@@ -100,7 +117,7 @@ func main() {
 	if dumping {
 		sys.EnableObservability()
 	}
-	if *crashes+*msrFaults+*dropouts > 0 {
+	if *crashes+*msrFaults+*dropouts+*budgetDrops > 0 {
 		var ids []string
 		for _, n := range sys.Pool {
 			ids = append(ids, n.ID)
@@ -111,17 +128,26 @@ func main() {
 			RepairFraction: 0.5,
 			MSRWriteFaults: *msrFaults,
 			Dropouts:       *dropouts,
+			BudgetDrops:    *budgetDrops,
 			Horizon:        duration,
 		})
-		log.Printf("fault plan: %d crashes, %d MSR write faults, %d telemetry dropouts (seed %d)",
-			*crashes, *msrFaults, *dropouts, *faultSeed)
+		log.Printf("fault plan: %d crashes, %d MSR write faults, %d telemetry dropouts, %d budget drops (seed %d)",
+			*crashes, *msrFaults, *dropouts, *budgetDrops, *faultSeed)
 		sys.EnableObservability()
+	}
+
+	steps, err := parseBudgetSteps(*budgetSteps)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := powerstack.FacilityConfig{
 		Engine:           *engineName,
 		Policy:           pol,
 		SystemBudget:     budget,
+		BudgetSteps:      steps,
+		Emergency:        powerstack.EmergencyPolicy(*emergency),
+		CheckpointEvery:  *checkpoint,
 		MeanInterarrival: *interarrival,
 		MinJobIterations: 2000,
 		MaxJobIterations: 20000,
@@ -178,12 +204,41 @@ func main() {
 		fmt.Printf("faults: %d nodes quarantined, %d rejoined, %d jobs requeued\n",
 			res.Quarantined, res.Rejoined, res.Requeued)
 	}
+	if res.BudgetChanges > 0 {
+		fmt.Printf("budget: %d changes, %d jobs preempted, %d killed, %d resumed from checkpoint, %d rejected\n",
+			res.BudgetChanges, res.Preempted, res.Killed, res.Resumed, res.Rejected)
+	}
 
 	if dumping {
 		if err := dumpArtifacts(sys.Obs, *metricsPath, *tracePath, *spansPath, *eventsPath); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// parseBudgetSteps parses a comma-separated "offset=power" timeline, e.g.
+// "2h=8 kW,3h=12 kW": at 2h the budget steps to 8 kW, at 3h back to 12 kW.
+func parseBudgetSteps(s string) ([]powerstack.BudgetStep, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []powerstack.BudgetStep
+	for _, part := range strings.Split(s, ",") {
+		at, power, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("budget step %q: want offset=power", part)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(at))
+		if err != nil {
+			return nil, fmt.Errorf("budget step %q: %w", part, err)
+		}
+		p, err := units.ParsePower(strings.TrimSpace(power))
+		if err != nil {
+			return nil, fmt.Errorf("budget step %q: %w", part, err)
+		}
+		out = append(out, powerstack.BudgetStep{At: d, Budget: p})
+	}
+	return out, nil
 }
 
 // dumpArtifacts writes the requested observability artifacts, treating "-"

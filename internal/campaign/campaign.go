@@ -1,6 +1,7 @@
 // Package campaign is the multi-run evaluation engine: it fans a scenario
-// matrix (seeds × interarrival rates × budgets × policies × fault plans)
-// of facility simulations across a bounded worker pool and aggregates the
+// matrix (seeds × interarrival rates × budgets × policies × fault plans ×
+// emergency responses) of facility simulations across a bounded worker
+// pool and aggregates the
 // per-seed outcomes into the per-group statistics (mean, bootstrap CI,
 // policy-vs-policy Welch tests) the paper's policy ranking rests on.
 //
@@ -46,8 +47,9 @@ type NamedFaultPlan struct {
 type Config struct {
 	// Base is the facility configuration template every scenario starts
 	// from. Its Nodes, DB, Obs, Seed, MeanInterarrival, SystemBudget,
-	// Policy, and Faults fields are overridden per scenario; everything
-	// else (workloads, job geometry, duration, tick, engine) is shared.
+	// Policy, Faults, and Emergency fields are overridden per scenario;
+	// everything else (workloads, job geometry, budget timeline, duration,
+	// tick, engine) is shared.
 	Base facility.Config
 
 	// Seeds are the replication axis: every (interarrival, budget, policy,
@@ -62,6 +64,11 @@ type Config struct {
 	Policies []policy.Policy
 	// FaultPlans optionally sweeps fault lanes; empty runs one clean lane.
 	FaultPlans []NamedFaultPlan
+	// Emergencies optionally sweeps the budget-emergency response
+	// (preempt/throttle/kill) so identical shocks — same budget timeline,
+	// same fault lane, same seeds — rank the responses against each other.
+	// Empty runs one lane with Base.Emergency.
+	Emergencies []facility.EmergencyPolicy
 
 	// Parallelism bounds the worker pool; <= 0 selects GOMAXPROCS. 1 is
 	// fully sequential and produces byte-identical reports to any other
@@ -81,10 +88,10 @@ type Config struct {
 }
 
 // DefaultAnomalous is the stock anomaly predicate: a scenario that
-// quarantined a node or requeued a job saw its fault machinery bite and is
-// worth a post-mortem.
+// quarantined a node, requeued a job, or shed jobs to a budget emergency
+// saw its degradation machinery bite and is worth a post-mortem.
 func DefaultAnomalous(res *facility.Result) bool {
-	return res.Quarantined > 0 || res.Requeued > 0
+	return res.Quarantined > 0 || res.Requeued > 0 || res.Preempted > 0 || res.Killed > 0
 }
 
 // Scenario is one fully instantiated cell of the matrix.
@@ -95,30 +102,45 @@ type Scenario struct {
 	Budget       units.Power
 	Policy       policy.Policy
 	Fault        NamedFaultPlan
+	Emergency    facility.EmergencyPolicy
+}
+
+// emergencyLanes resolves the emergency axis: the configured sweep, or one
+// lane carrying the base configuration's response.
+func (c *Config) emergencyLanes() []facility.EmergencyPolicy {
+	if len(c.Emergencies) == 0 {
+		return []facility.EmergencyPolicy{c.Base.Emergency}
+	}
+	return c.Emergencies
 }
 
 // scenarios enumerates the matrix in canonical order: policy-major, then
-// interarrival, budget, fault lane, and seeds innermost — so one group's
-// replications are contiguous and the group order matches the report.
+// interarrival, budget, fault lane, emergency response, and seeds
+// innermost — so one group's replications are contiguous and the group
+// order matches the report.
 func (c *Config) scenarios() []Scenario {
 	plans := c.FaultPlans
 	if len(plans) == 0 {
 		plans = []NamedFaultPlan{{Name: "clean"}}
 	}
-	out := make([]Scenario, 0, len(c.Policies)*len(c.Interarrivals)*len(c.Budgets)*len(plans)*len(c.Seeds))
+	emergencies := c.emergencyLanes()
+	out := make([]Scenario, 0, len(c.Policies)*len(c.Interarrivals)*len(c.Budgets)*len(plans)*len(emergencies)*len(c.Seeds))
 	for _, pol := range c.Policies {
 		for _, ia := range c.Interarrivals {
 			for _, budget := range c.Budgets {
 				for _, plan := range plans {
-					for _, seed := range c.Seeds {
-						out = append(out, Scenario{
-							Index:        len(out),
-							Seed:         seed,
-							Interarrival: ia,
-							Budget:       budget,
-							Policy:       pol,
-							Fault:        plan,
-						})
+					for _, em := range emergencies {
+						for _, seed := range c.Seeds {
+							out = append(out, Scenario{
+								Index:        len(out),
+								Seed:         seed,
+								Interarrival: ia,
+								Budget:       budget,
+								Policy:       pol,
+								Fault:        plan,
+								Emergency:    em,
+							})
+						}
 					}
 				}
 			}
@@ -252,6 +274,7 @@ func (r *Runner) runScenario(ctx context.Context, cfg *Config, sc Scenario, work
 	fc.SystemBudget = sc.Budget
 	fc.Policy = sc.Policy
 	fc.Faults = sc.Fault.Plan
+	fc.Emergency = sc.Emergency
 
 	res, err := facility.Run(ctx, fc)
 	if err != nil {
@@ -297,6 +320,7 @@ func (r *Runner) captureFlight(cfg *Config, sc Scenario, reason string, runErr e
 		Interarrival time.Duration `json:"interarrival_ns"`
 		Budget       float64       `json:"budget_watts"`
 		FaultLane    string        `json:"fault_lane"`
+		Emergency    string        `json:"emergency,omitempty"`
 		Duration     time.Duration `json:"duration_ns"`
 		Tick         time.Duration `json:"tick_ns"`
 		Engine       string        `json:"engine,omitempty"`
@@ -306,6 +330,7 @@ func (r *Runner) captureFlight(cfg *Config, sc Scenario, reason string, runErr e
 		Interarrival: sc.Interarrival,
 		Budget:       sc.Budget.Watts(),
 		FaultLane:    sc.Fault.Name,
+		Emergency:    string(sc.Emergency),
 		Duration:     cfg.Base.Duration,
 		Tick:         cfg.Base.Tick,
 		Engine:       cfg.Base.Engine,
@@ -331,6 +356,10 @@ func (r *Runner) captureFlight(cfg *Config, sc Scenario, reason string, runErr e
 }
 
 func describe(sc Scenario) string {
-	return fmt.Sprintf("policy=%s ia=%s budget=%s fault=%s seed=%d",
+	s := fmt.Sprintf("policy=%s ia=%s budget=%s fault=%s seed=%d",
 		sc.Policy.Name(), sc.Interarrival, sc.Budget, sc.Fault.Name, sc.Seed)
+	if sc.Emergency != "" {
+		s += fmt.Sprintf(" emergency=%s", sc.Emergency)
+	}
+	return s
 }

@@ -286,3 +286,98 @@ func snapshotRegisters(pool []*node.Node) []uint64 {
 	}
 	return out
 }
+
+// TestEmergencyLanesRankResponses is the budget-shock acceptance at the
+// campaign level: identical shocks (same budget-drop plan, same seeds) run
+// once per emergency response, and the report ranks the responses against
+// the first lane with seed-paired statistics. Preemption must never lose
+// more completed jobs than killing.
+func TestEmergencyLanesRankResponses(t *testing.T) {
+	const nodes = 6
+	r := testRunner(t, nodes)
+	cfg := testConfig(nodes)
+	cfg.Policies = []policy.Policy{policy.MixedAdaptive{}}
+	cfg.Interarrivals = []time.Duration{5 * time.Minute}
+	// Long jobs: several are in flight when the shock lands, so the
+	// emergency response actually has victims to shed.
+	cfg.Base.MinJobIterations = 20000
+	cfg.Base.MaxJobIterations = 60000
+	cfg.Base.CheckpointEvery = 25
+	cfg.Emergencies = []facility.EmergencyPolicy{
+		facility.EmergencyPreempt, facility.EmergencyThrottle, facility.EmergencyKill,
+	}
+	cfg.FaultPlans = []NamedFaultPlan{{Name: "shock", Plan: fault.NewPlan(
+		fault.Injection{Kind: fault.BudgetDrop, At: time.Hour, Duration: time.Hour, Factor: 0.15},
+	)}}
+	cfg.Parallelism = 4
+
+	rep, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScen := len(cfg.Seeds) * len(cfg.Emergencies)
+	if len(rep.Scenarios) != wantScen {
+		t.Fatalf("scenarios = %d, want %d (seeds x emergencies)", len(rep.Scenarios), wantScen)
+	}
+
+	completed := map[string]int{}
+	shed := map[string]int{}
+	resumed := 0
+	for _, s := range rep.Scenarios {
+		if s.BudgetChanges == 0 {
+			t.Fatalf("scenario %d saw no budget change under the shock plan", s.Index)
+		}
+		completed[s.Emergency] += s.Completed
+		shed[s.Emergency] += s.Preempted + s.Killed
+		if s.Emergency == string(facility.EmergencyPreempt) {
+			resumed += s.Resumed
+		}
+	}
+	if shed["preempt"] == 0 || shed["kill"] == 0 {
+		t.Fatalf("shock shed nothing: preempt lane %d, kill lane %d", shed["preempt"], shed["kill"])
+	}
+	if shed["throttle"] != 0 {
+		t.Fatalf("throttle lane shed %d jobs", shed["throttle"])
+	}
+	if resumed == 0 {
+		t.Fatal("no preempted job resumed")
+	}
+	if completed["preempt"] < completed["kill"] {
+		t.Fatalf("preempt completed %d < kill %d across seeds", completed["preempt"], completed["kill"])
+	}
+
+	// The ranking: one comparison per non-baseline lane, baselined on the
+	// first Emergencies entry.
+	if len(rep.EmergencyComparisons) != 2 {
+		t.Fatalf("emergency comparisons = %d, want 2", len(rep.EmergencyComparisons))
+	}
+	for _, ec := range rep.EmergencyComparisons {
+		if ec.Baseline != string(facility.EmergencyPreempt) {
+			t.Errorf("comparison baselined on %q, want preempt", ec.Baseline)
+		}
+		if ec.Fault != "shock" {
+			t.Errorf("comparison fault = %q, want shock", ec.Fault)
+		}
+	}
+	killCmp := rep.EmergencyComparisons[1]
+	if killCmp.Emergency != string(facility.EmergencyKill) {
+		t.Fatalf("second comparison is %q, want kill", killCmp.Emergency)
+	}
+	if killCmp.MeanKilled <= 0 {
+		t.Errorf("kill lane MeanKilled = %v, want > 0", killCmp.MeanKilled)
+	}
+	if killCmp.CompletedChange > 0 {
+		t.Errorf("kill completed %+.3f%% vs preempt, want <= 0", 100*killCmp.CompletedChange)
+	}
+
+	// The emergency axis must survive serialization round trips like every
+	// other axis: identical runs are byte-identical at any parallelism.
+	cfg.Parallelism = 1
+	seq, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, rep), mustJSON(t, seq)) {
+		t.Fatal("emergency campaign not deterministic across parallelism")
+	}
+}

@@ -25,6 +25,7 @@ type ScenarioResult struct {
 	Budget       units.Power   `json:"budget_watts"`
 	Policy       string        `json:"policy"`
 	Fault        string        `json:"fault"`
+	Emergency    string        `json:"emergency,omitempty"`
 
 	Submitted            int           `json:"submitted"`
 	Started              int           `json:"started"`
@@ -39,6 +40,11 @@ type ScenarioResult struct {
 	Requeued             int           `json:"requeued"`
 	Quarantined          int           `json:"quarantined"`
 	Rejoined             int           `json:"rejoined"`
+	BudgetChanges        int           `json:"budget_changes,omitempty"`
+	Preempted            int           `json:"preempted,omitempty"`
+	Killed               int           `json:"killed,omitempty"`
+	Resumed              int           `json:"resumed,omitempty"`
+	Rejected             int           `json:"rejected,omitempty"`
 }
 
 // Metric is the aggregate of one quantity across a group's seeds: the
@@ -56,13 +62,14 @@ type Metric struct {
 	BootHi float64 `json:"boot_hi"`
 }
 
-// Group aggregates one (policy, interarrival, budget, fault) cell across
-// its seeds.
+// Group aggregates one (policy, interarrival, budget, fault, emergency)
+// cell across its seeds.
 type Group struct {
 	Policy       string        `json:"policy"`
 	Interarrival time.Duration `json:"interarrival_ns"`
 	Budget       units.Power   `json:"budget_watts"`
 	Fault        string        `json:"fault"`
+	Emergency    string        `json:"emergency,omitempty"`
 	Seeds        int           `json:"seeds"`
 
 	Energy      Metric `json:"total_energy_joules"`
@@ -73,13 +80,14 @@ type Group struct {
 }
 
 // Comparison is a Welch two-sample test of one policy against the baseline
-// policy on the same (interarrival, budget, fault) cell.
+// policy on the same (interarrival, budget, fault, emergency) cell.
 type Comparison struct {
 	Baseline     string        `json:"baseline"`
 	Policy       string        `json:"policy"`
 	Interarrival time.Duration `json:"interarrival_ns"`
 	Budget       units.Power   `json:"budget_watts"`
 	Fault        string        `json:"fault"`
+	Emergency    string        `json:"emergency,omitempty"`
 
 	// EnergyChange and QueueWaitChange are relative changes of the group
 	// means versus the baseline ((policy-baseline)/baseline, the Figure 8
@@ -104,12 +112,41 @@ type Comparison struct {
 	WaitPairedSignificant   bool    `json:"queue_wait_paired_significant"`
 }
 
+// EmergencyComparison ranks one emergency response against the baseline
+// response (the first Emergencies entry) on the same (policy,
+// interarrival, budget, fault) cell. Both lanes run identical shocks —
+// same budget timeline, same fault plan, same seeds — so the per-seed
+// deltas isolate the response's effect, and the paired t test decides
+// whether the throughput and energy differences exceed noise.
+type EmergencyComparison struct {
+	Baseline     string        `json:"baseline_emergency"`
+	Emergency    string        `json:"emergency"`
+	Policy       string        `json:"policy"`
+	Interarrival time.Duration `json:"interarrival_ns"`
+	Budget       units.Power   `json:"budget_watts"`
+	Fault        string        `json:"fault"`
+
+	// CompletedChange is the relative change in mean completed jobs versus
+	// the baseline response; the paired pair tests the per-seed deltas.
+	CompletedChange            float64 `json:"completed_change"`
+	CompletedPairedT           float64 `json:"completed_paired_t"`
+	CompletedPairedSignificant bool    `json:"completed_paired_significant"`
+	EnergyChange               float64 `json:"energy_change"`
+	EnergyPairedT              float64 `json:"energy_paired_t"`
+	EnergyPairedSignificant    bool    `json:"energy_paired_significant"`
+	// MeanPreempted and MeanKilled contextualize the ranking: how many
+	// jobs this lane's response actually shed per run, on average.
+	MeanPreempted float64 `json:"mean_preempted"`
+	MeanKilled    float64 `json:"mean_killed"`
+}
+
 // Report is a campaign's full deterministic output.
 type Report struct {
-	Nodes       int              `json:"nodes"`
-	Scenarios   []ScenarioResult `json:"scenarios"`
-	Groups      []Group          `json:"groups"`
-	Comparisons []Comparison     `json:"comparisons"`
+	Nodes                int                   `json:"nodes"`
+	Scenarios            []ScenarioResult      `json:"scenarios"`
+	Groups               []Group               `json:"groups"`
+	Comparisons          []Comparison          `json:"comparisons"`
+	EmergencyComparisons []EmergencyComparison `json:"emergency_comparisons,omitempty"`
 }
 
 // bootResamples sizes the bootstrap distributions behind every group CI.
@@ -123,6 +160,7 @@ func scenarioResult(sc Scenario, res *facility.Result) ScenarioResult {
 		Budget:               sc.Budget,
 		Policy:               sc.Policy.Name(),
 		Fault:                sc.Fault.Name,
+		Emergency:            string(sc.Emergency),
 		Submitted:            res.Submitted,
 		Started:              res.Started,
 		Completed:            res.Completed,
@@ -136,6 +174,11 @@ func scenarioResult(sc Scenario, res *facility.Result) ScenarioResult {
 		Requeued:             res.Requeued,
 		Quarantined:          res.Quarantined,
 		Rejoined:             res.Rejoined,
+		BudgetChanges:        res.BudgetChanges,
+		Preempted:            res.Preempted,
+		Killed:               res.Killed,
+		Resumed:              res.Resumed,
+		Rejected:             res.Rejected,
 	}
 }
 
@@ -167,6 +210,7 @@ func buildReport(nodes int, cfg Config, scenarios []Scenario, results []*facilit
 			Interarrival: sc.Interarrival,
 			Budget:       sc.Budget,
 			Fault:        sc.Fault.Name,
+			Emergency:    string(sc.Emergency),
 			Seeds:        nSeeds,
 		}
 		energy := make([]float64, nSeeds)
@@ -192,12 +236,33 @@ func buildReport(nodes int, cfg Config, scenarios []Scenario, results []*facilit
 	}
 
 	rep.Comparisons = buildComparisons(cfg, scenarios, results)
+	rep.EmergencyComparisons = buildEmergencyComparisons(cfg, scenarios, results)
 	return rep
 }
 
+// cell addresses one contiguous seed block of the matrix.
+type cell struct {
+	policy, fault, emergency string
+	ia                       time.Duration
+	budget                   units.Power
+}
+
+// indexBlocks maps every contiguous seed block's cell to its base index.
+func indexBlocks(nSeeds int, scenarios []Scenario) map[cell]int {
+	blocks := map[cell]int{}
+	for base := 0; base < len(scenarios); base += nSeeds {
+		sc := scenarios[base]
+		blocks[cell{sc.Policy.Name(), sc.Fault.Name, string(sc.Emergency), sc.Interarrival, sc.Budget}] = base
+	}
+	return blocks
+}
+
+func energyOf(r *facility.Result) float64 { return r.TotalEnergy.Joules() }
+func waitOf(r *facility.Result) float64   { return r.MeanQueueWait.Seconds() }
+
 // buildComparisons runs Welch tests of every non-baseline policy against
 // the baseline (StaticCaps when present, else the first policy) on each
-// (interarrival, budget, fault) cell.
+// (interarrival, budget, fault, emergency) cell.
 func buildComparisons(cfg Config, scenarios []Scenario, results []*facility.Result) []Comparison {
 	if len(cfg.Policies) < 2 {
 		return nil
@@ -210,19 +275,8 @@ func buildComparisons(cfg Config, scenarios []Scenario, results []*facility.Resu
 		}
 	}
 
-	// Index contiguous seed blocks by (policy, ia, budget, fault).
-	type cell struct {
-		policy, fault string
-		ia            time.Duration
-		budget        units.Power
-	}
 	nSeeds := len(cfg.Seeds)
-	blocks := map[cell]int{}
-	for base := 0; base < len(scenarios); base += nSeeds {
-		sc := scenarios[base]
-		blocks[cell{sc.Policy.Name(), sc.Fault.Name, sc.Interarrival, sc.Budget}] = base
-	}
-
+	blocks := indexBlocks(nSeeds, scenarios)
 	series := func(base int, f func(*facility.Result) float64) []float64 {
 		xs := make([]float64, nSeeds)
 		for i := range xs {
@@ -230,8 +284,6 @@ func buildComparisons(cfg Config, scenarios []Scenario, results []*facility.Resu
 		}
 		return xs
 	}
-	energyOf := func(r *facility.Result) float64 { return r.TotalEnergy.Joules() }
-	waitOf := func(r *facility.Result) float64 { return r.MeanQueueWait.Seconds() }
 
 	var out []Comparison
 	plans := cfg.FaultPlans
@@ -245,27 +297,98 @@ func buildComparisons(cfg Config, scenarios []Scenario, results []*facility.Resu
 		for _, ia := range cfg.Interarrivals {
 			for _, budget := range cfg.Budgets {
 				for _, plan := range plans {
-					pBase, ok1 := blocks[cell{pol.Name(), plan.Name, ia, budget}]
-					bBase, ok2 := blocks[cell{baseline.Name(), plan.Name, ia, budget}]
-					if !ok1 || !ok2 {
+					for _, em := range cfg.emergencyLanes() {
+						pBase, ok1 := blocks[cell{pol.Name(), plan.Name, string(em), ia, budget}]
+						bBase, ok2 := blocks[cell{baseline.Name(), plan.Name, string(em), ia, budget}]
+						if !ok1 || !ok2 {
+							continue
+						}
+						pe, be := series(pBase, energyOf), series(bBase, energyOf)
+						pw, bw := series(pBase, waitOf), series(bBase, waitOf)
+						cmp := Comparison{
+							Baseline:     baseline.Name(),
+							Policy:       pol.Name(),
+							Interarrival: ia,
+							Budget:       budget,
+							Fault:        plan.Name,
+							Emergency:    string(em),
+						}
+						cmp.EnergyChange = stats.RelativeChange(stats.Mean(pe), stats.Mean(be))
+						cmp.EnergyT, cmp.EnergySignificant = stats.WelchTTest(pe, be)
+						cmp.QueueWaitChange = stats.RelativeChange(stats.Mean(pw), stats.Mean(bw))
+						cmp.QueueWaitT, cmp.QueueWaitSignificant = stats.WelchTTest(pw, bw)
+						cmp.EnergyPairedT, cmp.EnergyPairedSignificant = pairedT(pe, be)
+						cmp.WaitPairedT, cmp.WaitPairedSignificant = pairedT(pw, bw)
+						out = append(out, cmp)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// buildEmergencyComparisons ranks every non-baseline emergency response
+// against the first configured response on each (policy, interarrival,
+// budget, fault) cell. Both lanes saw byte-identical shocks and seeds, so
+// the seed-paired t test on completed jobs and energy is the sharpest
+// available instrument for "which response should a facility configure".
+func buildEmergencyComparisons(cfg Config, scenarios []Scenario, results []*facility.Result) []EmergencyComparison {
+	lanes := cfg.emergencyLanes()
+	if len(lanes) < 2 {
+		return nil
+	}
+	baseline := lanes[0]
+
+	nSeeds := len(cfg.Seeds)
+	blocks := indexBlocks(nSeeds, scenarios)
+	series := func(base int, f func(*facility.Result) float64) []float64 {
+		xs := make([]float64, nSeeds)
+		for i := range xs {
+			xs[i] = f(results[base+i])
+		}
+		return xs
+	}
+	completedOf := func(r *facility.Result) float64 { return float64(r.Completed) }
+	preemptedOf := func(r *facility.Result) float64 { return float64(r.Preempted) }
+	killedOf := func(r *facility.Result) float64 { return float64(r.Killed) }
+
+	var out []EmergencyComparison
+	plans := cfg.FaultPlans
+	if len(plans) == 0 {
+		plans = []NamedFaultPlan{{Name: "clean"}}
+	}
+	for _, pol := range cfg.Policies {
+		for _, ia := range cfg.Interarrivals {
+			for _, budget := range cfg.Budgets {
+				for _, plan := range plans {
+					bBase, ok := blocks[cell{pol.Name(), plan.Name, string(baseline), ia, budget}]
+					if !ok {
 						continue
 					}
-					pe, be := series(pBase, energyOf), series(bBase, energyOf)
-					pw, bw := series(pBase, waitOf), series(bBase, waitOf)
-					cmp := Comparison{
-						Baseline:     baseline.Name(),
-						Policy:       pol.Name(),
-						Interarrival: ia,
-						Budget:       budget,
-						Fault:        plan.Name,
+					for _, em := range lanes[1:] {
+						pBase, ok := blocks[cell{pol.Name(), plan.Name, string(em), ia, budget}]
+						if !ok {
+							continue
+						}
+						pc, bc := series(pBase, completedOf), series(bBase, completedOf)
+						pe, be := series(pBase, energyOf), series(bBase, energyOf)
+						cmp := EmergencyComparison{
+							Baseline:     string(baseline),
+							Emergency:    string(em),
+							Policy:       pol.Name(),
+							Interarrival: ia,
+							Budget:       budget,
+							Fault:        plan.Name,
+						}
+						cmp.CompletedChange = stats.RelativeChange(stats.Mean(pc), stats.Mean(bc))
+						cmp.CompletedPairedT, cmp.CompletedPairedSignificant = pairedT(pc, bc)
+						cmp.EnergyChange = stats.RelativeChange(stats.Mean(pe), stats.Mean(be))
+						cmp.EnergyPairedT, cmp.EnergyPairedSignificant = pairedT(pe, be)
+						cmp.MeanPreempted = stats.Mean(series(pBase, preemptedOf))
+						cmp.MeanKilled = stats.Mean(series(pBase, killedOf))
+						out = append(out, cmp)
 					}
-					cmp.EnergyChange = stats.RelativeChange(stats.Mean(pe), stats.Mean(be))
-					cmp.EnergyT, cmp.EnergySignificant = stats.WelchTTest(pe, be)
-					cmp.QueueWaitChange = stats.RelativeChange(stats.Mean(pw), stats.Mean(bw))
-					cmp.QueueWaitT, cmp.QueueWaitSignificant = stats.WelchTTest(pw, bw)
-					cmp.EnergyPairedT, cmp.EnergyPairedSignificant = pairedT(pe, be)
-					cmp.WaitPairedT, cmp.WaitPairedSignificant = pairedT(pw, bw)
-					out = append(out, cmp)
 				}
 			}
 		}
@@ -307,10 +430,12 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
 		"index", "seed", "interarrival_s", "budget_watts", "policy", "fault",
+		"emergency",
 		"submitted", "started", "completed", "queued_at_end",
 		"mean_queue_wait_s", "mean_node_utilization", "mean_power_watts",
 		"peak_power_watts", "total_energy_joules", "budget_violation_ticks",
 		"requeued", "quarantined", "rejoined",
+		"budget_changes", "preempted", "killed", "resumed", "rejected",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -324,6 +449,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			f(s.Budget.Watts()),
 			s.Policy,
 			s.Fault,
+			s.Emergency,
 			strconv.Itoa(s.Submitted),
 			strconv.Itoa(s.Started),
 			strconv.Itoa(s.Completed),
@@ -337,6 +463,11 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.Itoa(s.Requeued),
 			strconv.Itoa(s.Quarantined),
 			strconv.Itoa(s.Rejoined),
+			strconv.Itoa(s.BudgetChanges),
+			strconv.Itoa(s.Preempted),
+			strconv.Itoa(s.Killed),
+			strconv.Itoa(s.Resumed),
+			strconv.Itoa(s.Rejected),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

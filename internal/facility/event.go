@@ -13,6 +13,8 @@ package facility
 //	            iteration time and re-scheduled whenever caps change.
 //	fault       the fault plan's Timeline entries (crashes, repairs,
 //	            slow-node windows) at their exact onsets.
+//	budget      budget-timeline changes (scheduled steps, fault-plan drop
+//	            edges) at their exact effective instants.
 //	replan      the optional periodic policy replan (ReplanEvery).
 //	sample      telemetry on its own cadence (TelemetryEvery).
 //
@@ -62,6 +64,11 @@ type eventSim struct {
 	busyNodes    int
 	busyAt       time.Duration
 	busyIntegral float64
+
+	// lastSample is the previous telemetry sample's virtual time: energy
+	// integrates over the actual gap, which is telEvery everywhere except
+	// the final sample of a non-cadence-multiple horizon.
+	lastSample time.Duration
 }
 
 // runEvent executes the simulation on the discrete-event core.
@@ -98,13 +105,31 @@ func runEvent(ctx context.Context, st *simState) (*Result, error) {
 		}
 	}
 
+	// Budget-timeline changes at their exact effective instants. Only
+	// points where the evaluated budget actually changes value are
+	// scheduled — a constant timeline (empty, or same-value steps)
+	// schedules nothing, so such a run dispatches exactly the same event
+	// sequence as one with no timeline at all. Scheduling these before the
+	// periodic replan/sample chains means a change coincident with a
+	// sample applies first (lower sequence number), so the sample is
+	// judged against the budget in force from that instant on.
+	for _, bt := range st.budgetChangePoints() {
+		s.eng.Schedule(bt, "budget", s.onBudget)
+	}
+
 	// Periodic replans, when configured.
 	if re := st.cfg.ReplanEvery; re > 0 {
 		s.eng.Every(re, re, st.horizon, "replan", s.onReplan)
 	}
 
-	// Telemetry sampling on its own cadence.
+	// Telemetry sampling on its own cadence, plus a final sample exactly
+	// at the horizon when the horizon is not a cadence multiple — the tick
+	// core always samples its clamped final window, and the two cores'
+	// energy integrals must agree.
 	s.eng.Every(st.telEvery, st.telEvery, st.horizon, "sample", s.onSample)
+	if st.horizon%st.telEvery != 0 {
+		s.eng.Schedule(st.horizon, "sample", s.onSample)
+	}
 
 	// The arrival chain: each arrival schedules the next.
 	if first := expDuration(st.rng, st.cfg.MeanInterarrival); first <= st.horizon {
@@ -235,7 +260,7 @@ func (s *eventSim) reconcile(now time.Duration, mutated, reprobeAll bool) error 
 		at := s.start.Add(now)
 		r := &evJob{
 			sj:        sj,
-			remaining: s.lengths[sj.Spec.ID],
+			remaining: s.startRemaining(sj),
 			submitted: s.submitTimes[sj.Spec.ID],
 			started:   at,
 		}
@@ -311,6 +336,7 @@ func (s *eventSim) onCrash(nodeID string, now time.Duration) error {
 	if held {
 		for _, r := range s.active {
 			if r.sj == holder {
+				s.recordCheckpoint(holder.Spec.ID, r.remaining)
 				s.removeActive(r)
 				break
 			}
@@ -358,7 +384,9 @@ func (s *eventSim) onReplan(now time.Duration) error {
 
 // onSample reads the telemetry hierarchy. Jobs settle first so the energy
 // counters reflect every iteration completed by now — the sampled power is
-// then the same ΔE/Δt the tick loop saw.
+// then the same ΔE/Δt the tick loop saw. The sample is judged against the
+// budget in force (curBudget), and energy integrates over the actual gap
+// since the previous sample.
 func (s *eventSim) onSample(now time.Duration) error {
 	s.advanceAll(now)
 	at := s.start.Add(now)
@@ -367,9 +395,69 @@ func (s *eventSim) onSample(now time.Duration) error {
 		return err
 	}
 	s.res.Trace = append(s.res.Trace, telemetry.Sample{Time: at, Power: p})
-	s.res.TotalEnergy += units.EnergyOver(p, s.telEvery)
-	if p > s.cfg.SystemBudget {
+	s.res.TotalEnergy += units.EnergyOver(p, now-s.lastSample)
+	s.lastSample = now
+	if p > s.curBudget {
 		s.res.BudgetViolationTicks++
+	}
+	return nil
+}
+
+// onBudget applies a budget-timeline change: settle progress, move the
+// admission budget, shed newest-started jobs if the committed power no
+// longer fits (per the emergency policy), and re-split the new budget
+// across the survivors.
+func (s *eventSim) onBudget(now time.Duration) error {
+	nb := s.budgetAt(now)
+	if nb == s.curBudget {
+		return nil
+	}
+	s.accrue(now)
+	s.advanceAll(now) // settle at the pre-change operating point
+	sp := s.obs.StartSpan(s.spanCtx, "facility", "budget_change").SetValue(nb.Watts())
+	old, err := s.applyBudgetChange(now, nb)
+	if err != nil {
+		sp.End()
+		return err
+	}
+	if nb < old && s.sched.CommittedPower() > nb {
+		if err := s.shed(nb); err != nil {
+			sp.End()
+			return err
+		}
+	}
+	sp.End()
+	return s.reconcile(now, true, false)
+}
+
+// shed is the event core's emergency response: shed running jobs, newest
+// started first (the least sunk progress), until the committed power fits
+// nb. Preempt checkpoints and requeues; kill aborts outright; throttle
+// sheds nothing and lets the policy squeeze everyone under the new budget.
+func (s *eventSim) shed(nb units.Power) error {
+	pol := s.cfg.emergency()
+	if pol == EmergencyThrottle {
+		return nil
+	}
+	for s.sched.CommittedPower() > nb && len(s.active) > 0 {
+		r := s.active[len(s.active)-1] // start-ordered: newest is last
+		id := r.sj.Spec.ID
+		s.removeActive(r)
+		if pol == EmergencyKill {
+			if err := s.sched.Abort(r.sj); err != nil {
+				return err
+			}
+			delete(s.checkpoints, id)
+			s.res.Killed++
+			s.obs.JobKilled(id, s.lengths[id]-r.remaining)
+			continue
+		}
+		ckpt, lost := s.recordCheckpoint(id, r.remaining)
+		if err := s.sched.Requeue(r.sj); err != nil {
+			return err
+		}
+		s.res.Preempted++
+		s.obs.JobPreempted(id, ckpt, lost)
 	}
 	return nil
 }

@@ -55,8 +55,25 @@ type Config struct {
 	DB *charz.DB
 	// Policy distributes power across the running set (nil = StaticCaps).
 	Policy policy.Policy
-	// SystemBudget is the facility power limit.
+	// SystemBudget is the facility power limit — the initial value of the
+	// budget timeline when BudgetSteps or fault-plan budget drops are
+	// present, the constant budget otherwise.
 	SystemBudget units.Power
+	// BudgetSteps schedules facility budget changes (demand-response
+	// windows, price curves): from each step's At onward the scheduled
+	// budget is its Budget. Empty keeps the budget at SystemBudget except
+	// during fault-plan BudgetDrop windows. Steps at the same instant
+	// resolve to the last declaration.
+	BudgetSteps []BudgetStep
+	// Emergency selects the response when a budget change strands the
+	// running set's committed power above the new budget: EmergencyPreempt
+	// (the default, "" selects it), EmergencyThrottle, or EmergencyKill.
+	Emergency EmergencyPolicy
+	// CheckpointEvery is the jobs' checkpoint cadence in iterations:
+	// preempted (or crash-requeued) jobs resume from their last checkpoint
+	// boundary instead of iteration zero. Zero disables checkpointing —
+	// a preempted job restarts from scratch.
+	CheckpointEvery int
 
 	// MeanInterarrival is the Poisson arrival process' mean gap.
 	MeanInterarrival time.Duration
@@ -112,14 +129,12 @@ func (c *Config) telemetryEvery() time.Duration {
 	return c.Tick
 }
 
-// horizon is the simulated end time: Duration rounded up to a whole number
-// of ticks, which is where the tick loop has always stopped (its last tick
-// may overshoot Duration). Both engines run to the same horizon so their
-// results compare.
-func (c *Config) horizon() time.Duration {
-	ticks := (c.Duration + c.Tick - 1) / c.Tick
-	return time.Duration(ticks) * c.Tick
-}
+// horizon is the simulated end time: exactly Duration. The tick core
+// clamps its final tick when Duration is not a whole number of ticks
+// (historically it overshot to the next boundary and integrated energy
+// past the horizon), so both engines stop — and take their final
+// telemetry sample — at the same instant.
+func (c *Config) horizon() time.Duration { return c.Duration }
 
 // Validate checks the configuration.
 func (c *Config) Validate() error {
@@ -144,6 +159,20 @@ func (c *Config) Validate() error {
 		return errors.New("facility: telemetry cadence must not be negative")
 	case c.ReplanEvery < 0:
 		return errors.New("facility: replan cadence must not be negative")
+	case c.CheckpointEvery < 0:
+		return errors.New("facility: checkpoint cadence must not be negative")
+	}
+	if !c.Emergency.valid() {
+		return fmt.Errorf("facility: unknown emergency policy %q (want %q, %q, or %q)",
+			c.Emergency, EmergencyPreempt, EmergencyThrottle, EmergencyKill)
+	}
+	for i, s := range c.BudgetSteps {
+		if s.At < 0 {
+			return fmt.Errorf("facility: budget step %d at negative time %v", i, s.At)
+		}
+		if s.Budget <= 0 {
+			return fmt.Errorf("facility: budget step %d budget must be positive (got %v)", i, s.Budget)
+		}
 	}
 	switch c.Engine {
 	case "", EngineEvent:
@@ -204,8 +233,24 @@ type Result struct {
 	PeakPower units.Power
 	// TotalEnergy is the facility CPU energy over the run.
 	TotalEnergy units.Energy
-	// BudgetViolationTicks counts trace samples above the system budget.
+	// BudgetViolationTicks counts observations of facility power above the
+	// budget in force: every trace sample is checked against the current
+	// (possibly stepped or dropped) budget, and every downward budget
+	// change additionally re-checks the last sample against the new value —
+	// so an excursion created by a mid-interval drop is counted when the
+	// drop lands rather than silently missed until the next sample. Power
+	// between samples is still unobserved; the count is a lower bound.
 	BudgetViolationTicks int
+	// BudgetChanges counts applied budget-timeline changes: scheduled
+	// steps and fault-plan drop edges that changed the effective value
+	// (same-value steps are not changes).
+	BudgetChanges int
+	// Preempted, Killed, and Resumed count emergency responses: jobs
+	// preempted at their last checkpoint (requeued, to resume later), jobs
+	// killed outright (progress lost), and checkpoint restores at restart.
+	// Rejected counts submissions refused because their demand exceeded
+	// the budget in force at enqueue time (a degradation, not an error).
+	Preempted, Killed, Resumed, Rejected int
 	// Requeued counts jobs returned to the queue after a crash drained
 	// one of their hosts; Quarantined and Rejoined count node drain-set
 	// entries and exits over the run (every quarantine reason: crash
@@ -237,6 +282,13 @@ type simState struct {
 	lengths     map[string]int // queued job ID -> iterations
 	submitTimes map[string]time.Time
 	jobSeq      int
+
+	// steps is the stable-sorted budget timeline, curBudget the budget in
+	// force, checkpoints the last recorded checkpoint per job ID (see
+	// budget.go).
+	steps       []BudgetStep
+	curBudget   units.Power
+	checkpoints map[string]int
 
 	horizon  time.Duration
 	telEvery time.Duration
@@ -275,9 +327,12 @@ func setup(cfg Config) (*simState, error) {
 		nodeByID:    map[string]*node.Node{},
 		lengths:     map[string]int{},
 		submitTimes: map[string]time.Time{},
+		steps:       cfg.sortedSteps(),
+		checkpoints: map[string]int{},
 		horizon:     cfg.horizon(),
 		telEvery:    cfg.telemetryEvery(),
 	}
+	st.curBudget = st.budgetAt(0)
 	if st.pol == nil {
 		st.pol = policy.StaticCaps{}
 	}
@@ -298,7 +353,7 @@ func setup(cfg Config) (*simState, error) {
 	st.mgr.Obs = st.obs
 	st.mgr.OnQuarantine = func(string, string) { st.res.Quarantined++ }
 	st.mgr.OnRejoin = func(string) { st.res.Rejoined++ }
-	sched, err := rm.NewScheduler(st.mgr, st.db, cfg.SystemBudget)
+	sched, err := rm.NewScheduler(st.mgr, st.db, st.curBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +409,7 @@ func (st *simState) replan() error {
 		t0 = time.Now()
 	}
 	st.mgr.SpanParent = sp.Ctx()
-	alloc, err := st.mgr.Plan(st.pol, st.cfg.SystemBudget, st.db)
+	alloc, err := st.mgr.Plan(st.pol, st.curBudget, st.db)
 	if err == nil {
 		err = st.mgr.Apply(alloc)
 	}
@@ -368,8 +423,12 @@ func (st *simState) replan() error {
 
 // submitArrival draws one arrival from the config RNG and enqueues it. The
 // draw order (workload, size, length, next gap) is shared by both engines
-// so the same seed produces the same job sequence. It returns the gap to
-// the next arrival.
+// so the same seed produces the same job sequence. A submission whose
+// demand exceeds the budget in force (rm.ErrBudgetInfeasible — possible
+// under a dynamic timeline) is a degradation, not an error: the job is
+// journaled as rejected and dropped, and the length and gap draws still
+// happen so a rejection never perturbs the arrival sequence behind it. It
+// returns the gap to the next arrival.
 func (st *simState) submitArrival(at time.Time) (time.Duration, error) {
 	st.jobSeq++
 	spec := rm.JobSpec{
@@ -377,13 +436,25 @@ func (st *simState) submitArrival(at time.Time) (time.Duration, error) {
 		Config: st.cfg.Workloads[st.rng.IntN(len(st.cfg.Workloads))],
 		Nodes:  st.cfg.JobSizes[st.rng.IntN(len(st.cfg.JobSizes))],
 	}
-	if _, err := st.sched.Enqueue(spec); err != nil {
+	_, err := st.sched.Enqueue(spec)
+	length := st.cfg.MinJobIterations + st.rng.IntN(st.cfg.MaxJobIterations-st.cfg.MinJobIterations+1)
+	gap := expDuration(st.rng, st.cfg.MeanInterarrival)
+	if err != nil {
+		if errors.Is(err, rm.ErrBudgetInfeasible) && st.dynamicBudget() {
+			st.res.Rejected++
+			var demand units.Power
+			if entry, derr := st.db.MustGet(spec.Config); derr == nil {
+				demand = entry.MonitorHostPower * units.Power(spec.Nodes)
+			}
+			st.obs.JobRejected(spec.ID, demand.Watts(), st.curBudget.Watts())
+			return gap, nil
+		}
 		return 0, err
 	}
-	st.lengths[spec.ID] = st.cfg.MinJobIterations + st.rng.IntN(st.cfg.MaxJobIterations-st.cfg.MinJobIterations+1)
+	st.lengths[spec.ID] = length
 	st.submitTimes[spec.ID] = at
 	st.res.Submitted++
-	return expDuration(st.rng, st.cfg.MeanInterarrival), nil
+	return gap, nil
 }
 
 // finalize computes the aggregate statistics both engines share.
@@ -434,9 +505,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 // runTick is the fixed-tick compatibility core: every tick fires the
-// window's faults, enqueues the window's arrivals, dispatches, advances
-// every running job by one RunSpan, and (on telemetry boundaries) samples
-// the hierarchy.
+// window's faults, applies any budget-timeline change, enqueues the
+// window's arrivals, dispatches, advances every running job by one
+// RunSpan, and (on telemetry boundaries) samples the hierarchy. The final
+// tick is clamped to Duration when Duration is not a whole number of
+// ticks, so the run never integrates past the horizon and the last
+// telemetry sample always lands exactly at Duration.
 func runTick(ctx context.Context, st *simState) (*Result, error) {
 	cfg, res, mgr, sched := st.cfg, st.res, st.mgr, st.sched
 	now := st.start
@@ -448,20 +522,28 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 
 	var active []*running
 	nextArrival := now.Add(expDuration(st.rng, cfg.MeanInterarrival))
-	var busyNodeTicks, totalTicks int
+	var busyIntegral float64
+	var totalTicks int
+	var lastSample time.Duration
 
-	for elapsed := time.Duration(0); elapsed < cfg.Duration; elapsed += cfg.Tick {
+	for elapsed := time.Duration(0); elapsed < cfg.Duration; {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		tickEnd := now.Add(cfg.Tick)
-		vElapsed = elapsed + cfg.Tick
+		tickLen := cfg.Tick
+		if elapsed+tickLen > cfg.Duration {
+			tickLen = cfg.Duration - elapsed // clamp the final partial tick
+		}
+		windowEnd := elapsed + tickLen
+		tickEnd := now.Add(tickLen)
+		vElapsed = windowEnd
 
 		// Fire this tick's scheduled faults before any job advances:
 		// crashes drain nodes (requeueing the jobs that held them),
-		// repairs rejoin nodes, slow-node windows open and close.
+		// repairs rejoin nodes, slow-node windows open and close. Budget
+		// drops are handled with the step timeline below, in one place.
 		faultsFired := false
-		for _, tr := range cfg.Faults.ApplyAt(elapsed, elapsed+cfg.Tick) {
+		for _, tr := range cfg.Faults.ApplyAt(elapsed, windowEnd) {
 			switch tr.Kind {
 			case fault.NodeCrash:
 				n, ok := st.nodeByID[tr.Node]
@@ -472,16 +554,17 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 				st.obs.FaultInjected(string(fault.NodeCrash), tr.Node, "", 0)
 				holder, held := mgr.Drain(tr.Node, "crash")
 				if held {
-					if err := sched.Requeue(holder); err != nil {
-						return nil, err
-					}
-					res.Requeued++
 					for i, r := range active {
 						if r.sj == holder {
+							st.recordCheckpoint(holder.Spec.ID, r.remaining)
 							active = append(active[:i], active[i+1:]...)
 							break
 						}
 					}
+					if err := sched.Requeue(holder); err != nil {
+						return nil, err
+					}
+					res.Requeued++
 				}
 				faultsFired = true
 			case fault.NodeRepair:
@@ -499,6 +582,31 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 			}
 		}
 		if faultsFired {
+			if err := st.replan(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Budget-timeline changes take effect at window boundaries: the
+		// budget in force for this window is the timeline evaluated at its
+		// end, matching the tick core's credit-at-window-end convention. A
+		// downward change that strands committed power above the new
+		// budget triggers the emergency response, and every change
+		// re-splits the new budget across the survivors.
+		if nb := st.budgetAt(windowEnd); nb != st.curBudget {
+			sp := st.obs.StartSpan(st.spanCtx, "facility", "budget_change").SetValue(nb.Watts())
+			old, err := st.applyBudgetChange(windowEnd, nb)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
+			if nb < old && sched.CommittedPower() > nb {
+				if active, err = st.shedTick(active, nb); err != nil {
+					sp.End()
+					return nil, err
+				}
+			}
+			sp.End()
 			if err := st.replan(); err != nil {
 				return nil, err
 			}
@@ -522,7 +630,7 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 		for _, sj := range startedNow {
 			active = append(active, &running{
 				sj:        sj,
-				remaining: st.lengths[sj.Spec.ID],
+				remaining: st.startRemaining(sj),
 				submitted: st.submitTimes[sj.Spec.ID],
 				started:   now,
 			})
@@ -539,7 +647,7 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 		completedAny := false
 		var still []*running
 		for _, r := range active {
-			span, err := r.sj.Job.RunSpan(cfg.Tick)
+			span, err := r.sj.Job.RunSpan(tickLen)
 			if err != nil {
 				return nil, err
 			}
@@ -565,21 +673,26 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 		}
 
 		// Periodic replans on their own cadence.
-		if cfg.ReplanEvery > 0 && (elapsed+cfg.Tick)%cfg.ReplanEvery == 0 {
+		if cfg.ReplanEvery > 0 && windowEnd%cfg.ReplanEvery == 0 {
 			if err := st.replan(); err != nil {
 				return nil, err
 			}
 		}
 
-		// Telemetry on its own cadence (every tick by default).
-		if (elapsed+cfg.Tick)%st.telEvery == 0 {
+		// Telemetry on its own cadence (every tick by default). The final
+		// window always samples, even when Duration is not a cadence
+		// multiple — otherwise the tail of the run would go unobserved —
+		// and energy integrates over the actual gap since the previous
+		// sample, which on cadence boundaries is exactly telEvery.
+		if windowEnd%st.telEvery == 0 || windowEnd == cfg.Duration {
 			p, err := st.root.Sample(tickEnd)
 			if err != nil {
 				return nil, err
 			}
 			res.Trace = append(res.Trace, telemetry.Sample{Time: tickEnd, Power: p})
-			res.TotalEnergy += units.EnergyOver(p, st.telEvery)
-			if p > cfg.SystemBudget {
+			res.TotalEnergy += units.EnergyOver(p, windowEnd-lastSample)
+			lastSample = windowEnd
+			if p > st.curBudget {
 				res.BudgetViolationTicks++
 			}
 		}
@@ -587,14 +700,15 @@ func runTick(ctx context.Context, st *simState) (*Result, error) {
 		for _, r := range active {
 			busy += r.sj.Spec.Nodes
 		}
-		busyNodeTicks += busy
+		busyIntegral += float64(busy) * tickLen.Seconds()
 		totalTicks++
 		now = tickEnd
+		elapsed = windowEnd
 	}
 
 	res.TicksSimulated = totalTicks
-	if totalTicks > 0 {
-		res.MeanNodeUtilization = float64(busyNodeTicks) / float64(totalTicks*len(cfg.Nodes))
+	if cfg.Duration > 0 {
+		res.MeanNodeUtilization = busyIntegral / (cfg.Duration.Seconds() * float64(len(cfg.Nodes)))
 	}
 	st.finalize()
 	return res, nil

@@ -62,6 +62,12 @@ const (
 	// modeling a damaged database record; policies fall back to StaticCaps
 	// splits for its jobs.
 	CharzCorruption Kind = "charz_corruption"
+	// BudgetDrop is a facility-level emergency: from At for Duration (zero
+	// = rest of run) the facility power budget is scaled by Factor (in
+	// (0, 1)) — a demand-response event or thermal excursion. It targets no
+	// node; the facility reacts through its EmergencyPolicy (preempt at a
+	// checkpoint, throttle, or kill).
+	BudgetDrop Kind = "budget_drop"
 )
 
 // Errors injected faults fail with. They are exported so degradation layers
@@ -94,15 +100,16 @@ type Injection struct {
 	// succeed before the fault engages.
 	After int
 	// At is the simulated onset time (NodeCrash, SlowNode,
-	// TelemetryDropout) relative to run start.
+	// TelemetryDropout, BudgetDrop) relative to run start.
 	At time.Duration
-	// Duration bounds SlowNode and TelemetryDropout windows (zero = rest
-	// of the run).
+	// Duration bounds SlowNode, TelemetryDropout, and BudgetDrop windows
+	// (zero = rest of the run).
 	Duration time.Duration
 	// RepairAfter is how long after At a crashed node is repaired and may
 	// rejoin (zero = never).
 	RepairAfter time.Duration
-	// Factor is the SlowNode work-time multiplier (> 1).
+	// Factor is the SlowNode work-time multiplier (> 1), or the BudgetDrop
+	// budget scale (in (0, 1)).
 	Factor float64
 	// Round and Count bound a RequestDropout: Count consecutive protocol
 	// rounds are dropped starting at Round.
@@ -150,6 +157,13 @@ func (p *Plan) Validate() error {
 		case CharzCorruption:
 			if in.Config == "" {
 				return fmt.Errorf("fault: injection %d (charz_corruption) has no target config", i)
+			}
+		case BudgetDrop:
+			if in.Factor <= 0 || in.Factor >= 1 {
+				return fmt.Errorf("fault: injection %d: budget-drop factor %v must be in (0, 1)", i, in.Factor)
+			}
+			if in.At < 0 {
+				return fmt.Errorf("fault: injection %d: budget-drop onset %v must not be negative", i, in.At)
 			}
 		default:
 			return fmt.Errorf("fault: injection %d has unknown kind %q", i, in.Kind)
@@ -243,9 +257,39 @@ func (p *Plan) ApplyAt(prev, now time.Duration) []Transition {
 					out = append(out, Transition{Kind: SlowNode, Node: in.Node, Factor: 1})
 				}
 			}
+		case BudgetDrop:
+			if in.At > prev && in.At <= now {
+				out = append(out, Transition{Kind: BudgetDrop, Factor: in.Factor})
+			}
+			if in.Duration > 0 {
+				if e := in.At + in.Duration; e > prev && e <= now {
+					out = append(out, Transition{Kind: BudgetDrop, Factor: 1})
+				}
+			}
 		}
 	}
 	return out
+}
+
+// BudgetFactor returns the combined budget scale of every BudgetDrop window
+// active at elapsed time t: the product of their factors, 1 when none is
+// active (or the plan is empty). The facility multiplies its scheduled
+// budget by this at every budget evaluation, so overlapping emergencies
+// compound the way independent curtailment requests would.
+func (p *Plan) BudgetFactor(t time.Duration) float64 {
+	if p.Empty() {
+		return 1
+	}
+	f := 1.0
+	for _, in := range p.Injections {
+		if in.Kind != BudgetDrop {
+			continue
+		}
+		if t >= in.At && (in.Duration <= 0 || t < in.At+in.Duration) {
+			f *= in.Factor
+		}
+	}
+	return f
 }
 
 // TimedTransition is a Transition stamped with its exact firing time, for
@@ -280,6 +324,11 @@ func (p *Plan) Timeline() []TimedTransition {
 			out = append(out, TimedTransition{At: in.At, Transition: Transition{Kind: SlowNode, Node: in.Node, Factor: in.Factor}})
 			if in.Duration > 0 {
 				out = append(out, TimedTransition{At: in.At + in.Duration, Transition: Transition{Kind: SlowNode, Node: in.Node, Factor: 1}})
+			}
+		case BudgetDrop:
+			out = append(out, TimedTransition{At: in.At, Transition: Transition{Kind: BudgetDrop, Factor: in.Factor}})
+			if in.Duration > 0 {
+				out = append(out, TimedTransition{At: in.At + in.Duration, Transition: Transition{Kind: BudgetDrop, Factor: 1}})
 			}
 		}
 	}
@@ -445,6 +494,10 @@ type GenOptions struct {
 	// Dropouts nodes lose telemetry for 5-20% of the horizon at a uniform
 	// onset.
 	Dropouts int
+	// BudgetDrops facility-level budget emergencies occur at uniform
+	// onsets: the budget scales to 40-80% of its scheduled value for
+	// 10-30% of the horizon.
+	BudgetDrops int
 	// Horizon is the simulated span the timed faults spread over (zero
 	// collapses every onset to the start of the run, which is what the
 	// clockless evaluation grid wants).
@@ -519,6 +572,16 @@ func Generate(nodeIDs []string, opts GenOptions) *Plan {
 		}
 		p.Injections = append(p.Injections, Injection{
 			Kind: TelemetryDropout, Node: id, At: onset(drng), Duration: dur,
+		})
+	}
+	brng := rand.New(rand.NewPCG(opts.Seed, 0xB7))
+	for i := 0; i < opts.BudgetDrops; i++ {
+		var dur time.Duration
+		if opts.Horizon > 0 {
+			dur = time.Duration((0.1 + 0.2*brng.Float64()) * float64(opts.Horizon))
+		}
+		p.Injections = append(p.Injections, Injection{
+			Kind: BudgetDrop, At: onset(brng), Duration: dur, Factor: 0.4 + 0.4*brng.Float64(),
 		})
 	}
 	for _, cfg := range opts.CorruptConfigs {

@@ -302,3 +302,98 @@ func TestImpactedAndCrashedNodes(t *testing.T) {
 		t.Fatalf("ImpactedNodes = %v, want [a b]", got)
 	}
 }
+
+func TestBudgetDropValidate(t *testing.T) {
+	good := NewPlan(Injection{Kind: BudgetDrop, At: time.Minute, Duration: 5 * time.Minute, Factor: 0.5})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid budget drop rejected: %v", err)
+	}
+	bad := []Injection{
+		{Kind: BudgetDrop, Factor: 0},                     // zero factor
+		{Kind: BudgetDrop, Factor: 1},                     // no-op factor
+		{Kind: BudgetDrop, Factor: 1.5},                   // amplification
+		{Kind: BudgetDrop, Factor: 0.5, At: -time.Second}, // negative onset
+	}
+	for i, in := range bad {
+		if err := NewPlan(in).Validate(); err == nil {
+			t.Errorf("bad budget drop %d accepted", i)
+		}
+	}
+}
+
+func TestBudgetFactorWindows(t *testing.T) {
+	p := NewPlan(
+		Injection{Kind: BudgetDrop, At: 10 * time.Second, Duration: 10 * time.Second, Factor: 0.5},
+		Injection{Kind: BudgetDrop, At: 15 * time.Second, Duration: 10 * time.Second, Factor: 0.8},
+	)
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{9 * time.Second, 1},
+		{10 * time.Second, 0.5}, // first window opens (inclusive)
+		{15 * time.Second, 0.4}, // overlap compounds multiplicatively
+		{20 * time.Second, 0.8}, // first window closed (exclusive end)
+		{25 * time.Second, 1},   // both closed
+	}
+	for _, c := range cases {
+		if got := p.BudgetFactor(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BudgetFactor(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Open-ended drop (Duration 0) covers the rest of the run.
+	open := NewPlan(Injection{Kind: BudgetDrop, At: time.Second, Factor: 0.5})
+	if got := open.BudgetFactor(time.Hour); got != 0.5 {
+		t.Errorf("open-ended BudgetFactor(1h) = %v, want 0.5", got)
+	}
+	if got := open.BudgetFactor(0); got != 1 {
+		t.Errorf("open-ended BudgetFactor(0) = %v, want 1 before onset", got)
+	}
+}
+
+func TestBudgetDropTimelineAndApplyAt(t *testing.T) {
+	p := NewPlan(Injection{Kind: BudgetDrop, At: 10 * time.Second, Duration: 5 * time.Second, Factor: 0.5})
+	want := []TimedTransition{
+		{At: 10 * time.Second, Transition: Transition{Kind: BudgetDrop, Factor: 0.5}},
+		{At: 15 * time.Second, Transition: Transition{Kind: BudgetDrop, Factor: 1}},
+	}
+	if got := p.Timeline(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Timeline = %+v, want %+v", got, want)
+	}
+	got := p.ApplyAt(0, 10*time.Second)
+	if !reflect.DeepEqual(got, []Transition{{Kind: BudgetDrop, Factor: 0.5}}) {
+		t.Fatalf("(0,10s] transitions = %+v", got)
+	}
+	got = p.ApplyAt(10*time.Second, 20*time.Second)
+	if !reflect.DeepEqual(got, []Transition{{Kind: BudgetDrop, Factor: 1}}) {
+		t.Fatalf("(10s,20s] transitions = %+v", got)
+	}
+}
+
+func TestGenerateBudgetDrops(t *testing.T) {
+	ids := []string{"quartz0001", "quartz0002"}
+	opts := GenOptions{Seed: 7, BudgetDrops: 3, Horizon: time.Hour}
+	a, b := Generate(ids, opts), Generate(ids, opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different budget-drop plans")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	n := 0
+	for _, in := range a.Injections {
+		if in.Kind != BudgetDrop {
+			continue
+		}
+		n++
+		if in.Factor <= 0 || in.Factor >= 1 {
+			t.Errorf("generated factor %v out of (0,1)", in.Factor)
+		}
+		if in.At < 0 || in.At > time.Hour {
+			t.Errorf("generated onset %v outside horizon", in.At)
+		}
+	}
+	if n != 3 {
+		t.Fatalf("generated %d budget drops, want 3", n)
+	}
+}

@@ -76,6 +76,26 @@ const (
 	// EvJobDone is a job completing (Value carries the turnaround and Aux
 	// the queue wait, both in virtual seconds).
 	EvJobDone EventType = "job_done"
+	// EvBudgetChange is a facility budget-timeline change taking effect
+	// (Value carries the new budget in watts, Aux the previous one; Scope
+	// names the cause: "step", "drop", or "recover").
+	EvBudgetChange EventType = "budget_change"
+	// EvJobPreempted is a running job preempted at its last checkpoint
+	// during a budget emergency (Value carries the checkpointed iteration,
+	// Aux the iterations of lost work).
+	EvJobPreempted EventType = "job_preempted"
+	// EvJobResumed is a previously preempted (or crash-requeued) job
+	// restarting from its checkpoint (Value carries the checkpointed
+	// iteration it resumes from).
+	EvJobResumed EventType = "job_resumed"
+	// EvJobKilled is a running job killed outright during a budget
+	// emergency, all progress lost (Value carries the completed iterations
+	// discarded).
+	EvJobKilled EventType = "job_killed"
+	// EvJobRejected is a submission refused at enqueue because its power
+	// demand exceeds the current system budget — the ErrBudgetInfeasible
+	// degradation path (Value carries the demand in watts, Aux the budget).
+	EvJobRejected EventType = "job_rejected"
 )
 
 // Event is one structured decision record. Fields are flat and typed so
@@ -317,6 +337,11 @@ func journalTraceEvents(events []Event) (meta, out []traceEvent) {
 		case EvClamp, EvLimitWrite:
 			out = append(out, traceEvent{
 				Name: "limit_watts", Ph: "C", TS: ts, PID: 1, TID: tidFor(track),
+				Args: map[string]any{track: e.Value},
+			})
+		case EvBudgetChange:
+			out = append(out, traceEvent{
+				Name: "budget_watts", Ph: "C", TS: ts, PID: 1, TID: tidFor(track),
 				Args: map[string]any{track: e.Value},
 			})
 		}

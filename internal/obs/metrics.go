@@ -443,6 +443,11 @@ var metricHelp = map[string]string{
 	MetricStreamClients:     "Live streaming clients currently subscribed.",
 	MetricStreamDropped:     "Streaming clients dropped for not keeping up.",
 	MetricSpans:             "Tracing spans completed.",
+	MetricBudgetChanges:     "Facility budget-timeline changes applied.",
+	MetricPreemptions:       "Jobs preempted at a checkpoint during budget emergencies.",
+	MetricJobKills:          "Jobs killed outright during budget emergencies.",
+	MetricResumes:           "Preempted jobs restarted from a checkpoint.",
+	MetricInfeasibleRejects: "Submissions refused for demand above the current budget.",
 }
 
 func helpFor(name string) string {

@@ -109,6 +109,20 @@ const (
 	MetricStreamDropped = "powerstack_stream_clients_dropped_total"
 	// MetricSpans counts completed tracing spans, labeled name.
 	MetricSpans = "powerstack_spans_total"
+	// MetricBudgetChanges counts facility budget-timeline changes applied,
+	// labeled cause (step, drop, recover).
+	MetricBudgetChanges = "powerstack_budget_changes_total"
+	// MetricPreemptions counts jobs preempted at a checkpoint during
+	// budget emergencies.
+	MetricPreemptions = "powerstack_jobs_preempted_total"
+	// MetricJobKills counts jobs killed outright during budget
+	// emergencies.
+	MetricJobKills = "powerstack_jobs_killed_total"
+	// MetricResumes counts preempted jobs restarting from a checkpoint.
+	MetricResumes = "powerstack_jobs_resumed_total"
+	// MetricInfeasibleRejects counts submissions refused because their
+	// demand exceeded the current system budget.
+	MetricInfeasibleRejects = "powerstack_jobs_rejected_infeasible_total"
 )
 
 // Sink bundles the metrics registry, the event journal, the span log, and
@@ -414,6 +428,60 @@ func (s *Sink) JobRequeued(job string, remaining int) {
 	}
 	s.Metrics.Counter(MetricRequeues).Inc()
 	s.record(Event{Type: EvJobRequeued, Layer: "facility", Scope: job, Value: float64(remaining)})
+}
+
+// BudgetChange records a facility budget-timeline change taking effect,
+// with the watts before and after and the cause ("step" for a scheduled
+// timeline step, "drop" for a fault-plan emergency, "recover" for a drop
+// window closing).
+func (s *Sink) BudgetChange(cause string, fromWatts, toWatts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricBudgetChanges, "cause", cause).Inc()
+	s.record(Event{Type: EvBudgetChange, Layer: "facility", Scope: cause, Value: toWatts, Aux: fromWatts})
+}
+
+// JobPreempted records a running job preempted at its last checkpoint
+// during a budget emergency, with the checkpointed iteration it will resume
+// from and the iterations of work lost since that checkpoint.
+func (s *Sink) JobPreempted(job string, checkpoint, lost int) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricPreemptions).Inc()
+	s.record(Event{Type: EvJobPreempted, Layer: "facility", Scope: job, Value: float64(checkpoint), Aux: float64(lost)})
+}
+
+// JobResumed records a preempted (or crash-requeued) job restarting from
+// its checkpoint.
+func (s *Sink) JobResumed(job string, checkpoint int) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricResumes).Inc()
+	s.record(Event{Type: EvJobResumed, Layer: "facility", Scope: job, Value: float64(checkpoint)})
+}
+
+// JobKilled records a running job killed outright during a budget
+// emergency, with the completed iterations its death discards.
+func (s *Sink) JobKilled(job string, done int) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricJobKills).Inc()
+	s.record(Event{Type: EvJobKilled, Layer: "facility", Scope: job, Value: float64(done)})
+}
+
+// JobRejected records a submission refused at enqueue because its power
+// demand exceeds the current system budget — the ErrBudgetInfeasible
+// degradation path.
+func (s *Sink) JobRejected(job string, demandWatts, budgetWatts float64) {
+	if s == nil {
+		return
+	}
+	s.Metrics.Counter(MetricInfeasibleRejects).Inc()
+	s.record(Event{Type: EvJobRejected, Layer: "facility", Scope: job, Value: demandWatts, Aux: budgetWatts})
 }
 
 // EngineDispatch records the discrete-event engine dispatching one event of

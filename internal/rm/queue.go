@@ -78,7 +78,10 @@ func NewScheduler(mgr *Manager, db *charz.DB, budget units.Power) (*Scheduler, e
 // does not make the job unschedulable; a configuration missing entirely
 // still fails with charz.ErrNotCharacterized (admission needs *some*
 // estimate, and none exists). A job whose demand exceeds the whole system
-// budget fails with ErrBudgetInfeasible: it could never start.
+// budget — the budget currently in force, under a dynamic timeline — fails
+// with ErrBudgetInfeasible: it could not start while that budget holds.
+// Facility callers treat this as a degradation (journal and drop the
+// submission), not a crash.
 func (s *Scheduler) Enqueue(spec JobSpec) (*QueuedJob, error) {
 	if spec.Nodes <= 0 {
 		return nil, fmt.Errorf("rm: job %s requests %d nodes", spec.ID, spec.Nodes)
@@ -108,6 +111,27 @@ func (s *Scheduler) Enqueue(spec JobSpec) (*QueuedJob, error) {
 
 // Queue returns the jobs still waiting, in order.
 func (s *Scheduler) Queue() []*QueuedJob { return s.queue }
+
+// Budget returns the current admission budget.
+func (s *Scheduler) Budget() units.Power { return s.budget }
+
+// SetBudget retargets the admission budget mid-run — the facility's
+// dynamic budget timeline calls this at every change. Admission (fits) and
+// the Enqueue infeasibility floor track the new value immediately; already
+// started jobs keep their commitments, so after a downward step the
+// committed power may exceed the budget until completions (or the caller's
+// emergency response — preemption or kills) bring it back under.
+func (s *Scheduler) SetBudget(b units.Power) error {
+	if b <= 0 {
+		return errors.New("rm: scheduler budget must be positive")
+	}
+	s.budget = b
+	return nil
+}
+
+// Demand returns a started job's admission power estimate (zero for jobs
+// this scheduler never started).
+func (s *Scheduler) Demand(sj *ScheduledJob) units.Power { return s.demands[sj] }
 
 // Started returns the admitted jobs.
 func (s *Scheduler) Started() []*ScheduledJob { return s.started }
@@ -211,4 +235,28 @@ func (s *Scheduler) Requeue(sj *ScheduledJob) error {
 	s.queue = append([]*QueuedJob{qj}, s.queue...)
 	s.mgr.Obs.JobRequeued(sj.Spec.ID, len(s.queue))
 	return nil
+}
+
+// Abort releases a started job's nodes and power commitment without
+// requeueing it — the kill response to a budget emergency. Unlike Requeue
+// the job never returns: its progress is discarded and it will not count as
+// completed. The caller journals the decision (JobKilled).
+func (s *Scheduler) Abort(sj *ScheduledJob) error {
+	idx := -1
+	for i, cand := range s.started {
+		if cand == sj {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("rm: job %s is not running", sj.Spec.ID)
+	}
+	s.committed -= s.demands[sj]
+	delete(s.demands, sj)
+	if s.committed < 0 {
+		s.committed = 0
+	}
+	s.started = append(s.started[:idx], s.started[idx+1:]...)
+	return s.mgr.release(sj)
 }

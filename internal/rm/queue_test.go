@@ -1,6 +1,7 @@
 package rm
 
 import (
+	"errors"
 	"testing"
 
 	"powerstack/internal/kernel"
@@ -194,4 +195,90 @@ func names(jobs []*ScheduledJob) []string {
 		out[i] = j.Spec.ID
 	}
 	return out
+}
+
+func TestSetBudgetRetargetsAdmission(t *testing.T) {
+	m, s := schedEnv(t, 12, 6*235*units.Watt)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Enqueue(JobSpec{ID: string(rune('a' + i)), Config: cfgBalanced(), Nodes: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget halved before any dispatch: only one job may start now.
+	if err := s.SetBudget(3 * 235 * units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Budget(); got != 3*235*units.Watt {
+		t.Fatalf("Budget() = %v after SetBudget", got)
+	}
+	started, err := s.Dispatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 {
+		t.Fatalf("started = %d under halved budget, want 1", len(started))
+	}
+	// Raising the budget admits the rest on the next pass.
+	if err := s.SetBudget(12 * 235 * units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	more, err := s.Dispatch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(more) != 2 {
+		t.Fatalf("started = %d after budget recovery, want 2", len(more))
+	}
+	// Enqueue's infeasibility floor tracks the live budget, not the
+	// construction-time one.
+	if err := s.SetBudget(1 * units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(JobSpec{ID: "z", Config: cfgBalanced(), Nodes: 3}); !errors.Is(err, ErrBudgetInfeasible) {
+		t.Fatalf("enqueue under 1 W budget: got %v, want ErrBudgetInfeasible", err)
+	}
+	// Non-positive budgets are rejected and leave the budget untouched.
+	if err := s.SetBudget(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if got := s.Budget(); got != 1*units.Watt {
+		t.Errorf("failed SetBudget changed the budget to %v", got)
+	}
+	_ = m
+}
+
+func TestAbortReleasesWithoutRequeue(t *testing.T) {
+	m, s := schedEnv(t, 6, 6*235*units.Watt)
+	if _, err := s.Enqueue(JobSpec{ID: "a", Config: cfgBalanced(), Nodes: 3}); err != nil {
+		t.Fatal(err)
+	}
+	started, err := s.Dispatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 {
+		t.Fatalf("started = %d", len(started))
+	}
+	if s.Demand(started[0]) == 0 {
+		t.Fatal("started job has no recorded demand")
+	}
+	if err := s.Abort(started[0]); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeNodes() != 6 {
+		t.Errorf("free nodes after abort = %d, want 6", m.FreeNodes())
+	}
+	if s.CommittedPower() != 0 {
+		t.Errorf("committed power after abort = %v, want 0", s.CommittedPower())
+	}
+	if len(s.Queue()) != 0 {
+		t.Errorf("abort requeued the job: queue = %d", len(s.Queue()))
+	}
+	if s.Demand(started[0]) != 0 {
+		t.Errorf("aborted job still has demand %v", s.Demand(started[0]))
+	}
+	// Aborting an unknown job fails.
+	if err := s.Abort(started[0]); err == nil {
+		t.Error("double abort accepted")
+	}
 }

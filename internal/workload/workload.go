@@ -349,3 +349,19 @@ func SelectBudgets(m Mix, db *charz.DB) (Budgets, error) {
 	b.Max = total * maxUncapped
 	return b, nil
 }
+
+// CheckpointInterval returns the checkpoint cadence, in iterations, for
+// jobs whose lengths are drawn uniformly from [minIters, maxIters]: every
+// ~5% of the mean job length, at least 1. Five percent is the conventional
+// operating point of checkpoint/restart studies — frequent enough that a
+// preemption loses little work, sparse enough that checkpoint overhead
+// (not modeled here) would stay in the noise. The facility cmds use this
+// as the default when checkpointing is enabled without an explicit cadence.
+func CheckpointInterval(minIters, maxIters int) int {
+	mean := (minIters + maxIters) / 2
+	k := mean / 20
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -108,6 +108,14 @@ type (
 	// FacilityResult summarizes a facility simulation: the power trace,
 	// job throughput, and fault/degradation counters.
 	FacilityResult = facility.Result
+	// BudgetStep is one scheduled facility-budget change of a
+	// FacilityConfig.BudgetSteps timeline (demand-response windows, price
+	// curves).
+	BudgetStep = facility.BudgetStep
+	// EmergencyPolicy selects the facility's response when a budget change
+	// strands committed power above the new budget: preempt at checkpoint,
+	// throttle everyone, or kill.
+	EmergencyPolicy = facility.EmergencyPolicy
 	// CampaignConfig shapes a multi-seed campaign: a base facility
 	// configuration plus the scenario matrix swept over it.
 	CampaignConfig = campaign.Config
@@ -152,6 +160,15 @@ const (
 	FaultTelemetryDropout = fault.TelemetryDropout
 	FaultRequestDropout   = fault.RequestDropout
 	FaultCharzCorruption  = fault.CharzCorruption
+	FaultBudgetDrop       = fault.BudgetDrop
+)
+
+// The budget-emergency responses, for FacilityConfig.Emergency and the
+// campaign's Emergencies axis.
+const (
+	EmergencyPreempt  = facility.EmergencyPreempt
+	EmergencyThrottle = facility.EmergencyThrottle
+	EmergencyKill     = facility.EmergencyKill
 )
 
 // The facility simulation cores, for FacilityConfig.Engine: the
