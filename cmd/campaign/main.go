@@ -14,10 +14,11 @@
 //	         [-interarrivals 30m,45m] [-budgets "4 kW,6 kW"]
 //	         [-policies all|StaticCaps,MixedAdaptive] [-parallel N]
 //	         [-cachefile charz.json] [-format json|csv] [-out report.json]
-//	         [-crashes N] [-msrfaults N] [-slownodes N] [-faultseed N]
+//	         [-crashes N] [-msrfaults N] [-dropouts N] [-slownodes N]
+//	         [-budgetdrops N] [-faultseed N]
 //	         [-shockat 2h] [-shockfrac 0.5] [-shockdur 1h]
 //	         [-emergencies preempt,throttle,kill] [-checkpoint K]
-//	         [-flightdir flights/]
+//	         [-flightdir flights/] [-debug addr]
 //
 // Chaos flags add a "chaos" fault lane next to the default "clean" lane, so
 // every policy is ranked under both.
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	"powerstack"
+	"powerstack/internal/cliconf"
 	"powerstack/internal/kernel"
 	"powerstack/internal/units"
 	"powerstack/internal/workload"
@@ -65,16 +67,14 @@ func main() {
 	cacheFile := flag.String("cachefile", "", "characterization cache path (loaded if present, saved after)")
 	format := flag.String("format", "json", "report format: json or csv")
 	outPath := flag.String("out", "", "report destination (default stdout)")
-	crashes := flag.Int("crashes", 0, "chaos lane: nodes to crash mid-run (half are repaired)")
-	msrFaults := flag.Int("msrfaults", 0, "chaos lane: nodes with injected MSR write faults")
-	slowNodes := flag.Int("slownodes", 0, "chaos lane: nodes degraded mid-run")
-	faultSeed := flag.Uint64("faultseed", 7, "seed of the generated chaos plan")
+	faultFlags := cliconf.RegisterFaults(flag.CommandLine)
 	shockAt := flag.Duration("shockat", 0, "shock lane: budget-drop onset (0 disables the lane)")
 	shockFrac := flag.Float64("shockfrac", 0.5, "shock lane: fraction of the budget kept during the drop")
 	shockDur := flag.Duration("shockdur", 0, "shock lane: drop duration (0 = until the end of the run)")
 	emergencies := flag.String("emergencies", "", "comma-separated budget-emergency responses to sweep (e.g. preempt,throttle,kill)")
 	checkpoint := flag.Int("checkpoint", workload.CheckpointInterval(2000, 20000), "job checkpoint cadence in iterations (0 disables)")
 	flightDir := flag.String("flightdir", "", "write flight-recorder artifacts for failed/anomalous scenarios here")
+	debugAddr := flag.String("debug", "", "serve the live debug surface (/metrics, /stream/*, pprof) here during the sweep (\":0\" picks a port)")
 	flag.Parse()
 	ctx := context.Background()
 
@@ -99,6 +99,20 @@ func main() {
 	sys, err := powerstack.NewSystem(powerstack.Options{ClusterSize: *nNodes + 8, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		srv, err := sys.ServeDebug(ctx, *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug surface on http://%s", srv.Addr())
+		defer func() {
+			drain, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(drain); err != nil {
+				log.Printf("debug drain: %v", err)
+			}
+		}()
 	}
 	workloads := []kernel.Config{
 		{Intensity: 0.25, Vector: kernel.YMM, Imbalance: 1},
@@ -170,19 +184,12 @@ func main() {
 	for s := 1; s <= *seeds; s++ {
 		cfg.Seeds = append(cfg.Seeds, uint64(s))
 	}
-	if *crashes+*msrFaults+*slowNodes > 0 {
+	if faultFlags.Any() {
 		var ids []string
 		for _, n := range sys.Pool {
 			ids = append(ids, n.ID)
 		}
-		plan := powerstack.GenerateFaults(ids, powerstack.FaultGenOptions{
-			Seed:           *faultSeed,
-			Crashes:        *crashes,
-			RepairFraction: 0.5,
-			MSRWriteFaults: *msrFaults,
-			SlowNodes:      *slowNodes,
-			Horizon:        duration,
-		})
+		plan := faultFlags.Plan(ids, duration)
 		cfg.FaultPlans = []powerstack.CampaignFaultPlan{{Name: "clean"}, {Name: "chaos", Plan: plan}}
 	}
 	if *shockAt > 0 {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"powerstack/internal/charz"
+	"powerstack/internal/cliconf"
 	"powerstack/internal/cluster"
 	"powerstack/internal/cpumodel"
 	"powerstack/internal/node"
@@ -209,22 +210,9 @@ func writeCSVs(dir string, grid *sim.Grid) {
 
 // writeObs dumps the recorded metrics snapshot and Chrome trace.
 func writeObs(opt *options) {
-	write := func(name string, fn func(f *os.File) error) {
-		path := opt.obsDir + "/" + name
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := fn(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("wrote %s", path)
+	if err := cliconf.DumpDir(opt.sink, opt.obsDir); err != nil {
+		log.Fatal(err)
 	}
-	write("metrics.txt", func(f *os.File) error { return opt.sink.WritePrometheus(f) })
-	write("trace.json", func(f *os.File) error { return opt.sink.WriteTrace(f) })
 }
 
 // env bundles the evaluation context.

@@ -14,8 +14,9 @@
 //	         [-interarrival 45s] [-seed N] [-engine event|tick] [-telemetry 5m]
 //	         [-budgetsteps "2h=8 kW,3h=12 kW"] [-emergency preempt|throttle|kill]
 //	         [-checkpoint K] [-budgetdrops N]
-//	         [-crashes N] [-msrfaults N] [-dropouts N] [-faultseed N]
+//	         [-crashes N] [-msrfaults N] [-dropouts N] [-slownodes N] [-faultseed N]
 //	         [-metrics path] [-trace path] [-spans path] [-events path]
+//	         [-debug addr]
 //
 // The -engine flag selects the simulation core: "event" (the default)
 // advances a virtual clock between arrivals, completions, faults, and
@@ -37,19 +38,22 @@
 // whose events and spans are stamped with virtual (simulated) time, -spans
 // the raw span log as JSONL (render with "obsdump spans"), and -events the
 // decision-event journal. "-" writes to stdout.
+//
+// -debug serves the live observability surface (Prometheus /metrics, SSE
+// streams, pprof) on the given address for the duration of the run and
+// drains it — SSE clients included — before exit.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"strings"
 	"time"
 
 	"powerstack"
+	"powerstack/internal/cliconf"
 	"powerstack/internal/kernel"
 	"powerstack/internal/report"
 	"powerstack/internal/units"
@@ -61,24 +65,15 @@ func main() {
 	log.SetPrefix("facility: ")
 	nNodes := flag.Int("nodes", 64, "cluster size")
 	hours := flag.Float64("hours", 4, "simulated span in hours")
-	budgetStr := flag.String("budget", "", "system power budget (e.g. \"12 kW\"; default 200 W/node)")
 	policyName := flag.String("policy", "MixedAdaptive", "power policy for the running set")
 	interarrival := flag.Duration("interarrival", 45*time.Second, "mean job inter-arrival time")
 	seed := flag.Uint64("seed", 1, "random seed")
 	engineName := flag.String("engine", powerstack.FacilityEngineEvent, "simulation core: event or tick")
 	telemetry := flag.Duration("telemetry", 0, "telemetry sampling cadence (default: one sample per tick)")
-	budgetSteps := flag.String("budgetsteps", "", "scheduled budget timeline: comma-separated offset=power pairs (e.g. \"2h=8 kW,3h=12 kW\")")
-	emergency := flag.String("emergency", "", "budget-emergency response: preempt (default), throttle, or kill")
-	checkpoint := flag.Int("checkpoint", workload.CheckpointInterval(2000, 20000), "job checkpoint cadence in iterations (0 disables)")
-	budgetDrops := flag.Int("budgetdrops", 0, "randomized demand-response budget drops in the fault plan")
-	crashes := flag.Int("crashes", 0, "nodes to crash mid-run (half are repaired)")
-	msrFaults := flag.Int("msrfaults", 0, "nodes with injected MSR write faults")
-	dropouts := flag.Int("dropouts", 0, "nodes with injected telemetry dropouts")
-	faultSeed := flag.Uint64("faultseed", 7, "seed of the generated fault plan")
-	metricsPath := flag.String("metrics", "", "write a Prometheus metrics snapshot here (- = stdout)")
-	tracePath := flag.String("trace", "", "write a virtual-time Chrome trace JSON here (- = stdout)")
-	spansPath := flag.String("spans", "", "write the span log JSONL here (- = stdout)")
-	eventsPath := flag.String("events", "", "write the decision-event journal JSON here (- = stdout)")
+	debugAddr := flag.String("debug", "", "serve the live debug surface (/metrics, /stream/*, pprof) here during the run (\":0\" picks a port)")
+	budgetFlags := cliconf.RegisterBudget(flag.CommandLine, workload.CheckpointInterval(2000, 20000))
+	faultFlags := cliconf.RegisterFaults(flag.CommandLine)
+	artifacts := cliconf.RegisterArtifacts(flag.CommandLine)
 	flag.Parse()
 	ctx := context.Background()
 
@@ -87,12 +82,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	budget := units.Power(*nNodes) * 200 * units.Watt
-	if *budgetStr != "" {
-		budget, err = units.ParsePower(*budgetStr)
-		if err != nil {
-			log.Fatal(err)
-		}
+	budget, err := budgetFlags.Power(units.Power(*nNodes) * 200 * units.Watt)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	sys, err := powerstack.NewSystem(powerstack.Options{ClusterSize: *nNodes + 8, Seed: *seed})
@@ -113,30 +105,35 @@ func main() {
 	}
 
 	duration := time.Duration(*hours * float64(time.Hour))
-	dumping := *metricsPath != "" || *tracePath != "" || *spansPath != "" || *eventsPath != ""
-	if dumping {
+	if artifacts.Enabled() {
 		sys.EnableObservability()
 	}
-	if *crashes+*msrFaults+*dropouts+*budgetDrops > 0 {
+	if faultFlags.Any() {
 		var ids []string
 		for _, n := range sys.Pool {
 			ids = append(ids, n.ID)
 		}
-		sys.Faults = powerstack.GenerateFaults(ids, powerstack.FaultGenOptions{
-			Seed:           *faultSeed,
-			Crashes:        *crashes,
-			RepairFraction: 0.5,
-			MSRWriteFaults: *msrFaults,
-			Dropouts:       *dropouts,
-			BudgetDrops:    *budgetDrops,
-			Horizon:        duration,
-		})
-		log.Printf("fault plan: %d crashes, %d MSR write faults, %d telemetry dropouts, %d budget drops (seed %d)",
-			*crashes, *msrFaults, *dropouts, *budgetDrops, *faultSeed)
+		sys.Faults = faultFlags.Plan(ids, duration)
+		log.Printf("fault plan: %s", faultFlags)
 		sys.EnableObservability()
 	}
 
-	steps, err := parseBudgetSteps(*budgetSteps)
+	if *debugAddr != "" {
+		srv, err := sys.ServeDebug(ctx, *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug surface on http://%s", srv.Addr())
+		defer func() {
+			drain, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(drain); err != nil {
+				log.Printf("debug drain: %v", err)
+			}
+		}()
+	}
+
+	steps, err := budgetFlags.Steps()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,8 +143,8 @@ func main() {
 		Policy:           pol,
 		SystemBudget:     budget,
 		BudgetSteps:      steps,
-		Emergency:        powerstack.EmergencyPolicy(*emergency),
-		CheckpointEvery:  *checkpoint,
+		Emergency:        powerstack.EmergencyPolicy(budgetFlags.Emergency),
+		CheckpointEvery:  budgetFlags.Checkpoint,
 		MeanInterarrival: *interarrival,
 		MinJobIterations: 2000,
 		MaxJobIterations: 20000,
@@ -209,71 +206,9 @@ func main() {
 			res.BudgetChanges, res.Preempted, res.Killed, res.Resumed, res.Rejected)
 	}
 
-	if dumping {
-		if err := dumpArtifacts(sys.Obs, *metricsPath, *tracePath, *spansPath, *eventsPath); err != nil {
+	if artifacts.Enabled() {
+		if err := artifacts.Dump(sys.Obs); err != nil {
 			log.Fatal(err)
 		}
 	}
-}
-
-// parseBudgetSteps parses a comma-separated "offset=power" timeline, e.g.
-// "2h=8 kW,3h=12 kW": at 2h the budget steps to 8 kW, at 3h back to 12 kW.
-func parseBudgetSteps(s string) ([]powerstack.BudgetStep, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []powerstack.BudgetStep
-	for _, part := range strings.Split(s, ",") {
-		at, power, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("budget step %q: want offset=power", part)
-		}
-		d, err := time.ParseDuration(strings.TrimSpace(at))
-		if err != nil {
-			return nil, fmt.Errorf("budget step %q: %w", part, err)
-		}
-		p, err := units.ParsePower(strings.TrimSpace(power))
-		if err != nil {
-			return nil, fmt.Errorf("budget step %q: %w", part, err)
-		}
-		out = append(out, powerstack.BudgetStep{At: d, Budget: p})
-	}
-	return out, nil
-}
-
-// dumpArtifacts writes the requested observability artifacts, treating "-"
-// as stdout and "" as skip.
-func dumpArtifacts(sink *powerstack.Sink, metricsPath, tracePath, spansPath, eventsPath string) error {
-	to := func(path, what string, write func(io.Writer) error) error {
-		if path == "" {
-			return nil
-		}
-		if path == "-" {
-			fmt.Printf("--- %s ---\n", what)
-			return write(os.Stdout)
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := write(f); err != nil {
-			f.Close() //nolint:errcheck // write error takes precedence
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		log.Printf("wrote %s to %s", what, path)
-		return nil
-	}
-	if err := to(metricsPath, "metrics snapshot", sink.WritePrometheus); err != nil {
-		return err
-	}
-	if err := to(tracePath, "Chrome trace", sink.WriteTrace); err != nil {
-		return err
-	}
-	if err := to(spansPath, "span log", sink.WriteSpans); err != nil {
-		return err
-	}
-	return to(eventsPath, "event journal", sink.Journal.WriteJSON)
 }

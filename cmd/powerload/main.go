@@ -1,0 +1,274 @@
+// Command powerload drives a running powerstackd with a multi-tenant
+// submission burst and reports client-side latency histograms. It is both
+// the service's load generator and its smoke test: submissions round-robin
+// across tenants with randomized workloads and sizes, every request's wall
+// latency lands in an obs histogram, and after the burst the tool polls
+// the instance until enough jobs complete (or -wait lapses).
+//
+// Usage:
+//
+//	powerload [-base http://localhost:8080] [-instance main]
+//	          [-tenants acme,beta] [-quota "600 W"]
+//	          [-jobs N] [-gap 25ms] [-minnodes 1] [-maxnodes 4]
+//	          [-miniters 2000] [-maxiters 20000] [-seed N]
+//	          [-mincomplete N] [-wait 60s] [-metrics path]
+//
+// With -quota, the tool installs each tenant's power partition before the
+// burst (quota-rejected submissions then count separately — seeing some
+// 422s under a tight quota is the expected multi-tenant behavior, not an
+// error). -mincomplete makes the exit status assert service liveness: the
+// tool fails unless that many jobs complete before -wait lapses, which is
+// what CI leans on. -metrics dumps the client-side latency histograms in
+// Prometheus text form ("-" = stdout).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	apiv1 "powerstack/api/v1"
+	"powerstack/internal/obs"
+	"powerstack/internal/units"
+)
+
+// latencyBuckets bound the request-latency histograms, in seconds.
+var latencyBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1}
+
+// workloads is the client-side view of the daemon's characterized set.
+var workloads = []apiv1.WorkloadSpec{
+	{Intensity: 0.25, Vector: "ymm", Imbalance: 1},
+	{Intensity: 8, Vector: "ymm", Imbalance: 1},
+	{Intensity: 32, Vector: "ymm", Imbalance: 1},
+	{Intensity: 1, Vector: "ymm", WaitingPct: 50, Imbalance: 2},
+	{Intensity: 16, Vector: "ymm", WaitingPct: 75, Imbalance: 3},
+	{Intensity: 8, Vector: "xmm", Imbalance: 1},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powerload: ")
+	base := flag.String("base", "http://localhost:8080", "powerstackd base URL")
+	instance := flag.String("instance", "", "target instance (default: the daemon's default instance)")
+	tenantsFlag := flag.String("tenants", "acme,beta", "comma-separated tenants to submit as")
+	quotaStr := flag.String("quota", "", "install this power quota per tenant before the burst (e.g. \"600 W\")")
+	jobs := flag.Int("jobs", 40, "submissions in the burst")
+	gap := flag.Duration("gap", 25*time.Millisecond, "wall-clock gap between submissions")
+	minNodes := flag.Int("minnodes", 1, "minimum nodes per job")
+	maxNodes := flag.Int("maxnodes", 4, "maximum nodes per job")
+	minIters := flag.Int("miniters", 2000, "minimum iterations per job")
+	maxIters := flag.Int("maxiters", 20000, "maximum iterations per job")
+	seed := flag.Uint64("seed", 1, "random seed of the burst")
+	minComplete := flag.Int("mincomplete", 0, "fail unless this many jobs complete before -wait lapses")
+	wait := flag.Duration("wait", 60*time.Second, "how long to wait for completions after the burst")
+	metricsPath := flag.String("metrics", "", "dump client latency histograms here in Prometheus text (- = stdout)")
+	flag.Parse()
+
+	tenants := strings.Split(*tenantsFlag, ",")
+	for i := range tenants {
+		tenants[i] = strings.TrimSpace(tenants[i])
+	}
+	rng := rand.New(rand.NewPCG(*seed, 0x10adbeef))
+	sink := obs.New()
+	client := &loadClient{base: *base, instance: *instance, sink: sink}
+
+	// Reachability first: a crisp error beats 40 identical dial failures.
+	st, err := client.status()
+	if err != nil {
+		log.Fatalf("daemon unreachable: %v", err)
+	}
+	log.Printf("target %s: %d nodes, %.0f W budget, state %s, t=%v",
+		st.Name, st.Nodes, st.BudgetWatts, st.State, time.Duration(st.NowNs).Round(time.Second))
+
+	if *quotaStr != "" {
+		quota, perr := units.ParsePower(*quotaStr)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		for _, tn := range tenants {
+			if err := client.setQuota(tn, quota); err != nil {
+				log.Fatalf("installing quota for %s: %v", tn, err)
+			}
+		}
+		log.Printf("installed %v quota for %s", quota, strings.Join(tenants, ", "))
+	}
+
+	accepted, quotaRejected, failed := 0, 0, 0
+	for i := 0; i < *jobs; i++ {
+		req := apiv1.SubmitRequest{
+			Instance:   *instance,
+			Tenant:     tenants[i%len(tenants)],
+			Workload:   workloads[rng.IntN(len(workloads))],
+			Nodes:      *minNodes + rng.IntN(*maxNodes-*minNodes+1),
+			Iterations: *minIters + rng.IntN(*maxIters-*minIters+1),
+		}
+		code, submitErr := client.submit(req)
+		switch {
+		case submitErr != nil:
+			failed++
+			log.Printf("submit %d: %v", i, submitErr)
+		case code == http.StatusOK:
+			accepted++
+		case code == http.StatusUnprocessableEntity:
+			quotaRejected++
+		default:
+			failed++
+			log.Printf("submit %d: unexpected status %d", i, code)
+		}
+		time.Sleep(*gap)
+	}
+	log.Printf("burst done: %d accepted, %d quota-rejected, %d failed", accepted, quotaRejected, failed)
+
+	deadline := time.Now().Add(*wait)
+	for {
+		st, err = client.status()
+		if err != nil {
+			log.Fatalf("status poll: %v", err)
+		}
+		if st.Completed >= *minComplete || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	fmt.Printf("instance: t=%v, %d running, %d queued\n",
+		time.Duration(st.NowNs).Round(time.Second), st.RunningJobs, st.QueuedJobs)
+	fmt.Printf("jobs:     %d submitted, %d started, %d completed, %d rejected\n",
+		st.Submitted, st.Started, st.Completed, st.Rejected)
+	if st.Preempted+st.Killed+st.Resumed > 0 {
+		fmt.Printf("budget:   %d changes, %d preempted, %d killed, %d resumed\n",
+			st.BudgetChanges, st.Preempted, st.Killed, st.Resumed)
+	}
+	h := sink.Metrics.Histogram("powerload_submit_seconds", latencyBuckets)
+	fmt.Printf("latency:  %d submits, p50 %s, p90 %s, p99 %s\n",
+		h.Count(), quantile(h, 0.5), quantile(h, 0.9), quantile(h, 0.99))
+
+	if *metricsPath != "" {
+		if err := dumpMetrics(sink, *metricsPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d submissions failed", failed)
+	}
+	if *minComplete > 0 && st.Completed < *minComplete {
+		log.Fatalf("only %d jobs completed within %v (want >= %d)", st.Completed, *wait, *minComplete)
+	}
+}
+
+func quantile(h *obs.Histogram, q float64) string {
+	return (time.Duration(h.Quantile(q) * float64(time.Second))).Round(10 * time.Microsecond).String()
+}
+
+func dumpMetrics(sink *obs.Sink, path string) error {
+	if path == "-" {
+		return sink.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sink.WritePrometheus(f); err != nil {
+		f.Close() //nolint:errcheck // write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+// loadClient is the thin /v1 client; every request's wall latency lands in
+// a per-route obs histogram.
+type loadClient struct {
+	base     string
+	instance string
+	sink     *obs.Sink
+}
+
+// do issues one request, observes its latency, decodes a 200 body into
+// out, and returns the status code. Non-2xx bodies become errors carrying
+// the wire code when decodable.
+func (c *loadClient) do(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	c.sink.Metrics.Histogram("powerload_request_seconds", latencyBuckets, "path", path).
+		Observe(time.Since(start).Seconds())
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+	var werr apiv1.Error
+	if json.NewDecoder(resp.Body).Decode(&werr) == nil && werr.Code != "" {
+		return resp.StatusCode, fmt.Errorf("%s %s: %s (%s)", method, path, werr.Message, werr.Code)
+	}
+	return resp.StatusCode, fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+}
+
+func (c *loadClient) status() (*apiv1.InstanceStatus, error) {
+	path := "/v1/instances/" + c.instance
+	if c.instance == "" {
+		var all []apiv1.InstanceStatus
+		if _, err := c.do("GET", "/v1/instances", nil, &all); err != nil {
+			return nil, err
+		}
+		if len(all) == 0 {
+			return nil, fmt.Errorf("daemon hosts no instances")
+		}
+		return &all[0], nil
+	}
+	var st apiv1.InstanceStatus
+	if _, err := c.do("GET", path, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (c *loadClient) setQuota(tenant string, quota units.Power) error {
+	_, err := c.do("POST", "/v1/tenants", apiv1.TenantQuotaRequest{
+		Instance: c.instance, Tenant: tenant, QuotaWatts: quota.Watts(),
+	}, nil)
+	return err
+}
+
+// submit times the submission into the dedicated histogram and returns
+// the status code; 422 (quota) is the caller's to count, not an error.
+func (c *loadClient) submit(req apiv1.SubmitRequest) (int, error) {
+	var resp apiv1.SubmitResponse
+	start := time.Now()
+	code, err := c.do("POST", "/v1/submit", req, &resp)
+	c.sink.Metrics.Histogram("powerload_submit_seconds", latencyBuckets).
+		Observe(time.Since(start).Seconds())
+	if code == http.StatusUnprocessableEntity {
+		return code, nil
+	}
+	return code, err
+}

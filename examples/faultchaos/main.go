@@ -30,7 +30,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sink := sys.EnableObservability()
+
+	// Watch the drill live: the debug surface streams every injected
+	// fault and recovery decision over /stream/events while the run is
+	// in flight. ServeDebug enables observability as a side effect, and
+	// the explicit Shutdown at the end drains any attached SSE clients
+	// before the process exits.
+	srv, err := sys.ServeDebug(ctx, "localhost:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("debug surface: http://%s (try /stream/events)\n", srv.Addr())
+	sink := sys.Obs
 
 	workloads := []kernel.Config{
 		{Intensity: 0.25, Vector: kernel.YMM, Imbalance: 1},
@@ -93,5 +104,11 @@ func main() {
 		if counts[t] > 0 {
 			fmt.Printf("  %-18s x%d\n", t, counts[t])
 		}
+	}
+
+	drain, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drain); err != nil {
+		log.Printf("debug drain: %v", err)
 	}
 }

@@ -1,0 +1,132 @@
+package cliconf
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"powerstack/internal/facility"
+	"powerstack/internal/obs"
+	"powerstack/internal/units"
+)
+
+func TestParseBudgetSteps(t *testing.T) {
+	steps, err := ParseBudgetSteps("2h=8 kW, 3h=12 kW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []facility.BudgetStep{
+		{At: 2 * time.Hour, Budget: 8000},
+		{At: 3 * time.Hour, Budget: 12000},
+	}
+	if !reflect.DeepEqual(steps, want) {
+		t.Errorf("steps = %+v, want %+v", steps, want)
+	}
+	if steps, err := ParseBudgetSteps(""); err != nil || steps != nil {
+		t.Errorf("empty timeline = %v, %v", steps, err)
+	}
+	for _, bad := range []string{"2h", "x=8 kW", "2h=8 furlongs"} {
+		if _, err := ParseBudgetSteps(bad); err == nil {
+			t.Errorf("ParseBudgetSteps(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBudgetGroup(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	b := RegisterBudget(fs, 500)
+	if err := fs.Parse([]string{"-budget", "6 kW", "-emergency", "throttle"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Power(123)
+	if err != nil || p != 6000 {
+		t.Errorf("Power = %v, %v", p, err)
+	}
+	if b.Emergency != "throttle" || b.Checkpoint != 500 {
+		t.Errorf("group = %+v", b)
+	}
+
+	fs2 := flag.NewFlagSet("t2", flag.ContinueOnError)
+	b2 := RegisterBudget(fs2, 0)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := b2.Power(units.Power(777)); err != nil || p != 777 {
+		t.Errorf("fallback Power = %v, %v", p, err)
+	}
+}
+
+func TestFaultsGroup(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterFaults(fs)
+	if err := fs.Parse([]string{"-crashes", "2", "-dropouts", "1", "-faultseed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Any() {
+		t.Fatal("Any() = false with injections requested")
+	}
+	ids := []string{"n1", "n2", "n3", "n4"}
+	p1 := f.Plan(ids, time.Hour)
+	p2 := f.Plan(ids, time.Hour)
+	if p1 == nil || len(p1.Injections) == 0 {
+		t.Fatal("plan empty")
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("same seed produced different plans")
+	}
+
+	empty := RegisterFaults(flag.NewFlagSet("e", flag.ContinueOnError))
+	if empty.Any() || empty.Plan(ids, time.Hour) != nil {
+		t.Error("empty group generated a plan")
+	}
+}
+
+func TestArtifactsDump(t *testing.T) {
+	dir := t.TempDir()
+	a := &Artifacts{
+		Metrics: filepath.Join(dir, "m.txt"),
+		Events:  filepath.Join(dir, "e.json"),
+	}
+	if !a.Enabled() {
+		t.Fatal("Enabled() = false with paths set")
+	}
+	sink := obs.New()
+	sink.PowerSample("pkg", 100)
+	if err := a.Dump(sink); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{a.Metrics, a.Events} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty (%v)", p, err)
+		}
+	}
+	if (&Artifacts{}).Enabled() {
+		t.Error("empty group Enabled() = true")
+	}
+	if err := (&Artifacts{}).Dump(sink); err != nil {
+		t.Errorf("empty dump errored: %v", err)
+	}
+}
+
+func TestDumpDir(t *testing.T) {
+	dir := t.TempDir()
+	sink := obs.New()
+	sink.PowerSample("pkg", 50)
+	if err := DumpDir(sink, dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "metrics.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "power") {
+		t.Errorf("metrics.txt lacks power series:\n%s", b)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "trace.json")); err != nil {
+		t.Error(err)
+	}
+}

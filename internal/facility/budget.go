@@ -262,6 +262,7 @@ func (st *simState) shedTick(active []*running, nb units.Power) ([]*running, err
 			delete(st.checkpoints, id)
 			st.res.Killed++
 			st.obs.JobKilled(id, st.lengths[id]-r.remaining)
+			st.noteKilled(id, st.vnow())
 			continue
 		}
 		ckpt, lost := st.recordCheckpoint(id, r.remaining)
@@ -270,6 +271,7 @@ func (st *simState) shedTick(active []*running, nb units.Power) ([]*running, err
 		}
 		st.res.Preempted++
 		st.obs.JobPreempted(id, ckpt, lost)
+		st.notePreempted(id)
 	}
 	return active, nil
 }
@@ -285,6 +287,9 @@ func (st *simState) startRemaining(sj *rm.ScheduledJob) int {
 		sj.Job.Restore(bsp.Checkpoint{Iterations: ckpt})
 		st.res.Resumed++
 		st.obs.JobResumed(sj.Spec.ID, ckpt)
+		if ji := st.jobs[sj.Spec.ID]; ji != nil {
+			ji.Resumes++
+		}
 	}
 	return rem
 }

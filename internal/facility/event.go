@@ -71,9 +71,14 @@ type eventSim struct {
 	lastSample time.Duration
 }
 
-// runEvent executes the simulation on the discrete-event core.
-func runEvent(ctx context.Context, st *simState) (*Result, error) {
-	s := &eventSim{simState: st, eng: engine.New()}
+func newEventCore(st *simState) *eventSim {
+	return &eventSim{simState: st, eng: engine.New()}
+}
+
+// prime installs the virtual clock and schedules every event stream the
+// configuration implies — the former runEvent prelude.
+func (s *eventSim) prime() error {
+	st := s.simState
 	// The engine advances its clock before dispatching a handler, so its
 	// Now is the correct virtual timestamp for everything recorded inside
 	// handlers (and for the engine's own dispatch events).
@@ -131,25 +136,89 @@ func runEvent(ctx context.Context, st *simState) (*Result, error) {
 		s.eng.Schedule(st.horizon, "sample", s.onSample)
 	}
 
-	// The arrival chain: each arrival schedules the next.
-	if first := expDuration(st.rng, st.cfg.MeanInterarrival); first <= st.horizon {
-		s.eng.Schedule(first, "arrival", s.onArrival)
+	// The arrival chain: each arrival schedules the next. Service-mode
+	// instances (DisableArrivals) run on injections alone.
+	if !st.cfg.DisableArrivals {
+		if first := expDuration(st.rng, st.cfg.MeanInterarrival); first <= st.horizon {
+			s.eng.Schedule(first, "arrival", s.onArrival)
+		}
 	}
+	return nil
+}
 
-	if err := s.eng.RunUntil(ctx, st.horizon); err != nil {
-		return nil, err
+// step advances the engine to until, dispatching every due event at its
+// exact virtual time.
+func (s *eventSim) step(ctx context.Context, until time.Duration) error {
+	if until > s.horizon {
+		until = s.horizon
 	}
+	return s.eng.RunUntil(ctx, until)
+}
 
-	// Settle accounting at the horizon: jobs still running keep their
-	// uncredited tail (their completions lie beyond the end of the run),
-	// but the busy-node integral closes here.
-	s.accrue(st.horizon)
-	st.res.EventsDispatched = int(s.eng.Dispatched())
-	if st.horizon > 0 && len(st.cfg.Nodes) > 0 {
-		st.res.MeanNodeUtilization = s.busyIntegral / (float64(st.horizon) * float64(len(st.cfg.Nodes)))
+func (s *eventSim) now() time.Duration { return s.eng.Now() }
+
+// settle closes accounting at the current virtual time: jobs still
+// running keep their uncredited tail (their completions lie beyond the
+// end of the run), but the busy-node integral closes here. For a run
+// stepped to the horizon this is exactly the former runEvent epilogue.
+func (s *eventSim) settle() {
+	now := s.eng.Now()
+	s.accrue(now)
+	s.res.EventsDispatched = int(s.eng.Dispatched())
+	if now > 0 && len(s.cfg.Nodes) > 0 {
+		s.res.MeanNodeUtilization = s.busyIntegral / (float64(now) * float64(len(s.cfg.Nodes)))
 	}
-	st.finalize()
-	return st.res, nil
+}
+
+func (s *eventSim) running() []RunningJob {
+	out := make([]RunningJob, 0, len(s.active))
+	for _, r := range s.active {
+		out = append(out, RunningJob{
+			ID:        r.sj.Spec.ID,
+			Tenant:    r.sj.Spec.Tenant,
+			Nodes:     r.sj.Spec.Nodes,
+			Remaining: r.remaining,
+			StartedAt: r.started.Sub(s.simState.start),
+		})
+	}
+	return out
+}
+
+// injectNow enqueues a submission at the current virtual instant and
+// reconciles immediately — the job can start right now if it fits.
+func (s *eventSim) injectNow(sub Submission) (string, error) {
+	now := s.eng.Now()
+	id, err := s.submitInjected(sub, now)
+	if err != nil {
+		return id, err
+	}
+	return id, s.reconcile(now, false, false)
+}
+
+// injectAt schedules a deferred submission on the virtual timeline;
+// admission errors at fire time degrade to journaled rejections (the
+// submitter is long gone).
+func (s *eventSim) injectAt(at time.Duration, sub Submission) {
+	s.eng.Schedule(at, "inject", func(now time.Duration) error {
+		if _, err := s.submitInjected(sub, now); err != nil {
+			s.rejectInjected(sub.ID, sub, now)
+			return nil
+		}
+		return s.reconcile(now, false, false)
+	})
+}
+
+// budgetPoint schedules a budget-change event for a live timeline append
+// (Instance.ScheduleBudget) — the configured points were scheduled by
+// prime; this covers points added after it.
+func (s *eventSim) budgetPoint(at time.Duration) {
+	s.eng.Schedule(at, "budget", s.onBudget)
+}
+
+// policySwapped replans the running set under the new policy immediately
+// and re-aims completions at the moved operating points.
+func (s *eventSim) policySwapped() error {
+	return s.reconcile(s.eng.Now(), true, false)
 }
 
 // accrue closes the busy-node integral up to now. Call it before any
@@ -268,6 +337,7 @@ func (s *eventSim) reconcile(now time.Duration, mutated, reprobeAll bool) error 
 		fresh = append(fresh, r)
 		s.res.Started++
 		s.res.MeanQueueWait += at.Sub(r.submitted)
+		s.noteStarted(sj.Spec.ID, now)
 	}
 	if mutated || len(startedNow) > 0 {
 		if err := s.replan(); err != nil {
@@ -317,6 +387,7 @@ func (s *eventSim) onComplete(r *evJob, now time.Duration) error {
 	s.obs.JobFinished(r.sj.Spec.ID,
 		r.started.Sub(r.submitted).Seconds(),
 		s.start.Add(now).Sub(r.submitted).Seconds())
+	s.noteCompleted(r.sj.Spec.ID, now)
 	s.removeActive(r)
 	return s.reconcile(now, true, false)
 }
@@ -345,6 +416,7 @@ func (s *eventSim) onCrash(nodeID string, now time.Duration) error {
 			return err
 		}
 		s.res.Requeued++
+		s.noteRequeued(holder.Spec.ID)
 	}
 	return s.reconcile(now, true, false)
 }
@@ -421,7 +493,7 @@ func (s *eventSim) onBudget(now time.Duration) error {
 		return err
 	}
 	if nb < old && s.sched.CommittedPower() > nb {
-		if err := s.shed(nb); err != nil {
+		if err := s.shed(nb, now); err != nil {
 			sp.End()
 			return err
 		}
@@ -434,7 +506,7 @@ func (s *eventSim) onBudget(now time.Duration) error {
 // started first (the least sunk progress), until the committed power fits
 // nb. Preempt checkpoints and requeues; kill aborts outright; throttle
 // sheds nothing and lets the policy squeeze everyone under the new budget.
-func (s *eventSim) shed(nb units.Power) error {
+func (s *eventSim) shed(nb units.Power, now time.Duration) error {
 	pol := s.cfg.emergency()
 	if pol == EmergencyThrottle {
 		return nil
@@ -450,6 +522,7 @@ func (s *eventSim) shed(nb units.Power) error {
 			delete(s.checkpoints, id)
 			s.res.Killed++
 			s.obs.JobKilled(id, s.lengths[id]-r.remaining)
+			s.noteKilled(id, now)
 			continue
 		}
 		ckpt, lost := s.recordCheckpoint(id, r.remaining)
@@ -458,6 +531,7 @@ func (s *eventSim) shed(nb units.Power) error {
 		}
 		s.res.Preempted++
 		s.obs.JobPreempted(id, ckpt, lost)
+		s.notePreempted(id)
 	}
 	return nil
 }

@@ -83,6 +83,11 @@ type Config struct {
 	JobSizes []int
 	// Workloads is the kernel-config population (sampled uniformly).
 	Workloads []kernel.Config
+	// DisableArrivals turns off the synthetic Poisson arrival process —
+	// service mode, where every job is an external Instance.Inject
+	// submission. With it set, MeanInterarrival, the job-iteration range,
+	// JobSizes, and Workloads become optional.
+	DisableArrivals bool
 
 	// Duration is the simulated span; Tick the scheduling granularity of
 	// the tick engine (and the default telemetry cadence of both).
@@ -145,13 +150,13 @@ func (c *Config) Validate() error {
 		return errors.New("facility: no characterization database")
 	case c.SystemBudget <= 0:
 		return errors.New("facility: budget must be positive")
-	case c.MeanInterarrival <= 0:
+	case !c.DisableArrivals && c.MeanInterarrival <= 0:
 		return errors.New("facility: interarrival must be positive")
-	case c.MinJobIterations <= 0 || c.MaxJobIterations < c.MinJobIterations:
+	case !c.DisableArrivals && (c.MinJobIterations <= 0 || c.MaxJobIterations < c.MinJobIterations):
 		return errors.New("facility: bad job-iteration range")
-	case len(c.JobSizes) == 0:
+	case !c.DisableArrivals && len(c.JobSizes) == 0:
 		return errors.New("facility: no job sizes")
-	case len(c.Workloads) == 0:
+	case !c.DisableArrivals && len(c.Workloads) == 0:
 		return errors.New("facility: no workloads")
 	case c.Tick <= 0 || c.Duration < c.Tick:
 		return errors.New("facility: bad tick/duration")
@@ -283,6 +288,12 @@ type simState struct {
 	submitTimes map[string]time.Time
 	jobSeq      int
 
+	// jobs is the per-job lifecycle ledger behind Instance.Job/Jobs and
+	// the service layer's status endpoints; extSeq numbers generated IDs
+	// for injected submissions ("extNNNNN", disjoint from arrival IDs).
+	jobs   map[string]*JobInfo
+	extSeq int
+
 	// steps is the stable-sorted budget timeline, curBudget the budget in
 	// force, checkpoints the last recorded checkpoint per job ID (see
 	// budget.go).
@@ -327,6 +338,7 @@ func setup(cfg Config) (*simState, error) {
 		nodeByID:    map[string]*node.Node{},
 		lengths:     map[string]int{},
 		submitTimes: map[string]time.Time{},
+		jobs:        map[string]*JobInfo{},
 		steps:       cfg.sortedSteps(),
 		checkpoints: map[string]int{},
 		horizon:     cfg.horizon(),
@@ -447,6 +459,7 @@ func (st *simState) submitArrival(at time.Time) (time.Duration, error) {
 				demand = entry.MonitorHostPower * units.Power(spec.Nodes)
 			}
 			st.obs.JobRejected(spec.ID, demand.Watts(), st.curBudget.Watts())
+			st.noteRejected(spec.ID, spec.Nodes, at.Sub(st.start))
 			return gap, nil
 		}
 		return 0, err
@@ -454,6 +467,7 @@ func (st *simState) submitArrival(at time.Time) (time.Duration, error) {
 	st.lengths[spec.ID] = length
 	st.submitTimes[spec.ID] = at
 	st.res.Submitted++
+	st.noteQueued(spec.ID, "", spec.Nodes, length, at.Sub(st.start))
 	return gap, nil
 }
 
@@ -478,240 +492,25 @@ func (st *simState) finalize() {
 
 // Run executes the simulation on the configured engine (EngineEvent by
 // default). Cancelling ctx stops the run at the next event or tick
-// boundary with ctx's error.
+// boundary with ctx's error. Run is a thin loop over the re-entrant
+// Instance — build, start, step straight to the horizon, close — and
+// produces byte-identical Results to the pre-Instance monolith (pinned by
+// the chunked-stepping equivalence tests in instance_test.go).
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	st, err := setup(cfg)
+	in, err := NewInstance(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Obs != nil {
-		// setup re-pointed the nodes at the run-local virtual-clock sink;
-		// hand them back to the caller's sink when the run ends so a
-		// long-lived cluster does not keep stamping stale virtual times.
-		defer func() {
-			for _, n := range cfg.Nodes {
-				n.SetObs(cfg.Obs)
-			}
-		}()
+	// release (not Close) on error paths: end the root span and hand node
+	// instrumentation back without finalizing a half-run Result.
+	defer in.release()
+	if err := in.Start(); err != nil {
+		return nil, err
 	}
-	sp := st.obs.StartSpan(cfg.SpanParent, "facility", "facility_run").
-		SetIter(len(cfg.Nodes)).SetValue(cfg.SystemBudget.Watts())
-	defer sp.End()
-	st.spanCtx = sp.Ctx()
-	if cfg.Engine == EngineTick {
-		return runTick(ctx, st)
+	if err := in.Step(ctx, in.Horizon()); err != nil {
+		return nil, err
 	}
-	return runEvent(ctx, st)
-}
-
-// runTick is the fixed-tick compatibility core: every tick fires the
-// window's faults, applies any budget-timeline change, enqueues the
-// window's arrivals, dispatches, advances every running job by one
-// RunSpan, and (on telemetry boundaries) samples the hierarchy. The final
-// tick is clamped to Duration when Duration is not a whole number of
-// ticks, so the run never integrates past the horizon and the last
-// telemetry sample always lands exactly at Duration.
-func runTick(ctx context.Context, st *simState) (*Result, error) {
-	cfg, res, mgr, sched := st.cfg, st.res, st.mgr, st.sched
-	now := st.start
-
-	// The tick core's virtual clock is the end of the tick being
-	// processed — the time at which the tick's effects are credited.
-	var vElapsed time.Duration
-	st.vclock = func() time.Duration { return vElapsed }
-
-	var active []*running
-	nextArrival := now.Add(expDuration(st.rng, cfg.MeanInterarrival))
-	var busyIntegral float64
-	var totalTicks int
-	var lastSample time.Duration
-
-	for elapsed := time.Duration(0); elapsed < cfg.Duration; {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		tickLen := cfg.Tick
-		if elapsed+tickLen > cfg.Duration {
-			tickLen = cfg.Duration - elapsed // clamp the final partial tick
-		}
-		windowEnd := elapsed + tickLen
-		tickEnd := now.Add(tickLen)
-		vElapsed = windowEnd
-
-		// Fire this tick's scheduled faults before any job advances:
-		// crashes drain nodes (requeueing the jobs that held them),
-		// repairs rejoin nodes, slow-node windows open and close. Budget
-		// drops are handled with the step timeline below, in one place.
-		faultsFired := false
-		for _, tr := range cfg.Faults.ApplyAt(elapsed, windowEnd) {
-			switch tr.Kind {
-			case fault.NodeCrash:
-				n, ok := st.nodeByID[tr.Node]
-				if !ok {
-					continue
-				}
-				fault.Crash(n)
-				st.obs.FaultInjected(string(fault.NodeCrash), tr.Node, "", 0)
-				holder, held := mgr.Drain(tr.Node, "crash")
-				if held {
-					for i, r := range active {
-						if r.sj == holder {
-							st.recordCheckpoint(holder.Spec.ID, r.remaining)
-							active = append(active[:i], active[i+1:]...)
-							break
-						}
-					}
-					if err := sched.Requeue(holder); err != nil {
-						return nil, err
-					}
-					res.Requeued++
-				}
-				faultsFired = true
-			case fault.NodeRepair:
-				n, ok := st.nodeByID[tr.Node]
-				if !ok {
-					continue
-				}
-				fault.Repair(n)
-				mgr.Rejoin(tr.Node)
-			case fault.SlowNode:
-				if n, ok := st.nodeByID[tr.Node]; ok {
-					n.SetDegradation(tr.Factor)
-					st.obs.FaultInjected(string(fault.SlowNode), tr.Node, "", tr.Factor)
-				}
-			}
-		}
-		if faultsFired {
-			if err := st.replan(); err != nil {
-				return nil, err
-			}
-		}
-
-		// Budget-timeline changes take effect at window boundaries: the
-		// budget in force for this window is the timeline evaluated at its
-		// end, matching the tick core's credit-at-window-end convention. A
-		// downward change that strands committed power above the new
-		// budget triggers the emergency response, and every change
-		// re-splits the new budget across the survivors.
-		if nb := st.budgetAt(windowEnd); nb != st.curBudget {
-			sp := st.obs.StartSpan(st.spanCtx, "facility", "budget_change").SetValue(nb.Watts())
-			old, err := st.applyBudgetChange(windowEnd, nb)
-			if err != nil {
-				sp.End()
-				return nil, err
-			}
-			if nb < old && sched.CommittedPower() > nb {
-				if active, err = st.shedTick(active, nb); err != nil {
-					sp.End()
-					return nil, err
-				}
-			}
-			sp.End()
-			if err := st.replan(); err != nil {
-				return nil, err
-			}
-		}
-
-		// Arrivals within this tick.
-		for !nextArrival.After(tickEnd) {
-			at := nextArrival
-			gap, err := st.submitArrival(at)
-			if err != nil {
-				return nil, err
-			}
-			nextArrival = at.Add(gap)
-		}
-
-		// Admit what fits, then replan power across the running set.
-		startedNow, err := sched.Dispatch(cfg.Seed + uint64(st.jobSeq))
-		if err != nil {
-			return nil, err
-		}
-		for _, sj := range startedNow {
-			active = append(active, &running{
-				sj:        sj,
-				remaining: st.startRemaining(sj),
-				submitted: st.submitTimes[sj.Spec.ID],
-				started:   now,
-			})
-			res.Started++
-			res.MeanQueueWait += now.Sub(st.submitTimes[sj.Spec.ID])
-		}
-		if len(startedNow) > 0 {
-			if err := st.replan(); err != nil {
-				return nil, err
-			}
-		}
-
-		// Advance every running job through the tick.
-		completedAny := false
-		var still []*running
-		for _, r := range active {
-			span, err := r.sj.Job.RunSpan(tickLen)
-			if err != nil {
-				return nil, err
-			}
-			r.remaining -= span.Iterations
-			if r.remaining <= 0 {
-				if err := sched.Complete(r.sj); err != nil {
-					return nil, err
-				}
-				res.Completed++
-				completedAny = true
-				st.obs.JobFinished(r.sj.Spec.ID,
-					r.started.Sub(r.submitted).Seconds(),
-					tickEnd.Sub(r.submitted).Seconds())
-				continue
-			}
-			still = append(still, r)
-		}
-		active = still
-		if completedAny {
-			if err := st.replan(); err != nil {
-				return nil, err
-			}
-		}
-
-		// Periodic replans on their own cadence.
-		if cfg.ReplanEvery > 0 && windowEnd%cfg.ReplanEvery == 0 {
-			if err := st.replan(); err != nil {
-				return nil, err
-			}
-		}
-
-		// Telemetry on its own cadence (every tick by default). The final
-		// window always samples, even when Duration is not a cadence
-		// multiple — otherwise the tail of the run would go unobserved —
-		// and energy integrates over the actual gap since the previous
-		// sample, which on cadence boundaries is exactly telEvery.
-		if windowEnd%st.telEvery == 0 || windowEnd == cfg.Duration {
-			p, err := st.root.Sample(tickEnd)
-			if err != nil {
-				return nil, err
-			}
-			res.Trace = append(res.Trace, telemetry.Sample{Time: tickEnd, Power: p})
-			res.TotalEnergy += units.EnergyOver(p, windowEnd-lastSample)
-			lastSample = windowEnd
-			if p > st.curBudget {
-				res.BudgetViolationTicks++
-			}
-		}
-		busy := 0
-		for _, r := range active {
-			busy += r.sj.Spec.Nodes
-		}
-		busyIntegral += float64(busy) * tickLen.Seconds()
-		totalTicks++
-		now = tickEnd
-		elapsed = windowEnd
-	}
-
-	res.TicksSimulated = totalTicks
-	if cfg.Duration > 0 {
-		res.MeanNodeUtilization = busyIntegral / (cfg.Duration.Seconds() * float64(len(cfg.Nodes)))
-	}
-	st.finalize()
-	return res, nil
+	return in.Close()
 }
 
 // expDuration samples an exponential inter-arrival gap. The result is

@@ -1,0 +1,316 @@
+package facility
+
+// The fixed-tick compatibility core, as a re-entrant tickCore: the former
+// runTick loop with its locals hoisted into fields so an Instance can run
+// it in increments. Every tick fires the window's faults, applies any
+// budget-timeline change, enqueues the window's arrivals and injections,
+// dispatches, advances every running job by one RunSpan, and (on telemetry
+// boundaries) samples the hierarchy. The final tick is clamped to Duration
+// when Duration is not a whole number of ticks, so the run never
+// integrates past the horizon and the last telemetry sample always lands
+// exactly at Duration.
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"powerstack/internal/fault"
+	"powerstack/internal/telemetry"
+	"powerstack/internal/units"
+)
+
+// pendingSub is a deferred injection awaiting its virtual time.
+type pendingSub struct {
+	at  time.Duration
+	sub Submission
+}
+
+// tickCore holds the tick loop's state between Step calls. The wall clock
+// tracks the start of the next tick; elapsed its virtual offset; vElapsed
+// is the end of the tick being processed — the time at which the tick's
+// effects are credited, and what the core's virtual clock reads.
+type tickCore struct {
+	*simState
+	wall     time.Time
+	vElapsed time.Duration
+	elapsed  time.Duration
+
+	active      []*running
+	arrivalsOn  bool
+	nextArrival time.Time
+	pending     []pendingSub
+
+	busyIntegral float64
+	totalTicks   int
+	lastSample   time.Duration
+}
+
+func newTickCore(st *simState) *tickCore { return &tickCore{simState: st} }
+
+// prime installs the virtual clock and arms the arrival process.
+func (c *tickCore) prime() error {
+	c.wall = c.simState.start
+	c.vclock = func() time.Duration { return c.vElapsed }
+	if !c.cfg.DisableArrivals {
+		c.arrivalsOn = true
+		c.nextArrival = c.wall.Add(expDuration(c.rng, c.cfg.MeanInterarrival))
+	}
+	return nil
+}
+
+func (c *tickCore) now() time.Duration { return c.elapsed }
+
+// step advances whole ticks while the virtual clock is below until: a
+// mid-tick until runs through the tick containing it (ticks are the core's
+// granularity; it cannot stop inside one).
+func (c *tickCore) step(ctx context.Context, until time.Duration) error {
+	cfg, res, mgr, sched := c.cfg, c.res, c.mgr, c.sched
+	if until > cfg.Duration {
+		until = cfg.Duration
+	}
+	for c.elapsed < until {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tickLen := cfg.Tick
+		if c.elapsed+tickLen > cfg.Duration {
+			tickLen = cfg.Duration - c.elapsed // clamp the final partial tick
+		}
+		windowEnd := c.elapsed + tickLen
+		tickEnd := c.wall.Add(tickLen)
+		c.vElapsed = windowEnd
+
+		// Fire this tick's scheduled faults before any job advances:
+		// crashes drain nodes (requeueing the jobs that held them),
+		// repairs rejoin nodes, slow-node windows open and close. Budget
+		// drops are handled with the step timeline below, in one place.
+		faultsFired := false
+		for _, tr := range cfg.Faults.ApplyAt(c.elapsed, windowEnd) {
+			switch tr.Kind {
+			case fault.NodeCrash:
+				n, ok := c.nodeByID[tr.Node]
+				if !ok {
+					continue
+				}
+				fault.Crash(n)
+				c.obs.FaultInjected(string(fault.NodeCrash), tr.Node, "", 0)
+				holder, held := mgr.Drain(tr.Node, "crash")
+				if held {
+					for i, r := range c.active {
+						if r.sj == holder {
+							c.recordCheckpoint(holder.Spec.ID, r.remaining)
+							c.active = append(c.active[:i], c.active[i+1:]...)
+							break
+						}
+					}
+					if err := sched.Requeue(holder); err != nil {
+						return err
+					}
+					res.Requeued++
+					c.noteRequeued(holder.Spec.ID)
+				}
+				faultsFired = true
+			case fault.NodeRepair:
+				n, ok := c.nodeByID[tr.Node]
+				if !ok {
+					continue
+				}
+				fault.Repair(n)
+				mgr.Rejoin(tr.Node)
+			case fault.SlowNode:
+				if n, ok := c.nodeByID[tr.Node]; ok {
+					n.SetDegradation(tr.Factor)
+					c.obs.FaultInjected(string(fault.SlowNode), tr.Node, "", tr.Factor)
+				}
+			}
+		}
+		if faultsFired {
+			if err := c.replan(); err != nil {
+				return err
+			}
+		}
+
+		// Budget-timeline changes take effect at window boundaries: the
+		// budget in force for this window is the timeline evaluated at its
+		// end, matching the tick core's credit-at-window-end convention. A
+		// downward change that strands committed power above the new
+		// budget triggers the emergency response, and every change
+		// re-splits the new budget across the survivors.
+		if nb := c.budgetAt(windowEnd); nb != c.curBudget {
+			sp := c.obs.StartSpan(c.spanCtx, "facility", "budget_change").SetValue(nb.Watts())
+			old, err := c.applyBudgetChange(windowEnd, nb)
+			if err != nil {
+				sp.End()
+				return err
+			}
+			if nb < old && sched.CommittedPower() > nb {
+				if c.active, err = c.shedTick(c.active, nb); err != nil {
+					sp.End()
+					return err
+				}
+			}
+			sp.End()
+			if err := c.replan(); err != nil {
+				return err
+			}
+		}
+
+		// Injections due this window, then Poisson arrivals. Injections
+		// never touch the arrival RNG, so their presence does not perturb
+		// the synthetic traffic; admission errors here degrade to
+		// journaled rejections (the submitter is long gone).
+		for len(c.pending) > 0 && c.pending[0].at <= windowEnd {
+			p := c.pending[0]
+			c.pending = c.pending[1:]
+			if _, err := c.submitInjected(p.sub, p.at); err != nil {
+				c.rejectInjected(p.sub.ID, p.sub, p.at)
+			}
+		}
+		if c.arrivalsOn {
+			for !c.nextArrival.After(tickEnd) {
+				at := c.nextArrival
+				gap, err := c.submitArrival(at)
+				if err != nil {
+					return err
+				}
+				c.nextArrival = at.Add(gap)
+			}
+		}
+
+		// Admit what fits, then replan power across the running set.
+		startedNow, err := sched.Dispatch(cfg.Seed + uint64(c.jobSeq))
+		if err != nil {
+			return err
+		}
+		for _, sj := range startedNow {
+			c.active = append(c.active, &running{
+				sj:        sj,
+				remaining: c.startRemaining(sj),
+				submitted: c.submitTimes[sj.Spec.ID],
+				started:   c.wall,
+			})
+			res.Started++
+			res.MeanQueueWait += c.wall.Sub(c.submitTimes[sj.Spec.ID])
+			c.noteStarted(sj.Spec.ID, c.elapsed)
+		}
+		if len(startedNow) > 0 {
+			if err := c.replan(); err != nil {
+				return err
+			}
+		}
+
+		// Advance every running job through the tick.
+		completedAny := false
+		var still []*running
+		for _, r := range c.active {
+			span, err := r.sj.Job.RunSpan(tickLen)
+			if err != nil {
+				return err
+			}
+			r.remaining -= span.Iterations
+			if r.remaining <= 0 {
+				if err := sched.Complete(r.sj); err != nil {
+					return err
+				}
+				res.Completed++
+				completedAny = true
+				c.obs.JobFinished(r.sj.Spec.ID,
+					r.started.Sub(r.submitted).Seconds(),
+					tickEnd.Sub(r.submitted).Seconds())
+				c.noteCompleted(r.sj.Spec.ID, windowEnd)
+				continue
+			}
+			still = append(still, r)
+		}
+		c.active = still
+		if completedAny {
+			if err := c.replan(); err != nil {
+				return err
+			}
+		}
+
+		// Periodic replans on their own cadence.
+		if cfg.ReplanEvery > 0 && windowEnd%cfg.ReplanEvery == 0 {
+			if err := c.replan(); err != nil {
+				return err
+			}
+		}
+
+		// Telemetry on its own cadence (every tick by default). The final
+		// window always samples, even when Duration is not a cadence
+		// multiple — otherwise the tail of the run would go unobserved —
+		// and energy integrates over the actual gap since the previous
+		// sample, which on cadence boundaries is exactly telEvery.
+		if windowEnd%c.telEvery == 0 || windowEnd == cfg.Duration {
+			p, err := c.root.Sample(tickEnd)
+			if err != nil {
+				return err
+			}
+			res.Trace = append(res.Trace, telemetry.Sample{Time: tickEnd, Power: p})
+			res.TotalEnergy += units.EnergyOver(p, windowEnd-c.lastSample)
+			c.lastSample = windowEnd
+			if p > c.curBudget {
+				res.BudgetViolationTicks++
+			}
+		}
+		busy := 0
+		for _, r := range c.active {
+			busy += r.sj.Spec.Nodes
+		}
+		c.busyIntegral += float64(busy) * tickLen.Seconds()
+		c.totalTicks++
+		c.wall = tickEnd
+		c.elapsed = windowEnd
+	}
+	return nil
+}
+
+// settle closes the run's aggregates at the current virtual time. For a
+// run stepped to the horizon this is exactly the former loop epilogue
+// (elapsed == Duration); an early Close averages utilization over the
+// span actually simulated.
+func (c *tickCore) settle() {
+	c.res.TicksSimulated = c.totalTicks
+	if c.elapsed > 0 {
+		c.res.MeanNodeUtilization = c.busyIntegral / (c.elapsed.Seconds() * float64(len(c.cfg.Nodes)))
+	}
+}
+
+func (c *tickCore) running() []RunningJob {
+	out := make([]RunningJob, 0, len(c.active))
+	for _, r := range c.active {
+		out = append(out, RunningJob{
+			ID:        r.sj.Spec.ID,
+			Tenant:    r.sj.Spec.Tenant,
+			Nodes:     r.sj.Spec.Nodes,
+			Remaining: r.remaining,
+			StartedAt: r.started.Sub(c.simState.start),
+		})
+	}
+	return out
+}
+
+// injectNow enqueues a submission at the current tick boundary; it
+// dispatches with the next tick's admissions.
+func (c *tickCore) injectNow(sub Submission) (string, error) {
+	return c.submitInjected(sub, c.elapsed)
+}
+
+// injectAt defers a submission, keeping the pending list at-ordered (FIFO
+// at equal instants).
+func (c *tickCore) injectAt(at time.Duration, sub Submission) {
+	i := sort.Search(len(c.pending), func(i int) bool { return c.pending[i].at > at })
+	c.pending = append(c.pending, pendingSub{})
+	copy(c.pending[i+1:], c.pending[i:])
+	c.pending[i] = pendingSub{at: at, sub: sub}
+}
+
+// budgetPoint is a no-op: the tick core re-evaluates the budget timeline
+// at every window boundary, so a new point needs no pre-scheduling.
+func (c *tickCore) budgetPoint(time.Duration) {}
+
+// policySwapped replans immediately under the new policy; the instance
+// sits at a tick boundary between steps, the same place change-driven
+// replans run.
+func (c *tickCore) policySwapped() error { return c.replan() }

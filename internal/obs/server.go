@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -211,25 +212,54 @@ func streamMetrics(w http.ResponseWriter, r *http.Request, s *Sink) {
 
 // Server is a running debug HTTP server.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	cancel context.CancelFunc
 }
 
 // Serve starts the debug server on addr (e.g. "localhost:6060"; an addr
 // ending in ":0" picks a free port — read it back with Addr). The server
-// runs until Close.
+// runs until Close or Shutdown. ServeHandler generalizes it to any
+// handler; both wire every request's context to a server-scoped base
+// context so Shutdown can drain SSE clients (their streaming loops select
+// on r.Context()).
 func Serve(addr string, s *Sink) (*Server, error) {
+	return ServeHandler(addr, NewMux(s))
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler with the
+// same lifecycle as Serve — the service layer mounts its /v1 API on top
+// of the debug mux this way.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(s), ReadHeaderTimeout: 5 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
-	return &Server{ln: ln, srv: srv}, nil
+	return &Server{ln: ln, srv: srv, cancel: cancel}, nil
 }
 
 // Addr returns the bound listen address.
 func (sv *Server) Addr() string { return sv.ln.Addr().String() }
 
-// Close shuts the server down.
-func (sv *Server) Close() error { return sv.srv.Close() }
+// Shutdown stops the server gracefully: the base context is cancelled
+// first, which ends every streaming response (SSE clients see their
+// request contexts done and return), then the listener closes and
+// Shutdown waits — bounded by ctx — for in-flight requests to finish.
+func (sv *Server) Shutdown(ctx context.Context) error {
+	sv.cancel()
+	return sv.srv.Shutdown(ctx)
+}
+
+// Close shuts the server down immediately, without waiting for in-flight
+// requests.
+func (sv *Server) Close() error {
+	sv.cancel()
+	return sv.srv.Close()
+}

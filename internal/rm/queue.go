@@ -3,6 +3,7 @@ package rm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"powerstack/internal/charz"
@@ -42,7 +43,14 @@ type Scheduler struct {
 	// characterization entry was corrupt and a fallback estimate was used.
 	committed units.Power
 	demands   map[*ScheduledJob]units.Power
-	nextOrder int
+	// quotas partitions the budget per tenant: a tenant with a quota may
+	// never hold more committed power than it, no matter how idle the
+	// rest of the system is. Tenants without a quota (and the empty
+	// default tenant) are bounded only by the system budget.
+	// tenantCommitted mirrors committed per tenant.
+	quotas          map[string]units.Power
+	tenantCommitted map[string]units.Power
+	nextOrder       int
 	// totalNodes is the managed pool size at construction, the basis of
 	// the uniform fallback demand estimate for corrupt entries.
 	totalNodes int
@@ -66,9 +74,49 @@ func NewScheduler(mgr *Manager, db *charz.DB, budget units.Power) (*Scheduler, e
 	}
 	return &Scheduler{
 		mgr: mgr, db: db, budget: budget, Backfill: true,
-		demands:    map[*ScheduledJob]units.Power{},
-		totalNodes: mgr.FreeNodes() + len(mgr.quarantined),
+		demands:         map[*ScheduledJob]units.Power{},
+		quotas:          map[string]units.Power{},
+		tenantCommitted: map[string]units.Power{},
+		totalNodes:      mgr.FreeNodes() + len(mgr.quarantined),
 	}, nil
+}
+
+// SetTenantQuota installs (or, with quota zero, removes) a tenant's power
+// quota partition. Already committed power is never clawed back by a quota
+// change: a lowered quota only gates future admissions, mirroring
+// SetBudget's semantics for the system budget.
+func (s *Scheduler) SetTenantQuota(tenant string, quota units.Power) error {
+	if tenant == "" {
+		return errors.New("rm: tenant quota needs a tenant name")
+	}
+	if quota < 0 {
+		return fmt.Errorf("rm: tenant %s quota must not be negative", tenant)
+	}
+	if quota == 0 {
+		delete(s.quotas, tenant)
+		return nil
+	}
+	s.quotas[tenant] = quota
+	return nil
+}
+
+// TenantQuota returns a tenant's quota partition (zero when the tenant is
+// unpartitioned).
+func (s *Scheduler) TenantQuota(tenant string) units.Power { return s.quotas[tenant] }
+
+// TenantCommitted returns a tenant's currently committed power demand.
+func (s *Scheduler) TenantCommitted(tenant string) units.Power {
+	return s.tenantCommitted[tenant]
+}
+
+// Tenants returns every tenant with a quota, sorted by name.
+func (s *Scheduler) Tenants() []string {
+	out := make([]string, 0, len(s.quotas))
+	for t := range s.quotas {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Enqueue validates a submission and places it in the queue. The power
@@ -97,6 +145,10 @@ func (s *Scheduler) Enqueue(spec JobSpec) (*QueuedJob, error) {
 	if demand > s.budget {
 		return nil, fmt.Errorf("%w: job %s demands %v against budget %v",
 			ErrBudgetInfeasible, spec.ID, demand, s.budget)
+	}
+	if quota, ok := s.quotas[spec.Tenant]; ok && demand > quota {
+		return nil, fmt.Errorf("%w: job %s demands %v against tenant %s quota %v",
+			ErrTenantQuotaExceeded, spec.ID, demand, spec.Tenant, quota)
 	}
 	qj := &QueuedJob{
 		Spec:        spec,
@@ -139,9 +191,17 @@ func (s *Scheduler) Started() []*ScheduledJob { return s.started }
 // CommittedPower returns the admitted jobs' total power demand.
 func (s *Scheduler) CommittedPower() units.Power { return s.committed }
 
-// fits reports whether the job can start now.
+// fits reports whether the job can start now: enough free nodes, headroom
+// under the system budget, and — when its tenant is quota-partitioned —
+// headroom under the tenant quota.
 func (s *Scheduler) fits(qj *QueuedJob) bool {
-	return qj.Spec.Nodes <= s.mgr.FreeNodes() && s.committed+qj.Demand <= s.budget
+	if qj.Spec.Nodes > s.mgr.FreeNodes() || s.committed+qj.Demand > s.budget {
+		return false
+	}
+	if quota, ok := s.quotas[qj.Spec.Tenant]; ok {
+		return s.tenantCommitted[qj.Spec.Tenant]+qj.Demand <= quota
+	}
+	return true
 }
 
 // admit starts a queued job.
@@ -151,6 +211,7 @@ func (s *Scheduler) admit(qj *QueuedJob, seed uint64) error {
 		return err
 	}
 	s.committed += qj.Demand
+	s.tenantCommitted[qj.Spec.Tenant] += qj.Demand
 	s.demands[sj] = qj.Demand
 	s.started = append(s.started, sj)
 	return nil
@@ -182,9 +243,10 @@ func (s *Scheduler) Dispatch(seed uint64) ([]*ScheduledJob, error) {
 	return startedNow, nil
 }
 
-// Complete releases a started job's nodes and power commitment, returning
-// an error if the job is unknown.
-func (s *Scheduler) Complete(sj *ScheduledJob) error {
+// remove drops a started job from the started set and releases its power
+// commitment (system-wide and per-tenant), returning the released demand.
+// It is the shared first half of Complete, Requeue, and Abort.
+func (s *Scheduler) remove(sj *ScheduledJob) (units.Power, error) {
 	idx := -1
 	for i, cand := range s.started {
 		if cand == sj {
@@ -193,14 +255,29 @@ func (s *Scheduler) Complete(sj *ScheduledJob) error {
 		}
 	}
 	if idx < 0 {
-		return fmt.Errorf("rm: job %s is not running", sj.Spec.ID)
+		return 0, fmt.Errorf("rm: job %s is not running", sj.Spec.ID)
 	}
-	s.committed -= s.demands[sj]
+	demand := s.demands[sj]
+	s.committed -= demand
 	delete(s.demands, sj)
 	if s.committed < 0 {
 		s.committed = 0
 	}
+	if tc := s.tenantCommitted[sj.Spec.Tenant] - demand; tc > 0 {
+		s.tenantCommitted[sj.Spec.Tenant] = tc
+	} else {
+		delete(s.tenantCommitted, sj.Spec.Tenant)
+	}
 	s.started = append(s.started[:idx], s.started[idx+1:]...)
+	return demand, nil
+}
+
+// Complete releases a started job's nodes and power commitment, returning
+// an error if the job is unknown.
+func (s *Scheduler) Complete(sj *ScheduledJob) error {
+	if _, err := s.remove(sj); err != nil {
+		return err
+	}
 	return s.mgr.release(sj)
 }
 
@@ -210,23 +287,10 @@ func (s *Scheduler) Complete(sj *ScheduledJob) error {
 // as soon as capacity allows. The decision is journaled as a JobRequeued
 // event.
 func (s *Scheduler) Requeue(sj *ScheduledJob) error {
-	idx := -1
-	for i, cand := range s.started {
-		if cand == sj {
-			idx = i
-			break
-		}
+	demand, err := s.remove(sj)
+	if err != nil {
+		return err
 	}
-	if idx < 0 {
-		return fmt.Errorf("rm: job %s is not running", sj.Spec.ID)
-	}
-	demand := s.demands[sj]
-	s.committed -= demand
-	delete(s.demands, sj)
-	if s.committed < 0 {
-		s.committed = 0
-	}
-	s.started = append(s.started[:idx], s.started[idx+1:]...)
 	if err := s.mgr.release(sj); err != nil {
 		return err
 	}
@@ -242,21 +306,8 @@ func (s *Scheduler) Requeue(sj *ScheduledJob) error {
 // the job never returns: its progress is discarded and it will not count as
 // completed. The caller journals the decision (JobKilled).
 func (s *Scheduler) Abort(sj *ScheduledJob) error {
-	idx := -1
-	for i, cand := range s.started {
-		if cand == sj {
-			idx = i
-			break
-		}
+	if _, err := s.remove(sj); err != nil {
+		return err
 	}
-	if idx < 0 {
-		return fmt.Errorf("rm: job %s is not running", sj.Spec.ID)
-	}
-	s.committed -= s.demands[sj]
-	delete(s.demands, sj)
-	if s.committed < 0 {
-		s.committed = 0
-	}
-	s.started = append(s.started[:idx], s.started[idx+1:]...)
 	return s.mgr.release(sj)
 }

@@ -39,6 +39,11 @@ var (
 	// ErrBudgetInfeasible reports a job whose characterized power demand
 	// exceeds the scheduler's whole system budget: it can never start.
 	ErrBudgetInfeasible = errors.New("rm: power demand exceeds system budget")
+	// ErrTenantQuotaExceeded reports a submission whose power demand
+	// exceeds its tenant's whole quota partition: it can never start
+	// while that quota holds, regardless of how idle the rest of the
+	// system is.
+	ErrTenantQuotaExceeded = errors.New("rm: power demand exceeds tenant quota")
 )
 
 // JobSpec is a job submission.
@@ -47,6 +52,11 @@ type JobSpec struct {
 	Config kernel.Config
 	// Nodes is the host count requested.
 	Nodes int
+	// Tenant names the submitting tenant for per-tenant admission
+	// control; empty means the default (unpartitioned) tenant. Tenancy
+	// affects scheduling only when the scheduler carries a quota for the
+	// tenant (Scheduler.SetTenantQuota).
+	Tenant string
 }
 
 // ScheduledJob is a submitted job bound to its nodes.

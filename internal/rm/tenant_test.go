@@ -1,0 +1,130 @@
+package rm
+
+import (
+	"errors"
+	"testing"
+
+	"powerstack/internal/units"
+)
+
+func TestTenantQuotaValidation(t *testing.T) {
+	_, s := schedEnv(t, 8, 6*235*units.Watt)
+	if err := s.SetTenantQuota("", 100*units.Watt); err == nil {
+		t.Error("empty tenant name accepted")
+	}
+	if err := s.SetTenantQuota("acme", -1); err == nil {
+		t.Error("negative quota accepted")
+	}
+	if err := s.SetTenantQuota("acme", 500*units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TenantQuota("acme"); got != 500*units.Watt {
+		t.Errorf("TenantQuota = %v, want 500 W", got)
+	}
+	if got := s.Tenants(); len(got) != 1 || got[0] != "acme" {
+		t.Errorf("Tenants = %v, want [acme]", got)
+	}
+	// Zero removes the partition.
+	if err := s.SetTenantQuota("acme", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TenantQuota("acme"); got != 0 {
+		t.Errorf("TenantQuota after removal = %v, want 0", got)
+	}
+	if got := s.Tenants(); len(got) != 0 {
+		t.Errorf("Tenants after removal = %v, want empty", got)
+	}
+}
+
+func TestTenantQuotaExceededSentinel(t *testing.T) {
+	// A 3-node balanced job demands ~3x235 W; a 300 W quota can never
+	// admit it while the quota holds.
+	_, s := schedEnv(t, 8, 6*235*units.Watt)
+	if err := s.SetTenantQuota("acme", 300*units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Enqueue(JobSpec{ID: "a", Tenant: "acme", Config: cfgBalanced(), Nodes: 3})
+	if !errors.Is(err, ErrTenantQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrTenantQuotaExceeded", err)
+	}
+	// The same job under an unpartitioned tenant enqueues fine.
+	if _, err := s.Enqueue(JobSpec{ID: "b", Tenant: "beta", Config: cfgBalanced(), Nodes: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTenantQuotaGatesAdmission(t *testing.T) {
+	// System budget fits four 1-node jobs, but acme's quota fits one:
+	// acme's second job waits while beta's jobs sail through.
+	_, s := schedEnv(t, 8, 4*250*units.Watt)
+	if err := s.SetTenantQuota("acme", 300*units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []JobSpec{
+		{ID: "a1", Tenant: "acme", Config: cfgBalanced(), Nodes: 1},
+		{ID: "a2", Tenant: "acme", Config: cfgBalanced(), Nodes: 1},
+		{ID: "b1", Tenant: "beta", Config: cfgBalanced(), Nodes: 1},
+		{ID: "b2", Tenant: "beta", Config: cfgBalanced(), Nodes: 1},
+	} {
+		if _, err := s.Enqueue(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	started, err := s.Dispatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, sj := range started {
+		ids[sj.Spec.ID] = true
+	}
+	if !ids["a1"] || ids["a2"] || !ids["b1"] || !ids["b2"] {
+		t.Fatalf("started = %v, want a1, b1, b2 (a2 over quota)", ids)
+	}
+	if tc := s.TenantCommitted("acme"); tc > 300*units.Watt {
+		t.Errorf("acme committed %v exceeds its 300 W quota", tc)
+	}
+
+	// Completing a1 frees the quota; a2 starts on the next dispatch.
+	if err := s.Complete(started[0]); err != nil {
+		t.Fatal(err)
+	}
+	started, err = s.Dispatch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 1 || started[0].Spec.ID != "a2" {
+		t.Fatalf("after completion started = %v, want [a2]", started)
+	}
+}
+
+func TestTenantCommittedReleasedOnRequeueAndAbort(t *testing.T) {
+	_, s := schedEnv(t, 8, 4*250*units.Watt)
+	if err := s.SetTenantQuota("acme", 600*units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a1", "a2"} {
+		if _, err := s.Enqueue(JobSpec{ID: id, Tenant: "acme", Config: cfgBalanced(), Nodes: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	started, err := s.Dispatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != 2 {
+		t.Fatalf("started = %d, want 2", len(started))
+	}
+	if err := s.Requeue(started[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abort(started[1]); err != nil {
+		t.Fatal(err)
+	}
+	if tc := s.TenantCommitted("acme"); tc != 0 {
+		t.Errorf("acme committed after requeue+abort = %v, want 0", tc)
+	}
+	if c := s.CommittedPower(); c != 0 {
+		t.Errorf("system committed after requeue+abort = %v, want 0", c)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"powerstack/internal/kernel"
 	"powerstack/internal/obs"
@@ -106,7 +107,7 @@ func TestServeDebugFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := sys.ServeDebug("127.0.0.1:0")
+	srv, err := sys.ServeDebug(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,5 +147,42 @@ func TestServeDebugFacade(t *testing.T) {
 	}
 	if len(doc.TraceEvents) == 0 {
 		t.Error("/trace empty")
+	}
+}
+
+// TestServeDebugContextShutdown ties the debug server to a cancellable
+// context and verifies cancellation drains it: the listener stops
+// accepting new connections without any explicit Shutdown call.
+func TestServeDebugContextShutdown(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 12, Seed: 3, CharNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := sys.ServeDebug(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck // test
+	addr := srv.Addr()
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test
+	cancel()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			break // listener closed: drained
+		}
+		resp.Body.Close() //nolint:errcheck // test
+		if time.Now().After(deadline) {
+			t.Fatal("server still serving after ctx cancel")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"powerstack/internal/bsp"
 	"powerstack/internal/campaign"
@@ -248,10 +249,28 @@ func (s *System) EnableObservability() *obs.Sink {
 // addr, exposing /metrics (Prometheus text), /events (decision journal),
 // /trace (Chrome trace JSON of events and spans), /spans (JSONL span log),
 // /stream/events and /stream/metrics (live SSE feeds), /healthz, and
-// /debug/pprof. Close the returned server when done; use addr ":0" to pick
-// a free port.
-func (s *System) ServeDebug(addr string) (*obs.Server, error) {
-	return obs.Serve(addr, s.EnableObservability())
+// /debug/pprof. Use addr ":0" to pick a free port and read it back with
+// Addr.
+//
+// The returned handle's Shutdown(ctx) drains gracefully: live SSE clients
+// are disconnected first, then in-flight requests finish (bounded by the
+// Shutdown context). Cancelling the ctx given here triggers the same
+// graceful drain, so a server tied to a signal context needs no extra
+// plumbing.
+func (s *System) ServeDebug(ctx context.Context, addr string) (*obs.Server, error) {
+	srv, err := obs.Serve(addr, s.EnableObservability())
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			drain, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(drain) //nolint:errcheck // best-effort drain on ctx cancel
+		}()
+	}
+	return srv, nil
 }
 
 // ReadFlightRecord parses a flight-recorder artifact written by a campaign
@@ -357,30 +376,75 @@ func (s *System) CharacterizeMixes(ctx context.Context, mixes []Mix, opt charz.O
 	return s.Characterize(ctx, configs, opt)
 }
 
-// Runner returns an evaluation runner over the system's experiment pool.
-func (s *System) Runner() *sim.Runner {
+// RunnerOptions tunes grid evaluation (RunMixWith, EvaluateWith) without
+// exposing the internal simulation runner. The zero value reproduces the
+// system defaults, so RunMix(ctx, mix, iters) is exactly
+// RunMixWith(ctx, mix, RunnerOptions{Iters: iters}).
+type RunnerOptions struct {
+	// Iters is the per-run iteration count; zero keeps the paper's 100.
+	Iters int
+	// Seed overrides the evaluation seed; zero keeps the system seed
+	// derivation, so paired comparisons across policies stay paired.
+	Seed uint64
+	// NoiseSigma, when non-nil, overrides every job's BSP noise sigma —
+	// a pointer so an explicit zero (fully deterministic iterations) is
+	// distinguishable from "keep the characterized noise".
+	NoiseSigma *float64
+	// Parallelism bounds concurrent evaluation cells: zero selects all
+	// CPUs, one recovers the sequential grid. Results are byte-identical
+	// at every level.
+	Parallelism int
+}
+
+// runner materializes the internal evaluation runner from options.
+func (s *System) runner(opts RunnerOptions) *sim.Runner {
 	r := sim.NewRunner(s.Pool, s.DB)
 	r.Seed = s.seed + 1000
+	if opts.Seed != 0 {
+		r.Seed = opts.Seed
+	}
+	if opts.Iters > 0 {
+		r.Iters = opts.Iters
+	}
+	if opts.NoiseSigma != nil {
+		r.NoiseSigma = *opts.NoiseSigma
+	}
+	r.Parallelism = opts.Parallelism
 	r.Obs = s.Obs
 	r.Faults = s.Faults
 	return r
+}
+
+// Runner returns an evaluation runner over the system's experiment pool.
+//
+// Deprecated: Runner leaks the internal *sim.Runner onto the facade. Use
+// RunMixWith or EvaluateWith with RunnerOptions instead; this accessor
+// will be removed once nothing reaches for runner internals.
+func (s *System) Runner() *sim.Runner {
+	return s.runner(RunnerOptions{})
 }
 
 // RunMix evaluates one mix across all budgets and policies. Cancelling ctx
 // abandons the run at the next cell boundary and returns an error matching
 // errors.Is(err, context.Canceled); every node is left capped at TDP.
 func (s *System) RunMix(ctx context.Context, mix Mix, iters int) (MixResult, error) {
-	r := s.Runner()
-	r.Iters = iters
-	return r.RunMix(ctx, mix)
+	return s.RunMixWith(ctx, mix, RunnerOptions{Iters: iters})
+}
+
+// RunMixWith is RunMix with the full evaluation options surface.
+func (s *System) RunMixWith(ctx context.Context, mix Mix, opts RunnerOptions) (MixResult, error) {
+	return s.runner(opts).RunMix(ctx, mix)
 }
 
 // Evaluate runs the full Figure 7/8 grid over the given mixes. Cancellation
 // behaves as in RunMix.
 func (s *System) Evaluate(ctx context.Context, mixes []Mix, iters int) (*Grid, error) {
-	r := s.Runner()
-	r.Iters = iters
-	return r.Run(ctx, mixes)
+	return s.EvaluateWith(ctx, mixes, RunnerOptions{Iters: iters})
+}
+
+// EvaluateWith is Evaluate with the full evaluation options surface.
+func (s *System) EvaluateWith(ctx context.Context, mixes []Mix, opts RunnerOptions) (*Grid, error) {
+	return s.runner(opts).Run(ctx, mixes)
 }
 
 // RunFacility executes a trace-driven machine-room simulation over the

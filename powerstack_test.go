@@ -1,7 +1,9 @@
 package powerstack
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"testing"
 
 	"powerstack/internal/kernel"
@@ -50,6 +52,44 @@ func TestSystemEndToEnd(t *testing.T) {
 		if len(sv) != 3 {
 			t.Errorf("%s: savings entries = %d", lvl, len(sv))
 		}
+	}
+}
+
+// TestRunnerOptionsEquivalence pins the facade redesign contract: the
+// legacy iteration-count helpers are exactly the RunnerOptions-based
+// methods with a zero options struct, byte for byte, and the options
+// surface actually reaches the runner (a different seed changes results).
+func TestRunnerOptionsEquivalence(t *testing.T) {
+	sys, err := NewSystem(Options{ClusterSize: 32, Seed: 5, CharNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.WastefulPower().Scaled(24)
+	if err := sys.CharacterizeMixes(context.Background(), []Mix{mix}, QuickCharacterization()); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy, err := sys.RunMix(context.Background(), mix, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opted, err := sys.RunMixWith(context.Background(), mix, RunnerOptions{Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := json.Marshal(legacy)
+	ob, _ := json.Marshal(opted)
+	if !bytes.Equal(lb, ob) {
+		t.Error("RunMixWith{Iters} diverged from RunMix")
+	}
+
+	reseeded, err := sys.RunMixWith(context.Background(), mix, RunnerOptions{Iters: 5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := json.Marshal(reseeded)
+	if bytes.Equal(lb, rb) {
+		t.Error("Seed override did not reach the runner")
 	}
 }
 
