@@ -19,6 +19,7 @@
 //	         [-shockat 2h] [-shockfrac 0.5] [-shockdur 1h]
 //	         [-emergencies preempt,throttle,kill] [-checkpoint K]
 //	         [-flightdir flights/] [-debug addr]
+//	         [-shard i/n] [-merge shard0.json,shard1.json]
 //
 // Chaos flags add a "chaos" fault lane next to the default "clean" lane, so
 // every policy is ranked under both.
@@ -34,6 +35,11 @@
 // successful one whose result looks anomalous (quarantines or requeues),
 // writes a self-contained post-mortem artifact into the directory. Inspect
 // artifacts with "obsdump flight". Flight capture never alters the report.
+//
+// -shard i/n runs only the scenarios whose matrix index ≡ i (mod n) and
+// writes a partial report; run all n shards (identical flags except -shard)
+// on separate machines, then join them with -merge — the merged report is
+// byte-identical to a single-process run of the full matrix.
 package main
 
 import (
@@ -75,8 +81,21 @@ func main() {
 	checkpoint := flag.Int("checkpoint", workload.CheckpointInterval(2000, 20000), "job checkpoint cadence in iterations (0 disables)")
 	flightDir := flag.String("flightdir", "", "write flight-recorder artifacts for failed/anomalous scenarios here")
 	debugAddr := flag.String("debug", "", "serve the live debug surface (/metrics, /stream/*, pprof) here during the sweep (\":0\" picks a port)")
+	shardSpec := flag.String("shard", "", "run one shard of the matrix, as \"i/n\" (shard i of n); the partial report merges with -merge")
+	mergePaths := flag.String("merge", "", "merge comma-separated shard report files into the full report (no simulation)")
 	flag.Parse()
 	ctx := context.Background()
+
+	if *mergePaths != "" {
+		if err := mergeReports(*mergePaths, *outPath, *format); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	shard, shards, err := parseShard(*shardSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *seeds <= 0 {
 		log.Fatal("-seeds must be positive")
@@ -169,6 +188,8 @@ func main() {
 		Budgets:       buds,
 		Policies:      pols,
 		Parallelism:   *parallel,
+		Shard:         shard,
+		Shards:        shards,
 		FlightDir:     *flightDir,
 	}
 	if *emergencies != "" {
@@ -214,7 +235,11 @@ func main() {
 	if len(cfg.Emergencies) > 0 {
 		nScen *= len(cfg.Emergencies)
 	}
-	log.Printf("running %d scenarios over %d nodes (%v each)...", nScen, len(sys.Pool), duration)
+	if shards > 1 {
+		log.Printf("running shard %d/%d of %d scenarios over %d nodes (%v each)...", shard, shards, nScen, len(sys.Pool), duration)
+	} else {
+		log.Printf("running %d scenarios over %d nodes (%v each)...", nScen, len(sys.Pool), duration)
+	}
 	start = time.Now()
 	rep, err := sys.RunCampaign(ctx, cfg)
 	if err != nil {
@@ -271,6 +296,60 @@ func main() {
 		log.Printf("emergency %s vs %s [%s fault=%s]: completed %+.1f%%%s, energy %+.1f%%, preempted %.1f, killed %.1f",
 			e.Emergency, e.Baseline, e.Policy, e.Fault,
 			100*e.CompletedChange, mark, 100*e.EnergyChange, e.MeanPreempted, e.MeanKilled)
+	}
+}
+
+// parseShard parses an "i/n" shard spec; empty disables sharding.
+func parseShard(s string) (shard, shards int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &shard, &shards); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want \"i/n\"", s)
+	}
+	if shards < 2 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("-shard %q: want 0 <= i < n, n >= 2", s)
+	}
+	return shard, shards, nil
+}
+
+// mergeReports reads the shard report files and writes the merged full
+// report — the byte-identical equivalent of one single-process run.
+func mergeReports(paths, outPath, format string) error {
+	var shards []*powerstack.CampaignReport
+	for _, p := range strings.Split(paths, ",") {
+		f, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		rep, err := powerstack.ReadCampaignReport(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		shards = append(shards, rep)
+	}
+	rep, err := powerstack.MergeCampaignReports(shards...)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	log.Printf("merged %d shard reports (%d scenarios)", len(shards), len(rep.Scenarios))
+	switch format {
+	case "json":
+		return rep.WriteJSON(w)
+	case "csv":
+		return rep.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q", format)
 	}
 }
 

@@ -75,6 +75,16 @@ type Config struct {
 	// setting.
 	Parallelism int
 
+	// Shard and Shards distribute the matrix across processes: with
+	// Shards > 1 this runner executes only the scenarios whose
+	// Index % Shards == Shard and returns a partial report carrying just
+	// those scenario results (no groups or comparisons — aggregation needs
+	// the full matrix). MergeReports joins the partial reports of all
+	// shards into a report byte-identical to a single-process run. The
+	// zero values disable sharding.
+	Shard  int
+	Shards int
+
 	// FlightDir, when non-empty, enables the flight recorder: every failed
 	// scenario — and every successful one the Anomalous predicate flags —
 	// writes a self-contained post-mortem artifact
@@ -167,6 +177,12 @@ func (c *Config) validate() error {
 			return errors.New("campaign: nil policy")
 		}
 	}
+	if c.Shards > 1 && (c.Shard < 0 || c.Shard >= c.Shards) {
+		return fmt.Errorf("campaign: shard %d outside [0,%d)", c.Shard, c.Shards)
+	}
+	if c.Shards <= 1 && c.Shard != 0 {
+		return errors.New("campaign: shard set without shards")
+	}
 	return nil
 }
 
@@ -201,12 +217,27 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	scenarios := cfg.scenarios()
 
+	// Sharding keeps the full enumeration (indexes address the whole
+	// matrix) but runs only this shard's deterministic slice of it.
+	run := scenarios
+	if cfg.Shards > 1 {
+		run = nil
+		for _, sc := range scenarios {
+			if sc.Index%cfg.Shards == cfg.Shard {
+				run = append(run, sc)
+			}
+		}
+		if len(run) == 0 {
+			return &Report{Nodes: len(r.Nodes)}, nil
+		}
+	}
+
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	if workers > len(run) {
+		workers = len(run)
 	}
 
 	if cfg.FlightDir != "" {
@@ -218,11 +249,11 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Report, error) {
 	// The campaign root span parents every scenario span; one trace covers
 	// the whole matrix.
 	root := r.Obs.StartSpan(obs.SpanContext{}, "campaign", "campaign").
-		SetIter(len(scenarios)).SetValue(float64(workers))
+		SetIter(len(run)).SetValue(float64(workers))
 	defer root.End()
 
 	results := make([]*facility.Result, len(scenarios))
-	errs := make([]error, len(scenarios))
+	errs := make([]error, len(run))
 	recycler := cluster.NewPoolRecycler(r.Nodes)
 	tasks := make(chan int)
 
@@ -236,11 +267,11 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Report, error) {
 					errs[idx] = err
 					continue
 				}
-				errs[idx] = r.runScenario(ctx, &cfg, scenarios[idx], worker, root.Ctx(), recycler, results)
+				errs[idx] = r.runScenario(ctx, &cfg, run[idx], worker, root.Ctx(), recycler, results)
 			}
 		}(w)
 	}
-	for idx := range scenarios {
+	for idx := range run {
 		tasks <- idx
 	}
 	close(tasks)
@@ -248,8 +279,16 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	for idx, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("campaign: scenario %d (%s): %w", idx, describe(scenarios[idx]), err)
+			return nil, fmt.Errorf("campaign: scenario %d (%s): %w", run[idx].Index, describe(run[idx]), err)
 		}
+	}
+
+	if cfg.Shards > 1 {
+		rep := &Report{Nodes: len(r.Nodes), Scenarios: make([]ScenarioResult, len(run))}
+		for i, sc := range run {
+			rep.Scenarios[i] = scenarioResult(sc, results[sc.Index])
+		}
+		return rep, nil
 	}
 	return buildReport(len(r.Nodes), cfg, scenarios, results), nil
 }

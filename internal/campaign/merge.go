@@ -1,0 +1,54 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MergeReports joins the partial reports produced by sharded campaign runs
+// (Config.Shards > 1) back into the full report. The shards must cover the
+// scenario matrix exactly — every index 0..N-1 present once — and agree on
+// the node count. The merged report is assembled by the same code path as a
+// single-process run, so the two serialize to identical bytes.
+func MergeReports(shards ...*Report) (*Report, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("campaign: no shard reports to merge")
+	}
+	nodes := shards[0].Nodes
+	total := 0
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("campaign: shard report %d is nil", i)
+		}
+		if s.Nodes != nodes {
+			return nil, fmt.Errorf("campaign: shard report %d has %d nodes, others %d", i, s.Nodes, nodes)
+		}
+		total += len(s.Scenarios)
+	}
+	merged := make([]ScenarioResult, total)
+	seen := make([]bool, total)
+	for _, s := range shards {
+		for _, sr := range s.Scenarios {
+			if sr.Index < 0 || sr.Index >= total {
+				return nil, fmt.Errorf("campaign: scenario index %d outside 0..%d — missing shard?", sr.Index, total-1)
+			}
+			if seen[sr.Index] {
+				return nil, fmt.Errorf("campaign: scenario index %d appears twice — duplicate shard?", sr.Index)
+			}
+			seen[sr.Index] = true
+			merged[sr.Index] = sr
+		}
+	}
+	return assembleReport(nodes, merged), nil
+}
+
+// ReadReport deserializes a report written by Report.WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("campaign: read report: %w", err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"powerstack/internal/facility"
+	"powerstack/internal/fault"
+)
+
+// TestShardMergeByteIdentical is the shard distribution contract: running
+// the matrix as N shard slices and merging their partial reports must
+// produce a report byte-identical to a single-process run — including the
+// groups, comparisons, and emergency comparisons recomputed from the
+// merged scenario results.
+func TestShardMergeByteIdentical(t *testing.T) {
+	const nodes = 6
+	r := testRunner(t, nodes)
+	cfg := testConfig(nodes)
+	cfg.FaultPlans = []NamedFaultPlan{
+		{Name: "clean"},
+		{Name: "crash", Plan: fault.NewPlan(fault.Injection{Kind: fault.NodeCrash, Node: "quartz0001", At: 30 * time.Minute, RepairAfter: time.Hour})},
+	}
+	cfg.Emergencies = []facility.EmergencyPolicy{facility.EmergencyThrottle, facility.EmergencyPreempt}
+
+	full, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nShards := range []int{2, 3} {
+		shards := make([]*Report, nShards)
+		for s := 0; s < nShards; s++ {
+			scfg := cfg
+			scfg.Shard, scfg.Shards = s, nShards
+			rep, err := r.Run(context.Background(), scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Groups) != 0 || len(rep.Comparisons) != 0 {
+				t.Fatalf("shard %d/%d report carries aggregates", s, nShards)
+			}
+			shards[s] = rep
+		}
+		merged, err := MergeReports(shards...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustJSON(t, full), mustJSON(t, merged)) {
+			t.Fatalf("%d-shard merge differs from single-process report", nShards)
+		}
+	}
+}
+
+// TestShardJSONRoundTrip pins the cmd/campaign merge path: shard reports
+// survive a WriteJSON/ReadReport round trip and still merge byte-identical
+// to the full run.
+func TestShardJSONRoundTrip(t *testing.T) {
+	const nodes = 4
+	r := testRunner(t, nodes)
+	cfg := testConfig(nodes)
+
+	full, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*Report
+	for s := 0; s < 2; s++ {
+		scfg := cfg
+		scfg.Shard, scfg.Shards = s, 2
+		rep, err := r.Run(context.Background(), scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadReport(bytes.NewReader(mustJSON(t, rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, back)
+	}
+	merged, err := MergeReports(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, full), mustJSON(t, merged)) {
+		t.Fatal("merged round-tripped shards differ from single-process report")
+	}
+}
+
+// TestMergeRejectsIncomplete checks coverage validation: duplicated or
+// missing indexes are merge errors, not silent misaggregation.
+func TestMergeRejectsIncomplete(t *testing.T) {
+	a := &Report{Nodes: 4, Scenarios: []ScenarioResult{{Index: 0}, {Index: 1}}}
+	b := &Report{Nodes: 4, Scenarios: []ScenarioResult{{Index: 3}}}
+	if _, err := MergeReports(a, b); err == nil {
+		t.Fatal("merge accepted a gap in index coverage")
+	}
+	dup := &Report{Nodes: 4, Scenarios: []ScenarioResult{{Index: 1}}}
+	if _, err := MergeReports(a, dup); err == nil {
+		t.Fatal("merge accepted a duplicated index")
+	}
+	other := &Report{Nodes: 8, Scenarios: []ScenarioResult{{Index: 2}}}
+	if _, err := MergeReports(a, other); err == nil {
+		t.Fatal("merge accepted mismatched node counts")
+	}
+}

@@ -195,22 +195,95 @@ func metric(xs []float64, rng *rand.Rand) Metric {
 }
 
 func buildReport(nodes int, cfg Config, scenarios []Scenario, results []*facility.Result) *Report {
-	rep := &Report{Nodes: nodes, Scenarios: make([]ScenarioResult, len(scenarios))}
+	srs := make([]ScenarioResult, len(scenarios))
 	for i, sc := range scenarios {
-		rep.Scenarios[i] = scenarioResult(sc, results[i])
+		srs[i] = scenarioResult(sc, results[i])
+	}
+	return assembleReport(nodes, srs)
+}
+
+// axes are the matrix axis values recovered from an index-ordered scenario
+// list. The canonical enumeration is policy-major with seeds innermost, so
+// every axis value's first appearance follows its configuration order —
+// which is what lets a merged shard set rebuild the exact report a
+// single-process run would have produced.
+type axes struct {
+	nSeeds      int
+	policies    []string
+	ias         []time.Duration
+	budgets     []units.Power
+	faults      []string
+	emergencies []string
+}
+
+func srCell(s ScenarioResult) cell {
+	return cell{s.Policy, s.Fault, s.Emergency, s.Interarrival, s.Budget}
+}
+
+func inferAxes(srs []ScenarioResult) axes {
+	ax := axes{nSeeds: len(srs)}
+	if len(srs) == 0 {
+		return ax
+	}
+	first := srCell(srs[0])
+	for i := 1; i < len(srs); i++ {
+		if srCell(srs[i]) != first {
+			ax.nSeeds = i
+			break
+		}
+	}
+	seenP := map[string]bool{}
+	seenIA := map[time.Duration]bool{}
+	seenB := map[units.Power]bool{}
+	seenF := map[string]bool{}
+	seenE := map[string]bool{}
+	for _, s := range srs {
+		if !seenP[s.Policy] {
+			seenP[s.Policy] = true
+			ax.policies = append(ax.policies, s.Policy)
+		}
+		if !seenIA[s.Interarrival] {
+			seenIA[s.Interarrival] = true
+			ax.ias = append(ax.ias, s.Interarrival)
+		}
+		if !seenB[s.Budget] {
+			seenB[s.Budget] = true
+			ax.budgets = append(ax.budgets, s.Budget)
+		}
+		if !seenF[s.Fault] {
+			seenF[s.Fault] = true
+			ax.faults = append(ax.faults, s.Fault)
+		}
+		if !seenE[s.Emergency] {
+			seenE[s.Emergency] = true
+			ax.emergencies = append(ax.emergencies, s.Emergency)
+		}
+	}
+	return ax
+}
+
+// assembleReport aggregates an index-complete, matrix-ordered scenario list
+// into the full deterministic report. Both the single-process path and
+// MergeReports funnel through it, so the two are byte-identical by
+// construction.
+func assembleReport(nodes int, srs []ScenarioResult) *Report {
+	rep := &Report{Nodes: nodes, Scenarios: srs}
+	ax := inferAxes(srs)
+	nSeeds := ax.nSeeds
+	if nSeeds == 0 {
+		return rep
 	}
 
 	// Groups: scenarios are enumerated group-major with seeds innermost,
-	// so each group is one contiguous block of len(Seeds) results.
-	nSeeds := len(cfg.Seeds)
-	for base, gi := 0, 0; base < len(scenarios); base, gi = base+nSeeds, gi+1 {
-		sc := scenarios[base]
+	// so each group is one contiguous block of nSeeds results.
+	for base, gi := 0, 0; base+nSeeds <= len(srs); base, gi = base+nSeeds, gi+1 {
+		s0 := srs[base]
 		g := Group{
-			Policy:       sc.Policy.Name(),
-			Interarrival: sc.Interarrival,
-			Budget:       sc.Budget,
-			Fault:        sc.Fault.Name,
-			Emergency:    string(sc.Emergency),
+			Policy:       s0.Policy,
+			Interarrival: s0.Interarrival,
+			Budget:       s0.Budget,
+			Fault:        s0.Fault,
+			Emergency:    s0.Emergency,
 			Seeds:        nSeeds,
 		}
 		energy := make([]float64, nSeeds)
@@ -219,12 +292,12 @@ func buildReport(nodes int, cfg Config, scenarios []Scenario, results []*facilit
 		completed := make([]float64, nSeeds)
 		util := make([]float64, nSeeds)
 		for i := 0; i < nSeeds; i++ {
-			r := results[base+i]
-			energy[i] = r.TotalEnergy.Joules()
-			wait[i] = r.MeanQueueWait.Seconds()
-			power[i] = r.MeanPower.Watts()
-			completed[i] = float64(r.Completed)
-			util[i] = r.MeanNodeUtilization
+			s := srs[base+i]
+			energy[i] = s.TotalEnergy.Joules()
+			wait[i] = s.MeanQueueWait.Seconds()
+			power[i] = s.MeanPower.Watts()
+			completed[i] = float64(s.Completed)
+			util[i] = s.MeanNodeUtilization
 		}
 		rng := rand.New(rand.NewPCG(0xC0FFEE, uint64(gi)))
 		g.Energy = metric(energy, rng)
@@ -235,8 +308,8 @@ func buildReport(nodes int, cfg Config, scenarios []Scenario, results []*facilit
 		rep.Groups = append(rep.Groups, g)
 	}
 
-	rep.Comparisons = buildComparisons(cfg, scenarios, results)
-	rep.EmergencyComparisons = buildEmergencyComparisons(cfg, scenarios, results)
+	rep.Comparisons = buildComparisons(ax, srs)
+	rep.EmergencyComparisons = buildEmergencyComparisons(ax, srs)
 	return rep
 }
 
@@ -248,70 +321,65 @@ type cell struct {
 }
 
 // indexBlocks maps every contiguous seed block's cell to its base index.
-func indexBlocks(nSeeds int, scenarios []Scenario) map[cell]int {
+func indexBlocks(nSeeds int, srs []ScenarioResult) map[cell]int {
 	blocks := map[cell]int{}
-	for base := 0; base < len(scenarios); base += nSeeds {
-		sc := scenarios[base]
-		blocks[cell{sc.Policy.Name(), sc.Fault.Name, string(sc.Emergency), sc.Interarrival, sc.Budget}] = base
+	for base := 0; base+nSeeds <= len(srs); base += nSeeds {
+		blocks[srCell(srs[base])] = base
 	}
 	return blocks
 }
 
-func energyOf(r *facility.Result) float64 { return r.TotalEnergy.Joules() }
-func waitOf(r *facility.Result) float64   { return r.MeanQueueWait.Seconds() }
+func energyOf(s ScenarioResult) float64 { return s.TotalEnergy.Joules() }
+func waitOf(s ScenarioResult) float64   { return s.MeanQueueWait.Seconds() }
 
 // buildComparisons runs Welch tests of every non-baseline policy against
 // the baseline (StaticCaps when present, else the first policy) on each
 // (interarrival, budget, fault, emergency) cell.
-func buildComparisons(cfg Config, scenarios []Scenario, results []*facility.Result) []Comparison {
-	if len(cfg.Policies) < 2 {
+func buildComparisons(ax axes, srs []ScenarioResult) []Comparison {
+	if len(ax.policies) < 2 {
 		return nil
 	}
-	baseline := cfg.Policies[0]
-	for _, p := range cfg.Policies {
-		if p.Name() == "StaticCaps" {
+	baseline := ax.policies[0]
+	for _, p := range ax.policies {
+		if p == "StaticCaps" {
 			baseline = p
 			break
 		}
 	}
 
-	nSeeds := len(cfg.Seeds)
-	blocks := indexBlocks(nSeeds, scenarios)
-	series := func(base int, f func(*facility.Result) float64) []float64 {
+	nSeeds := ax.nSeeds
+	blocks := indexBlocks(nSeeds, srs)
+	series := func(base int, f func(ScenarioResult) float64) []float64 {
 		xs := make([]float64, nSeeds)
 		for i := range xs {
-			xs[i] = f(results[base+i])
+			xs[i] = f(srs[base+i])
 		}
 		return xs
 	}
 
 	var out []Comparison
-	plans := cfg.FaultPlans
-	if len(plans) == 0 {
-		plans = []NamedFaultPlan{{Name: "clean"}}
-	}
-	for _, pol := range cfg.Policies {
-		if pol.Name() == baseline.Name() {
+	for _, pol := range ax.policies {
+		if pol == baseline {
 			continue
 		}
-		for _, ia := range cfg.Interarrivals {
-			for _, budget := range cfg.Budgets {
-				for _, plan := range plans {
-					for _, em := range cfg.emergencyLanes() {
-						pBase, ok1 := blocks[cell{pol.Name(), plan.Name, string(em), ia, budget}]
-						bBase, ok2 := blocks[cell{baseline.Name(), plan.Name, string(em), ia, budget}]
+		for _, ia := range ax.ias {
+			for _, budget := range ax.budgets {
+				for _, fname := range ax.faults {
+					for _, em := range ax.emergencies {
+						pBase, ok1 := blocks[cell{pol, fname, em, ia, budget}]
+						bBase, ok2 := blocks[cell{baseline, fname, em, ia, budget}]
 						if !ok1 || !ok2 {
 							continue
 						}
 						pe, be := series(pBase, energyOf), series(bBase, energyOf)
 						pw, bw := series(pBase, waitOf), series(bBase, waitOf)
 						cmp := Comparison{
-							Baseline:     baseline.Name(),
-							Policy:       pol.Name(),
+							Baseline:     baseline,
+							Policy:       pol,
 							Interarrival: ia,
 							Budget:       budget,
-							Fault:        plan.Name,
-							Emergency:    string(em),
+							Fault:        fname,
+							Emergency:    em,
 						}
 						cmp.EnergyChange = stats.RelativeChange(stats.Mean(pe), stats.Mean(be))
 						cmp.EnergyT, cmp.EnergySignificant = stats.WelchTTest(pe, be)
@@ -333,53 +401,49 @@ func buildComparisons(cfg Config, scenarios []Scenario, results []*facility.Resu
 // budget, fault) cell. Both lanes saw byte-identical shocks and seeds, so
 // the seed-paired t test on completed jobs and energy is the sharpest
 // available instrument for "which response should a facility configure".
-func buildEmergencyComparisons(cfg Config, scenarios []Scenario, results []*facility.Result) []EmergencyComparison {
-	lanes := cfg.emergencyLanes()
+func buildEmergencyComparisons(ax axes, srs []ScenarioResult) []EmergencyComparison {
+	lanes := ax.emergencies
 	if len(lanes) < 2 {
 		return nil
 	}
 	baseline := lanes[0]
 
-	nSeeds := len(cfg.Seeds)
-	blocks := indexBlocks(nSeeds, scenarios)
-	series := func(base int, f func(*facility.Result) float64) []float64 {
+	nSeeds := ax.nSeeds
+	blocks := indexBlocks(nSeeds, srs)
+	series := func(base int, f func(ScenarioResult) float64) []float64 {
 		xs := make([]float64, nSeeds)
 		for i := range xs {
-			xs[i] = f(results[base+i])
+			xs[i] = f(srs[base+i])
 		}
 		return xs
 	}
-	completedOf := func(r *facility.Result) float64 { return float64(r.Completed) }
-	preemptedOf := func(r *facility.Result) float64 { return float64(r.Preempted) }
-	killedOf := func(r *facility.Result) float64 { return float64(r.Killed) }
+	completedOf := func(s ScenarioResult) float64 { return float64(s.Completed) }
+	preemptedOf := func(s ScenarioResult) float64 { return float64(s.Preempted) }
+	killedOf := func(s ScenarioResult) float64 { return float64(s.Killed) }
 
 	var out []EmergencyComparison
-	plans := cfg.FaultPlans
-	if len(plans) == 0 {
-		plans = []NamedFaultPlan{{Name: "clean"}}
-	}
-	for _, pol := range cfg.Policies {
-		for _, ia := range cfg.Interarrivals {
-			for _, budget := range cfg.Budgets {
-				for _, plan := range plans {
-					bBase, ok := blocks[cell{pol.Name(), plan.Name, string(baseline), ia, budget}]
+	for _, pol := range ax.policies {
+		for _, ia := range ax.ias {
+			for _, budget := range ax.budgets {
+				for _, fname := range ax.faults {
+					bBase, ok := blocks[cell{pol, fname, baseline, ia, budget}]
 					if !ok {
 						continue
 					}
 					for _, em := range lanes[1:] {
-						pBase, ok := blocks[cell{pol.Name(), plan.Name, string(em), ia, budget}]
+						pBase, ok := blocks[cell{pol, fname, em, ia, budget}]
 						if !ok {
 							continue
 						}
 						pc, bc := series(pBase, completedOf), series(bBase, completedOf)
 						pe, be := series(pBase, energyOf), series(bBase, energyOf)
 						cmp := EmergencyComparison{
-							Baseline:     string(baseline),
-							Emergency:    string(em),
-							Policy:       pol.Name(),
+							Baseline:     baseline,
+							Emergency:    em,
+							Policy:       pol,
 							Interarrival: ia,
 							Budget:       budget,
-							Fault:        plan.Name,
+							Fault:        fname,
 						}
 						cmp.CompletedChange = stats.RelativeChange(stats.Mean(pc), stats.Mean(bc))
 						cmp.CompletedPairedT, cmp.CompletedPairedSignificant = pairedT(pc, bc)

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+
+	"powerstack/internal/node"
+)
+
+// PoolState is a clone pool whose dense register words live in one flat
+// struct-of-arrays arena instead of per-device allocations. Each node is a
+// view over a contiguous window of the arena (node.CloneInto), and the
+// pristine register image of the source pool is captured once at build
+// time. Restoring the whole pool is then a single bulk copy of the arena
+// plus a cheap per-node auxiliary reset — no per-register work — which is
+// what keeps PoolRecycler near-free at 100k nodes.
+type PoolState struct {
+	src   []*node.Node
+	nodes []*node.Node
+	// words is the live arena the pool's devices read and write; prist is
+	// the pristine image Restore copies back over it.
+	words []uint64
+	prist []uint64
+}
+
+// NewPoolState clones src into a struct-of-arrays pool. The source nodes
+// must stay unmutated while the pool is in use (the PoolRecycler contract):
+// they are both the pristine register image and the auxiliary state every
+// Restore reverts to.
+func NewPoolState(src []*node.Node) (*PoolState, error) {
+	total := 0
+	for _, n := range src {
+		total += n.WordCount()
+	}
+	ps := &PoolState{
+		src:   src,
+		nodes: make([]*node.Node, len(src)),
+		words: make([]uint64, total),
+		prist: make([]uint64, 0, total),
+	}
+	off := 0
+	for i, n := range src {
+		w := n.WordCount()
+		clone, err := n.CloneInto(ps.words[off : off+w : off+w])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: pool state node %d: %w", i, err)
+		}
+		ps.nodes[i] = clone
+		ps.prist = n.SnapshotWords(ps.prist)
+		off += w
+	}
+	return ps, nil
+}
+
+// Nodes returns the pool's node views. The slice is owned by the PoolState;
+// callers use the nodes freely but must not replace entries.
+func (ps *PoolState) Nodes() []*node.Node { return ps.nodes }
+
+// WordCount returns the size of the register arena, across all nodes.
+func (ps *PoolState) WordCount() int { return len(ps.words) }
+
+// Restore reverts every node to the pristine source state: one flat copy of
+// the register arena, then the per-node auxiliary reset (models, RAPL
+// accounting, armed faults, degradation, sinks). The result is
+// byte-equivalent to a fresh ClonePool of the source.
+func (ps *PoolState) Restore() error {
+	copy(ps.words, ps.prist)
+	for i, n := range ps.nodes {
+		if err := n.RestoreAuxFrom(ps.src[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"powerstack/internal/cpumodel"
+	"powerstack/internal/fault"
+	"powerstack/internal/msr"
+	"powerstack/internal/node"
+	"powerstack/internal/units"
+)
+
+// registerImage reads every register (allowlisted and privileged spill) of
+// every socket of a node.
+func registerImage(t *testing.T, n *node.Node) map[int]map[uint32]uint64 {
+	t.Helper()
+	out := map[int]map[uint32]uint64{}
+	for si, su := range n.Sockets() {
+		regs := map[uint32]uint64{}
+		for _, addr := range su.Dev.Registers() {
+			regs[addr] = su.Dev.PrivilegedRead(addr)
+		}
+		out[si] = regs
+	}
+	return out
+}
+
+// scramble drives a pool through a fault-injecting scenario: armed MSR
+// faults, degradations, cap writes, privileged counter advances, and spilled
+// privileged registers — every kind of state Restore must wipe.
+func scramble(t *testing.T, pool []*node.Node, seed uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0xD1B54A32D192ED03))
+	plan := fault.NewPlan(
+		fault.Injection{Kind: fault.MSRWriteFault, Node: pool[1].ID, After: 2},
+		fault.Injection{Kind: fault.MSRReadFault, Node: pool[3].ID, After: 1},
+	)
+	plan.Arm(pool, nil)
+	for _, n := range pool {
+		n.SetDegradation(1 + rng.Float64())
+		// Cap writes consume the armed countdowns and reprogram PL1.
+		n.SetPowerLimit(units.Power(120+rng.Float64()*80) * units.Watt)
+		for _, su := range n.Sockets() {
+			su.Dev.PrivilegedAdd(msr.IA32APerf, rng.Uint64()>>16, 64)
+			su.Dev.PrivilegedAdd(msr.MSRPkgEnergyStatus, rng.Uint64()>>40, 32)
+			// Spill a non-allowlisted register into the side map.
+			su.Dev.PrivilegedWrite(0xDEAD, rng.Uint64())
+		}
+	}
+}
+
+// TestPoolStateRestoreRegisterIdentical is the SoA recycling property test:
+// after a fault-injecting scenario mutates a PoolState pool, Restore makes
+// every node register-identical to a fresh clone of the pristine source —
+// across several scramble/restore generations.
+func TestPoolStateRestoreRegisterIdentical(t *testing.T) {
+	const nNodes = 96
+	c, err := New(nNodes, cpumodel.Quartz(), cpumodel.QuartzVariation(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := c.Nodes()
+	ps, err := NewPoolState(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(ps.Nodes()), nNodes; got != want {
+		t.Fatalf("pool has %d nodes, want %d", got, want)
+	}
+	if ps.WordCount() != nNodes*src[0].WordCount() {
+		t.Fatalf("arena %d words, want %d", ps.WordCount(), nNodes*src[0].WordCount())
+	}
+	for gen := uint64(0); gen < 3; gen++ {
+		scramble(t, ps.Nodes(), 100+gen)
+		if err := ps.Restore(); err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range ps.Nodes() {
+			fresh := src[i].Clone()
+			got, want := registerImage(t, n), registerImage(t, fresh)
+			for si := range want {
+				for addr, w := range want[si] {
+					if g, ok := got[si][addr]; !ok || g != w {
+						t.Fatalf("gen %d node %s socket %d reg 0x%X: got %#x want %#x", gen, n.ID, si, addr, got[si][addr], w)
+					}
+				}
+				if len(got[si]) != len(want[si]) {
+					t.Fatalf("gen %d node %s socket %d: %d registers, want %d (leftover privileged spill?)", gen, n.ID, si, len(got[si]), len(want[si]))
+				}
+			}
+			if n.Degradation() != fresh.Degradation() {
+				t.Fatalf("gen %d node %s: degradation %v, want %v", gen, n.ID, n.Degradation(), fresh.Degradation())
+			}
+			gl, err1 := n.PowerLimit()
+			wl, err2 := fresh.PowerLimit()
+			if err1 != nil || err2 != nil || gl != wl {
+				t.Fatalf("gen %d node %s: limit %v/%v, want %v/%v", gen, n.ID, gl, err1, wl, err2)
+			}
+		}
+	}
+}
+
+// TestRecyclerUsesSoAPools verifies the recycler's Acquire hands out
+// PoolState-backed pools and that a recycled pool is register-identical to
+// a fresh clone after a scrambled scenario.
+func TestRecyclerUsesSoAPools(t *testing.T) {
+	c, err := New(16, cpumodel.Quartz(), cpumodel.QuartzVariation(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewPoolRecycler(c.Nodes())
+	pool := r.Acquire()
+	scramble(t, pool, 7)
+	r.Release(pool)
+	recycled := r.Acquire()
+	if reused, _ := r.Stats(); reused != 1 {
+		t.Fatalf("reused = %d, want 1", reused)
+	}
+	for i, n := range recycled {
+		fresh := c.Nodes()[i].Clone()
+		got, want := registerImage(t, n), registerImage(t, fresh)
+		for si := range want {
+			for addr, w := range want[si] {
+				if got[si][addr] != w {
+					t.Fatalf("node %s socket %d reg 0x%X: got %#x want %#x", n.ID, si, addr, got[si][addr], w)
+				}
+			}
+			if len(got[si]) != len(want[si]) {
+				t.Fatalf("node %s socket %d register count mismatch", n.ID, si)
+			}
+		}
+	}
+}

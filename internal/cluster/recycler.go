@@ -24,6 +24,12 @@ type PoolRecycler struct {
 	mu   sync.Mutex
 	free [][]*node.Node
 
+	// soa maps a pool (by its first node) to the PoolState backing it, so
+	// Acquire can restore recycled pools with one flat arena copy instead
+	// of walking registers device by device. Pools the recycler did not
+	// build (foreign Release calls) are absent and take the per-node path.
+	soa map[*node.Node]*PoolState
+
 	// reused and cloned count Acquire outcomes, for benchmarks.
 	reused, cloned int
 }
@@ -36,7 +42,8 @@ func NewPoolRecycler(src []*node.Node) *PoolRecycler {
 }
 
 // Acquire returns an isolated pool cloned from the source set, recycling a
-// released pool when one is available.
+// released pool when one is available. Fresh pools are built as PoolState
+// arenas so later recycles restore with a bulk copy.
 func (r *PoolRecycler) Acquire() []*node.Node {
 	r.mu.Lock()
 	if n := len(r.free); n > 0 {
@@ -44,7 +51,17 @@ func (r *PoolRecycler) Acquire() []*node.Node {
 		r.free[n-1] = nil
 		r.free = r.free[:n-1]
 		r.reused++
+		var ps *PoolState
+		if len(pool) > 0 {
+			ps = r.soa[pool[0]]
+		}
 		r.mu.Unlock()
+		if ps != nil {
+			if err := ps.Restore(); err != nil {
+				return ClonePool(r.src)
+			}
+			return pool
+		}
 		for i, nd := range pool {
 			if err := nd.RestoreFrom(r.src[i]); err != nil {
 				// A foreign pool slipped in; isolate with a fresh clone.
@@ -55,7 +72,18 @@ func (r *PoolRecycler) Acquire() []*node.Node {
 	}
 	r.cloned++
 	r.mu.Unlock()
-	return ClonePool(r.src)
+	ps, err := NewPoolState(r.src)
+	if err != nil || len(ps.Nodes()) == 0 {
+		return ClonePool(r.src)
+	}
+	pool := ps.Nodes()
+	r.mu.Lock()
+	if r.soa == nil {
+		r.soa = make(map[*node.Node]*PoolState)
+	}
+	r.soa[pool[0]] = ps
+	r.mu.Unlock()
+	return pool
 }
 
 // Release returns a pool obtained from Acquire to the free list. Pools of

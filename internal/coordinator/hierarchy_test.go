@@ -1,0 +1,109 @@
+package coordinator
+
+import (
+	"testing"
+
+	"powerstack/internal/units"
+)
+
+func hierReqs() []Request {
+	return []Request{
+		{JobID: "a", Min: 200, Needed: 400, MaxUseful: 600},
+		{JobID: "b", Min: 100, Needed: 300, MaxUseful: 350},
+		{JobID: "c", Min: 150, Needed: 250, MaxUseful: 500},
+		{JobID: "d", Min: 120, Needed: 220, MaxUseful: 240},
+	}
+}
+
+func sumGrants(grants []Grant) units.Power {
+	var total units.Power
+	for _, g := range grants {
+		total += g.Budget
+	}
+	return total
+}
+
+// TestHierarchicalSingleRackIdentical pins the degenerate case: with every
+// request in one rack (and hence one room), the hierarchical split is
+// bit-identical to the flat Allocate at surplus, deficit, and floor
+// budgets.
+func TestHierarchicalSingleRackIdentical(t *testing.T) {
+	reqs := hierReqs()
+	rack := []int{3, 3, 3, 3}
+	room := []int{0, 0, 0, 0}
+	for _, budget := range []units.Power{2000, 1500, 1170, 900, 800, 400} {
+		flat := Allocate(budget, reqs)
+		hier := AllocateHierarchical(budget, reqs, rack, room)
+		for i := range flat {
+			if flat[i] != hier[i] {
+				t.Errorf("budget %v req %s: flat %v != hier %v", budget, reqs[i].JobID, flat[i].Budget, hier[i].Budget)
+			}
+		}
+	}
+}
+
+// TestHierarchicalConservesBudget checks the water-fill invariants survive
+// the cascade: no grant below its Min, none above MaxUseful when the budget
+// binds, and the total never exceeds the budget unless even the floors do.
+func TestHierarchicalConservesBudget(t *testing.T) {
+	reqs := hierReqs()
+	rack := []int{0, 0, 1, 2}
+	room := []int{0, 0, 0, 1}
+	var totalMin units.Power
+	for _, r := range reqs {
+		totalMin += r.Min
+	}
+	for _, budget := range []units.Power{2500, 1400, 1100, 900, 600, 300} {
+		grants := AllocateHierarchical(budget, reqs, rack, room)
+		if len(grants) != len(reqs) {
+			t.Fatalf("budget %v: %d grants for %d requests", budget, len(grants), len(reqs))
+		}
+		for i, g := range grants {
+			if g.JobID != reqs[i].JobID {
+				t.Fatalf("budget %v: grant %d is %s, want %s", budget, i, g.JobID, reqs[i].JobID)
+			}
+			if g.Budget < reqs[i].Min-1e-9 {
+				t.Errorf("budget %v: %s granted %v below min %v", budget, g.JobID, g.Budget, reqs[i].Min)
+			}
+			if g.Budget > reqs[i].MaxUseful+1e-9 {
+				t.Errorf("budget %v: %s granted %v above max useful %v", budget, g.JobID, g.Budget, reqs[i].MaxUseful)
+			}
+		}
+		if total := sumGrants(grants); total > budget+1e-6 && totalMin < budget {
+			t.Errorf("budget %v: grants total %v exceeds budget", budget, total)
+		}
+	}
+}
+
+// TestHierarchicalMismatchedTopologyFallsBack checks that malformed
+// rack/room vectors degrade to the flat allocation instead of panicking.
+func TestHierarchicalMismatchedTopologyFallsBack(t *testing.T) {
+	reqs := hierReqs()
+	flat := Allocate(1000, reqs)
+	hier := AllocateHierarchical(1000, reqs, []int{0}, nil)
+	for i := range flat {
+		if flat[i] != hier[i] {
+			t.Fatalf("fallback diverged at %d: %v vs %v", i, flat[i], hier[i])
+		}
+	}
+}
+
+// TestHierarchicalStarvedRackHoldsFloor places a rack whose demand dwarfs
+// its rack-mates in a tight machine: every job still clears its floor, and
+// surplus steering happens within rooms before racks see it.
+func TestHierarchicalStarvedRackHoldsFloor(t *testing.T) {
+	reqs := []Request{
+		{JobID: "big", Min: 500, Needed: 2000, MaxUseful: 2400},
+		{JobID: "small1", Min: 50, Needed: 80, MaxUseful: 100},
+		{JobID: "small2", Min: 50, Needed: 80, MaxUseful: 100},
+	}
+	grants := AllocateHierarchical(800, reqs, []int{0, 1, 1}, []int{0, 0, 0})
+	for i, g := range grants {
+		if g.Budget < reqs[i].Min {
+			t.Errorf("%s granted %v below floor %v", g.JobID, g.Budget, reqs[i].Min)
+		}
+	}
+	if total := sumGrants(grants); total > 800+1e-6 {
+		t.Errorf("grants total %v exceeds 800 W budget", total)
+	}
+}

@@ -155,6 +155,85 @@ func Allocate(budget units.Power, reqs []Request) []Grant {
 	return grants
 }
 
+// AllocateHierarchical is Allocate along the physical topology: requests
+// are aggregated per rack and racks per room, the budget is split over the
+// room aggregates, each room's grant over its racks, and each rack's grant
+// over its own requests. Decisions at every level use the same water-fill
+// rules as Allocate, so grants conserve the budget, but a request competes
+// only with its rack siblings for the rack's grant rather than with every
+// job in the machine — the O(jobs) flat round becomes three short rounds,
+// which is what lets a 100k-node replan stay sublinear per level.
+//
+// rackOf[i] and roomOf[i] give request i's rack and room; requests sharing
+// a rack must share a room. Aggregation order follows first appearance in
+// reqs, so the float summation order is deterministic. With all requests in
+// a single rack the result is bit-identical to Allocate (each level
+// degenerates to a one-request or passthrough round); callers wanting exact
+// flat behavior at small N call Allocate directly.
+func AllocateHierarchical(budget units.Power, reqs []Request, rackOf, roomOf []int) []Grant {
+	if len(rackOf) != len(reqs) || len(roomOf) != len(reqs) {
+		return Allocate(budget, reqs)
+	}
+	// Aggregate per rack, then racks per room, in first-appearance order.
+	rackIdx := make(map[int]int) // rack id -> aggregate index
+	var rackReqs []Request       // one aggregate request per rack
+	var rackRoom []int           // rack aggregate -> room id
+	var rackMembers [][]int      // rack aggregate -> request indexes
+	for i, r := range reqs {
+		ri, ok := rackIdx[rackOf[i]]
+		if !ok {
+			ri = len(rackReqs)
+			rackIdx[rackOf[i]] = ri
+			rackReqs = append(rackReqs, Request{JobID: fmt.Sprintf("rack%d", rackOf[i])})
+			rackRoom = append(rackRoom, roomOf[i])
+			rackMembers = append(rackMembers, nil)
+		}
+		rackReqs[ri].Min += r.Min
+		rackReqs[ri].Needed += r.Needed
+		rackReqs[ri].MaxUseful += r.MaxUseful
+		rackMembers[ri] = append(rackMembers[ri], i)
+	}
+	roomIdx := make(map[int]int)
+	var roomReqs []Request
+	var roomMembers [][]int // room aggregate -> rack aggregate indexes
+	for ri, rr := range rackReqs {
+		mi, ok := roomIdx[rackRoom[ri]]
+		if !ok {
+			mi = len(roomReqs)
+			roomIdx[rackRoom[ri]] = mi
+			roomReqs = append(roomReqs, Request{JobID: fmt.Sprintf("room%d", rackRoom[ri])})
+			roomMembers = append(roomMembers, nil)
+		}
+		roomReqs[mi].Min += rr.Min
+		roomReqs[mi].Needed += rr.Needed
+		roomReqs[mi].MaxUseful += rr.MaxUseful
+		roomMembers[mi] = append(roomMembers[mi], ri)
+	}
+	// Grant down the tree: budget over rooms, room grants over racks, rack
+	// grants over the actual requests.
+	grants := make([]Grant, len(reqs))
+	roomGrants := Allocate(budget, roomReqs)
+	for mi, members := range roomMembers {
+		sub := make([]Request, len(members))
+		for k, ri := range members {
+			sub[k] = rackReqs[ri]
+		}
+		rackGrants := Allocate(roomGrants[mi].Budget, sub)
+		for k, ri := range members {
+			jobs := rackMembers[ri]
+			jobSub := make([]Request, len(jobs))
+			for j, qi := range jobs {
+				jobSub[j] = reqs[qi]
+			}
+			jobGrants := Allocate(rackGrants[k].Budget, jobSub)
+			for j, qi := range jobs {
+				grants[qi] = Grant{JobID: reqs[qi].JobID, Budget: jobGrants[j].Budget}
+			}
+		}
+	}
+	return grants
+}
+
 // Result aggregates a coordinated run.
 type Result struct {
 	Iterations  int

@@ -97,6 +97,10 @@ type Config struct {
 	// Engine selects the time-advancement core: EngineEvent (default) or
 	// EngineTick.
 	Engine string
+	// ScaleMode selects between the exact flat replan/sample paths and the
+	// hierarchical 100k-node ones: ScaleAuto (default — hierarchical above
+	// ScaleThreshold nodes), ScaleOn, or ScaleCompat. See scale.go.
+	ScaleMode string
 	// TelemetryEvery is the telemetry sampling cadence; zero selects Tick.
 	// Under EngineTick it must be a positive multiple of Tick (samples can
 	// only land on tick boundaries); under EngineEvent any positive cadence
@@ -191,6 +195,11 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("facility: unknown engine %q (want %q or %q)", c.Engine, EngineEvent, EngineTick)
 	}
+	switch c.ScaleMode {
+	case ScaleAuto, ScaleOn, ScaleCompat:
+	default:
+		return fmt.Errorf("facility: unknown scale mode %q (want %q, %q, or %q)", c.ScaleMode, ScaleAuto, ScaleOn, ScaleCompat)
+	}
 	for _, s := range c.JobSizes {
 		if s <= 0 || s > len(c.Nodes) {
 			return fmt.Errorf("facility: job size %d outside the cluster", s)
@@ -284,6 +293,12 @@ type simState struct {
 	start    time.Time // wall-clock epoch of virtual time zero
 	nodeByID map[string]*node.Node
 
+	// scale selects the hierarchical replan and linear telemetry sweep;
+	// nodeIndex maps host IDs to their position in cfg.Nodes, which is
+	// what assigns a host its rack (see scale.go).
+	scale     bool
+	nodeIndex map[string]int
+
 	lengths     map[string]int // queued job ID -> iterations
 	submitTimes map[string]time.Time
 	jobSeq      int
@@ -363,6 +378,11 @@ func setup(cfg Config) (*simState, error) {
 	st.rng = rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
 	st.mgr = rm.NewManager(cfg.Nodes)
 	st.mgr.Obs = st.obs
+	// Explicit compat mode pins the whole pre-scale path, including the
+	// uncached RAPL limit encoding, so benchmarks of "scale" vs "compat"
+	// measure the refactor and not a partial mix. (The cache changes no
+	// observable bits either way — the golden tests pin that.)
+	st.mgr.CompatCapPath = cfg.ScaleMode == ScaleCompat
 	st.mgr.OnQuarantine = func(string, string) { st.res.Quarantined++ }
 	st.mgr.OnRejoin = func(string) { st.res.Rejoined++ }
 	sched, err := rm.NewScheduler(st.mgr, st.db, st.curBudget)
@@ -383,11 +403,28 @@ func setup(cfg Config) (*simState, error) {
 	if history > maxHistory {
 		history = maxHistory
 	}
-	root, err := telemetry.BuildHierarchy(cfg.Nodes, 16, history)
+	st.scale = cfg.scaleActive()
+	if st.scale && history > scaleHistory {
+		// Result.Trace holds the full facility series; per-domain rings
+		// keep only the recent window a watchdog would consult.
+		history = scaleHistory
+	}
+	root, err := telemetry.BuildHierarchy(cfg.Nodes, facilityPDUSize, history)
 	if err != nil {
 		return nil, err
 	}
 	st.root = root
+	if st.scale {
+		root.SetLinearSweep(true)
+		// Scale mode also turns on the manager's incremental cap path:
+		// unchanged caps are not rewritten and the policy's per-job view is
+		// cached between replans.
+		st.mgr.Incremental = true
+		st.nodeIndex = make(map[string]int, len(cfg.Nodes))
+		for i, n := range cfg.Nodes {
+			st.nodeIndex[n.ID] = i
+		}
+	}
 	cfg.Faults.Arm(cfg.Nodes, st.obs)
 	root.SetFaultPlan(cfg.Faults, st.start, st.obs)
 	for _, n := range cfg.Nodes {
@@ -421,7 +458,13 @@ func (st *simState) replan() error {
 		t0 = time.Now()
 	}
 	st.mgr.SpanParent = sp.Ctx()
-	alloc, err := st.mgr.Plan(st.pol, st.curBudget, st.db)
+	var alloc policy.Allocation
+	var err error
+	if st.scale {
+		alloc, err = st.planHierarchical()
+	} else {
+		alloc, err = st.mgr.Plan(st.pol, st.curBudget, st.db)
+	}
 	if err == nil {
 		err = st.mgr.Apply(alloc)
 	}

@@ -138,11 +138,11 @@ type Snapshot struct {
 	Running        []RunningJob
 	Tenants        []TenantSnapshot
 	// Counters mirror the Result fields of the run so far.
-	Submitted, Started, Completed          int
-	Rejected, Preempted, Killed, Resumed   int
-	Requeued, Quarantined, Rejoined        int
-	BudgetChanges, BudgetViolationTicks    int
-	EventsDispatched, TicksSimulated       int
+	Submitted, Started, Completed        int
+	Rejected, Preempted, Killed, Resumed int
+	Requeued, Quarantined, Rejoined      int
+	BudgetChanges, BudgetViolationTicks  int
+	EventsDispatched, TicksSimulated     int
 	// LastPower and LastSampleAt are the most recent telemetry sample.
 	LastPower    units.Power
 	LastSampleAt time.Duration

@@ -1,0 +1,126 @@
+// Scale mode: the 100k-node path. Above a node-count threshold (or on
+// request) the facility switches three hot paths from exact-but-flat to
+// hierarchical-and-flat-memory: the policy replan negotiates watts down the
+// rack/room tree instead of over every job at once, telemetry samples run
+// as a linear sweep over the flattened hierarchy, and telemetry history is
+// clamped to a bounded window (Result.Trace keeps the full facility series
+// regardless). Below the threshold none of this engages, so small runs stay
+// byte-identical to the original flat core — pinned by the golden tests in
+// scale_test.go.
+package facility
+
+import (
+	"powerstack/internal/coordinator"
+	"powerstack/internal/policy"
+	"powerstack/internal/telemetry"
+	"powerstack/internal/units"
+)
+
+// Scale-mode selectors for Config.ScaleMode.
+const (
+	// ScaleAuto (the zero value) engages the hierarchical machinery only
+	// above ScaleThreshold nodes.
+	ScaleAuto = ""
+	// ScaleOn forces the hierarchical replan and linear telemetry sweep at
+	// any size.
+	ScaleOn = "scale"
+	// ScaleCompat forces the exact flat path at any size — the baseline
+	// lane of cmd/scalebench.
+	ScaleCompat = "compat"
+)
+
+// ScaleThreshold is the node count above which ScaleAuto switches to the
+// hierarchical paths. 4096 sits well clear of the ≤1k-node configurations
+// whose behavior is pinned byte-identical to the flat core.
+const ScaleThreshold = 4096
+
+// facilityPDUSize is the telemetry PDU fan-out the facility builds its
+// hierarchy with; the replan's rack grouping mirrors it so power decisions
+// follow the same physical tree telemetry aggregates over.
+const facilityPDUSize = 16
+
+// scaleActive reports whether this configuration runs the hierarchical
+// paths.
+func (c *Config) scaleActive() bool {
+	switch c.ScaleMode {
+	case ScaleOn:
+		return true
+	case ScaleCompat:
+		return false
+	default:
+		return len(c.Nodes) > ScaleThreshold
+	}
+}
+
+// scaleHistory bounds the telemetry ring length in scale mode: 106k Series
+// sized to a week-long run would hold gigabytes of samples nobody reads
+// (Result.Trace carries the facility series independently), while the
+// recent-window consumers (Last, the watchdog) never look deeper than this.
+const scaleHistory = 64
+
+// planHierarchical is the scale-mode replan round. Per-job power requests
+// (floor, characterized need, max useful) are aggregated along the
+// rack/room tree and the system budget granted back down it via
+// coordinator.AllocateHierarchical; the policy then distributes each
+// rack's aggregate grant over that rack's jobs only. A job belongs to the
+// rack of its first host. The flat replan asks the policy to weigh every
+// job against every other; this asks it to weigh rack-mates only, with
+// cross-rack balance settled by the water-fill at the rack and room tiers.
+func (st *simState) planHierarchical() (policy.Allocation, error) {
+	infos, err := st.mgr.JobInfos(st.db)
+	if err != nil {
+		return nil, err
+	}
+	jobs := st.mgr.Jobs()
+	reqs := make([]coordinator.Request, len(infos))
+	rackOf := make([]int, len(infos))
+	roomOf := make([]int, len(infos))
+	for i, info := range infos {
+		var min, max, needed units.Power
+		for _, h := range info.Hosts {
+			min += h.Min
+			max += h.Max
+			if info.Fallback {
+				needed += h.Max
+			} else {
+				needed += units.Clamp(info.Char.MonitorHostPower, h.Min, h.Max)
+			}
+		}
+		reqs[i] = coordinator.Request{JobID: info.ID, Min: min, Needed: needed, MaxUseful: max}
+		idx := st.nodeIndex[jobs[i].Job.Hosts[0].Node.ID]
+		rackOf[i] = idx / facilityPDUSize
+		roomOf[i] = rackOf[i] / telemetry.PDUsPerRoom
+	}
+	grants := coordinator.AllocateHierarchical(st.curBudget, reqs, rackOf, roomOf)
+
+	// Group jobs by rack in first-appearance order and let the policy
+	// split each rack's aggregate grant among its own jobs.
+	groupIdx := make(map[int]int)
+	var groups [][]int
+	for i := range infos {
+		gi, ok := groupIdx[rackOf[i]]
+		if !ok {
+			gi = len(groups)
+			groupIdx[rackOf[i]] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	alloc := policy.Allocation{}
+	for _, members := range groups {
+		var budget units.Power
+		sub := make([]policy.JobInfo, len(members))
+		for k, i := range members {
+			budget += grants[i].Budget
+			sub[k] = infos[i]
+		}
+		part, err := st.pol.Allocate(policy.System{Budget: budget}, sub)
+		if err != nil {
+			return nil, err
+		}
+		for id, caps := range part {
+			alloc[id] = caps
+		}
+	}
+	return alloc, nil
+}

@@ -1,0 +1,107 @@
+package facility
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"powerstack/internal/cluster"
+	"powerstack/internal/fault"
+	"powerstack/internal/units"
+)
+
+// resultJSON canonicalizes a Result for byte comparison.
+func resultJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// runScaleCase runs the golden scenario on the given pool with the given
+// engine, scale mode, and fault plan.
+func runScaleCase(t *testing.T, cfg Config, engine, mode string, faults *fault.Plan) *Result {
+	t.Helper()
+	cfg.Engine = engine
+	cfg.ScaleMode = mode
+	cfg.Faults = faults
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSoAPoolByteIdenticalToClonePool pins the struct-of-arrays node state
+// against the seed path: a facility run on a PoolState's view nodes (dense
+// words carved from one flat arena) produces a byte-identical Result to the
+// same run on a ClonePool of the same source — on both engines, faults on
+// and off.
+func TestSoAPoolByteIdenticalToClonePool(t *testing.T) {
+	src, db, workloads := facilityEnv(t, 10)
+	for _, engine := range []string{EngineEvent, EngineTick} {
+		for _, withFaults := range []bool{false, true} {
+			var faults *fault.Plan
+			if withFaults {
+				faults = goldenFaults()
+			}
+			cloneCfg := baseConfig(cluster.ClonePool(src), db, workloads)
+			cloneRes := runScaleCase(t, cloneCfg, engine, ScaleAuto, faults)
+
+			ps, err := cluster.NewPoolState(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			soaCfg := baseConfig(ps.Nodes(), db, workloads)
+			soaRes := runScaleCase(t, soaCfg, engine, ScaleAuto, faults)
+
+			if a, b := resultJSON(t, cloneRes), resultJSON(t, soaRes); a != b {
+				t.Errorf("engine %s faults %v: SoA pool diverged from ClonePool\nclone: %s\nsoa:   %s", engine, withFaults, a, b)
+			}
+		}
+	}
+}
+
+// TestScaleAutoExactBelowThreshold pins the exactness fallback: at small N
+// the auto scale mode takes the flat replan and recursive sample paths, so
+// its Result is byte-identical to an explicit compat run — both engines,
+// faults on and off.
+func TestScaleAutoExactBelowThreshold(t *testing.T) {
+	src, db, workloads := facilityEnv(t, 10)
+	for _, engine := range []string{EngineEvent, EngineTick} {
+		for _, withFaults := range []bool{false, true} {
+			var faults *fault.Plan
+			if withFaults {
+				faults = goldenFaults()
+			}
+			autoRes := runScaleCase(t, baseConfig(cluster.ClonePool(src), db, workloads), engine, ScaleAuto, faults)
+			compatRes := runScaleCase(t, baseConfig(cluster.ClonePool(src), db, workloads), engine, ScaleCompat, faults)
+			if a, b := resultJSON(t, autoRes), resultJSON(t, compatRes); a != b {
+				t.Errorf("engine %s faults %v: auto mode diverged from compat below threshold\nauto:   %s\ncompat: %s", engine, withFaults, a, b)
+			}
+		}
+	}
+}
+
+// TestScaleOnSmallRun exercises the hierarchical replan and linear sweep
+// end to end at test scale: the run completes, jobs flow, power stays
+// within the budget envelope the policy is handed.
+func TestScaleOnSmallRun(t *testing.T) {
+	src, db, workloads := facilityEnv(t, 32)
+	cfg := baseConfig(cluster.ClonePool(src), db, workloads)
+	cfg.JobSizes = []int{2, 4, 8}
+	res := runScaleCase(t, cfg, EngineEvent, ScaleOn, nil)
+	if res.Completed == 0 {
+		t.Fatal("scale-mode run completed no jobs")
+	}
+	if res.MeanPower <= 0 {
+		t.Fatalf("mean power %v", res.MeanPower)
+	}
+	// The hierarchy grants watts down the tree; the facility draw must
+	// stay near the budget (TDP-capped spin slack allows small overshoot).
+	if res.PeakPower > cfg.SystemBudget+units.Power(len(cfg.Nodes))*20*units.Watt {
+		t.Fatalf("peak power %v far above budget %v", res.PeakPower, cfg.SystemBudget)
+	}
+}

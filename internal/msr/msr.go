@@ -14,6 +14,7 @@ package msr
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -103,15 +104,54 @@ type opReg struct {
 	reg uint32
 }
 
+// layout is the immutable dense index of a register file: the allowlist's
+// addresses in sorted order, the address→slot map, and the per-slot access
+// rights. Devices cloned or restored from each other share one layout
+// pointer, so a clone is a slice copy and a whole pool's register words can
+// live side by side in one flat backing array (cluster.PoolState).
+type layout struct {
+	addrs []uint32
+	slot  map[uint32]int
+	acc   []Access
+}
+
+// newLayout builds the dense index of an allowlist.
+func newLayout(allowlist map[uint32]Access) *layout {
+	addrs := make([]uint32, 0, len(allowlist))
+	for addr := range allowlist {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	l := &layout{addrs: addrs, slot: make(map[uint32]int, len(addrs)), acc: make([]Access, len(addrs))}
+	for i, addr := range addrs {
+		l.slot[addr] = i
+		l.acc[i] = allowlist[addr]
+	}
+	return l
+}
+
+// defaultLayout is the shared dense index of DefaultAllowlist: every device
+// built with a nil allowlist — the whole simulated machine room — indexes
+// its register words through this one structure.
+var defaultLayout = newLayout(DefaultAllowlist())
+
 // Device is one simulated per-socket MSR file (e.g. /dev/cpu/N/msr_safe).
 // It is safe for concurrent use: the GEOPM controller and the resource
 // manager may touch the same socket from different goroutines.
+//
+// Register words live in a dense slice indexed through the shared layout
+// (struct-of-arrays friendly: cloning is one slice copy, and a pool of
+// devices can view disjoint windows of one flat backing array). Privileged
+// writes to addresses outside the allowlist spill into a small side map so
+// the historical "any address" privileged semantics survive the dense
+// storage.
 type Device struct {
-	mu        sync.RWMutex
-	regs      map[uint32]uint64
-	allowlist map[uint32]Access
-	faults    map[uint32]error
-	armed     map[opReg]*countdownFault
+	mu     sync.RWMutex
+	lay    *layout
+	regs   []uint64
+	extra  map[uint32]uint64
+	faults map[uint32]error
+	armed  map[opReg]*countdownFault
 }
 
 // countdownFault is a countdown fault: the next remaining unprivileged
@@ -124,14 +164,41 @@ type countdownFault struct {
 // NewDevice creates a device with the given allowlist. A nil allowlist uses
 // DefaultAllowlist. All allowlisted registers exist with value zero.
 func NewDevice(allowlist map[uint32]Access) *Device {
-	if allowlist == nil {
-		allowlist = DefaultAllowlist()
+	lay := defaultLayout
+	if allowlist != nil {
+		lay = newLayout(allowlist)
 	}
-	regs := make(map[uint32]uint64, len(allowlist))
-	for addr := range allowlist {
-		regs[addr] = 0
+	return &Device{lay: lay, regs: make([]uint64, len(lay.addrs))}
+}
+
+// WordCount is the number of dense register words the device stores — the
+// per-device stride of a flat pool backing array.
+func (d *Device) WordCount() int { return len(d.lay.addrs) }
+
+// CloneOnto clones the device with its register words stored in the
+// caller-provided backing slice, which must be exactly WordCount long. The
+// current register contents are copied into the backing; fault state is
+// duplicated as in Clone. This is how cluster.PoolState lays a whole pool's
+// registers out in one flat array while every Device keeps its own view.
+func (d *Device) CloneOnto(backing []uint64) (*Device, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(backing) != len(d.regs) {
+		return nil, fmt.Errorf("msr: backing holds %d words, device has %d", len(backing), len(d.regs))
 	}
-	return &Device{regs: regs, allowlist: allowlist}
+	copy(backing, d.regs)
+	c := &Device{lay: d.lay, regs: backing}
+	d.cloneAuxInto(c)
+	return c, nil
+}
+
+// SnapshotWords appends the device's dense register words to dst and
+// returns the extended slice — the pristine-pool capture half of
+// cluster.PoolState's bulk restore.
+func (d *Device) SnapshotWords(dst []uint64) []uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append(dst, d.regs...)
 }
 
 // Read returns the value of the register, failing for registers that are not
@@ -145,10 +212,11 @@ func (d *Device) Read(reg uint32) (uint64, error) {
 	if err := d.countdown(OpRead, reg); err != nil {
 		return 0, err
 	}
-	if _, ok := d.allowlist[reg]; !ok {
+	i, ok := d.lay.slot[reg]
+	if !ok {
 		return 0, &Error{Op: "read", Register: reg, Reason: "not in allowlist"}
 	}
-	return d.regs[reg], nil
+	return d.regs[i], nil
 }
 
 // countdown advances the armed countdown fault for (op, reg), returning its
@@ -177,15 +245,15 @@ func (d *Device) Write(reg uint32, value uint64) error {
 	if err := d.countdown(OpWrite, reg); err != nil {
 		return err
 	}
-	acc, ok := d.allowlist[reg]
+	i, ok := d.lay.slot[reg]
 	if !ok {
 		return &Error{Op: "write", Register: reg, Reason: "not in allowlist"}
 	}
-	if acc.WriteMask == 0 {
+	mask := d.lay.acc[i].WriteMask
+	if mask == 0 {
 		return &Error{Op: "write", Register: reg, Reason: "read-only"}
 	}
-	old := d.regs[reg]
-	d.regs[reg] = (old &^ acc.WriteMask) | (value & acc.WriteMask)
+	d.regs[i] = (d.regs[i] &^ mask) | (value & mask)
 	return nil
 }
 
@@ -201,18 +269,29 @@ func (d *Device) ReadField(reg uint32, hi, lo uint) (uint64, error) {
 
 // PrivilegedWrite bypasses the allowlist; it is how the simulator's hardware
 // model updates counters (energy, APERF/MPERF, TSC) behind the register
-// file, playing the role of the silicon itself.
+// file, playing the role of the silicon itself. Addresses outside the
+// allowlist land in the privileged side map.
 func (d *Device) PrivilegedWrite(reg uint32, value uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.regs[reg] = value
+	if i, ok := d.lay.slot[reg]; ok {
+		d.regs[i] = value
+		return
+	}
+	if d.extra == nil {
+		d.extra = map[uint32]uint64{}
+	}
+	d.extra[reg] = value
 }
 
 // PrivilegedRead bypasses the allowlist.
 func (d *Device) PrivilegedRead(reg uint32) uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.regs[reg]
+	if i, ok := d.lay.slot[reg]; ok {
+		return d.regs[i]
+	}
+	return d.extra[reg]
 }
 
 // PrivilegedAdd adds delta to a register with wraparound at the given bit
@@ -221,21 +300,38 @@ func (d *Device) PrivilegedRead(reg uint32) uint64 {
 func (d *Device) PrivilegedAdd(reg uint32, delta uint64, widthBits uint) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	v := d.regs[reg] + delta
+	var v uint64
+	i, ok := d.lay.slot[reg]
+	if ok {
+		v = d.regs[i] + delta
+	} else {
+		v = d.extra[reg] + delta
+	}
 	if widthBits < 64 {
 		v &= (uint64(1) << widthBits) - 1
 	}
-	d.regs[reg] = v
+	if ok {
+		d.regs[i] = v
+		return
+	}
+	if d.extra == nil {
+		d.extra = map[uint32]uint64{}
+	}
+	d.extra[reg] = v
 }
 
-// Registers returns a snapshot of all register addresses, for diagnostics.
+// Registers returns a snapshot of all register addresses (allowlisted words
+// in ascending order, then any privileged side-map registers), for
+// diagnostics.
 func (d *Device) Registers() []uint32 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]uint32, 0, len(d.regs))
-	for addr := range d.regs {
+	out := make([]uint32, 0, len(d.regs)+len(d.extra))
+	out = append(out, d.lay.addrs...)
+	for addr := range d.extra {
 		out = append(out, addr)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -278,23 +374,15 @@ func (d *Device) ArmFault(op Op, reg uint32, after int, err error) {
 	d.armed[opReg{op, reg}] = &countdownFault{remaining: after, err: err}
 }
 
-// Clone returns an independent copy of the device: register contents, the
-// allowlist, and any injected fault state are all duplicated, so accesses
-// to the clone never affect the original (and vice versa). Armed countdown
-// faults keep their remaining budget at the moment of cloning. This is the
-// register-file half of node cloning for cell-isolated pools.
-func (d *Device) Clone() *Device {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	regs := make(map[uint32]uint64, len(d.regs))
-	for addr, v := range d.regs {
-		regs[addr] = v
+// cloneAuxInto copies the side state (privileged extras, sticky faults,
+// armed countdown faults) into c. Callers hold d.mu.
+func (d *Device) cloneAuxInto(c *Device) {
+	if len(d.extra) > 0 {
+		c.extra = make(map[uint32]uint64, len(d.extra))
+		for addr, v := range d.extra {
+			c.extra[addr] = v
+		}
 	}
-	allow := make(map[uint32]Access, len(d.allowlist))
-	for addr, acc := range d.allowlist {
-		allow[addr] = acc
-	}
-	c := &Device{regs: regs, allowlist: allow}
 	if len(d.faults) > 0 {
 		c.faults = make(map[uint32]error, len(d.faults))
 		for addr, err := range d.faults {
@@ -307,28 +395,75 @@ func (d *Device) Clone() *Device {
 			c.armed[key] = &countdownFault{remaining: cf.remaining, err: cf.err}
 		}
 	}
+}
+
+// Clone returns an independent copy of the device: register contents and
+// any injected fault state are duplicated, so accesses to the clone never
+// affect the original (and vice versa). The immutable layout (allowlist
+// index) is shared, which is what makes cloning a slice copy. Armed
+// countdown faults keep their remaining budget at the moment of cloning.
+// This is the register-file half of node cloning for cell-isolated pools.
+func (d *Device) Clone() *Device {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c := &Device{lay: d.lay, regs: append([]uint64(nil), d.regs...)}
+	d.cloneAuxInto(c)
 	return c
 }
 
 // RestoreFrom resets the device to the state of src: register contents,
 // sticky faults, and armed countdown faults (with their remaining budgets at
-// the moment of the call) are all copied; the allowlist is left alone, since
-// devices restored into each other share a construction-time allowlist. It
-// is the in-place counterpart of Clone for pool recycling — reusing the
-// existing register map avoids the per-clone map churn that dominates
-// campaign sweeps. src must not be the receiver's concurrent writer.
+// the moment of the call) are all copied; the layout is left alone, since
+// devices restored into each other share a construction-time allowlist.
+// With the dense storage the word restore is a single slice copy, making
+// pool recycling near-free. src must not be the receiver's concurrent
+// writer, and must share the receiver's construction lineage (same
+// allowlist).
 func (d *Device) RestoreFrom(src *Device) {
 	src.mu.RLock()
 	defer src.mu.RUnlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for addr := range d.regs {
-		if _, ok := src.regs[addr]; !ok {
-			delete(d.regs, addr)
+	if d.lay == src.lay {
+		copy(d.regs, src.regs)
+	} else {
+		// Different allowlists (foreign pool): copy the intersection and
+		// zero the rest — best effort, callers guard against this upstream
+		// (node.RestoreFrom checks IDs, the recycler shape-checks pools).
+		for i, addr := range d.lay.addrs {
+			if j, ok := src.lay.slot[addr]; ok {
+				d.regs[i] = src.regs[j]
+			} else {
+				d.regs[i] = 0
+			}
 		}
 	}
-	for addr, v := range src.regs {
-		d.regs[addr] = v
+	d.restoreAuxLocked(src)
+}
+
+// RestoreAuxFrom copies the device state that lives outside the dense
+// register words — privileged side-map registers, sticky faults, and armed
+// countdown faults — from src. Together with a bulk copy of the register
+// words (cluster.PoolState restores a whole pool's words with one slice
+// copy) it is equivalent to RestoreFrom.
+func (d *Device) RestoreAuxFrom(src *Device) {
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.restoreAuxLocked(src)
+}
+
+// restoreAuxLocked is RestoreAuxFrom with both locks held.
+func (d *Device) restoreAuxLocked(src *Device) {
+	clear(d.extra)
+	if len(src.extra) > 0 {
+		if d.extra == nil {
+			d.extra = make(map[uint32]uint64, len(src.extra))
+		}
+		for addr, v := range src.extra {
+			d.extra[addr] = v
+		}
 	}
 	clear(d.faults)
 	if len(src.faults) > 0 {

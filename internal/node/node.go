@@ -290,6 +290,22 @@ func (n *Node) Clone() *Node {
 // register maps, and cap tables keeps a campaign's clone+GC churn flat no
 // matter how many scenarios run.
 func (n *Node) RestoreFrom(src *Node) error {
+	if err := n.RestoreAuxFrom(src); err != nil {
+		return err
+	}
+	for i, su := range n.sockets {
+		su.Dev.RestoreFrom(src.sockets[i].Dev)
+	}
+	return nil
+}
+
+// RestoreAuxFrom is RestoreFrom minus the dense register words: it reverts
+// the node scalars, socket models, RAPL accounting, and the register files'
+// auxiliary state (armed faults, privileged spill), but leaves the
+// allowlisted register contents untouched. cluster.PoolState pairs it with
+// one flat copy of the pristine word arena to restore a whole pool without
+// walking registers device by device.
+func (n *Node) RestoreAuxFrom(src *Node) error {
 	if n.ID != src.ID || len(n.sockets) != len(src.sockets) {
 		return fmt.Errorf("node: cannot restore %s from %s", n.ID, src.ID)
 	}
@@ -301,10 +317,63 @@ func (n *Node) RestoreFrom(src *Node) error {
 	for i, su := range n.sockets {
 		ss := src.sockets[i]
 		su.Model = ss.Model.Clone()
-		su.Dev.RestoreFrom(ss.Dev)
+		su.Dev.RestoreAuxFrom(ss.Dev)
 		su.Rapl.RestoreFrom(ss.Rapl)
 	}
 	return nil
+}
+
+// WordCount returns the number of dense register words across the node's
+// sockets — the arena space CloneInto needs.
+func (n *Node) WordCount() int {
+	total := 0
+	for _, su := range n.sockets {
+		total += su.Dev.WordCount()
+	}
+	return total
+}
+
+// CloneInto is Clone with the registers' dense storage carved out of
+// backing, which must be exactly WordCount() long. The clone behaves
+// identically to a Clone() result; the only difference is where its words
+// live, which lets cluster.PoolState lay a whole pool out contiguously.
+func (n *Node) CloneInto(backing []uint64) (*Node, error) {
+	if len(backing) != n.WordCount() {
+		return nil, fmt.Errorf("node %s: backing has %d words, need %d", n.ID, len(backing), n.WordCount())
+	}
+	c := &Node{ID: n.ID, IdleWait: n.IdleWait, degrade: n.degrade, op: n.op, opValid: n.opValid}
+	c.sockets = make([]*SocketUnit, 0, len(n.sockets))
+	off := 0
+	for _, su := range n.sockets {
+		w := su.Dev.WordCount()
+		dev, err := su.Dev.CloneOnto(backing[off : off+w : off+w])
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", n.ID, err)
+		}
+		off += w
+		c.sockets = append(c.sockets, &SocketUnit{
+			Model: su.Model.Clone(),
+			Dev:   dev,
+			Rapl:  su.Rapl.Clone(dev),
+		})
+	}
+	if len(n.capTables) > 0 {
+		c.capTables = make(map[capKey]*cpumodel.CapTable, len(n.capTables))
+		for k, t := range n.capTables {
+			c.capTables[k] = t
+		}
+	}
+	c.spinTable = n.spinTable
+	return c, nil
+}
+
+// SnapshotWords appends the node's dense register words (socket order) to
+// dst and returns the extended slice.
+func (n *Node) SnapshotWords(dst []uint64) []uint64 {
+	for _, su := range n.sockets {
+		dst = su.Dev.SnapshotWords(dst)
+	}
+	return dst
 }
 
 // Sockets returns the node's socket units.
@@ -330,14 +399,21 @@ func (n *Node) MinLimit() units.Power {
 // clamped to the settable range. It returns the limit actually programmed
 // (after clamping and RAPL quantization).
 func (n *Node) SetPowerLimit(total units.Power) (units.Power, error) {
+	return n.SetPowerLimitCached(total, nil)
+}
+
+// SetPowerLimitCached is SetPowerLimit with the PL1 field encodings served
+// from enc (see rapl.LimitEncoder); nil enc encodes directly. The register
+// traffic is identical either way.
+func (n *Node) SetPowerLimitCached(total units.Power, enc *rapl.LimitEncoder) (units.Power, error) {
 	perSocket := units.Clamp(total/SocketsPerNode, n.Spec().MinPowerLimit, n.Spec().TDP)
 	for _, s := range n.sockets {
-		err := s.Rapl.SetLimit(rapl.Limit{
+		err := s.Rapl.SetLimitCached(rapl.Limit{
 			Power:      perSocket,
 			TimeWindow: time.Second,
 			Enabled:    true,
 			Clamped:    true,
-		})
+		}, enc)
 		if err != nil {
 			return 0, fmt.Errorf("node %s: %w", n.ID, err)
 		}

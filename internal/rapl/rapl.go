@@ -162,17 +162,80 @@ func (d *Domain) RestoreFrom(src *Domain) {
 	d.sinkHost = ""
 }
 
-// SetLimit programs PL1 in MSR_PKG_POWER_LIMIT. The power is quantized to
-// the power unit and the window to the time unit, as on hardware.
-func (d *Domain) SetLimit(l Limit) error {
-	if l.Power < 0 {
-		return fmt.Errorf("rapl: negative power limit %v", l.Power)
+// LimitEncoder memoizes the PL1 field encodings of repeated limits. A
+// facility replan writes the same handful of distinct cap values across
+// thousands of sockets, and every uncached write pays the power-field
+// rounding plus the brute-force time-window search (128 math.Pow calls);
+// the encoder computes each distinct (power, window) once and replays the
+// fields from a map. Encodings are exact memoizations of pure functions of
+// the unit register, so cached and uncached writes program identical bits.
+//
+// An encoder caches for one unit scheme (the first domain it sees); domains
+// with different decoded units bypass it. It is not safe for concurrent
+// use — callers that fan out keep one encoder per goroutine.
+type LimitEncoder struct {
+	units   Units
+	primed  bool
+	powers  map[units.Power]uint64
+	windows map[time.Duration]uint64
+}
+
+// fields returns the PL1 power and window fields for l under u, memoized.
+func (e *LimitEncoder) fields(l Limit, u Units) (power, window uint64, ok bool) {
+	if e == nil {
+		return 0, 0, false
 	}
-	field := uint64(math.Round(float64(l.Power) / float64(d.units.PowerUnit)))
+	if !e.primed {
+		e.units = u
+		e.primed = true
+		e.powers = make(map[units.Power]uint64, 8)
+		e.windows = make(map[time.Duration]uint64, 2)
+	} else if e.units != u {
+		return 0, 0, false
+	}
+	power, hit := e.powers[l.Power]
+	if !hit {
+		power = encodePowerField(l.Power, u.PowerUnit)
+		e.powers[l.Power] = power
+	}
+	window, hit = e.windows[l.TimeWindow]
+	if !hit {
+		window = encodeTimeWindow(l.TimeWindow, u.TimeUnit)
+		e.windows[l.TimeWindow] = window
+	}
+	return power, window, true
+}
+
+// encodePowerField quantizes a power limit to power-unit LSBs, clamped to
+// the 15-bit PL1 field.
+func encodePowerField(p units.Power, unit units.Power) uint64 {
+	field := uint64(math.Round(float64(p) / float64(unit)))
 	if max := uint64(1)<<(pl1PowerHi-pl1PowerLo+1) - 1; field > max {
 		field = max
 	}
-	window := encodeTimeWindow(l.TimeWindow, d.units.TimeUnit)
+	return field
+}
+
+// SetLimit programs PL1 in MSR_PKG_POWER_LIMIT. The power is quantized to
+// the power unit and the window to the time unit, as on hardware.
+func (d *Domain) SetLimit(l Limit) error {
+	return d.SetLimitCached(l, nil)
+}
+
+// SetLimitCached is SetLimit with the field encodings served from enc when
+// possible (nil enc, or an encoder primed for different units, computes
+// directly). The register access sequence — one read, one write — and the
+// programmed bits are identical to SetLimit's, so fault countdowns and
+// journals advance the same either way.
+func (d *Domain) SetLimitCached(l Limit, enc *LimitEncoder) error {
+	if l.Power < 0 {
+		return fmt.Errorf("rapl: negative power limit %v", l.Power)
+	}
+	field, window, ok := enc.fields(l, d.units)
+	if !ok {
+		field = encodePowerField(l.Power, d.units.PowerUnit)
+		window = encodeTimeWindow(l.TimeWindow, d.units.TimeUnit)
+	}
 	reg, err := d.dev.Read(msr.MSRPkgPowerLimit)
 	if err != nil {
 		return err

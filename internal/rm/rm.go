@@ -22,6 +22,7 @@ import (
 	"powerstack/internal/node"
 	"powerstack/internal/obs"
 	"powerstack/internal/policy"
+	"powerstack/internal/rapl"
 	"powerstack/internal/units"
 )
 
@@ -63,6 +64,13 @@ type JobSpec struct {
 type ScheduledJob struct {
 	Spec JobSpec
 	Job  *bsp.Job
+
+	// info caches the job's policy view between replans (Incremental mode):
+	// the characterization entry and host limits are fixed for the job's
+	// lifetime unless a failed host is swapped for a spare, which clears
+	// infoValid.
+	info      policy.JobInfo
+	infoValid bool
 }
 
 // DefaultCapRetries is how many times a failed power-limit write is
@@ -111,6 +119,34 @@ type Manager struct {
 	// OnRejoin, when set, is invoked every time a repaired node returns to
 	// the free pool (after its TDP limit is restored).
 	OnRejoin func(id string)
+
+	// CompatCapPath disables the shared PL1 field-encoding cache, forcing
+	// every cap write to re-derive its fields the way the pre-batching
+	// manager did. The cache is an exact memoization — programmed bits and
+	// register traffic are identical either way — so this exists purely as
+	// the baseline lane for cmd/scalebench, not as a correctness knob.
+	CompatCapPath bool
+
+	// enc memoizes PL1 field encodings across all cap writes this manager
+	// issues (a replan programs the same few distinct wattages across
+	// thousands of sockets). The manager is single-goroutine on the
+	// control path, so the encoder needs no locking.
+	enc rapl.LimitEncoder
+
+	// Incremental enables the scale-path replan shortcuts: ApplyCaps skips
+	// hosts whose cap equals the last successfully programmed value, and
+	// JobInfos reuses each job's policy view between replans. The register
+	// state each replan converges to is the same; what changes is MSR
+	// traffic (skipped rewrites consume no fault countdowns) and fallback
+	// journaling cadence — so the facility enables it only in scale mode,
+	// never on the small-N exactness path.
+	Incremental bool
+	// lastCap records, by node ID, the cap most recently programmed with
+	// success; only maintained when Incremental is set.
+	lastCap map[string]units.Power
+	// changed collects the IDs of jobs that had at least one host cap
+	// actually (re)programmed since the last TakeChangedJobs drain.
+	changed map[string]bool
 }
 
 // NewManager builds a manager over the given node pool.
@@ -221,18 +257,41 @@ func (m *Manager) setLimit(n *node.Node, watts units.Power) error {
 	if retries < 0 {
 		retries = 0
 	}
+	enc := &m.enc
+	if m.CompatCapPath {
+		enc = nil
+	}
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			m.Obs.CapRetry(n.ID, watts.Watts(), attempt)
 		}
-		if _, err = n.SetPowerLimit(watts); err == nil {
+		if _, err = n.SetPowerLimitCached(watts, enc); err == nil {
 			m.Obs.CapWriteRetries(n.ID, attempt)
+			if m.Incremental {
+				if m.lastCap == nil {
+					m.lastCap = map[string]units.Power{}
+				}
+				m.lastCap[n.ID] = watts
+			}
 			return nil
 		}
 	}
 	m.Obs.CapWriteRetries(n.ID, retries)
+	// The register may hold anything after a failed write; forget the node
+	// so no future identical-looking cap is skipped against stale state.
+	delete(m.lastCap, n.ID)
 	return err
+}
+
+// TakeChangedJobs drains the set of job IDs whose caps were actually
+// reprogrammed since the previous drain (Incremental mode only; always
+// empty otherwise). The event core uses it to bound re-probing after a
+// replan to the jobs whose operating point could have moved.
+func (m *Manager) TakeChangedJobs() map[string]bool {
+	ch := m.changed
+	m.changed = nil
+	return ch
 }
 
 // Submit allocates nodes for the spec and schedules the job. The seed
@@ -324,6 +383,10 @@ func (m *Manager) JobInfos(db *charz.DB) ([]policy.JobInfo, error) {
 	}
 	infos := make([]policy.JobInfo, 0, len(m.jobs))
 	for _, sj := range m.jobs {
+		if m.Incremental && sj.infoValid {
+			infos = append(infos, sj.info)
+			continue
+		}
 		entry, err := db.MustGet(sj.Spec.Config)
 		info := policy.JobInfo{ID: sj.Spec.ID, Char: entry}
 		switch {
@@ -341,6 +404,10 @@ func (m *Manager) JobInfos(db *charz.DB) ([]policy.JobInfo, error) {
 				Min:  h.Node.MinLimit(),
 				Max:  h.Node.TDP(),
 			})
+		}
+		if m.Incremental {
+			sj.info = info
+			sj.infoValid = true
 		}
 		infos = append(infos, info)
 	}
@@ -374,30 +441,55 @@ func (m *Manager) Apply(alloc policy.Allocation) error {
 		if !ok {
 			return fmt.Errorf("rm: allocation missing job %s", sj.Spec.ID)
 		}
-		if len(caps) != len(sj.Job.Hosts) {
-			return fmt.Errorf("rm: job %s: %d caps for %d hosts", sj.Spec.ID, len(caps), len(sj.Job.Hosts))
+		if err := m.ApplyCaps(sj, caps); err != nil {
+			return err
 		}
-		for i := range sj.Job.Hosts {
-			n := sj.Job.Hosts[i].Node
-			if _, drained := m.quarantined[n.ID]; drained {
-				// Already given up on: keep the job running at the
-				// node's last limit without another retry storm.
+	}
+	return nil
+}
+
+// ApplyCaps programs one job's per-host caps in a single batch over the
+// host vector — the unit of work hierarchical replans hand the manager per
+// rack. The per-host semantics are exactly Apply's: quarantined hosts are
+// skipped, each write gets a cap_write span and setLimit's bounded retries,
+// and a persistently failing host is quarantined and replaced by a spare
+// when one exists. Errors are structural only (cap/host count mismatch).
+func (m *Manager) ApplyCaps(sj *ScheduledJob, caps []units.Power) error {
+	if len(caps) != len(sj.Job.Hosts) {
+		return fmt.Errorf("rm: job %s: %d caps for %d hosts", sj.Spec.ID, len(caps), len(sj.Job.Hosts))
+	}
+	for i := range sj.Job.Hosts {
+		n := sj.Job.Hosts[i].Node
+		if _, drained := m.quarantined[n.ID]; drained {
+			// Already given up on: keep the job running at the
+			// node's last limit without another retry storm.
+			continue
+		}
+		if m.Incremental {
+			if last, ok := m.lastCap[n.ID]; ok && last == caps[i] {
+				// The register already holds exactly this cap; a rewrite
+				// would program the same bits.
 				continue
 			}
-			sp := m.Obs.StartSpan(m.SpanParent, "rm", "cap_write").
-				SetScope(sj.Spec.ID).SetHost(n.ID).SetValue(caps[i].Watts())
-			err := m.setLimit(n, caps[i])
-			if err == nil {
-				sp.End()
-				continue
+			if m.changed == nil {
+				m.changed = map[string]bool{}
 			}
-			m.quarantine(n, "cap_write")
-			if spare := m.takeSpare(caps[i]); spare != nil {
-				sj.Job.Hosts[i].Node = spare
-				sp.SetHost(spare.ID)
-			}
+			m.changed[sj.Spec.ID] = true
+		}
+		sp := m.Obs.StartSpan(m.SpanParent, "rm", "cap_write").
+			SetScope(sj.Spec.ID).SetHost(n.ID).SetValue(caps[i].Watts())
+		err := m.setLimit(n, caps[i])
+		if err == nil {
 			sp.End()
+			continue
 		}
+		m.quarantine(n, "cap_write")
+		if spare := m.takeSpare(caps[i]); spare != nil {
+			sj.Job.Hosts[i].Node = spare
+			sj.infoValid = false
+			sp.SetHost(spare.ID)
+		}
+		sp.End()
 	}
 	return nil
 }

@@ -33,24 +33,32 @@ type Sample struct {
 	Power units.Power
 }
 
-// NewSeries creates a series holding at most capacity samples.
+// NewSeries creates a series holding at most capacity samples. Storage
+// grows lazily toward the capacity as samples arrive: a 100k-leaf hierarchy
+// allocates proportional to the samples actually taken, not to
+// leaves × capacity up front.
 func NewSeries(capacity int) (*Series, error) {
 	if capacity <= 0 {
 		return nil, errors.New("telemetry: series capacity must be positive")
 	}
-	return &Series{cap: capacity, data: make([]Sample, capacity)}, nil
+	boot := capacity
+	if boot > 8 {
+		boot = 8
+	}
+	return &Series{cap: capacity, data: make([]Sample, 0, boot)}, nil
 }
 
 // Append adds a sample, evicting the oldest when full.
 func (s *Series) Append(sm Sample) {
-	idx := (s.start + s.n) % s.cap
-	if s.n == s.cap {
-		s.data[s.start] = sm
-		s.start = (s.start + 1) % s.cap
+	if s.n < s.cap {
+		// Still growing toward capacity: start is 0, so the logical index
+		// equals the physical one.
+		s.data = append(s.data, sm)
+		s.n++
 		return
 	}
-	s.data[idx] = sm
-	s.n++
+	s.data[s.start] = sm
+	s.start = (s.start + 1) % s.cap
 }
 
 // Len returns the number of stored samples.
@@ -110,6 +118,25 @@ type Domain struct {
 	faults *fault.Plan
 	start  time.Time
 	sink   *obs.Sink
+
+	// byName indexes every domain under this one (including itself) for
+	// O(1) Find lookups; BuildHierarchy populates it on the root.
+	byName map[string]*Domain
+	// sweep is the post-order traversal of the subtree (children before
+	// parents, in child order), with each entry recording its parent's
+	// sweep position; sums is the per-entry accumulation scratch. Together
+	// they let Sample run as one flat loop instead of a recursive walk.
+	// The summation and Series-append order of the sweep are exactly the
+	// recursion's, so both paths produce bit-identical floats.
+	sweep    []sweepEntry
+	sums     []units.Power
+	useSweep bool
+}
+
+// sweepEntry is one domain in a root's post-order sample sweep.
+type sweepEntry struct {
+	d      *Domain
+	parent int // sweep index of the parent; -1 for the root
 }
 
 // NewNodeDomain builds a leaf domain for a node.
@@ -136,8 +163,22 @@ func NewAggregateDomain(name string, historyLen int, children ...*Domain) (*Doma
 	return &Domain{Name: name, Children: children, series: s}, nil
 }
 
+// RoomThreshold is the PDU count above which BuildHierarchy inserts a room
+// tier between the PDUs and the facility root. At the default 16-node PDUs
+// the tier appears from 2048 nodes up, comfortably above the ≤1k-node range
+// whose tree shape (and hence aggregation float order) is pinned
+// byte-identical to the two-level original.
+const RoomThreshold = 128
+
+// PDUsPerRoom is how many PDUs each room aggregates when the room tier is
+// present (64 PDUs × 16 nodes = 1024 nodes per room).
+const PDUsPerRoom = 64
+
 // BuildHierarchy arranges nodes under PDUs of pduSize nodes each, under a
 // single facility root — the Dynamo-style capping tree of Section VII-C.
+// Above RoomThreshold PDUs a room tier is inserted so no domain's fan-out
+// grows linearly with the machine. The returned root carries a name index
+// (Find is O(1) on it) and a flat sample sweep.
 func BuildHierarchy(nodes []*node.Node, pduSize, historyLen int) (*Domain, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("telemetry: no nodes")
@@ -165,7 +206,58 @@ func BuildHierarchy(nodes []*node.Node, pduSize, historyLen int) (*Domain, error
 		}
 		pdus = append(pdus, pdu)
 	}
-	return NewAggregateDomain("facility", historyLen, pdus...)
+	tier := pdus
+	if len(pdus) > RoomThreshold {
+		var rooms []*Domain
+		for i := 0; i < len(pdus); i += PDUsPerRoom {
+			end := i + PDUsPerRoom
+			if end > len(pdus) {
+				end = len(pdus)
+			}
+			room, err := NewAggregateDomain(fmt.Sprintf("room%02d", len(rooms)), historyLen, pdus[i:end]...)
+			if err != nil {
+				return nil, err
+			}
+			rooms = append(rooms, room)
+		}
+		tier = rooms
+	}
+	root, err := NewAggregateDomain("facility", historyLen, tier...)
+	if err != nil {
+		return nil, err
+	}
+	root.buildIndex()
+	return root, nil
+}
+
+// buildIndex populates the root's name index and post-order sample sweep.
+func (d *Domain) buildIndex() {
+	d.byName = make(map[string]*Domain)
+	d.sweep = d.sweep[:0]
+	var walk func(c *Domain) int
+	walk = func(c *Domain) int {
+		d.byName[c.Name] = c
+		kids := make([]int, len(c.Children))
+		for i, ch := range c.Children {
+			kids[i] = walk(ch)
+		}
+		idx := len(d.sweep)
+		d.sweep = append(d.sweep, sweepEntry{d: c, parent: -1})
+		for _, k := range kids {
+			d.sweep[k].parent = idx
+		}
+		return idx
+	}
+	walk(d)
+	d.sums = make([]units.Power, len(d.sweep))
+}
+
+// SetLinearSweep selects between the flat post-order sample sweep and the
+// original recursive walk on a root built by BuildHierarchy. The two are
+// bit-identical in output (pinned by tests); the sweep just avoids call
+// overhead on 100k-domain trees. No-op on domains without an index.
+func (d *Domain) SetLinearSweep(enable bool) {
+	d.useSweep = enable && len(d.sweep) > 0
 }
 
 // SetFaultPlan arms injected telemetry dropouts on every leaf under d:
@@ -191,37 +283,11 @@ func (d *Domain) SetFaultPlan(p *fault.Plan, start time.Time, sink *obs.Sink) {
 // Sample only errors on conditions no monitoring system should paper over
 // (none today — the error return is kept for future structural failures).
 func (d *Domain) Sample(ts time.Time) (units.Power, error) {
+	if d.useSweep {
+		return d.sampleSweep(ts)
+	}
 	if d.Node != nil {
-		if d.faults.DropoutActive(d.Name, ts.Sub(d.start)) {
-			var p units.Power
-			if last, ok := d.series.Last(); ok {
-				p = last.Power
-			}
-			d.series.Append(Sample{Time: ts, Power: p})
-			d.sink.TelemetryHold(d.Name, p.Watts())
-			return p, nil
-		}
-		e, err := d.Node.Energy()
-		if err != nil {
-			// Dead node: no energy flows that we can meter. Report zero
-			// and forget the priming state so the first post-repair
-			// sample re-primes rather than integrating across the
-			// outage.
-			d.primed = false
-			d.series.Append(Sample{Time: ts, Power: 0})
-			d.sink.TelemetryHold(d.Name, 0)
-			return 0, nil
-		}
-		var p units.Power
-		if d.primed {
-			dt := ts.Sub(d.lastTime)
-			p = units.MeanPower(e-d.lastEnergy, dt)
-		}
-		d.lastEnergy = e
-		d.lastTime = ts
-		d.primed = true
-		d.series.Append(Sample{Time: ts, Power: p})
-		return p, nil
+		return d.leafSample(ts), nil
 	}
 	var total units.Power
 	for _, c := range d.Children {
@@ -235,11 +301,77 @@ func (d *Domain) Sample(ts time.Time) (units.Power, error) {
 	return total, nil
 }
 
+// leafSample reads one leaf's power at ts and records it.
+func (d *Domain) leafSample(ts time.Time) units.Power {
+	if d.faults.DropoutActive(d.Name, ts.Sub(d.start)) {
+		var p units.Power
+		if last, ok := d.series.Last(); ok {
+			p = last.Power
+		}
+		d.series.Append(Sample{Time: ts, Power: p})
+		d.sink.TelemetryHold(d.Name, p.Watts())
+		return p
+	}
+	e, err := d.Node.Energy()
+	if err != nil {
+		// Dead node: no energy flows that we can meter. Report zero
+		// and forget the priming state so the first post-repair
+		// sample re-primes rather than integrating across the
+		// outage.
+		d.primed = false
+		d.series.Append(Sample{Time: ts, Power: 0})
+		d.sink.TelemetryHold(d.Name, 0)
+		return 0
+	}
+	var p units.Power
+	if d.primed {
+		dt := ts.Sub(d.lastTime)
+		p = units.MeanPower(e-d.lastEnergy, dt)
+	}
+	d.lastEnergy = e
+	d.lastTime = ts
+	d.primed = true
+	d.series.Append(Sample{Time: ts, Power: p})
+	return p
+}
+
+// sampleSweep is Sample as one post-order loop over the flattened tree.
+// Each entry's power lands in its parent's accumulator in child order, and
+// Series appends happen in post-order — exactly the recursion's summation
+// and append sequence, so the two paths are bit-identical.
+func (d *Domain) sampleSweep(ts time.Time) (units.Power, error) {
+	sums := d.sums
+	for i := range sums {
+		sums[i] = 0
+	}
+	var rootPower units.Power
+	for i, e := range d.sweep {
+		var p units.Power
+		if e.d.Node != nil {
+			p = e.d.leafSample(ts)
+		} else {
+			p = sums[i]
+			e.d.series.Append(Sample{Time: ts, Power: p})
+		}
+		if e.parent >= 0 {
+			sums[e.parent] += p
+		} else {
+			rootPower = p
+		}
+	}
+	return rootPower, nil
+}
+
 // Series exposes the domain's history.
 func (d *Domain) Series() *Series { return d.series }
 
-// Find locates a descendant domain by name (including d itself).
+// Find locates a descendant domain by name (including d itself). On a
+// BuildHierarchy root the lookup is a map hit; elsewhere it walks the
+// subtree.
 func (d *Domain) Find(name string) *Domain {
+	if d.byName != nil {
+		return d.byName[name]
+	}
 	if d.Name == name {
 		return d
 	}

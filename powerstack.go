@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -478,6 +479,18 @@ func (s *System) RunFacility(ctx context.Context, cfg FacilityConfig) (*Facility
 func (s *System) RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
 	r := &campaign.Runner{Nodes: s.Pool, DB: s.DB, Obs: s.Obs}
 	return r.Run(ctx, cfg)
+}
+
+// MergeCampaignReports joins the partial reports of sharded campaign runs
+// (CampaignConfig.Shards > 1) into the full report, byte-identical to a
+// single-process run of the same matrix.
+func MergeCampaignReports(shards ...*CampaignReport) (*CampaignReport, error) {
+	return campaign.MergeReports(shards...)
+}
+
+// ReadCampaignReport deserializes a report written by WriteJSON.
+func ReadCampaignReport(r io.Reader) (*CampaignReport, error) {
+	return campaign.ReadReport(r)
 }
 
 // Policies returns every policy in the paper's presentation order.
