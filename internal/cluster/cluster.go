@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
 
 	"powerstack/internal/cpumodel"
 	"powerstack/internal/kernel"
@@ -30,6 +32,11 @@ type Cluster struct {
 
 // New builds a cluster of size nodes with variation multipliers drawn from
 // the model using the given seed. Node IDs follow the Quartz convention.
+//
+// All randomness is drawn up front from the seeded stream, so construction
+// of each node is independent: large populations are built on all available
+// CPUs, each worker filling its own index range, and the result is
+// identical at any parallelism.
 func New(size int, spec cpumodel.Spec, vm cpumodel.VariationModel, seed uint64) (*Cluster, error) {
 	if size <= 0 {
 		return nil, errors.New("cluster: size must be positive")
@@ -37,12 +44,47 @@ func New(size int, spec cpumodel.Spec, vm cpumodel.VariationModel, seed uint64) 
 	rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
 	etas := vm.SampleN(size, rng)
 	c := &Cluster{nodes: make([]*node.Node, size)}
-	for i := range c.nodes {
-		n, err := node.New(fmt.Sprintf("quartz%04d", i+1), spec, etas[i])
+	build := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			n, err := node.New(fmt.Sprintf("quartz%04d", i+1), spec, etas[i])
+			if err != nil {
+				return err
+			}
+			c.nodes[i] = n
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	const parallelMin = 4096 // goroutine fan-out only pays off on big pools
+	if workers <= 1 || size < parallelMin {
+		if err := build(0, size); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	chunk := (size + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > size {
+			hi = size
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = build(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		c.nodes[i] = n
 	}
 	return c, nil
 }

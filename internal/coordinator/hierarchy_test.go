@@ -3,6 +3,7 @@ package coordinator
 import (
 	"testing"
 
+	"powerstack/internal/obs"
 	"powerstack/internal/units"
 )
 
@@ -105,5 +106,91 @@ func TestHierarchicalStarvedRackHoldsFloor(t *testing.T) {
 	}
 	if total := sumGrants(grants); total > 800+1e-6 {
 		t.Errorf("grants total %v exceeds 800 W budget", total)
+	}
+}
+
+// TestHierAllocScratchIdentical runs one HierAlloc across many rounds with
+// shifting request sets and topologies, asserting every round's grants are
+// identical to a fresh package-level AllocateHierarchical call — scratch
+// reuse must never leak state between rounds.
+func TestHierAllocScratchIdentical(t *testing.T) {
+	var h HierAlloc
+	base := hierReqs()
+	for round := 0; round < 6; round++ {
+		n := 1 + (round*3)%len(base)
+		reqs := base[:n]
+		rack := make([]int, n)
+		room := make([]int, n)
+		for i := range reqs {
+			rack[i] = (i + round) % 3
+			room[i] = rack[i] / 2
+		}
+		budget := units.Power(300 + 400*round)
+		want := AllocateHierarchical(budget, reqs, rack, room)
+		got := h.Allocate(budget, reqs, rack, room)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d grants, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d grant %d: scratch %+v != fresh %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHierAllocAllocatesNothingSteadyState pins the scratch pooling: after
+// the first call warms the buffers, repeated allocations over the same
+// shape allocate nothing.
+func TestHierAllocAllocatesNothingSteadyState(t *testing.T) {
+	var h HierAlloc
+	reqs := hierReqs()
+	rack := []int{0, 0, 1, 2}
+	room := []int{0, 0, 0, 1}
+	h.Allocate(1200, reqs, rack, room)
+	allocs := testing.AllocsPerRun(50, func() {
+		h.Allocate(1200, reqs, rack, room)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state HierAlloc.Allocate allocates %v objects per run", allocs)
+	}
+}
+
+// TestHierAllocJournalsFallback pins satellite behavior: a malformed
+// topology no longer degrades silently — the sink records an EvHierFallback
+// event and bumps the fallback counter, and the grants still equal the flat
+// allocation.
+func TestHierAllocJournalsFallback(t *testing.T) {
+	sink := obs.New()
+	h := HierAlloc{Obs: sink}
+	reqs := hierReqs()
+	flat := Allocate(1000, reqs)
+	got := h.Allocate(1000, reqs, []int{0}, nil)
+	for i := range flat {
+		if got[i] != flat[i] {
+			t.Fatalf("fallback grant %d: %+v != flat %+v", i, got[i], flat[i])
+		}
+	}
+	var seen int
+	for _, e := range sink.Journal.Snapshot() {
+		if e.Type == obs.EvHierFallback {
+			seen++
+			if e.Scope != "topology_len_mismatch" || e.Value != float64(len(reqs)) {
+				t.Errorf("fallback event fields: %+v", e)
+			}
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("EvHierFallback events = %d, want 1", seen)
+	}
+	// A well-formed call journals nothing.
+	h.Allocate(1000, reqs, []int{0, 0, 1, 1}, []int{0, 0, 0, 0})
+	for _, e := range sink.Journal.Snapshot() {
+		if e.Type == obs.EvHierFallback {
+			seen--
+		}
+	}
+	if seen != 0 {
+		t.Error("well-formed allocation journaled a fallback")
 	}
 }

@@ -113,7 +113,13 @@ func New(budget units.Power, jobs []*bsp.Job, shareAcrossJobs bool) (*Coordinato
 //     (MaxUseful - Needed).
 //   - Under deficit, the span between Min and Needed is scaled uniformly.
 func Allocate(budget units.Power, reqs []Request) []Grant {
-	grants := make([]Grant, len(reqs))
+	return allocateInto(make([]Grant, len(reqs)), budget, reqs)
+}
+
+// allocateInto is Allocate writing into a caller-provided slice of
+// len(reqs) — the scratch-pooled form HierAlloc uses so a replan's many
+// per-rack rounds reuse one buffer.
+func allocateInto(grants []Grant, budget units.Power, reqs []Request) []Grant {
 	var totalMin, totalNeeded units.Power
 	for _, r := range reqs {
 		totalMin += r.Min
@@ -170,68 +176,13 @@ func Allocate(budget units.Power, reqs []Request) []Grant {
 // a single rack the result is bit-identical to Allocate (each level
 // degenerates to a one-request or passthrough round); callers wanting exact
 // flat behavior at small N call Allocate directly.
+//
+// The package function delegates to a throwaway HierAlloc; replan loops
+// that run every few simulated minutes should hold a HierAlloc of their own
+// so the per-level aggregation scratch is reused instead of reallocated.
 func AllocateHierarchical(budget units.Power, reqs []Request, rackOf, roomOf []int) []Grant {
-	if len(rackOf) != len(reqs) || len(roomOf) != len(reqs) {
-		return Allocate(budget, reqs)
-	}
-	// Aggregate per rack, then racks per room, in first-appearance order.
-	rackIdx := make(map[int]int) // rack id -> aggregate index
-	var rackReqs []Request       // one aggregate request per rack
-	var rackRoom []int           // rack aggregate -> room id
-	var rackMembers [][]int      // rack aggregate -> request indexes
-	for i, r := range reqs {
-		ri, ok := rackIdx[rackOf[i]]
-		if !ok {
-			ri = len(rackReqs)
-			rackIdx[rackOf[i]] = ri
-			rackReqs = append(rackReqs, Request{JobID: fmt.Sprintf("rack%d", rackOf[i])})
-			rackRoom = append(rackRoom, roomOf[i])
-			rackMembers = append(rackMembers, nil)
-		}
-		rackReqs[ri].Min += r.Min
-		rackReqs[ri].Needed += r.Needed
-		rackReqs[ri].MaxUseful += r.MaxUseful
-		rackMembers[ri] = append(rackMembers[ri], i)
-	}
-	roomIdx := make(map[int]int)
-	var roomReqs []Request
-	var roomMembers [][]int // room aggregate -> rack aggregate indexes
-	for ri, rr := range rackReqs {
-		mi, ok := roomIdx[rackRoom[ri]]
-		if !ok {
-			mi = len(roomReqs)
-			roomIdx[rackRoom[ri]] = mi
-			roomReqs = append(roomReqs, Request{JobID: fmt.Sprintf("room%d", rackRoom[ri])})
-			roomMembers = append(roomMembers, nil)
-		}
-		roomReqs[mi].Min += rr.Min
-		roomReqs[mi].Needed += rr.Needed
-		roomReqs[mi].MaxUseful += rr.MaxUseful
-		roomMembers[mi] = append(roomMembers[mi], ri)
-	}
-	// Grant down the tree: budget over rooms, room grants over racks, rack
-	// grants over the actual requests.
-	grants := make([]Grant, len(reqs))
-	roomGrants := Allocate(budget, roomReqs)
-	for mi, members := range roomMembers {
-		sub := make([]Request, len(members))
-		for k, ri := range members {
-			sub[k] = rackReqs[ri]
-		}
-		rackGrants := Allocate(roomGrants[mi].Budget, sub)
-		for k, ri := range members {
-			jobs := rackMembers[ri]
-			jobSub := make([]Request, len(jobs))
-			for j, qi := range jobs {
-				jobSub[j] = reqs[qi]
-			}
-			jobGrants := Allocate(rackGrants[k].Budget, jobSub)
-			for j, qi := range jobs {
-				grants[qi] = Grant{JobID: reqs[qi].JobID, Budget: jobGrants[j].Budget}
-			}
-		}
-	}
-	return grants
+	var h HierAlloc
+	return h.Allocate(budget, reqs, rackOf, roomOf)
 }
 
 // Result aggregates a coordinated run.

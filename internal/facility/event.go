@@ -255,6 +255,7 @@ func (s *eventSim) advance(r *evJob, now time.Duration) {
 		return
 	}
 	r.sj.Job.CreditSteadyState(r.iter, k)
+	s.markJobDirty(r.sj)
 	r.remaining -= k
 	r.credited += time.Duration(k) * r.iter.Elapsed
 }
@@ -276,11 +277,21 @@ func (s *eventSim) probe(r *evJob, now time.Duration) error {
 	if err != nil {
 		return err
 	}
+	s.applyProbe(r, ir, now)
+	return nil
+}
+
+// applyProbe installs a probed iteration: the measurement itself may have
+// run earlier on a pipeline worker (each job's probe draws from its own
+// RNG and touches only its own hosts, so where it ran is unobservable);
+// the state change and completion re-schedule always happen here, on the
+// engine goroutine, in the deterministic merge order.
+func (s *eventSim) applyProbe(r *evJob, ir bsp.IterationResult, now time.Duration) {
+	s.markJobDirty(r.sj)
 	r.iter = ir
 	r.remaining--
 	r.credited = now + ir.Elapsed
 	s.scheduleCompletion(r)
-	return nil
 }
 
 // scheduleCompletion (re)schedules a job's completion event at the time
@@ -341,6 +352,19 @@ func (s *eventSim) reconcile(now time.Duration, mutated, reprobeAll bool) error 
 	}
 	replanned := false
 	if mutated || len(startedNow) > 0 {
+		if s.pipelined() && !reprobeAll {
+			// The parallel pipeline fuses this replan with the probe loop
+			// below and runs both room by room; its merge replays the exact
+			// sequential order, so falling into it here is unobservable.
+			handled, err := s.replanPipeline(now, fresh)
+			if err != nil {
+				return err
+			}
+			if handled {
+				s.recount()
+				return nil
+			}
+		}
 		if err := s.replan(); err != nil {
 			return err
 		}
@@ -424,9 +448,11 @@ func (s *eventSim) onCrash(nodeID string, now time.Duration) error {
 	s.accrue(now)
 	s.advanceAll(now) // settle at the pre-crash operating point
 	fault.Crash(n)
+	s.markNodeDirty(nodeID)
 	s.obs.FaultInjected(string(fault.NodeCrash), nodeID, "", 0)
 	holder, held := s.mgr.Drain(nodeID, "crash")
 	if held {
+		s.markJobDirty(holder)
 		for _, r := range s.active {
 			if r.sj == holder {
 				s.recordCheckpoint(holder.Spec.ID, r.remaining)
@@ -452,6 +478,7 @@ func (s *eventSim) onRepair(nodeID string, now time.Duration) error {
 	}
 	s.accrue(now)
 	fault.Repair(n)
+	s.markNodeDirty(nodeID)
 	s.mgr.Rejoin(nodeID)
 	return s.reconcile(now, false, false)
 }
@@ -482,6 +509,7 @@ func (s *eventSim) onReplan(now time.Duration) error {
 // budget in force (curBudget), and energy integrates over the actual gap
 // since the previous sample.
 func (s *eventSim) onSample(now time.Duration) error {
+	s.markDropoutStarts(now)
 	s.advanceAll(now)
 	at := s.start.Add(now)
 	p, err := s.root.Sample(at)

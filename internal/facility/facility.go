@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 	"time"
 
 	"powerstack/internal/charz"
+	"powerstack/internal/coordinator"
 	"powerstack/internal/fault"
 	"powerstack/internal/kernel"
 	"powerstack/internal/node"
@@ -101,6 +103,15 @@ type Config struct {
 	// hierarchical 100k-node ones: ScaleAuto (default — hierarchical above
 	// ScaleThreshold nodes), ScaleOn, or ScaleCompat. See scale.go.
 	ScaleMode string
+	// Parallelism fans the scale-mode replan pipeline out across rooms:
+	// each room's rack allocation rounds, cap-apply batch, and job probes
+	// run as one task, on up to Parallelism workers (1 runs the pipeline
+	// inline, without goroutines). Results are byte-identical at every
+	// setting — the pipeline merges in deterministic order — so this is
+	// purely a wall-clock knob. Zero (the default) keeps the sequential
+	// replan path; the setting is ignored outside scale mode and under the
+	// tick engine. See parallel.go.
+	Parallelism int
 	// TelemetryEvery is the telemetry sampling cadence; zero selects Tick.
 	// Under EngineTick it must be a positive multiple of Tick (samples can
 	// only land on tick boundaries); under EngineEvent any positive cadence
@@ -170,6 +181,8 @@ func (c *Config) Validate() error {
 		return errors.New("facility: replan cadence must not be negative")
 	case c.CheckpointEvery < 0:
 		return errors.New("facility: checkpoint cadence must not be negative")
+	case c.Parallelism < 0:
+		return errors.New("facility: parallelism must not be negative")
 	}
 	if !c.Emergency.valid() {
 		return fmt.Errorf("facility: unknown emergency policy %q (want %q, %q, or %q)",
@@ -332,6 +345,74 @@ type simState struct {
 	// numbers the replan rounds for span annotation.
 	spanCtx obs.SpanContext
 	round   int
+
+	// hier is the scratch-pooled hierarchical allocator the scale-mode
+	// replan reuses round to round, and plan the request/topology scratch
+	// beside it (see scale.go). Both are single-goroutine: the parallel
+	// pipeline builds its plan sequentially before fanning out.
+	hier coordinator.HierAlloc
+	plan planScratch
+
+	// incTel is set when the root samples incrementally (event engine,
+	// scale mode): every energy-state change marks its leaves dirty, so a
+	// sample costs O(dirty) instead of O(nodes). dropStarts is the sorted
+	// list of telemetry-dropout window starts; dropCursor marks their
+	// leaves dirty from onSample, without scheduling engine events.
+	incTel     bool
+	dropStarts []dropStart
+	dropCursor int
+
+	// pool is the lazily started replan worker pool (Parallelism > 1) and
+	// pipe the parallel pipeline's reusable scratch; see parallel.go.
+	pool *replanPool
+	pipe pipeScratch
+}
+
+// testDisableIncremental forces the full linear sweep even where the event
+// core would sample incrementally. Facility tests flip it to pin the
+// incremental sampler against the sweep end to end; it is never set outside
+// tests.
+var testDisableIncremental bool
+
+// dropStart is one telemetry-dropout window start on the virtual timeline.
+type dropStart struct {
+	at  time.Duration
+	ord int // leaf ordinal (position in cfg.Nodes)
+}
+
+// markDropoutStarts marks the leaves of every dropout window whose start
+// has passed; the incremental sampler then visits them and takes the hold
+// branch exactly when the full sweep would.
+func (st *simState) markDropoutStarts(now time.Duration) {
+	for st.dropCursor < len(st.dropStarts) && st.dropStarts[st.dropCursor].at <= now {
+		st.root.MarkLeafDirty(st.dropStarts[st.dropCursor].ord)
+		st.dropCursor++
+	}
+}
+
+// markJobDirty marks every host of a job dirty for the incremental
+// telemetry sweep — called after any probe or steady-state credit changes
+// host energy. No-op outside incremental mode.
+func (st *simState) markJobDirty(sj *rm.ScheduledJob) {
+	if !st.incTel {
+		return
+	}
+	for i := range sj.Job.Hosts {
+		if ord, ok := st.nodeIndex[sj.Job.Hosts[i].Node.ID]; ok {
+			st.root.MarkLeafDirty(ord)
+		}
+	}
+}
+
+// markNodeDirty marks one node dirty — crashes and repairs toggle its
+// energy readability between samples. No-op outside incremental mode.
+func (st *simState) markNodeDirty(id string) {
+	if !st.incTel {
+		return
+	}
+	if ord, ok := st.nodeIndex[id]; ok {
+		st.root.MarkLeafDirty(ord)
+	}
 }
 
 // maxHistory caps the telemetry ring size at its previous fixed value.
@@ -424,9 +505,45 @@ func setup(cfg Config) (*simState, error) {
 		for i, n := range cfg.Nodes {
 			st.nodeIndex[n.ID] = i
 		}
+		st.hier.Obs = st.obs
 	}
 	cfg.Faults.Arm(cfg.Nodes, st.obs)
 	root.SetFaultPlan(cfg.Faults, st.start, st.obs)
+	if st.scale && cfg.Engine != EngineTick && !testDisableIncremental {
+		// The event core marks leaves dirty on every energy-state change
+		// (probes, steady-state credits, crashes, repairs, dropout-window
+		// starts), so the root can sample incrementally — bit-identical to
+		// the full sweep, at O(dirty) cost. The tick core has no such
+		// marking and keeps the linear sweep.
+		root.SetIncremental(true)
+		st.incTel = true
+		if cfg.Faults != nil {
+			for _, in := range cfg.Faults.Injections {
+				ord, ok := st.nodeIndex[in.Node]
+				if !ok {
+					continue
+				}
+				switch in.Kind {
+				case fault.MSRReadFault:
+					// Energy reads consume the fault's countdown budget, so
+					// the number of reads is observable until it fires: pin
+					// the leaf dirty so it is read every sample, exactly as
+					// the sweep would.
+					root.PinLeafDirty(ord)
+				case fault.TelemetryDropout:
+					// Dropout windows open between samples without any
+					// engine event of their own; a sorted cursor advanced
+					// in onSample marks the leaf once its window can be
+					// active.
+					st.dropStarts = append(st.dropStarts, dropStart{at: in.At, ord: ord})
+				}
+			}
+			sort.Slice(st.dropStarts, func(i, j int) bool {
+				a, b := st.dropStarts[i], st.dropStarts[j]
+				return a.at < b.at || (a.at == b.at && a.ord < b.ord)
+			})
+		}
+	}
 	for _, n := range cfg.Nodes {
 		st.nodeByID[n.ID] = n
 		// Node-level events (limit writes, MSR writes, pins) recorded

@@ -58,23 +58,28 @@ func (c *Config) scaleActive() bool {
 // recent-window consumers (Last, the watchdog) never look deeper than this.
 const scaleHistory = 64
 
-// planHierarchical is the scale-mode replan round. Per-job power requests
-// (floor, characterized need, max useful) are aggregated along the
-// rack/room tree and the system budget granted back down it via
-// coordinator.AllocateHierarchical; the policy then distributes each
-// rack's aggregate grant over that rack's jobs only. A job belongs to the
-// rack of its first host. The flat replan asks the policy to weigh every
-// job against every other; this asks it to weigh rack-mates only, with
-// cross-rack balance settled by the water-fill at the rack and room tiers.
-func (st *simState) planHierarchical() (policy.Allocation, error) {
-	infos, err := st.mgr.JobInfos(st.db)
-	if err != nil {
-		return nil, err
-	}
+// planScratch is the request/topology scratch the hierarchical replan
+// reuses between rounds: per-job aggregate requests, rack/room assignment,
+// the rack grouping, and the policy sub-round input.
+type planScratch struct {
+	reqs   []coordinator.Request
+	rackOf []int
+	roomOf []int
+
+	groupIdx map[int]int // rack id -> group index
+	groups   [][]int     // rack group -> info indexes, first-appearance order
+	sub      []policy.JobInfo
+}
+
+// planRequests assembles the per-job power requests (floor, characterized
+// need, max useful) and each job's rack/room assignment into the reused
+// scratch. A job belongs to the rack of its first host.
+func (st *simState) planRequests(infos []policy.JobInfo) {
+	sc := &st.plan
 	jobs := st.mgr.Jobs()
-	reqs := make([]coordinator.Request, len(infos))
-	rackOf := make([]int, len(infos))
-	roomOf := make([]int, len(infos))
+	sc.reqs = growPlan(sc.reqs, len(infos))
+	sc.rackOf = growPlan(sc.rackOf, len(infos))
+	sc.roomOf = growPlan(sc.roomOf, len(infos))
 	for i, info := range infos {
 		var min, max, needed units.Power
 		for _, h := range info.Hosts {
@@ -86,35 +91,64 @@ func (st *simState) planHierarchical() (policy.Allocation, error) {
 				needed += units.Clamp(info.Char.MonitorHostPower, h.Min, h.Max)
 			}
 		}
-		reqs[i] = coordinator.Request{JobID: info.ID, Min: min, Needed: needed, MaxUseful: max}
+		sc.reqs[i] = coordinator.Request{JobID: info.ID, Min: min, Needed: needed, MaxUseful: max}
 		idx := st.nodeIndex[jobs[i].Job.Hosts[0].Node.ID]
-		rackOf[i] = idx / facilityPDUSize
-		roomOf[i] = rackOf[i] / telemetry.PDUsPerRoom
+		sc.rackOf[i] = idx / facilityPDUSize
+		sc.roomOf[i] = sc.rackOf[i] / telemetry.PDUsPerRoom
 	}
-	grants := coordinator.AllocateHierarchical(st.curBudget, reqs, rackOf, roomOf)
+}
 
-	// Group jobs by rack in first-appearance order and let the policy
-	// split each rack's aggregate grant among its own jobs.
-	groupIdx := make(map[int]int)
-	var groups [][]int
-	for i := range infos {
-		gi, ok := groupIdx[rackOf[i]]
-		if !ok {
-			gi = len(groups)
-			groupIdx[rackOf[i]] = gi
-			groups = append(groups, nil)
-		}
-		groups[gi] = append(groups[gi], i)
+// groupByRack rebuilds the rack grouping over the current plan scratch:
+// jobs grouped by rack in first-appearance order, inner slices reused.
+func (st *simState) groupByRack() {
+	sc := &st.plan
+	if sc.groupIdx == nil {
+		sc.groupIdx = make(map[int]int)
 	}
-	alloc := policy.Allocation{}
-	for _, members := range groups {
-		var budget units.Power
-		sub := make([]policy.JobInfo, len(members))
-		for k, i := range members {
-			budget += grants[i].Budget
-			sub[k] = infos[i]
+	clear(sc.groupIdx)
+	ng := 0
+	for i := range sc.reqs {
+		gi, ok := sc.groupIdx[sc.rackOf[i]]
+		if !ok {
+			gi = ng
+			sc.groupIdx[sc.rackOf[i]] = gi
+			if gi < len(sc.groups) {
+				sc.groups[gi] = sc.groups[gi][:0]
+			} else {
+				sc.groups = append(sc.groups, nil)
+			}
+			ng++
 		}
-		part, err := st.pol.Allocate(policy.System{Budget: budget}, sub)
+		sc.groups[gi] = append(sc.groups[gi], i)
+	}
+	sc.groups = sc.groups[:ng]
+}
+
+// planHierarchical is the scale-mode replan round. Per-job power requests
+// are aggregated along the rack/room tree and the system budget granted
+// back down it via the scratch-pooled coordinator.HierAlloc; the policy
+// then distributes each rack's aggregate grant over that rack's jobs only.
+// The flat replan asks the policy to weigh every job against every other;
+// this asks it to weigh rack-mates only, with cross-rack balance settled by
+// the water-fill at the rack and room tiers.
+func (st *simState) planHierarchical() (policy.Allocation, error) {
+	infos, err := st.mgr.JobInfos(st.db)
+	if err != nil {
+		return nil, err
+	}
+	st.planRequests(infos)
+	sc := &st.plan
+	grants := st.hier.Allocate(st.curBudget, sc.reqs, sc.rackOf, sc.roomOf)
+	st.groupByRack()
+	alloc := policy.Allocation{}
+	for _, members := range sc.groups {
+		var budget units.Power
+		sc.sub = sc.sub[:0]
+		for _, i := range members {
+			budget += grants[i].Budget
+			sc.sub = append(sc.sub, infos[i])
+		}
+		part, err := st.pol.Allocate(policy.System{Budget: budget}, sc.sub)
 		if err != nil {
 			return nil, err
 		}
@@ -123,4 +157,12 @@ func (st *simState) planHierarchical() (policy.Allocation, error) {
 		}
 	}
 	return alloc, nil
+}
+
+// growPlan returns s resized to n, reusing capacity.
+func growPlan[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

@@ -320,6 +320,42 @@ func (d *Device) PrivilegedAdd(reg uint32, delta uint64, widthBits uint) {
 	d.extra[reg] = v
 }
 
+// CounterAdd is one wrapping counter advance for PrivilegedAddBatch.
+type CounterAdd struct {
+	Reg   uint32
+	Delta uint64
+	Width uint
+}
+
+// PrivilegedAddBatch applies a series of counter advances under a single
+// lock acquisition — the hot path for iteration crediting, which bumps five
+// counters per socket per credit. Each add is identical to a
+// PrivilegedAdd(Reg, Delta, Width) call, in order.
+func (d *Device) PrivilegedAddBatch(adds []CounterAdd) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, a := range adds {
+		var v uint64
+		i, ok := d.lay.slot[a.Reg]
+		if ok {
+			v = d.regs[i] + a.Delta
+		} else {
+			v = d.extra[a.Reg] + a.Delta
+		}
+		if a.Width < 64 {
+			v &= (uint64(1) << a.Width) - 1
+		}
+		if ok {
+			d.regs[i] = v
+			continue
+		}
+		if d.extra == nil {
+			d.extra = map[uint32]uint64{}
+		}
+		d.extra[a.Reg] = v
+	}
+}
+
 // Registers returns a snapshot of all register addresses (allowlisted words
 // in ascending order, then any privileged side-map registers), for
 // diagnostics.

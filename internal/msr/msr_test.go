@@ -78,6 +78,34 @@ func TestPrivilegedAddWraps32(t *testing.T) {
 	}
 }
 
+// TestPrivilegedAddBatchEquivalent pins the batched advance identical to
+// the same adds issued one call at a time, including 32-bit wraparound,
+// unlisted (side-map) registers, and application order.
+func TestPrivilegedAddBatchEquivalent(t *testing.T) {
+	const sideReg uint32 = 0xC0DE
+	adds := []CounterAdd{
+		{Reg: MSRPkgEnergyStatus, Delta: 7, Width: 32},
+		{Reg: MSRDramEnergyStatus, Delta: 0xFFFF_FFF0, Width: 32},
+		{Reg: IA32APerf, Delta: 123456, Width: 64},
+		{Reg: MSRPkgEnergyStatus, Delta: 0xFFFF_FFFE, Width: 32}, // wraps
+		{Reg: sideReg, Delta: 99, Width: 64},
+	}
+	one, batch := NewDevice(nil), NewDevice(nil)
+	for _, d := range []*Device{one, batch} {
+		d.PrivilegedWrite(MSRPkgEnergyStatus, 0xFFFF_FFF0)
+		d.PrivilegedWrite(MSRDramEnergyStatus, 0x20)
+	}
+	for _, a := range adds {
+		one.PrivilegedAdd(a.Reg, a.Delta, a.Width)
+	}
+	batch.PrivilegedAddBatch(adds)
+	for _, reg := range []uint32{MSRPkgEnergyStatus, MSRDramEnergyStatus, IA32APerf, sideReg} {
+		if g, w := batch.PrivilegedRead(reg), one.PrivilegedRead(reg); g != w {
+			t.Errorf("reg %#x: batch = %d, individual = %d", reg, g, w)
+		}
+	}
+}
+
 func TestPrivilegedAdd64(t *testing.T) {
 	d := NewDevice(nil)
 	d.PrivilegedWrite(IA32APerf, ^uint64(0))

@@ -545,14 +545,19 @@ func (n *Node) CompleteIteration(ph cpumodel.Phase, iterTime time.Duration, work
 
 	// Advance the hardware counters so telemetry readers see this
 	// iteration: energy into the wrapping accumulator, APERF at the
-	// achieved frequency, MPERF and TSC at the base clock.
+	// achieved frequency, MPERF and TSC at the base clock. One batched
+	// device call per socket keeps the credit to a single lock round-trip.
+	base := uint64(n.Spec().BaseFreq.Hz() * iterTime.Seconds())
+	aperf := uint64(res.AchievedFreq.Hz() * iterTime.Seconds())
 	for _, s := range n.sockets {
-		s.Dev.PrivilegedAdd(msr.MSRPkgEnergyStatus, s.Rapl.EncodeEnergyDelta(perSocket), 32)
-		s.Dev.PrivilegedAdd(msr.MSRDramEnergyStatus, s.Rapl.EncodeEnergyDelta(dramPerSocket), 32)
-		s.Dev.PrivilegedAdd(msr.IA32APerf, uint64(res.AchievedFreq.Hz()*iterTime.Seconds()), 64)
-		base := uint64(n.Spec().BaseFreq.Hz() * iterTime.Seconds())
-		s.Dev.PrivilegedAdd(msr.IA32MPerf, base, 64)
-		s.Dev.PrivilegedAdd(msr.IA32TimeStampCounter, base, 64)
+		adds := [5]msr.CounterAdd{
+			{Reg: msr.MSRPkgEnergyStatus, Delta: s.Rapl.EncodeEnergyDelta(perSocket), Width: 32},
+			{Reg: msr.MSRDramEnergyStatus, Delta: s.Rapl.EncodeEnergyDelta(dramPerSocket), Width: 32},
+			{Reg: msr.IA32APerf, Delta: aperf, Width: 64},
+			{Reg: msr.IA32MPerf, Delta: base, Width: 64},
+			{Reg: msr.IA32TimeStampCounter, Delta: base, Width: 64},
+		}
+		s.Dev.PrivilegedAddBatch(adds[:])
 	}
 	return res, nil
 }
@@ -572,11 +577,14 @@ func (n *Node) CreditIterations(pr PhaseResult, iterTime time.Duration, count in
 	base := uint64(n.Spec().BaseFreq.Hz() * seconds)
 	aperf := uint64(pr.AchievedFreq.Hz() * seconds)
 	for _, s := range n.sockets {
-		s.Dev.PrivilegedAdd(msr.MSRPkgEnergyStatus, s.Rapl.EncodeEnergyDelta(perSocket), 32)
-		s.Dev.PrivilegedAdd(msr.MSRDramEnergyStatus, s.Rapl.EncodeEnergyDelta(dramPerSocket), 32)
-		s.Dev.PrivilegedAdd(msr.IA32APerf, aperf, 64)
-		s.Dev.PrivilegedAdd(msr.IA32MPerf, base, 64)
-		s.Dev.PrivilegedAdd(msr.IA32TimeStampCounter, base, 64)
+		adds := [5]msr.CounterAdd{
+			{Reg: msr.MSRPkgEnergyStatus, Delta: s.Rapl.EncodeEnergyDelta(perSocket), Width: 32},
+			{Reg: msr.MSRDramEnergyStatus, Delta: s.Rapl.EncodeEnergyDelta(dramPerSocket), Width: 32},
+			{Reg: msr.IA32APerf, Delta: aperf, Width: 64},
+			{Reg: msr.IA32MPerf, Delta: base, Width: 64},
+			{Reg: msr.IA32TimeStampCounter, Delta: base, Width: 64},
+		}
+		s.Dev.PrivilegedAddBatch(adds[:])
 	}
 }
 

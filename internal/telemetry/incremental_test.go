@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"powerstack/internal/cluster"
+	"powerstack/internal/fault"
+	"powerstack/internal/node"
+	"powerstack/internal/obs"
+	"powerstack/internal/units"
+)
+
+// incrementalTwin builds two identical hierarchies over cloned pools: A
+// runs the full linear sweep, B runs incremental dirty-set sampling. The
+// deep pduSize-1 shape forces the room tier so interior re-sums cross
+// three levels.
+func incrementalTwin(t *testing.T, n int) (nodesA, nodesB []*node.Node, rootA, rootB *Domain) {
+	t.Helper()
+	src := testNodes(t, n)
+	nodesA = cluster.ClonePool(src)
+	nodesB = cluster.ClonePool(src)
+	var err error
+	rootA, err = BuildHierarchy(nodesA, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootB, err = BuildHierarchy(nodesB, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootA.SetLinearSweep(true)
+	rootB.SetIncremental(true)
+	return nodesA, nodesB, rootA, rootB
+}
+
+// sampleBoth samples both hierarchies at ts and asserts the incremental
+// side agrees with the full sweep everywhere: root power, and every sweep
+// entry's current value (lastPower for skipped entries must equal what the
+// full sweep just recomputed).
+func sampleBoth(t *testing.T, rootA, rootB *Domain, ts time.Time, tag string) {
+	t.Helper()
+	pa, err := rootA.Sample(ts)
+	if err != nil {
+		t.Fatalf("%s: full sweep: %v", tag, err)
+	}
+	pb, err := rootB.Sample(ts)
+	if err != nil {
+		t.Fatalf("%s: incremental: %v", tag, err)
+	}
+	if pa != pb {
+		t.Fatalf("%s: root power diverged: sweep %v != incremental %v", tag, pa, pb)
+	}
+	ic := rootB.inc
+	for i := range rootB.sweep {
+		last, ok := rootA.sweep[i].d.series.Last()
+		if !ok {
+			t.Fatalf("%s: full-sweep domain %s has no samples", tag, rootA.sweep[i].d.Name)
+		}
+		if ic.lastPower[i] != last.Power {
+			t.Fatalf("%s: %s: incremental value %v != sweep %v",
+				tag, rootB.sweep[i].d.Name, ic.lastPower[i], last.Power)
+		}
+	}
+}
+
+// holdEvents extracts the TelemetryHold journal sequence (host, value).
+func holdEvents(s *obs.Sink) []obs.Event {
+	var out []obs.Event
+	for _, e := range s.Journal.Snapshot() {
+		if e.Type == obs.EvTelemetryHold {
+			out = append(out, obs.Event{Type: e.Type, Host: e.Host, Value: e.Value})
+		}
+	}
+	return out
+}
+
+// TestIncrementalMatchesFullSweep drives twin hierarchies through the full
+// fault repertoire — jobs crediting energy, a crash and repair, a telemetry
+// dropout window over a powered node, and an armed MSR read-fault countdown
+// on a pinned leaf — asserting after every sample that incremental
+// dirty-set sampling is bit-identical to the full sweep, including the
+// TelemetryHold journal cadence and the sample at which the read-fault
+// countdown fires.
+func TestIncrementalMatchesFullSweep(t *testing.T) {
+	nodesA, nodesB, rootA, rootB := incrementalTwin(t, 200)
+
+	const crashed, dropped, coldDropped, metered = 10, 50, 80, 120
+	mk := func(pool []*node.Node) *fault.Plan {
+		return fault.NewPlan(
+			fault.Injection{Kind: fault.TelemetryDropout, Node: pool[dropped].ID,
+				At: 240 * time.Second, Duration: 60 * time.Second},
+			fault.Injection{Kind: fault.TelemetryDropout, Node: pool[coldDropped].ID,
+				At: 390 * time.Second, Duration: 60 * time.Second},
+			fault.Injection{Kind: fault.MSRReadFault, Node: pool[metered].ID, After: 5},
+		)
+	}
+	planA, planB := mk(nodesA), mk(nodesB)
+	sinkA, sinkB := obs.New(), obs.New()
+	start := time.Unix(1000, 0)
+	planA.Arm(nodesA, sinkA)
+	planB.Arm(nodesB, sinkB)
+	rootA.SetFaultPlan(planA, start, sinkA)
+	rootB.SetFaultPlan(planB, start, sinkB)
+	rootB.PinLeafDirty(metered)
+
+	// markJob mirrors the facility's dirty discipline on the incremental
+	// side: every node whose energy counters moved is marked.
+	markJob := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rootB.MarkLeafDirty(i)
+		}
+	}
+	at := func(k int) time.Time { return start.Add(time.Duration(k) * 30 * time.Second) }
+
+	sampleBoth(t, rootA, rootB, at(0), "prime")
+	runIterations(t, nodesA[0:4], 2)
+	runIterations(t, nodesB[0:4], 2)
+	markJob(0, 4)
+	sampleBoth(t, rootA, rootB, at(1), "job1 active")
+	sampleBoth(t, rootA, rootB, at(2), "idle")
+	sampleBoth(t, rootA, rootB, at(3), "idle2")
+	if got := len(rootB.inc.dirtyLeaves); got >= 50 {
+		t.Fatalf("dirty set did not shrink while idle: %d leaves", got)
+	}
+
+	fault.Crash(nodesA[crashed])
+	fault.Crash(nodesB[crashed])
+	rootB.MarkLeafDirty(crashed)
+	sampleBoth(t, rootA, rootB, at(4), "crash")
+	sampleBoth(t, rootA, rootB, at(5), "crashed-hold")
+	fault.Repair(nodesA[crashed])
+	fault.Repair(nodesB[crashed])
+	rootB.MarkLeafDirty(crashed)
+	sampleBoth(t, rootA, rootB, at(6), "repair-reprime")
+
+	runIterations(t, nodesA[dropped:dropped+4], 3)
+	runIterations(t, nodesB[dropped:dropped+4], 3)
+	markJob(dropped, dropped+4)
+	sampleBoth(t, rootA, rootB, at(7), "job2 active")
+	// Dropout window [240s, 300s) opens: the facility marks the leaf at
+	// the window-start sample so the hold is taken, not skipped.
+	rootB.MarkLeafDirty(dropped)
+	sampleBoth(t, rootA, rootB, at(8), "dropout-hold")
+	runIterations(t, nodesA[dropped:dropped+4], 2)
+	runIterations(t, nodesB[dropped:dropped+4], 2)
+	markJob(dropped, dropped+4)
+	sampleBoth(t, rootA, rootB, at(9), "dropout-hold-with-energy")
+	sampleBoth(t, rootA, rootB, at(10), "dropout-over")
+	// The metered node's countdown (After=5) has been consumed read by
+	// read; the pin kept its read count equal to the sweep's, so the dead
+	// branch fires at the same sample on both sides.
+	sampleBoth(t, rootA, rootB, at(11), "read-fault")
+	sampleBoth(t, rootA, rootB, at(12), "read-fault-hold")
+
+	// The cold-dropout regression: a leaf that was clean and skipped for
+	// many samples enters a dropout window [390s, 450s), gains energy while
+	// held, and is read again when the window ends. The sweep integrates
+	// that read from the sample just before the window (its last normal
+	// read); the incremental side must not integrate from the leaf's stale
+	// pre-skip lastTime, or the window energy is spread over the wrong Δt.
+	rootB.MarkLeafDirty(coldDropped)
+	sampleBoth(t, rootA, rootB, at(13), "cold-dropout-hold")
+	runIterations(t, nodesA[coldDropped:coldDropped+2], 2)
+	runIterations(t, nodesB[coldDropped:coldDropped+2], 2)
+	markJob(coldDropped, coldDropped+2)
+	sampleBoth(t, rootA, rootB, at(14), "cold-dropout-hold-with-energy")
+	sampleBoth(t, rootA, rootB, at(15), "cold-dropout-over")
+	sampleBoth(t, rootA, rootB, at(16), "cold-dropout-settled")
+
+	ha, hb := holdEvents(sinkA), holdEvents(sinkB)
+	if len(ha) == 0 {
+		t.Fatal("scenario produced no TelemetryHold events")
+	}
+	if len(ha) != len(hb) {
+		t.Fatalf("hold journal cadence diverged: sweep %d events, incremental %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatalf("hold event %d diverged: %+v != %+v", i, ha[i], hb[i])
+		}
+	}
+}
+
+// TestIncrementalDisableExact pins the disable path: after running
+// incrementally (leaving stale lastTime on clean leaves), switching back to
+// the full sweep produces values identical to a hierarchy that swept all
+// along — a clean leaf's energy did not move, so the longer window still
+// integrates to zero.
+func TestIncrementalDisableExact(t *testing.T) {
+	nodesA, nodesB, rootA, rootB := incrementalTwin(t, 64)
+	at := func(k int) time.Time { return time.Unix(1000, 0).Add(time.Duration(k) * 30 * time.Second) }
+
+	sampleBoth(t, rootA, rootB, at(0), "prime")
+	runIterations(t, nodesA[0:4], 2)
+	runIterations(t, nodesB[0:4], 2)
+	for i := 0; i < 4; i++ {
+		rootB.MarkLeafDirty(i)
+	}
+	sampleBoth(t, rootA, rootB, at(1), "active")
+	sampleBoth(t, rootA, rootB, at(2), "idle")
+
+	rootB.SetIncremental(false)
+	rootB.SetLinearSweep(true)
+	for k := 3; k <= 6; k++ {
+		if k == 4 {
+			runIterations(t, nodesA[8:12], 2)
+			runIterations(t, nodesB[8:12], 2)
+		}
+		pa, err := rootA.Sample(at(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := rootB.Sample(at(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa != pb {
+			t.Fatalf("sample %d after disable: %v != %v", k, pa, pb)
+		}
+	}
+}
+
+// TestMarkLeafDirtyBounds pins the nil-safety and range clamping of the
+// marking API: marks outside incremental mode or out of range are no-ops.
+func TestMarkLeafDirtyBounds(t *testing.T) {
+	nodes := testNodes(t, 8)
+	root, err := BuildHierarchy(nodes, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.MarkLeafDirty(0) // not incremental: no-op
+	root.PinLeafDirty(0)
+	root.SetIncremental(true)
+	root.MarkLeafDirty(-1)
+	root.MarkLeafDirty(len(nodes))
+	root.PinLeafDirty(len(nodes))
+	if got := len(root.inc.dirtyLeaves); got != len(nodes) {
+		t.Fatalf("dirty set = %d, want %d (only the initial seeding)", got, len(nodes))
+	}
+	root.MarkLeafDirty(3) // already queued: idempotent
+	if got := len(root.inc.dirtyLeaves); got != len(nodes) {
+		t.Fatalf("duplicate mark queued: %d", got)
+	}
+	if _, err := root.Sample(time.Unix(1000, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkIncrementalSample is the zero-alloc gate on the incremental
+// sample hot path: a steady-state sample over a 20k-leaf hierarchy with a
+// churning 64-leaf dirty set must not allocate.
+func BenchmarkIncrementalSample(b *testing.B) {
+	root := benchRoot(b, 20_000)
+	root.SetIncremental(true)
+	n := len(root.inc.leafIdx)
+	ts := time.Unix(1000, 0)
+	for k := 0; k < 2; k++ { // prime: first sample visits every leaf
+		ts = ts.Add(30 * time.Second)
+		if _, err := root.Sample(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink units.Power
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			root.MarkLeafDirty((i*37 + j*997) % n)
+		}
+		ts = ts.Add(30 * time.Second)
+		p, err := root.Sample(ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += p
+	}
+	_ = sink
+}

@@ -131,6 +131,9 @@ type Domain struct {
 	sweep    []sweepEntry
 	sums     []units.Power
 	useSweep bool
+	// inc holds the incremental dirty-set sampling state (incremental.go);
+	// nil outside incremental mode.
+	inc *incState
 }
 
 // sweepEntry is one domain in a root's post-order sample sweep.
@@ -283,6 +286,9 @@ func (d *Domain) SetFaultPlan(p *fault.Plan, start time.Time, sink *obs.Sink) {
 // Sample only errors on conditions no monitoring system should paper over
 // (none today — the error return is kept for future structural failures).
 func (d *Domain) Sample(ts time.Time) (units.Power, error) {
+	if d.inc != nil {
+		return d.sampleIncremental(ts)
+	}
 	if d.useSweep {
 		return d.sampleSweep(ts)
 	}
@@ -303,6 +309,20 @@ func (d *Domain) Sample(ts time.Time) (units.Power, error) {
 
 // leafSample reads one leaf's power at ts and records it.
 func (d *Domain) leafSample(ts time.Time) units.Power {
+	p, _ := d.leafSampleFrom(ts, d.lastTime)
+	return p
+}
+
+// leafSampleFrom is leafSample with the start of the integration window
+// made explicit: effLast replaces d.lastTime as the previous reading's
+// timestamp. The full walk always passes d.lastTime; the incremental path
+// passes the previous sample instant for leaves it skipped while clean —
+// their stored lastTime is stale, but their energy provably did not move
+// while clean, so the shorter window computes the same ΔE/Δt bit for bit.
+// The bool result reports volatility: the sample took a dropout-hold or
+// dead-node branch, whose value can change next sample without any new
+// energy flowing, so the incremental path must revisit the leaf.
+func (d *Domain) leafSampleFrom(ts time.Time, effLast time.Time) (units.Power, bool) {
 	if d.faults.DropoutActive(d.Name, ts.Sub(d.start)) {
 		var p units.Power
 		if last, ok := d.series.Last(); ok {
@@ -310,7 +330,7 @@ func (d *Domain) leafSample(ts time.Time) units.Power {
 		}
 		d.series.Append(Sample{Time: ts, Power: p})
 		d.sink.TelemetryHold(d.Name, p.Watts())
-		return p
+		return p, true
 	}
 	e, err := d.Node.Energy()
 	if err != nil {
@@ -321,18 +341,18 @@ func (d *Domain) leafSample(ts time.Time) units.Power {
 		d.primed = false
 		d.series.Append(Sample{Time: ts, Power: 0})
 		d.sink.TelemetryHold(d.Name, 0)
-		return 0
+		return 0, true
 	}
 	var p units.Power
 	if d.primed {
-		dt := ts.Sub(d.lastTime)
+		dt := ts.Sub(effLast)
 		p = units.MeanPower(e-d.lastEnergy, dt)
 	}
 	d.lastEnergy = e
 	d.lastTime = ts
 	d.primed = true
 	d.series.Append(Sample{Time: ts, Power: p})
-	return p
+	return p, false
 }
 
 // sampleSweep is Sample as one post-order loop over the flattened tree.
